@@ -1,0 +1,78 @@
+"""E13 — Tables IV and V: the SCB ⊗ Pauli product algebra and commutators.
+
+Regenerates the Cayley table of the tensor-product algebra and the
+(anti)commutation relations, verifying every cell against the matrices, and
+times the symbolic term-composition machinery that relies on them (the
+Jordan-Wigner products of Section V-B are exactly such compositions).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.operators import (
+    ALL_SCB_OPERATORS,
+    SCBTerm,
+    anticommutator,
+    cayley_table,
+    commutator,
+    single_qubit_product,
+)
+
+
+def test_table4_cayley_table(benchmark):
+    table = benchmark(cayley_table)
+    labels = [op.label for op in ALL_SCB_OPERATORS]
+    rows = []
+    for a in ALL_SCB_OPERATORS:
+        row = [a.label]
+        for b in ALL_SCB_OPERATORS:
+            coeff, op_label = table[(a.label, b.label)]
+            if op_label is None:
+                row.append("0")
+            elif coeff == 1:
+                row.append(op_label)
+            else:
+                row.append(f"{coeff:.0f}{op_label}" if coeff.imag == 0 else f"({coeff:.0f}){op_label}")
+        rows.append(row)
+    print_table("Table IV — Cayley table of the SCB ⊗ Pauli algebra (A·B)", ["A\\B"] + labels, rows)
+
+    # Every cell agrees with the matrix product.
+    for a in ALL_SCB_OPERATORS:
+        for b in ALL_SCB_OPERATORS:
+            coeff, op = single_qubit_product(a, b)
+            product = a.matrix @ b.matrix
+            if op is None:
+                assert np.allclose(product, 0.0)
+            else:
+                assert np.allclose(coeff * op.matrix, product)
+
+
+def test_table5_commutation_relations(benchmark):
+    def verify_all():
+        worst = 0.0
+        for a in ALL_SCB_OPERATORS:
+            for b in ALL_SCB_OPERATORS:
+                comm = commutator(a, b)
+                anti = anticommutator(a, b)
+                rebuilt_c = sum((c * op.matrix for op, c in comm.items()), np.zeros((2, 2), complex))
+                rebuilt_a = sum((c * op.matrix for op, c in anti.items()), np.zeros((2, 2), complex))
+                worst = max(worst, float(np.max(np.abs(rebuilt_c - (a.matrix @ b.matrix - b.matrix @ a.matrix)))))
+                worst = max(worst, float(np.max(np.abs(rebuilt_a - (a.matrix @ b.matrix + b.matrix @ a.matrix)))))
+        return worst
+
+    worst = benchmark(verify_all)
+    assert worst < 1e-12
+    print(f"\nTable V: all {len(ALL_SCB_OPERATORS)**2} commutators and anticommutators verified "
+          f"(max reconstruction error {worst:.1e})")
+
+
+def test_term_composition_throughput(benchmark):
+    """Symbolic product of long SCB terms (the operation behind Jordan-Wigner)."""
+    rng = np.random.default_rng(0)
+    labels = "IXYZnmsd"
+    a = SCBTerm.from_label("".join(rng.choice(list(labels), size=20)), 0.7)
+    b = SCBTerm.from_label("".join(rng.choice(list(labels), size=20)), -0.3)
+
+    product = benchmark(lambda: a.compose(b))
+    if product is not None:
+        assert product.num_qubits == 20

@@ -1,0 +1,114 @@
+"""E8 — Section IV: block encoding of every term with at most six unitaries.
+
+For terms covering every family combination, the LCU of Eqs. 10–12 is built
+from the same gates as the Hamiltonian-simulation circuit, verified against
+the exact fragment matrix, and assembled into a PREPARE–SELECT–PREPARE† block
+encoding whose encoded block is checked too.  The unitary count never exceeds
+six, as the paper states.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core import (
+    fragment_block_encoding,
+    hamiltonian_block_encoding,
+    term_lcu_decomposition,
+    term_unitary_count,
+)
+from repro.operators import Hamiltonian, SCBTerm
+from repro.operators.hamiltonian import HermitianFragment
+
+CASES = [
+    ("XZ", 0.9),       # pure Pauli string: 1 unitary
+    ("nn", 1.2),       # pure projector: 2 unitaries
+    ("nXm", 0.4),      # projector ⊗ Pauli: 2 unitaries
+    ("sd", 0.7),       # pure transition: 3 unitaries
+    ("ZYsd", -0.6),    # transition ⊗ Pauli: 3 unitaries
+    ("nsd", 0.8),      # transition ⊗ projector: 6 unitaries
+    ("nmsdXY", 0.3),   # all families: 6 unitaries
+    ("mdsnZ", 0.5),    # permuted layout: 6 unitaries
+]
+
+
+def _build_all():
+    results = []
+    for label, coeff in CASES:
+        term = SCBTerm.from_label(label, coeff)
+        fragment = HermitianFragment(term, include_hc=not term.is_hermitian)
+        decomposition = term_lcu_decomposition(fragment)
+        encoding = fragment_block_encoding(fragment)
+        results.append((label, term, fragment, decomposition, encoding))
+    return results
+
+
+def test_six_unitary_term_block_encodings(benchmark):
+    results = benchmark(_build_all)
+    rows = []
+    for label, term, fragment, decomposition, encoding in results:
+        rows.append(
+            [label,
+             term_unitary_count(term),
+             decomposition.num_unitaries,
+             f"{decomposition.reconstruction_error(fragment.matrix()):.1e}",
+             encoding.num_ancillas,
+             f"{encoding.scale:.2f}",
+             f"{encoding.verification_error(fragment.matrix()):.1e}"]
+        )
+    print_table(
+        "Section IV — per-term LCU and block encoding",
+        ["term", "predicted unitaries", "measured unitaries", "LCU error",
+         "ancillas", "scale λ", "BE error"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] == row[2] <= 6
+        assert float(row[3]) < 1e-9
+        assert float(row[6]) < 1e-8
+
+
+def test_hamiltonian_block_encoding(benchmark):
+    ham = Hamiltonian(4)
+    ham.add_label("nsdI", 0.8)
+    ham.add_label("IZZI", 0.3)
+    ham.add_label("IXsd", 0.5)
+    ham.add_label("mnsd", 0.2)
+
+    encoding = benchmark(lambda: hamiltonian_block_encoding(ham))
+    error = encoding.verification_error(ham.matrix())
+    total_unitaries = sum(term_unitary_count(t) for t in ham.terms)
+    print(f"\nWhole-Hamiltonian block encoding: {ham.num_terms} terms -> "
+          f"≤ {total_unitaries} unitaries, {encoding.num_ancillas} ancillas, "
+          f"scale λ = {encoding.scale:.3f}, encoded-block error = {error:.2e}")
+    assert error < 1e-8
+    assert total_unitaries <= 6 * ham.num_terms
+
+
+def test_block_encoding_vs_pauli_lcu_unitary_count(benchmark):
+    """The comparison behind Section IV: ≤6 unitaries/term vs 2^k Pauli unitaries/term."""
+    from repro.core import pauli_lcu_decomposition
+    from repro.operators import pauli_term_count
+
+    def build():
+        rows = []
+        for label in ("nsd", "nmsdXY", "nmmsdsd"):
+            term = SCBTerm.from_label(label, 0.5)
+            fragment = HermitianFragment(term, True)
+            direct = term_lcu_decomposition(fragment)
+            pauli = pauli_lcu_decomposition(fragment.to_pauli())
+            rows.append([label, direct.num_unitaries, pauli.num_unitaries, pauli_term_count(term)])
+        return rows
+
+    rows = benchmark(build)
+    print_table(
+        "LCU unitary count per term — direct (≤6) vs Pauli strings",
+        ["term", "direct unitaries", "pauli unitaries (gathered)", "pauli strings (un-gathered)"],
+        rows,
+    )
+    for _, direct_count, pauli_count, ungathered in rows:
+        assert direct_count <= 6
+        # The Pauli count grows exponentially with the term order while the
+        # direct count is capped at six, so the direct decomposition wins as
+        # soon as the term carries a few non-Pauli factors.
+        if ungathered >= 16:
+            assert direct_count <= pauli_count
+    assert rows[-1][2] > rows[0][2]
+    assert rows[-1][1] <= 6

@@ -1,0 +1,100 @@
+"""E6a — Section V-B.1: individual electronic transitions implemented without error.
+
+For one- and two-body gathered transitions (with their Jordan–Wigner parity
+strings), the direct circuit is exact; the benchmark sweeps transition ranges,
+reports the error (≈ machine precision) and the single-rotation property, and
+compares logical gate counts with the usual (Pauli-split) construction.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.applications.chemistry import (
+    one_body_fragment,
+    transition_circuit,
+    transition_exactness_error,
+    transition_gate_counts,
+    transition_pauli_split_error,
+    two_body_fragment,
+)
+
+ONE_BODY_CASES = [(0, 1, 4), (0, 3, 5), (1, 5, 7), (0, 7, 8)]
+TWO_BODY_CASES = [((0, 1, 2, 3), 4), ((0, 2, 3, 5), 6), ((1, 4, 0, 6), 7)]
+
+
+def _sweep_errors():
+    rows = []
+    for i, j, modes in ONE_BODY_CASES:
+        fragment = one_body_fragment(i, j, 0.7, modes)
+        circuit = transition_circuit(fragment, 0.41)
+        rows.append(
+            [f"a†_{i} a_{j} + h.c. ({modes} modes)",
+             f"{transition_exactness_error(fragment, 0.41):.1e}",
+             f"{transition_pauli_split_error(fragment, 0.41):.1e}",
+             circuit.num_rotation_gates(),
+             circuit.count_ops().get("cx", 0)]
+        )
+    for indices, modes in TWO_BODY_CASES:
+        fragment = two_body_fragment(*indices, 0.5, modes)
+        circuit = transition_circuit(fragment, 0.41)
+        label = f"a†_{indices[0]} a†_{indices[1]} a_{indices[2]} a_{indices[3]} + h.c. ({modes} modes)"
+        rows.append(
+            [label,
+             f"{transition_exactness_error(fragment, 0.41):.1e}",
+             f"{transition_pauli_split_error(fragment, 0.41):.1e}",
+             circuit.num_rotation_gates(),
+             circuit.count_ops().get("cx", 0)]
+        )
+    return rows
+
+
+def test_individual_transitions_exact(benchmark):
+    rows = benchmark(_sweep_errors)
+    print_table(
+        "Section V-B.1 — individual electronic transitions (direct circuits)",
+        ["transition", "direct error", "pauli-split error", "rotations", "CX"],
+        rows,
+    )
+    for row in rows:
+        assert float(row[1]) < 1e-9   # exact, the paper's claim
+        assert row[3] == 1            # one rotation per transition
+
+
+def test_transition_gate_count_comparison(benchmark):
+    counts = benchmark(lambda: transition_gate_counts(two_body_fragment(0, 1, 2, 3, 0.5, 4)))
+    rows = [
+        ["rotations", counts["direct"]["rotation_gates"], counts["usual"]["rotation_gates"]],
+        ["size (logical gates)", counts["direct"]["size"], counts["usual"]["size"]],
+        ["depth", counts["direct"]["depth"], counts["usual"]["depth"]],
+        ["two-qubit gates", counts["direct"]["two_qubit_gates"], counts["usual"]["two_qubit_gates"]],
+    ]
+    print_table(
+        "Two-body transition a†a†aa + h.c. — direct vs usual (logical counts)",
+        ["metric", "direct", "usual"],
+        rows,
+    )
+    assert counts["direct"]["rotation_gates"] == 1
+    assert counts["usual"]["rotation_gates"] == 8  # the 8 surviving Pauli strings
+
+
+def test_uccsd_series_of_transitions(benchmark):
+    """UCCSD as a series of exact transitions: particle number is conserved and
+    every excitation contributes exactly one rotation."""
+    from repro.applications.chemistry import total_number_operator, uccsd_ansatz, uccsd_parameter_count
+    from repro.circuits import Statevector
+
+    num_modes, electrons = 6, 2
+    num_params = uccsd_parameter_count(num_modes, electrons)
+    rng = np.random.default_rng(2)
+    params = rng.uniform(-0.2, 0.2, num_params)
+
+    circuit = benchmark(lambda: uccsd_ansatz(num_modes, electrons, params))
+    state = Statevector.zero_state(num_modes).evolve(circuit)
+    number = total_number_operator(num_modes).matrix(sparse=True)
+    particle_number = float(np.real(np.vdot(state.data, number @ state.data)))
+
+    print(f"\nUCCSD({num_modes} modes, {electrons} electrons): {num_params} excitations, "
+          f"{circuit.num_rotation_gates()} rotations, depth {circuit.depth()}, "
+          f"<N> = {particle_number:.6f}")
+    assert abs(particle_number - electrons) < 1e-9
+    assert circuit.num_rotation_gates() == num_params

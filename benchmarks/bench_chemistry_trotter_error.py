@@ -1,0 +1,76 @@
+"""E6b — Section V-B.2: full-Hamiltonian Trotter error, fermionic vs Pauli partitioning.
+
+For the Fermi–Hubbard chain and a synthetic molecular operator, one product-
+formula step is built with (i) the direct/fermionic partition (one fragment per
+gathered ladder term) and (ii) the Pauli partition (one fragment per string),
+and the spectral-norm error against the exact evolution is measured for several
+step counts and orders — the comparison the paper points to when citing the
+fermionic-partitioning literature.
+"""
+
+from benchmarks.conftest import print_table
+from repro.applications.chemistry import (
+    compare_partitionings,
+    fermi_hubbard_chain,
+    jordan_wigner_scb,
+    synthetic_molecular_hamiltonian,
+)
+from repro.applications.chemistry.trotter_study import compare_partitionings_scb
+
+
+def test_hubbard_trotter_error_partitioning(benchmark):
+    operator = fermi_hubbard_chain(2, tunneling=1.0, interaction=4.0)
+
+    def sweep():
+        rows = []
+        for steps in (1, 2, 4):
+            for order in (1, 2):
+                comparison = compare_partitionings(operator, 0.5, steps=steps, order=order)
+                rows.append(
+                    [steps, order,
+                     f"{comparison.direct_error:.3e}", f"{comparison.pauli_error:.3e}",
+                     comparison.direct_rotations, comparison.pauli_rotations]
+                )
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "Fermi–Hubbard (2 sites) — Trotter error per partitioning",
+        ["steps", "order", "direct/fermionic error", "pauli error",
+         "direct rotations", "pauli rotations"],
+        rows,
+    )
+    # Error decreases with steps for both partitionings; the direct partition
+    # never needs more rotations than the Pauli partition.
+    first_order = [row for row in rows if row[1] == 1]
+    assert float(first_order[-1][2]) < float(first_order[0][2])
+    assert float(first_order[-1][3]) < float(first_order[0][3])
+    for row in rows:
+        assert row[4] <= row[5]
+
+
+def test_synthetic_molecule_trotter_error(benchmark):
+    operator = synthetic_molecular_hamiltonian(4, rng=1, density=0.7)
+    hamiltonian = jordan_wigner_scb(operator, 4)
+
+    def sweep():
+        rows = []
+        for steps in (1, 2, 4):
+            comparison = compare_partitionings_scb(hamiltonian, 0.4, steps=steps, order=1)
+            rows.append(
+                [steps,
+                 f"{comparison.direct_error:.3e}", f"{comparison.pauli_error:.3e}",
+                 comparison.direct_fragment_count, comparison.pauli_fragment_count]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "Synthetic 4-spin-orbital molecule — Trotter error per partitioning",
+        ["steps", "direct/fermionic error", "pauli error", "direct fragments", "pauli strings"],
+        rows,
+    )
+    for row in rows:
+        assert row[3] <= row[4]
+    # O(dt^2/steps) scaling for the first-order formula.
+    assert float(rows[-1][1]) < float(rows[0][1])

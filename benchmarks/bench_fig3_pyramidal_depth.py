@@ -1,0 +1,67 @@
+"""E3 — Fig. 3 / Fig. 25: linear vs pyramidal basis change and parity report.
+
+The paper's claim: the pyramidal two-by-two structure keeps the same number of
+two-qubit gates while making the depth sub-linear (logarithmic) in the number
+of qubits involved.  The benchmark sweeps the register size and prints both
+series.
+"""
+
+import math
+
+from benchmarks.conftest import print_table
+from repro.core import parity_accumulation, transition_basis_change
+
+SIZES = (2, 4, 8, 16, 32)
+
+
+def _sweep_basis_change():
+    rows = []
+    for size in SIZES:
+        qubits = tuple(range(size))
+        ket_bits = tuple(i % 2 for i in range(size))
+        linear = transition_basis_change(size, qubits, ket_bits, mode="linear")
+        pyramid = transition_basis_change(size, qubits, ket_bits, mode="pyramid")
+        rows.append(
+            [size, linear.cx_count, linear.depth, pyramid.cx_count, pyramid.depth,
+             math.ceil(math.log2(size))]
+        )
+    return rows
+
+
+def test_fig3_basis_change_depth(benchmark):
+    rows = benchmark(_sweep_basis_change)
+    print_table(
+        "Fig. 3 — transition basis change, linear vs pyramidal",
+        ["qubits", "linear CX", "linear depth", "pyramid CX", "pyramid depth", "log2(n)"],
+        rows,
+    )
+    for size, lin_cx, lin_depth, pyr_cx, pyr_depth, log_n in rows:
+        assert lin_cx == pyr_cx == size - 1
+        if size >= 4:
+            assert pyr_depth < lin_depth
+        # depth within a small constant of ceil(log2 n) (X normalisation gates add ≤1)
+        assert pyr_depth <= log_n + 1
+
+
+def test_fig25_parity_report_depth(benchmark):
+    def sweep():
+        rows = []
+        for size in SIZES:
+            linear = parity_accumulation(size, tuple(range(size)), size - 1, mode="linear")
+            pyramid = parity_accumulation(size, tuple(range(size)), size - 1, mode="pyramid")
+            rows.append(
+                [size, linear.count_ops().get("cx", 0), linear.depth(),
+                 pyramid.count_ops().get("cx", 0), pyramid.depth()]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "Fig. 25 — Pauli parity report, linear vs pyramidal",
+        ["qubits", "linear CX", "linear depth", "pyramid CX", "pyramid depth"],
+        rows,
+    )
+    for size, lin_cx, lin_depth, pyr_cx, pyr_depth in rows:
+        assert lin_cx == pyr_cx
+        if size >= 4:
+            assert pyr_depth < lin_depth

@@ -1,0 +1,42 @@
+"""E1 — Table I: Single Component Basis operators and their Pauli mappings.
+
+Regenerates Table I (operator, matrix, Pauli expansion), verifies each mapping
+against the matrices, and reports the term-count bookkeeping that motivates the
+direct strategy (each non-Pauli factor doubles the number of Pauli strings).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.operators import ALL_SCB_OPERATORS, SCBTerm, pauli_matrix, pauli_term_count, scb_term_to_pauli
+
+
+def _mapping_rows():
+    rows = []
+    for op in ALL_SCB_OPERATORS:
+        expansion = " + ".join(
+            f"({coeff.real:+.1f}{coeff.imag:+.1f}j)·{label}" for label, coeff in op.pauli_expansion.items()
+        )
+        rebuilt = sum(c * pauli_matrix(p) for p, c in op.pauli_expansion.items())
+        exact = bool(np.allclose(rebuilt, op.matrix))
+        rows.append([op.label, expansion, exact])
+    return rows
+
+
+def test_table1_scb_to_pauli_mapping(benchmark):
+    rows = benchmark(_mapping_rows)
+    assert all(row[2] for row in rows)
+    print_table("Table I — SCB operators and their Pauli mappings", ["operator", "mapping", "exact"], rows)
+
+    # Term-count consequence: k non-Pauli factors -> 2^k Pauli strings.
+    count_rows = []
+    for label in ("n", "ns", "nsd", "nsdm", "nsdmn"):
+        term = SCBTerm.from_label(label)
+        count_rows.append([label, pauli_term_count(term), scb_term_to_pauli(term).num_terms])
+    print_table(
+        "Pauli strings generated per SCB term (2^k growth)",
+        ["term", "predicted 2^k", "measured strings"],
+        count_rows,
+    )
+    for _, predicted, measured in count_rows:
+        assert measured <= predicted

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it times the
+relevant construction with pytest-benchmark, checks the qualitative claim the
+paper makes about it (who wins, by roughly what factor, where the crossover
+falls), and prints the reproduced rows/series so they can be copied into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a small aligned table to stdout (shown with ``pytest -s`` or on failure)."""
+    widths = [max(len(str(header[i])), *(len(str(row[i])) for row in rows)) for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

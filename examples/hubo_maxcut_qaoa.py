@@ -1,0 +1,54 @@
+"""HUBO example: hypergraph max-cut solved with QAOA phase separators (Section V-A).
+
+Builds a random hypergraph max-cut instance (a naturally high-order spin
+problem), compares the gate cost of the two phase-separator strategies, runs a
+small QAOA optimisation and checks the answer against brute force.
+
+Run with ``python examples/hubo_maxcut_qaoa.py``.
+"""
+
+import numpy as np
+
+from repro.applications.hubo import (
+    approximation_ratio,
+    phase_separator,
+    phase_separator_gate_summary,
+    phase_separator_two_qubit_count,
+    random_hypergraph_maxcut,
+    run_qaoa,
+)
+from repro.utils.bits import int_to_bitstring
+
+
+def main() -> None:
+    # A hypergraph max-cut instance: 8 vertices, hyperedges of size up to 5.
+    problem = random_hypergraph_maxcut(8, num_hyperedges=7, max_edge_size=5, rng=7)
+    print(f"Hypergraph max-cut: {problem.num_variables} variables, "
+          f"{problem.num_terms} monomials, max order {problem.max_order}")
+
+    # Gate-cost comparison of the two strategies (Table III / Section V-A).
+    print("\nPhase-separator gate inventory (native formalism per strategy):")
+    print(f"  direct : {phase_separator_gate_summary(problem, 'direct')}")
+    print(f"  usual  : {phase_separator_gate_summary(problem, 'usual')}")
+    print(f"  two-qubit cost model — direct: "
+          f"{phase_separator_two_qubit_count(problem, 'direct')}, "
+          f"usual: {phase_separator_two_qubit_count(problem, 'usual')}")
+    direct_circuit = phase_separator(problem, 0.5, strategy="direct")
+    usual_circuit = phase_separator(problem, 0.5, strategy="usual")
+    print(f"  emitted logical gates — direct: {direct_circuit.size()}, "
+          f"usual: {usual_circuit.size()}")
+
+    # QAOA with the direct phase separator.
+    result = run_qaoa(problem, num_layers=2, strategy="direct", rng=1, maxiter=120)
+    best_value, best_index = problem.brute_force_minimum()
+    ratio = approximation_ratio(problem, result.optimal_value)
+    print(f"\nQAOA (p=2, direct separator):")
+    print(f"  optimised ⟨H⟩            = {result.optimal_value:.4f}")
+    print(f"  approximation ratio      = {ratio:.3f}")
+    print(f"  best sampled assignment  = {result.best_bitstring} (cost {result.best_cost:.4f})")
+    print(f"  brute-force optimum      = {int_to_bitstring(best_index, problem.num_variables)} "
+          f"(cost {best_value:.4f})")
+
+
+if __name__ == "__main__":
+    main()

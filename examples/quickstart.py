@@ -1,0 +1,65 @@
+"""Quickstart: direct Hamiltonian simulation and block encoding of one term.
+
+This walks through the paper's core workflow on a small example:
+
+1. write a Hamiltonian as Single Component Basis terms (Eq. 4);
+2. exponentiate each gathered term exactly with the direct strategy (Fig. 2);
+3. compare against the usual Pauli-string strategy;
+4. block-encode a term with at most six unitaries (Section IV).
+
+Run with ``python examples/quickstart.py``.
+"""
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.analysis import compare_strategies
+from repro.circuits import circuit_unitary
+from repro.core import evolve_term, fragment_block_encoding, term_lcu_decomposition
+from repro.operators import Hamiltonian, SCBTerm, pauli_term_count
+from repro.operators.hamiltonian import HermitianFragment
+from repro.utils.linalg import spectral_norm_diff
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ 1.
+    # A Hamiltonian in the Single Component Basis: each character is one qubit,
+    # 'n'/'m' are number operators, 's'/'d' are σ/σ†, 'X','Y','Z' are Paulis.
+    hamiltonian = Hamiltonian(4)
+    hamiltonian.add_label("nsdI", 0.8)     # transition controlled by an occupation
+    hamiltonian.add_label("IZZI", 0.3)     # a plain Pauli string
+    hamiltonian.add_label("IXsd", 0.5)     # Pauli ⊗ transition
+    hamiltonian.add_label("mnsd", 0.2)     # all three families together
+    print(f"Hamiltonian: {hamiltonian.num_terms} SCB terms on {hamiltonian.num_qubits} qubits")
+
+    # ------------------------------------------------------------------ 2.
+    # Exponentiate one gathered term exactly: exp(-i t (γ·A + h.c.)).
+    term = SCBTerm.from_label("nsdI", 0.8)
+    time = 0.37
+    circuit = evolve_term(term, time)
+    exact = expm(-1j * time * HermitianFragment(term, True).matrix())
+    error = spectral_norm_diff(circuit_unitary(circuit), exact)
+    print(f"\nDirect evolution of {term.label}: "
+          f"{circuit.size()} gates, {circuit.num_rotation_gates()} rotation, "
+          f"error vs expm = {error:.2e}")
+    print(f"The same term would map to {pauli_term_count(term)} Pauli strings "
+          f"with the usual strategy.")
+
+    # ------------------------------------------------------------------ 3.
+    # Whole-Hamiltonian comparison of the two strategies (one Trotter step).
+    comparison = compare_strategies(hamiltonian, time=0.2)
+    print("\n" + comparison.summary())
+
+    # ------------------------------------------------------------------ 4.
+    # Block-encode a term with at most six unitaries (Eq. 10-12).
+    fragment = HermitianFragment(SCBTerm.from_label("mnsd", 0.2), True)
+    decomposition = term_lcu_decomposition(fragment)
+    encoding = fragment_block_encoding(fragment)
+    print(f"\nBlock encoding of {fragment.term.label}: "
+          f"{decomposition.num_unitaries} unitaries (≤ 6), "
+          f"{encoding.num_ancillas} ancilla qubits, scale λ = {encoding.scale:.3f}, "
+          f"encoded-block error = {encoding.verification_error(fragment.matrix()):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that the legacy
+(`setup.py develop`) editable-install path works on environments whose
+setuptools/pip combination cannot build PEP 660 editable wheels offline
+(no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — Direct Hamiltonian simulation and gate-efficient block-encoding.
+
+Reproduction of "Gate Efficient Composition of Hamiltonian Simulation and
+Block-Encoding with its Application on HUBO, Chemistry and Finite Difference
+Method" (Ollive & Louise, IPPS 2025).
+
+The most commonly used classes and functions are re-exported here; the full
+API lives in the subpackages:
+
+* :mod:`repro.circuits` — quantum-circuit substrate (gates, simulators,
+  decompositions, transpiler);
+* :mod:`repro.operators` — Single Component Basis terms, Pauli operators,
+  conversions and matrix decompositions;
+* :mod:`repro.core` — direct Hamiltonian simulation, Trotter formulas,
+  block encodings, LCU machinery, measurement and resource models;
+* :mod:`repro.applications` — HUBO, chemistry and finite-difference
+  applications;
+* :mod:`repro.analysis` — gate-count and Trotter-error reports.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import QuantumCircuit, Statevector, circuit_unitary, transpile
+from repro.core import (
+    EvolutionOptions,
+    direct_hamiltonian_simulation,
+    evolve_fragment,
+    evolve_term,
+    fragment_block_encoding,
+    hamiltonian_block_encoding,
+    pauli_hamiltonian_simulation,
+    term_lcu_decomposition,
+)
+from repro.operators import (
+    Hamiltonian,
+    HermitianFragment,
+    PauliOperator,
+    PauliString,
+    SCBOperator,
+    SCBTerm,
+    scb_decompose_matrix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "QuantumCircuit",
+    "Statevector",
+    "circuit_unitary",
+    "transpile",
+    "EvolutionOptions",
+    "direct_hamiltonian_simulation",
+    "evolve_fragment",
+    "evolve_term",
+    "fragment_block_encoding",
+    "hamiltonian_block_encoding",
+    "pauli_hamiltonian_simulation",
+    "term_lcu_decomposition",
+    "Hamiltonian",
+    "HermitianFragment",
+    "PauliOperator",
+    "PauliString",
+    "SCBOperator",
+    "SCBTerm",
+    "scb_decompose_matrix",
+]

@@ -1,0 +1,20 @@
+"""Analysis helpers: gate-count reports, Trotter-error measurement, comparisons."""
+
+from repro.analysis.gate_counts import GateCountReport, compare_circuits, gate_count_report
+from repro.analysis.trotter_error import (
+    trotter_error_curve,
+    trotter_error_norm,
+    trotter_error_state,
+)
+from repro.analysis.comparison import StrategyComparison, compare_strategies
+
+__all__ = [
+    "GateCountReport",
+    "compare_circuits",
+    "gate_count_report",
+    "trotter_error_curve",
+    "trotter_error_norm",
+    "trotter_error_state",
+    "StrategyComparison",
+    "compare_strategies",
+]

@@ -1,0 +1,87 @@
+"""Gate-count and depth reports (the metrics of Section VI-A).
+
+The paper compares strategies by the number of two-qubit gates, the number of
+arbitrary rotations and the depth after transpilation to a native gate set.
+:func:`gate_count_report` computes those metrics for a circuit, optionally
+after expanding composite gates with the transpiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.transpile import TranspileOptions, transpile
+
+
+@dataclass(frozen=True)
+class GateCountReport:
+    """Resource metrics of a single circuit."""
+
+    name: str
+    num_qubits: int
+    size: int
+    depth: int
+    two_qubit_depth: int
+    two_qubit_gates: int
+    multi_qubit_gates: int
+    rotation_gates: int
+    counts: dict
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.num_qubits} qubits, size {self.size}, depth {self.depth}, "
+            f"2q-gates {self.two_qubit_gates}, 2q-depth {self.two_qubit_depth}, "
+            f"rotations {self.rotation_gates}"
+        )
+
+
+def gate_count_report(
+    circuit: QuantumCircuit,
+    *,
+    transpiled: bool = False,
+    transpile_options: TranspileOptions | None = None,
+) -> GateCountReport:
+    """Compute the resource metrics of a circuit (optionally after transpilation)."""
+    target = transpile(circuit, transpile_options) if transpiled else circuit
+    return GateCountReport(
+        name=target.name,
+        num_qubits=target.num_qubits,
+        size=target.size(),
+        depth=target.depth(),
+        two_qubit_depth=target.two_qubit_depth(),
+        two_qubit_gates=target.num_two_qubit_gates(),
+        multi_qubit_gates=target.num_multi_qubit_gates(),
+        rotation_gates=target.num_rotation_gates(),
+        counts=target.count_ops(),
+    )
+
+
+def compare_circuits(
+    circuits: dict[str, QuantumCircuit],
+    *,
+    transpiled: bool = False,
+    transpile_options: TranspileOptions | None = None,
+) -> dict[str, GateCountReport]:
+    """Gate-count reports for a dictionary of named circuits."""
+    return {
+        name: gate_count_report(
+            circuit, transpiled=transpiled, transpile_options=transpile_options
+        )
+        for name, circuit in circuits.items()
+    }
+
+
+def format_comparison_table(reports: dict[str, GateCountReport]) -> str:
+    """Human-readable comparison table (one row per circuit)."""
+    header = f"{'circuit':<28}{'qubits':>8}{'size':>8}{'depth':>8}{'2q':>8}{'rot':>8}"
+    lines = [header, "-" * len(header)]
+    for name, report in reports.items():
+        lines.append(
+            f"{name:<28}{report.num_qubits:>8}{report.size:>8}{report.depth:>8}"
+            f"{report.two_qubit_gates:>8}{report.rotation_gates:>8}"
+        )
+    return "\n".join(lines)

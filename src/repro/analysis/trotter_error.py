@@ -1,0 +1,69 @@
+"""Trotter-error measurement against exact evolution.
+
+Two error measures are provided: the spectral-norm error of the full unitary
+(practical up to ~10 qubits) and a statevector error on random initial states
+(practical far beyond, used for the 15-qubit Fig. 2 example and the chemistry
+benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.statevector import Statevector
+from repro.circuits.unitary import circuit_unitary
+from repro.operators.hamiltonian import Hamiltonian
+from repro.utils.linalg import random_statevector, spectral_norm_diff
+
+
+def trotter_error_norm(hamiltonian: Hamiltonian, circuit: QuantumCircuit, time: float) -> float:
+    """Spectral-norm error ``‖U_circuit - e^{-i t H}‖`` (dense, small registers)."""
+    exact = expm(-1j * time * hamiltonian.matrix())
+    return spectral_norm_diff(circuit_unitary(circuit), exact)
+
+
+def trotter_error_state(
+    hamiltonian: Hamiltonian,
+    circuit: QuantumCircuit,
+    time: float,
+    *,
+    num_states: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Maximum 2-norm error over random initial states (scales to large registers)."""
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    worst = 0.0
+    for _ in range(num_states):
+        psi = random_statevector(hamiltonian.num_qubits, rng)
+        evolved_circuit = Statevector(psi).evolve(circuit).data
+        evolved_exact = hamiltonian.evolve_exact(psi, time)
+        worst = max(worst, float(np.linalg.norm(evolved_circuit - evolved_exact)))
+    return worst
+
+
+def trotter_error_curve(
+    hamiltonian: Hamiltonian,
+    circuit_builder,
+    time: float,
+    steps_list: list[int],
+    *,
+    use_norm: bool = True,
+    rng: np.random.Generator | int | None = None,
+) -> list[tuple[int, float]]:
+    """Error as a function of the number of Trotter steps.
+
+    ``circuit_builder(steps)`` must return the circuit approximating
+    ``exp(-i·time·H)`` with that number of steps.
+    """
+    curve = []
+    for steps in steps_list:
+        circuit = circuit_builder(steps)
+        if use_norm and hamiltonian.num_qubits <= 10:
+            error = trotter_error_norm(hamiltonian, circuit, time)
+        else:
+            error = trotter_error_state(hamiltonian, circuit, time, rng=rng)
+        curve.append((steps, error))
+    return curve

@@ -1,0 +1,5 @@
+"""Application domains of the paper: HUBO, chemistry and finite differences."""
+
+from repro.applications import chemistry, hubo, pde
+
+__all__ = ["chemistry", "hubo", "pde"]

@@ -1,0 +1,85 @@
+"""Chemistry application (Section V-B): fermions, Jordan–Wigner, transitions, UCCSD."""
+
+from repro.applications.chemistry.fermion import (
+    FermionOperator,
+    one_body_operator,
+    two_body_operator,
+)
+from repro.applications.chemistry.hamiltonians import (
+    diatomic_toy_hamiltonian,
+    fermi_hubbard_chain,
+    spinless_hopping_chain,
+    synthetic_molecular_hamiltonian,
+)
+from repro.applications.chemistry.jordan_wigner import (
+    hartree_fock_state_index,
+    jordan_wigner_pauli,
+    jordan_wigner_scb,
+    jw_ladder_term,
+    jw_product_term,
+    occupation_state_index,
+    total_number_operator,
+    verify_anticommutation,
+)
+from repro.applications.chemistry.transitions import (
+    number_conservation_error,
+    one_body_fragment,
+    transition_circuit,
+    transition_exactness_error,
+    transition_gate_counts,
+    transition_pauli_split_error,
+    two_body_fragment,
+)
+from repro.applications.chemistry.trotter_study import (
+    TrotterComparison,
+    compare_partitionings,
+    compare_partitionings_scb,
+)
+from repro.applications.chemistry.uccsd import (
+    Excitation,
+    excitation_generator,
+    hartree_fock_circuit,
+    reference_energy,
+    uccsd_ansatz,
+    uccsd_energy,
+    uccsd_excitations,
+    uccsd_parameter_count,
+    vqe_optimize,
+)
+
+__all__ = [
+    "FermionOperator",
+    "one_body_operator",
+    "two_body_operator",
+    "diatomic_toy_hamiltonian",
+    "fermi_hubbard_chain",
+    "spinless_hopping_chain",
+    "synthetic_molecular_hamiltonian",
+    "hartree_fock_state_index",
+    "jordan_wigner_pauli",
+    "jordan_wigner_scb",
+    "jw_ladder_term",
+    "jw_product_term",
+    "occupation_state_index",
+    "total_number_operator",
+    "verify_anticommutation",
+    "number_conservation_error",
+    "one_body_fragment",
+    "transition_circuit",
+    "transition_exactness_error",
+    "transition_gate_counts",
+    "transition_pauli_split_error",
+    "two_body_fragment",
+    "TrotterComparison",
+    "compare_partitionings",
+    "compare_partitionings_scb",
+    "Excitation",
+    "excitation_generator",
+    "hartree_fock_circuit",
+    "reference_energy",
+    "uccsd_ansatz",
+    "uccsd_energy",
+    "uccsd_excitations",
+    "uccsd_parameter_count",
+    "vqe_optimize",
+]

@@ -1,0 +1,168 @@
+"""Second-quantized fermionic operators (Section V-B, Eq. 15).
+
+A :class:`FermionOperator` is a sum of products of fermionic ladder operators
+``a†_p`` / ``a_p`` with complex coefficients, stored in the order they are
+written.  It supports addition, scalar multiplication, Hermitian conjugation
+and normal-ordering-free evaluation through the Jordan–Wigner mapping of
+:mod:`repro.applications.chemistry.jordan_wigner`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import OperatorError
+
+#: A ladder-operator product: tuple of (orbital index, is_creation) pairs.
+LadderProduct = tuple[tuple[int, bool], ...]
+
+
+class FermionOperator:
+    """A complex linear combination of ladder-operator products."""
+
+    def __init__(self, terms: Mapping[LadderProduct, complex] | None = None):
+        self._terms: dict[LadderProduct, complex] = {}
+        if terms:
+            for product, coeff in terms.items():
+                self.add_term(product, coeff)
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def creation(cls, p: int, coefficient: complex = 1.0) -> "FermionOperator":
+        return cls({((p, True),): coefficient})
+
+    @classmethod
+    def annihilation(cls, p: int, coefficient: complex = 1.0) -> "FermionOperator":
+        return cls({((p, False),): coefficient})
+
+    @classmethod
+    def number(cls, p: int, coefficient: complex = 1.0) -> "FermionOperator":
+        """``a†_p a_p``."""
+        return cls({((p, True), (p, False)): coefficient})
+
+    @classmethod
+    def hopping(cls, p: int, q: int, coefficient: complex = 1.0) -> "FermionOperator":
+        """``a†_p a_q + a†_q a_p`` (one-body transition, already Hermitian)."""
+        return cls(
+            {((p, True), (q, False)): coefficient, ((q, True), (p, False)): np.conj(coefficient)}
+        )
+
+    @classmethod
+    def one_body(cls, p: int, q: int, coefficient: complex = 1.0) -> "FermionOperator":
+        """``a†_p a_q`` (not gathered with its Hermitian conjugate)."""
+        return cls({((p, True), (q, False)): coefficient})
+
+    @classmethod
+    def two_body(
+        cls, p: int, q: int, r: int, s: int, coefficient: complex = 1.0
+    ) -> "FermionOperator":
+        """``a†_p a†_q a_r a_s``."""
+        return cls({((p, True), (q, True), (r, False), (s, False)): coefficient})
+
+    # ------------------------------------------------------------------ basics
+
+    def add_term(self, product: Iterable[tuple[int, bool]], coefficient: complex) -> None:
+        key = tuple((int(p), bool(dag)) for p, dag in product)
+        for p, _ in key:
+            if p < 0:
+                raise OperatorError("orbital indices must be non-negative")
+        new = self._terms.get(key, 0.0) + complex(coefficient)
+        if abs(new) < 1e-15:
+            self._terms.pop(key, None)
+        else:
+            self._terms[key] = new
+
+    @property
+    def terms(self) -> dict[LadderProduct, complex]:
+        return dict(self._terms)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._terms)
+
+    def max_orbital(self) -> int:
+        """Largest orbital index appearing in the operator (-1 if empty)."""
+        indices = [p for product in self._terms for p, _ in product]
+        return max(indices) if indices else -1
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self):
+        return iter(self._terms.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        def fmt(product: LadderProduct) -> str:
+            return " ".join(f"a{'†' if dag else ''}_{p}" for p, dag in product) or "1"
+
+        parts = [f"{coeff:+.4g}·{fmt(prod)}" for prod, coeff in list(self._terms.items())[:5]]
+        suffix = " + ..." if len(self._terms) > 5 else ""
+        return f"FermionOperator({' '.join(parts)}{suffix})"
+
+    # ---------------------------------------------------------------- algebra
+
+    def __add__(self, other: "FermionOperator") -> "FermionOperator":
+        out = FermionOperator(self._terms)
+        for product, coeff in other._terms.items():
+            out.add_term(product, coeff)
+        return out
+
+    def __mul__(self, scalar: complex) -> "FermionOperator":
+        return FermionOperator({k: v * scalar for k, v in self._terms.items()})
+
+    __rmul__ = __mul__
+
+    def dagger(self) -> "FermionOperator":
+        """Hermitian conjugate: reverse each product, toggle daggers, conjugate."""
+        out = FermionOperator()
+        for product, coeff in self._terms.items():
+            conj_product = tuple((p, not dag) for p, dag in reversed(product))
+            out.add_term(conj_product, np.conj(coeff))
+        return out
+
+    def hermitian_part(self) -> "FermionOperator":
+        """``(O + O†)``, gathering every term with its conjugate (Eq. 16)."""
+        return self + self.dagger()
+
+    def is_hermitian(self, atol: float = 1e-10) -> bool:
+        conj = self.dagger()
+        keys = set(self._terms) | set(conj._terms)
+        return all(
+            abs(self._terms.get(k, 0.0) - conj._terms.get(k, 0.0)) < atol for k in keys
+        )
+
+
+def one_body_operator(h_matrix: np.ndarray) -> FermionOperator:
+    """``Σ_{pq} h_pq a†_p a_q`` from a one-body integral matrix."""
+    h_matrix = np.asarray(h_matrix, dtype=complex)
+    if h_matrix.ndim != 2 or h_matrix.shape[0] != h_matrix.shape[1]:
+        raise OperatorError("one-body integrals must form a square matrix")
+    out = FermionOperator()
+    n = h_matrix.shape[0]
+    for p in range(n):
+        for q in range(n):
+            if abs(h_matrix[p, q]) > 1e-14:
+                out.add_term(((p, True), (q, False)), h_matrix[p, q])
+    return out
+
+
+def two_body_operator(h_tensor: np.ndarray) -> FermionOperator:
+    """``Σ_{pqrs} h_pqrs a†_p a†_q a_r a_s`` from a two-body integral tensor."""
+    h_tensor = np.asarray(h_tensor, dtype=complex)
+    if h_tensor.ndim != 4:
+        raise OperatorError("two-body integrals must form a rank-4 tensor")
+    out = FermionOperator()
+    n = h_tensor.shape[0]
+    for p in range(n):
+        for q in range(n):
+            for r in range(n):
+                for s in range(n):
+                    if abs(h_tensor[p, q, r, s]) > 1e-14:
+                        out.add_term(
+                            ((p, True), (q, True), (r, False), (s, False)),
+                            h_tensor[p, q, r, s],
+                        )
+    return out

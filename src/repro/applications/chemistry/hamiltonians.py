@@ -1,0 +1,144 @@
+"""Model electronic Hamiltonians used by the chemistry benchmarks.
+
+The paper's chemistry section is about circuit structure (exact individual
+transitions, Trotter-error behaviour of different partitionings), which only
+requires Hamiltonians with the right *operator structure*:
+
+* :func:`fermi_hubbard_chain` — the Fermi–Hubbard model, fully specified by
+  ``(sites, t, U)``; the paper's one-body gate discussion cites exactly the
+  Fermi–Hubbard literature.
+* :func:`synthetic_molecular_hamiltonian` — a random but symmetry-respecting
+  one-/two-body integral set standing in for molecular integrals that would
+  normally come from a quantum-chemistry package (not available offline); the
+  substitution is documented in DESIGN.md.
+* :func:`diatomic_toy_hamiltonian` — a tiny 4-spin-orbital H₂-like model with
+  hand-picked coefficients, convenient for fast exact-diagonalisation tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.applications.chemistry.fermion import (
+    FermionOperator,
+    one_body_operator,
+    two_body_operator,
+)
+from repro.exceptions import ProblemError
+
+
+def fermi_hubbard_chain(
+    num_sites: int,
+    tunneling: float = 1.0,
+    interaction: float = 2.0,
+    *,
+    chemical_potential: float = 0.0,
+    periodic: bool = False,
+) -> FermionOperator:
+    """1-D Fermi–Hubbard chain with spin, on ``2·num_sites`` spin-orbitals.
+
+    Spin-orbital ordering: site ``i`` up-spin is mode ``2i``, down-spin is
+    ``2i + 1``.  Hamiltonian
+
+        ``H = -t Σ_{⟨ij⟩,σ} (a†_{iσ} a_{jσ} + h.c.) + U Σ_i n_{i↑} n_{i↓}
+              - μ Σ_{iσ} n_{iσ}``.
+    """
+    if num_sites < 1:
+        raise ProblemError("need at least one site")
+    op = FermionOperator()
+    bonds = [(i, i + 1) for i in range(num_sites - 1)]
+    if periodic and num_sites > 2:
+        bonds.append((num_sites - 1, 0))
+    for i, j in bonds:
+        for spin in (0, 1):
+            p, q = 2 * i + spin, 2 * j + spin
+            op.add_term(((p, True), (q, False)), -tunneling)
+            op.add_term(((q, True), (p, False)), -tunneling)
+    for i in range(num_sites):
+        up, down = 2 * i, 2 * i + 1
+        op.add_term(((up, True), (up, False), (down, True), (down, False)), interaction)
+        if abs(chemical_potential) > 1e-15:
+            op.add_term(((up, True), (up, False)), -chemical_potential)
+            op.add_term(((down, True), (down, False)), -chemical_potential)
+    return op
+
+
+def spinless_hopping_chain(
+    num_modes: int, tunneling: float = 1.0, *, periodic: bool = False
+) -> FermionOperator:
+    """Spinless free-fermion chain — every term is a one-body transition."""
+    if num_modes < 2:
+        raise ProblemError("need at least two modes")
+    op = FermionOperator()
+    bonds = [(i, i + 1) for i in range(num_modes - 1)]
+    if periodic and num_modes > 2:
+        bonds.append((num_modes - 1, 0))
+    for i, j in bonds:
+        op.add_term(((i, True), (j, False)), -tunneling)
+        op.add_term(((j, True), (i, False)), -tunneling)
+    return op
+
+
+def synthetic_molecular_hamiltonian(
+    num_spin_orbitals: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    one_body_scale: float = 1.0,
+    two_body_scale: float = 0.25,
+    density: float = 0.5,
+) -> FermionOperator:
+    """Random Hermitian one-/two-body operator with molecular-like structure.
+
+    The one-body integrals ``h_pq`` form a real symmetric matrix and the
+    two-body integrals satisfy ``h_pqrs = h_qpsr`` (so every generated term
+    can be gathered with a Hermitian partner); a ``density`` < 1 keeps the
+    operator sparse, mimicking the locality of real molecular integrals.
+    """
+    if num_spin_orbitals < 2:
+        raise ProblemError("need at least two spin-orbitals")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    n = num_spin_orbitals
+    h1 = rng.normal(scale=one_body_scale, size=(n, n))
+    h1 = (h1 + h1.T) / 2.0
+    mask1 = rng.random(size=(n, n)) < density
+    mask1 = np.triu(mask1) | np.triu(mask1).T
+    np.fill_diagonal(mask1, True)
+    h1 = np.where(mask1, h1, 0.0)
+
+    operator = one_body_operator(h1)
+
+    h2 = np.zeros((n, n, n, n))
+    for p in range(n):
+        for q in range(p + 1, n):
+            for r in range(n):
+                for s in range(r + 1, n):
+                    if rng.random() > density * 0.3:
+                        continue
+                    value = rng.normal(scale=two_body_scale)
+                    h2[p, q, r, s] += value
+                    # Hermitian partner a†_s a†_r a_q a_p gets the conjugate value.
+                    h2[s, r, q, p] += value
+    operator = operator + two_body_operator(h2)
+    return operator
+
+
+def diatomic_toy_hamiltonian() -> FermionOperator:
+    """A tiny 4-spin-orbital, 2-electron toy molecule (H₂-like structure).
+
+    The coefficients are hand-picked (not chemically accurate) but the operator
+    has the structure of a minimal-basis diatomic: diagonal orbital energies,
+    a bonding/antibonding gap, on-site Coulomb repulsion and an exchange-like
+    double-excitation term.
+    """
+    op = FermionOperator()
+    orbital_energies = [-1.25, -1.25, -0.47, -0.47]
+    for p, energy in enumerate(orbital_energies):
+        op.add_term(((p, True), (p, False)), energy)
+    coulomb = {(0, 1): 0.67, (2, 3): 0.70, (0, 2): 0.66, (1, 3): 0.66, (0, 3): 0.66, (1, 2): 0.66}
+    for (p, q), value in coulomb.items():
+        op.add_term(((p, True), (p, False), (q, True), (q, False)), value)
+    # Double excitation moving the pair (0,1) -> (2,3) and back.
+    op.add_term(((2, True), (3, True), (1, False), (0, False)), 0.18)
+    op.add_term(((0, True), (1, True), (3, False), (2, False)), 0.18)
+    return op

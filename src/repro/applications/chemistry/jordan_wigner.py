@@ -1,0 +1,153 @@
+"""Jordan–Wigner mapping into the Single Component Basis and into Pauli strings.
+
+The JW transformation writes the fermionic ladder operators as
+
+    ``a_p  = Z_0 ... Z_{p-1} ⊗ σ†_p``      (lowers the occupation of mode p)
+    ``a†_p = Z_0 ... Z_{p-1} ⊗ σ_p``       (raises it)
+
+with the occupation-number convention of this library (``|1⟩`` = occupied,
+``σ = |1⟩⟨0|`` raises).  The crucial observation of Section V-B is that this
+expression is *already* a Single Component Basis term — applying the direct
+strategy needs no further mapping, whereas the usual strategy expands each
+ladder product into ``2^k`` Pauli strings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.applications.chemistry.fermion import FermionOperator
+from repro.exceptions import ConversionError
+from repro.operators.conversion import scb_term_to_pauli
+from repro.operators.hamiltonian import Hamiltonian
+from repro.operators.pauli import PauliOperator
+from repro.operators.scb_term import SCBTerm
+from repro.operators.single_component import SCBOperator
+
+
+def jw_ladder_term(orbital: int, creation: bool, num_modes: int) -> SCBTerm:
+    """The Jordan–Wigner image of one ladder operator as a single SCB term."""
+    if not 0 <= orbital < num_modes:
+        raise ConversionError(f"orbital {orbital} out of range for {num_modes} modes")
+    factors = [SCBOperator.I] * num_modes
+    for j in range(orbital):
+        factors[j] = SCBOperator.Z
+    factors[orbital] = SCBOperator.SIGMA if creation else SCBOperator.SIGMA_DAG
+    return SCBTerm(1.0, tuple(factors))
+
+
+def jw_product_term(
+    product: tuple[tuple[int, bool], ...], coefficient: complex, num_modes: int
+) -> SCBTerm | None:
+    """JW image of a ladder-operator product as a single SCB term (or ``None`` if 0).
+
+    Products of SCB terms stay single SCB terms thanks to the closure of the
+    algebra (Table IV), so every fermionic term maps to exactly one term of
+    the direct formalism.
+    """
+    result = SCBTerm.identity(num_modes, coefficient)
+    for orbital, creation in product:
+        ladder = jw_ladder_term(orbital, creation, num_modes)
+        result = result.compose(ladder)
+        if result is None:
+            return None
+    return result
+
+
+def jordan_wigner_scb(operator: FermionOperator, num_modes: int | None = None) -> Hamiltonian:
+    """Map a fermionic operator to a Hamiltonian of SCB terms (direct formalism).
+
+    Terms that appear together with their Hermitian conjugate (the usual
+    situation for a Hermitian electronic Hamiltonian, Eq. 16) are *gathered*:
+    only one representative of each conjugate pair is kept, because
+    :class:`~repro.operators.hamiltonian.Hamiltonian` re-adds the ``+ h.c.``
+    partner when building fragments and matrices.  Unpaired non-Hermitian
+    terms (e.g. a bare ``a†_i a_j`` fed to the transition builders) are kept
+    as-is and likewise gathered implicitly downstream.
+    """
+    modes = num_modes if num_modes is not None else operator.max_orbital() + 1
+    ham = Hamiltonian(modes)
+    merged: dict[tuple, complex] = {}
+    for product, coeff in operator:
+        term = jw_product_term(product, coeff, modes)
+        if term is None:
+            continue
+        merged[term.factors] = merged.get(term.factors, 0.0) + term.coefficient
+
+    consumed: set[tuple] = set()
+    for factors, coeff in merged.items():
+        if abs(coeff) < 1e-14 or factors in consumed:
+            continue
+        term = SCBTerm(coeff, factors)
+        if not term.is_hermitian:
+            partner = term.dagger()
+            partner_coeff = merged.get(partner.factors)
+            if (
+                partner.factors != factors
+                and partner_coeff is not None
+                and abs(partner_coeff - np.conj(coeff)) < 1e-12
+            ):
+                # Gather the conjugate pair: keep one representative only.
+                consumed.add(partner.factors)
+        ham.add_term(term)
+    return ham
+
+
+def jordan_wigner_pauli(operator: FermionOperator, num_modes: int | None = None) -> PauliOperator:
+    """Map a fermionic operator to Pauli strings (the usual strategy's input).
+
+    Equivalent to expanding every gathered Hermitian fragment of
+    :func:`jordan_wigner_scb` onto Pauli strings, so both mappings describe
+    exactly the same (Hermitian) operator.
+    """
+    ham = jordan_wigner_scb(operator, num_modes)
+    return ham.to_pauli()
+
+
+def occupation_state_index(occupations: tuple[int, ...]) -> int:
+    """Computational-basis index of an occupation-number state (mode 0 = MSB)."""
+    index = 0
+    for bit in occupations:
+        if bit not in (0, 1):
+            raise ConversionError("occupations must be 0 or 1")
+        index = (index << 1) | bit
+    return index
+
+
+def hartree_fock_state_index(num_modes: int, num_electrons: int) -> int:
+    """Index of the reference determinant filling the first ``num_electrons`` modes."""
+    if not 0 <= num_electrons <= num_modes:
+        raise ConversionError("invalid electron count")
+    occupations = tuple(1 if i < num_electrons else 0 for i in range(num_modes))
+    return occupation_state_index(occupations)
+
+
+def total_number_operator(num_modes: int) -> Hamiltonian:
+    """``Σ_p n̂_p`` as SCB terms (useful for particle-number conservation checks)."""
+    ham = Hamiltonian(num_modes)
+    for p in range(num_modes):
+        ham.add_sparse({p: "n"}, 1.0)
+    return ham
+
+
+def verify_anticommutation(num_modes: int, atol: float = 1e-10) -> bool:
+    """Check ``{a_p, a†_q} = δ_pq`` and ``{a_p, a_q} = 0`` through the JW matrices."""
+    import scipy.sparse as sp
+
+    def ladder_matrix(p: int, creation: bool) -> np.ndarray:
+        return jw_ladder_term(p, creation, num_modes).matrix()
+
+    identity = np.eye(1 << num_modes)
+    for p in range(num_modes):
+        for q in range(num_modes):
+            ap = ladder_matrix(p, False)
+            aq = ladder_matrix(q, False)
+            aqd = ladder_matrix(q, True)
+            anti_1 = ap @ aqd + aqd @ ap
+            anti_2 = ap @ aq + aq @ ap
+            expected = identity if p == q else np.zeros_like(identity)
+            if not np.allclose(anti_1, expected, atol=atol):
+                return False
+            if not np.allclose(anti_2, 0.0, atol=atol):
+                return False
+    return True

@@ -1,0 +1,71 @@
+"""HUBO application (Section V-A): problems, phase separators, QAOA, generators."""
+
+from repro.applications.hubo.circuits import (
+    TABLE3_COLUMNS,
+    initial_superposition,
+    mixer_layer,
+    phase_separator,
+    phase_separator_gate_summary,
+    phase_separator_two_qubit_count,
+    qaoa_circuit,
+    table3_gate_counts,
+)
+from repro.applications.hubo.gas import (
+    cost_spectrum_readout,
+    cost_unitary,
+    evaluate_cost_by_qpe,
+    grover_threshold_counts,
+)
+from repro.applications.hubo.generators import (
+    hypergraph_maxcut_problem,
+    knapsack_problem,
+    maxcut_problem,
+    parity_constrained_problem,
+    random_hypergraph_maxcut,
+)
+from repro.applications.hubo.problem import (
+    HUBOProblem,
+    random_hubo,
+    single_monomial_problem,
+)
+from repro.applications.hubo.quadratization import (
+    QuadratizationResult,
+    quadratization_overhead,
+    quadratize,
+)
+from repro.applications.hubo.qaoa import (
+    QAOAResult,
+    approximation_ratio,
+    qaoa_expectation,
+    run_qaoa,
+)
+
+__all__ = [
+    "cost_spectrum_readout",
+    "cost_unitary",
+    "evaluate_cost_by_qpe",
+    "grover_threshold_counts",
+    "TABLE3_COLUMNS",
+    "initial_superposition",
+    "mixer_layer",
+    "phase_separator",
+    "phase_separator_gate_summary",
+    "phase_separator_two_qubit_count",
+    "qaoa_circuit",
+    "table3_gate_counts",
+    "hypergraph_maxcut_problem",
+    "knapsack_problem",
+    "maxcut_problem",
+    "parity_constrained_problem",
+    "random_hypergraph_maxcut",
+    "HUBOProblem",
+    "random_hubo",
+    "single_monomial_problem",
+    "QuadratizationResult",
+    "quadratization_overhead",
+    "quadratize",
+    "QAOAResult",
+    "approximation_ratio",
+    "qaoa_expectation",
+    "run_qaoa",
+]

@@ -1,0 +1,220 @@
+"""HUBO phase-separator circuits for the two strategies (Table III).
+
+The cost Hamiltonian of a HUBO problem is diagonal, so its exponential
+``exp(-i γ H_P)`` has *no* Trotter error whichever strategy is used; the two
+strategies differ only in gate counts:
+
+* **usual** — every monomial is expressed over ``Z``-strings and each string
+  becomes a parity ladder + ``RZ`` (``R_Z``, ``R_{ZZ}``, ``R_{ZZZ}``, ... rows
+  of Table III);
+* **direct** — every monomial is expressed over ``n̂``-strings and each string
+  becomes a (multi-)controlled phase (``P``, ``CP``, ``CCP``, ... rows of
+  Table III).
+
+Either strategy can be applied to a problem stated in either formalism; when
+the strategy does not match the formalism the monomials are first re-expanded
+(``2^k`` blow-up), exactly the comparison Section V-A makes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.applications.hubo.problem import HUBOProblem
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import ControlledGate, StandardGate
+from repro.exceptions import ProblemError
+
+
+def phase_separator(
+    problem: HUBOProblem, gamma: float, *, strategy: str = "direct"
+) -> QuantumCircuit:
+    """Circuit for ``exp(-i γ H_P)`` with the chosen strategy.
+
+    The problem is converted to the formalism matching the strategy
+    (boolean monomials for ``"direct"``, spin monomials for ``"usual"``)
+    before the per-monomial gates are emitted, so the circuit is always exact.
+    """
+    if strategy == "direct":
+        boolean = problem if problem.formalism == "boolean" else problem.convert_formalism()
+        return _direct_phase_separator(boolean, gamma)
+    if strategy == "usual":
+        spin = problem if problem.formalism == "spin" else problem.convert_formalism()
+        return _usual_phase_separator(spin, gamma)
+    raise ProblemError(f"unknown strategy {strategy!r}")
+
+
+def _direct_phase_separator(problem: HUBOProblem, gamma: float) -> QuantumCircuit:
+    """One (multi-controlled) phase gate per boolean monomial.
+
+    ``exp(-i γ w n̂_{i1}...n̂_{ik})`` applies the phase ``e^{-i γ w}`` to the
+    assignments where every selected bit is 1, i.e. a ``C^{k-1}P(-γ w)`` gate.
+    """
+    circuit = QuantumCircuit(problem.num_variables, f"hubo-direct(γ={gamma:.4g})")
+    for key, weight in problem.terms.items():
+        angle = -gamma * weight
+        if not key:
+            circuit.global_phase += angle
+            continue
+        if len(key) == 1:
+            circuit.p(angle, key[0])
+            continue
+        controls = key[:-1]
+        target = key[-1]
+        circuit.append(
+            ControlledGate(StandardGate("p", (angle,)), len(controls), None, label="mcp"),
+            tuple(controls) + (target,),
+        )
+    return circuit
+
+
+def _usual_phase_separator(problem: HUBOProblem, gamma: float) -> QuantumCircuit:
+    """One parity ladder + RZ per spin monomial (``R_{Z^k}(2 γ w)``)."""
+    circuit = QuantumCircuit(problem.num_variables, f"hubo-usual(γ={gamma:.4g})")
+    for key, weight in problem.terms.items():
+        angle = 2.0 * gamma * weight
+        if not key:
+            circuit.global_phase += -gamma * weight
+            continue
+        if len(key) == 1:
+            circuit.rz(angle, key[0])
+            continue
+        target = key[-1]
+        for q in key[:-1]:
+            circuit.cx(q, target)
+        circuit.rz(angle, target)
+        for q in reversed(key[:-1]):
+            circuit.cx(q, target)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Table III gate counts
+# ---------------------------------------------------------------------------
+
+#: Gate columns of Table III.
+TABLE3_COLUMNS = ("rz", "rzz", "rzzz", "p", "cp", "ccp")
+
+
+def table3_gate_counts(order: int, formalism: str, strategy: str) -> dict[str, int]:
+    """Gate counts of one monomial of the given order, formalism and strategy.
+
+    Reproduces the rows of Table III for orders 1–3 and extends them to any
+    order: an order-``k`` monomial treated in its native gate family costs one
+    gate; re-expanded into the other family it costs ``C(k, h)`` gates of each
+    order ``h = 1..k``.
+    """
+    import math
+
+    if order < 1:
+        raise ProblemError("order must be >= 1")
+    if formalism not in ("spin", "boolean"):
+        raise ProblemError(f"unknown formalism {formalism!r}")
+    if strategy not in ("direct", "usual"):
+        raise ProblemError(f"unknown strategy {strategy!r}")
+
+    def z_rotation_name(k: int) -> str:
+        return "rz" + "z" * (k - 1) if k <= 3 else f"rz^{k}"
+
+    def phase_name(k: int) -> str:
+        if k == 1:
+            return "p"
+        if k == 2:
+            return "cp"
+        if k == 3:
+            return "ccp"
+        return f"c{k - 1}p"
+
+    counts: dict[str, int] = {}
+    native_spin = formalism == "spin"
+    native_gate_is_rotation = strategy == "usual"
+    if native_spin == native_gate_is_rotation:
+        # Native combination: a single gate (R_{Z^k} for usual+spin, C^{k-1}P
+        # for direct+boolean).
+        name = z_rotation_name(order) if native_gate_is_rotation else phase_name(order)
+        counts[name] = 1
+        return counts
+    # Mismatched combination: re-expand into C(k, h) terms of each order h.
+    for h in range(1, order + 1):
+        name = z_rotation_name(h) if native_gate_is_rotation else phase_name(h)
+        counts[name] = counts.get(name, 0) + math.comb(order, h)
+    return counts
+
+
+def phase_separator_gate_summary(problem: HUBOProblem, strategy: str) -> dict[str, int]:
+    """Aggregate Table-III-style gate counts for a whole problem."""
+    totals: dict[str, int] = {}
+    for key, _ in problem.terms.items():
+        if not key:
+            continue
+        counts = table3_gate_counts(len(key), problem.formalism, strategy)
+        for name, count in counts.items():
+            totals[name] = totals.get(name, 0) + count
+    return totals
+
+
+def phase_separator_two_qubit_count(
+    problem: HUBOProblem, strategy: str, *, cnp_model=None
+) -> int:
+    """Two-qubit-gate count of the phase separator under an explicit cost model."""
+    from repro.core.resource import cnp_two_qubit_count_linear, rzn_two_qubit_count
+
+    model = cnp_model if cnp_model is not None else cnp_two_qubit_count_linear
+    total = 0
+    for key, _ in problem.terms.items():
+        order = len(key)
+        if order <= 1:
+            continue
+        if strategy == "usual":
+            if problem.formalism == "spin":
+                total += rzn_two_qubit_count(order)
+            else:
+                import math
+
+                total += sum(
+                    rzn_two_qubit_count(h) * math.comb(order, h) for h in range(2, order + 1)
+                )
+        elif strategy == "direct":
+            if problem.formalism == "boolean":
+                total += model(order)
+            else:
+                import math
+
+                total += sum(model(h) * math.comb(order, h) for h in range(2, order + 1))
+        else:
+            raise ProblemError(f"unknown strategy {strategy!r}")
+    return total
+
+
+def mixer_layer(num_qubits: int, beta: float) -> QuantumCircuit:
+    """The standard transverse-field QAOA mixer ``Π_i RX(2β)``."""
+    circuit = QuantumCircuit(num_qubits, f"mixer(β={beta:.4g})")
+    for q in range(num_qubits):
+        circuit.rx(2.0 * beta, q)
+    return circuit
+
+
+def initial_superposition(num_qubits: int) -> QuantumCircuit:
+    """Hadamard layer preparing the uniform superposition."""
+    circuit = QuantumCircuit(num_qubits, "plus-state")
+    for q in range(num_qubits):
+        circuit.h(q)
+    return circuit
+
+
+def qaoa_circuit(
+    problem: HUBOProblem,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    *,
+    strategy: str = "direct",
+) -> QuantumCircuit:
+    """Full QAOA circuit with ``len(gammas)`` layers."""
+    if len(gammas) != len(betas):
+        raise ProblemError("gammas and betas must have the same length")
+    circuit = initial_superposition(problem.num_variables)
+    circuit.name = f"qaoa(p={len(gammas)}, {strategy})"
+    for gamma, beta in zip(gammas, betas):
+        circuit.compose(phase_separator(problem, gamma, strategy=strategy))
+        circuit.compose(mixer_layer(problem.num_variables, beta))
+    return circuit

@@ -1,0 +1,232 @@
+"""High-order Unconstrained Binary Optimization problems (Section V-A).
+
+A :class:`HUBOProblem` stores weighted monomials over binary variables in one
+of the two formalisms of the paper:
+
+* ``"spin"`` (Eq. 13) — monomials of spin variables ``z_i = ±1``, i.e. the
+  cost operator is a sum of ``Z``-strings;
+* ``"boolean"`` (Eq. 14) — monomials of boolean variables ``x_i ∈ {0, 1}``,
+  i.e. the cost operator is a sum of number-operator (``n̂``) strings.
+
+The two formalisms are exactly interconvertible (``Z = I - 2n̂``,
+``n̂ = (I - Z)/2``), but the conversion multiplies the number of terms: a
+single order-``k`` monomial becomes ``2^k`` monomials (``2^k - 1`` discarding
+the constant) — which is why the paper recommends *staying* in the native
+formalism of the problem.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.operators.hamiltonian import Hamiltonian
+from repro.operators.scb_term import SCBTerm
+from repro.operators.single_component import SCBOperator
+
+VALID_FORMALISMS = ("spin", "boolean")
+
+
+class HUBOProblem:
+    """A weighted sum of monomials over binary variables."""
+
+    def __init__(
+        self,
+        num_variables: int,
+        terms: Mapping[tuple[int, ...], float] | None = None,
+        *,
+        formalism: str = "boolean",
+    ):
+        if num_variables < 1:
+            raise ProblemError("a HUBO problem needs at least one variable")
+        if formalism not in VALID_FORMALISMS:
+            raise ProblemError(f"formalism must be one of {VALID_FORMALISMS}, got {formalism!r}")
+        self.num_variables = int(num_variables)
+        self.formalism = formalism
+        self._terms: dict[tuple[int, ...], float] = {}
+        if terms:
+            for variables, weight in terms.items():
+                self.add_term(variables, weight)
+
+    # ------------------------------------------------------------------ basics
+
+    def add_term(self, variables: Iterable[int], weight: float) -> "HUBOProblem":
+        """Add ``weight · Π_{i∈variables} v_i`` (the empty tuple is a constant)."""
+        key = tuple(sorted(set(int(v) for v in variables)))
+        for v in key:
+            if not 0 <= v < self.num_variables:
+                raise ProblemError(f"variable {v} out of range for {self.num_variables} variables")
+        if abs(weight) < 1e-15:
+            return self
+        self._terms[key] = self._terms.get(key, 0.0) + float(weight)
+        if abs(self._terms[key]) < 1e-15:
+            del self._terms[key]
+        return self
+
+    @property
+    def terms(self) -> dict[tuple[int, ...], float]:
+        return dict(self._terms)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._terms)
+
+    @property
+    def max_order(self) -> int:
+        return max((len(k) for k in self._terms), default=0)
+
+    def order_histogram(self) -> dict[int, int]:
+        hist: dict[int, int] = {}
+        for key in self._terms:
+            hist[len(key)] = hist.get(len(key), 0) + 1
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"HUBOProblem({self.num_variables} variables, {self.num_terms} terms, "
+            f"max order {self.max_order}, formalism={self.formalism!r})"
+        )
+
+    # -------------------------------------------------------------- evaluation
+
+    def evaluate(self, assignment: Iterable[int]) -> float:
+        """Cost of a binary assignment (bits, index 0 first)."""
+        bits = list(assignment)
+        if len(bits) != self.num_variables:
+            raise ProblemError("assignment length does not match the number of variables")
+        total = 0.0
+        for key, weight in self._terms.items():
+            product = 1.0
+            for v in key:
+                value = bits[v]
+                if self.formalism == "boolean":
+                    product *= value
+                else:
+                    product *= 1.0 - 2.0 * value  # z = +1 for bit 0, -1 for bit 1
+                if product == 0.0:
+                    break
+            total += weight * product
+        return total
+
+    def energy_vector(self) -> np.ndarray:
+        """Cost of every assignment (index = integer whose bits are the assignment)."""
+        num_states = 1 << self.num_variables
+        if self.num_variables > 22:
+            raise ProblemError("energy_vector is limited to 22 variables")
+        energies = np.zeros(num_states)
+        for key, weight in self._terms.items():
+            if not key:
+                energies += weight
+                continue
+            mask = 0
+            for v in key:
+                mask |= 1 << (self.num_variables - 1 - v)
+            states = np.arange(num_states)
+            selected = states & mask
+            if self.formalism == "boolean":
+                contrib = (selected == mask).astype(float)
+            else:
+                # product of z_i = (-1)^(number of set bits among the subset)
+                parities = np.zeros(num_states, dtype=int)
+                rest = selected
+                while np.any(rest):
+                    parities ^= rest & 1
+                    rest >>= 1
+                contrib = 1.0 - 2.0 * parities
+            energies += weight * contrib
+        return energies
+
+    def brute_force_minimum(self) -> tuple[float, int]:
+        """Minimum cost and the index of one minimising assignment."""
+        energies = self.energy_vector()
+        index = int(np.argmin(energies))
+        return float(energies[index]), index
+
+    # ------------------------------------------------------------- conversions
+
+    def to_hamiltonian(self) -> Hamiltonian:
+        """Diagonal cost Hamiltonian as SCB terms (``n̂``-strings or ``Z``-strings)."""
+        ham = Hamiltonian(self.num_variables)
+        op = SCBOperator.N if self.formalism == "boolean" else SCBOperator.Z
+        for key, weight in self._terms.items():
+            if not key:
+                ham.add_term(SCBTerm.identity(self.num_variables, weight))
+                continue
+            ham.add_term(
+                SCBTerm.from_sparse_label({v: op for v in key}, self.num_variables, weight)
+            )
+        return ham
+
+    def convert_formalism(self) -> "HUBOProblem":
+        """Exact conversion to the other formalism (energies are preserved)."""
+        target = "spin" if self.formalism == "boolean" else "boolean"
+        converted = HUBOProblem(self.num_variables, formalism=target)
+        for key, weight in self._terms.items():
+            if not key:
+                converted.add_term((), weight)
+                continue
+            # boolean -> spin: x_i = (1 - z_i)/2 ; spin -> boolean: z_i = 1 - 2 x_i
+            for subset_size in range(len(key) + 1):
+                for subset in itertools.combinations(key, subset_size):
+                    if self.formalism == "boolean":
+                        coeff = weight * (0.5 ** len(key)) * ((-1) ** len(subset))
+                    else:
+                        coeff = weight * ((-2.0) ** len(subset))
+                    converted.add_term(subset, coeff)
+        return converted
+
+    def density(self) -> float:
+        """Fraction of possible monomials (up to the max order) that are present."""
+        max_order = self.max_order
+        if max_order == 0:
+            return 0.0
+        possible = sum(
+            int(_n_choose_k(self.num_variables, k)) for k in range(1, max_order + 1)
+        )
+        return self.num_terms / possible if possible else 0.0
+
+
+def _n_choose_k(n: int, k: int) -> int:
+    import math
+
+    return math.comb(n, k)
+
+
+# ---------------------------------------------------------------------------
+# Random problem generators
+# ---------------------------------------------------------------------------
+
+
+def random_hubo(
+    num_variables: int,
+    num_terms: int,
+    max_order: int,
+    *,
+    formalism: str = "boolean",
+    rng: np.random.Generator | int | None = None,
+    weight_scale: float = 1.0,
+) -> HUBOProblem:
+    """Random sparse HUBO problem with the requested number of monomials."""
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    problem = HUBOProblem(num_variables, formalism=formalism)
+    attempts = 0
+    while problem.num_terms < num_terms and attempts < 50 * num_terms:
+        attempts += 1
+        order = int(rng.integers(1, max_order + 1))
+        variables = tuple(rng.choice(num_variables, size=order, replace=False))
+        weight = float(rng.normal(scale=weight_scale))
+        problem.add_term(variables, weight)
+    return problem
+
+
+def single_monomial_problem(
+    order: int, *, weight: float = 1.0, formalism: str = "boolean"
+) -> HUBOProblem:
+    """The single order-``k`` monomial used in the crossover analysis (Section V-A)."""
+    problem = HUBOProblem(order, formalism=formalism)
+    problem.add_term(tuple(range(order)), weight)
+    return problem

@@ -1,0 +1,154 @@
+"""Classical finite-difference matrices (Section V-C.1, Eqs. 19–22).
+
+These are the reference matrices the quantum decompositions of
+:mod:`repro.applications.pde.decomposition` must reproduce exactly.  They are
+assembled with SciPy sparse matrices (the library guides' recommended tool for
+banded operators) and cover first and second derivatives, the Laplacian on the
+grids of Fig. 7, and general d-dimensional Kronecker-sum Laplacians.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.applications.pde.grid import CartesianGrid
+from repro.exceptions import ProblemError
+
+VALID_BOUNDARIES = ("dirichlet", "periodic", "neumann")
+
+
+def adjacency_1d(num_nodes: int, *, boundary: str = "dirichlet") -> sp.csr_matrix:
+    """First-neighbour adjacency matrix ``T`` with ``T[i, i±1] = 1``.
+
+    ``"dirichlet"`` truncates at the ends, ``"periodic"`` wraps around,
+    ``"neumann"`` applies the mirror condition ``f_{-1} = f_{1}`` of Eq. 24 in
+    its symmetrised (self-adjoint) form: the boundary couplings are doubled on
+    both sides, and the inhomogeneous ``±2dγ`` shift goes to the right-hand
+    side of the linear system.
+    """
+    if boundary not in VALID_BOUNDARIES:
+        raise ProblemError(f"unknown boundary {boundary!r}")
+    if num_nodes < 2:
+        raise ProblemError("need at least two nodes")
+    ones = np.ones(num_nodes - 1)
+    matrix = sp.diags([ones, ones], offsets=[-1, 1], format="lil")
+    if boundary == "periodic":
+        matrix[0, num_nodes - 1] += 1
+        matrix[num_nodes - 1, 0] += 1
+    elif boundary == "neumann":
+        # Symmetrised mirror condition: the boundary couplings are doubled.
+        matrix[0, 1] += 1
+        matrix[1, 0] += 1
+        matrix[num_nodes - 1, num_nodes - 2] += 1
+        matrix[num_nodes - 2, num_nodes - 1] += 1
+    return matrix.tocsr()
+
+
+def first_derivative_1d(
+    num_nodes: int, spacing: float = 1.0, *, boundary: str = "dirichlet"
+) -> sp.csr_matrix:
+    """Central-difference first derivative ``(f_{i+1} - f_{i-1}) / 2d`` (Eq. 20)."""
+    if boundary not in VALID_BOUNDARIES:
+        raise ProblemError(f"unknown boundary {boundary!r}")
+    ones = np.ones(num_nodes - 1)
+    matrix = sp.diags([-ones, ones], offsets=[-1, 1], format="lil")
+    if boundary == "periodic":
+        matrix[0, num_nodes - 1] = -1
+        matrix[num_nodes - 1, 0] = 1
+    return (matrix / (2.0 * spacing)).tocsr()
+
+
+def second_derivative_1d(
+    num_nodes: int, spacing: float = 1.0, *, boundary: str = "dirichlet"
+) -> sp.csr_matrix:
+    """Second derivative ``(f_{i+1} + f_{i-1} - 2 f_i) / d²`` (Eq. 20)."""
+    adjacency = adjacency_1d(num_nodes, boundary=boundary)
+    matrix = adjacency - 2.0 * sp.identity(num_nodes, format="csr")
+    return (matrix / spacing**2).tocsr()
+
+
+def laplacian_matrix(grid: CartesianGrid, *, boundary: str = "dirichlet") -> sp.csr_matrix:
+    """Discrete Laplacian on a Cartesian grid as a Kronecker sum (Eq. 21–22).
+
+    ``Δ = Σ_d I ⊗ ... ⊗ D²_d ⊗ ... ⊗ I`` with the dimension ordering of
+    :class:`CartesianGrid` (first dimension = most significant index block).
+    """
+    total = sp.csr_matrix((grid.num_nodes, grid.num_nodes), dtype=float)
+    for dim, extent in enumerate(grid.shape):
+        if extent < 2:
+            continue
+        second = second_derivative_1d(extent, grid.spacing, boundary=boundary)
+        factors = [sp.identity(e, format="csr") for e in grid.shape]
+        factors[dim] = second
+        piece = factors[0]
+        for factor in factors[1:]:
+            piece = sp.kron(piece, factor, format="csr")
+        total = total + piece
+    return total.tocsr()
+
+
+def poisson_system(
+    grid: CartesianGrid,
+    source: np.ndarray,
+    *,
+    boundary: str = "dirichlet",
+    alpha: float = 1.0,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Linear system ``α Δ f = -source`` for the Poisson equation on a grid."""
+    source = np.asarray(source, dtype=float).reshape(-1)
+    if source.shape[0] != grid.num_nodes:
+        raise ProblemError("source length does not match the number of grid nodes")
+    matrix = alpha * laplacian_matrix(grid, boundary=boundary)
+    return matrix, -source
+
+
+def paper_two_line_matrix(
+    num_nodes: int,
+    a1: float,
+    a2: float,
+    ai1: float,
+    ai2: float,
+    aj12: float,
+) -> np.ndarray:
+    """The explicit 2-D two-node-line matrix ``A`` printed in Section V-C.2.
+
+    Block structure: the first line has diagonal ``a1`` and intra-line coupling
+    ``ai1``, the second line ``a2``/``ai2``, and the two lines are coupled
+    node-by-node with ``aj12``.
+    """
+    line1 = a1 * np.eye(num_nodes) + ai1 * adjacency_1d(num_nodes).toarray()
+    line2 = a2 * np.eye(num_nodes) + ai2 * adjacency_1d(num_nodes).toarray()
+    coupling = aj12 * np.eye(num_nodes)
+    top = np.hstack([line1, coupling])
+    bottom = np.hstack([coupling, line2])
+    return np.vstack([top, bottom])
+
+
+def paper_double_layer_matrix(
+    num_nodes: int,
+    diag: tuple[float, float, float, float],
+    intra: tuple[float, float, float, float],
+    line_coupling: tuple[float, float],
+    layer_coupling: tuple[float, float],
+) -> np.ndarray:
+    """The 3-D double-layer matrix of Section V-C.2 (four node-lines).
+
+    ``diag`` and ``intra`` give the per-line diagonal and intra-line couplings
+    (lines ordered layer-major: (layer 0, line 0), (layer 0, line 1),
+    (layer 1, line 0), (layer 1, line 1)); ``line_coupling = (aj12, aj34)``
+    couples the two lines inside each layer and ``layer_coupling = (ak13, ak24)``
+    couples matching lines across layers.
+    """
+    n = num_nodes
+    blocks = [[np.zeros((n, n)) for _ in range(4)] for _ in range(4)]
+    adjacency = adjacency_1d(n).toarray()
+    for line in range(4):
+        blocks[line][line] = diag[line] * np.eye(n) + intra[line] * adjacency
+    aj12, aj34 = line_coupling
+    ak13, ak24 = layer_coupling
+    blocks[0][1] = blocks[1][0] = aj12 * np.eye(n)
+    blocks[2][3] = blocks[3][2] = aj34 * np.eye(n)
+    blocks[0][2] = blocks[2][0] = ak13 * np.eye(n)
+    blocks[1][3] = blocks[3][1] = ak24 * np.eye(n)
+    return np.block(blocks)

@@ -1,0 +1,120 @@
+"""Regular Cartesian grids for the finite-difference examples (Fig. 7).
+
+The paper studies three discretisations: (a) a 1-D line of equidistant nodes,
+(b) two node-lines forming one layer of square cells, and (c) two layers of
+two node-lines forming cubes.  :class:`CartesianGrid` generalises them to any
+power-of-two number of nodes per line / lines / layers, which is what the
+qubit encoding requires (one qubit halves the index range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.utils.validation import check_power_of_two
+
+
+@dataclass(frozen=True)
+class CartesianGrid:
+    """A regular grid with power-of-two extents.
+
+    Attributes
+    ----------
+    shape:
+        Number of nodes along each dimension, fastest-varying last (so a 2-D
+        grid with two lines of N nodes is ``(2, N)`` — line index first, node
+        index second, matching the paper's ``f_{i,j}`` ordering where ``i`` is
+        the node index on the line).
+    spacing:
+        Mesh step ``d`` (the same in every dimension).
+    """
+
+    shape: tuple[int, ...]
+    spacing: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ProblemError("grid needs at least one dimension")
+        for extent in self.shape:
+            check_power_of_two(extent, "grid extent")
+        if self.spacing <= 0:
+            raise ProblemError("grid spacing must be positive")
+
+    # ------------------------------------------------------------------ sizes
+
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def qubits_per_dimension(self) -> tuple[int, ...]:
+        return tuple(int(extent).bit_length() - 1 for extent in self.shape)
+
+    @property
+    def num_qubits(self) -> int:
+        return sum(self.qubits_per_dimension)
+
+    # --------------------------------------------------------------- indexing
+
+    def flat_index(self, coordinates: tuple[int, ...]) -> int:
+        """Row-major flattened node index (first dimension most significant)."""
+        if len(coordinates) != self.num_dimensions:
+            raise ProblemError("coordinate arity does not match the grid dimension")
+        index = 0
+        for coord, extent in zip(coordinates, self.shape):
+            if not 0 <= coord < extent:
+                raise ProblemError(f"coordinate {coord} out of range for extent {extent}")
+            index = index * extent + coord
+        return index
+
+    def coordinates(self, flat_index: int) -> tuple[int, ...]:
+        """Inverse of :meth:`flat_index`."""
+        if not 0 <= flat_index < self.num_nodes:
+            raise ProblemError("flat index out of range")
+        coords = []
+        remaining = flat_index
+        for extent in reversed(self.shape):
+            coords.append(remaining % extent)
+            remaining //= extent
+        return tuple(reversed(coords))
+
+    def node_positions(self) -> np.ndarray:
+        """Physical positions of all nodes, shape (num_nodes, num_dimensions)."""
+        grids = np.meshgrid(
+            *[np.arange(extent) * self.spacing for extent in self.shape], indexing="ij"
+        )
+        return np.stack([g.reshape(-1) for g in grids], axis=1)
+
+    def neighbors(self, flat_index: int) -> list[int]:
+        """Flat indices of the first (von-Neumann) neighbours of a node."""
+        coords = self.coordinates(flat_index)
+        out = []
+        for dim, extent in enumerate(self.shape):
+            for delta in (-1, 1):
+                moved = list(coords)
+                moved[dim] += delta
+                if 0 <= moved[dim] < extent:
+                    out.append(self.flat_index(tuple(moved)))
+        return out
+
+
+def line_grid(num_nodes: int, spacing: float = 1.0) -> CartesianGrid:
+    """The 1-D discretisation (a) of Fig. 7."""
+    return CartesianGrid((num_nodes,), spacing)
+
+
+def two_line_grid(num_nodes: int, spacing: float = 1.0) -> CartesianGrid:
+    """The two-node-line 2-D discretisation (b) of Fig. 7."""
+    return CartesianGrid((2, num_nodes), spacing)
+
+
+def double_layer_grid(num_nodes: int, spacing: float = 1.0) -> CartesianGrid:
+    """The two-layer / two-line 3-D discretisation (c) of Fig. 7."""
+    return CartesianGrid((2, 2, num_nodes), spacing)

@@ -1,0 +1,58 @@
+"""Quantum-circuit substrate: gates, circuits, simulators and decompositions."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitLayers, circuit_dependency_graph, circuit_layers, critical_path_length
+from repro.circuits.decompositions import (
+    ccp_decomposition,
+    ccx_decomposition,
+    ccz_decomposition,
+    controlled_unitary_abc,
+    cx_ladder,
+    cx_pyramid,
+    euler_zyz,
+    mc_rotation_decomposition,
+    mcp_decomposition,
+    mcx_decomposition,
+    mcx_vchain,
+    mcz_decomposition,
+    undo_cx_pairs,
+)
+from repro.circuits.gate import ControlledGate, Gate, Instruction, StandardGate, UnitaryGate
+from repro.circuits.random_circuits import random_circuit
+from repro.circuits.statevector import Statevector, apply_matrix, simulate
+from repro.circuits.transpile import TranspileOptions, transpile
+from repro.circuits.unitary import circuit_unitary, circuits_equivalent
+
+__all__ = [
+    "QuantumCircuit",
+    "CircuitLayers",
+    "circuit_dependency_graph",
+    "circuit_layers",
+    "critical_path_length",
+    "ccp_decomposition",
+    "ccx_decomposition",
+    "ccz_decomposition",
+    "controlled_unitary_abc",
+    "cx_ladder",
+    "cx_pyramid",
+    "euler_zyz",
+    "mc_rotation_decomposition",
+    "mcp_decomposition",
+    "mcx_decomposition",
+    "mcx_vchain",
+    "mcz_decomposition",
+    "undo_cx_pairs",
+    "ControlledGate",
+    "Gate",
+    "Instruction",
+    "StandardGate",
+    "UnitaryGate",
+    "random_circuit",
+    "Statevector",
+    "apply_matrix",
+    "simulate",
+    "TranspileOptions",
+    "transpile",
+    "circuit_unitary",
+    "circuits_equivalent",
+]

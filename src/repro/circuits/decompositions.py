@@ -1,0 +1,403 @@
+"""Decompositions of composite gates into one- and two-qubit gates.
+
+This module provides the circuit-level constructions the paper's resource
+comparisons rely on:
+
+* parity (CX) ladders, both the linear chain and the pyramidal (logarithmic
+  depth) variant of Fig. 3 / Fig. 25;
+* the standard Toffoli / CCZ / CCP decompositions;
+* multi-controlled phase / X / Z / rotation gates, either ancilla-free
+  (recursive, polynomially larger) or with a V-chain of ancilla qubits
+  (linear in the number of controls, the regime behind the paper's
+  ``192·n`` two-qubit-gate cost model);
+* the ABC decomposition of an arbitrary controlled single-qubit unitary.
+
+Every construction returns a :class:`~repro.circuits.circuit.QuantumCircuit`
+and is verified against the exact composite-gate matrix in the test suite.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import DecompositionError
+from repro.utils.bits import int_to_bits
+
+# ---------------------------------------------------------------------------
+# Parity ladders (basis changes used by Pauli-string and SCB evolutions)
+# ---------------------------------------------------------------------------
+
+
+def cx_ladder(circuit: QuantumCircuit, qubits: Sequence[int], target: int) -> None:
+    """Accumulate the parity of ``qubits`` onto ``target`` with a linear CX chain.
+
+    Appends ``len(qubits)`` CX gates, each controlled by one of ``qubits`` and
+    targeting ``target``; the depth is linear because every gate touches
+    ``target``.
+    """
+    for q in qubits:
+        circuit.cx(q, target)
+
+
+def cx_pyramid(circuit: QuantumCircuit, qubits: Sequence[int], target: int) -> list[tuple[int, int]]:
+    """Accumulate the parity of ``qubits`` onto ``target`` with a pyramidal tree.
+
+    This is the sub-linear-depth basis change of Fig. 3 / Fig. 25: qubit
+    parities are merged two-by-two so that consecutive CX gates act on
+    disjoint qubit pairs.  The number of CX gates equals the linear chain
+    (``len(qubits)``) but the depth is ``ceil(log2(len(qubits) + 1))``.
+
+    Returns the list of (control, target) pairs appended, so the caller can
+    uncompute with the reversed list.
+    """
+    pairs: list[tuple[int, int]] = []
+    active = list(qubits) + [target]
+    # Repeatedly fold the first half of the active set onto the second half.
+    while len(active) > 1:
+        next_active: list[int] = []
+        # Pair up neighbours; the carrier of the accumulated parity is always
+        # the later element so that the overall parity ends on ``target``.
+        i = 0
+        while i + 1 < len(active):
+            control, tgt = active[i], active[i + 1]
+            circuit.cx(control, tgt)
+            pairs.append((control, tgt))
+            next_active.append(tgt)
+            i += 2
+        if i < len(active):
+            next_active.append(active[i])
+        active = next_active
+    return pairs
+
+
+def undo_cx_pairs(circuit: QuantumCircuit, pairs: Sequence[tuple[int, int]]) -> None:
+    """Uncompute a list of CX gates (CX is self-inverse, order reversed)."""
+    for control, target in reversed(pairs):
+        circuit.cx(control, target)
+
+
+# ---------------------------------------------------------------------------
+# Single-qubit Euler decomposition and controlled-U (ABC) decomposition
+# ---------------------------------------------------------------------------
+
+
+def euler_zyz(matrix: np.ndarray) -> tuple[float, float, float, float]:
+    """Decompose a single-qubit unitary as ``e^{iα} Rz(β) Ry(γ) Rz(δ)``.
+
+    Returns ``(alpha, beta, gamma, delta)``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise DecompositionError(f"expected a 2x2 matrix, got {matrix.shape}")
+    det = np.linalg.det(matrix)
+    alpha = cmath.phase(det) / 2.0
+    su2 = matrix * cmath.exp(-1j * alpha)
+    # su2 = [[a, b], [-b*, a*]] with |a|^2 + |b|^2 = 1
+    a, b = su2[0, 0], su2[0, 1]
+    gamma = 2.0 * math.atan2(abs(b), abs(a))
+    if abs(a) > 1e-12:
+        sum_angle = -2.0 * cmath.phase(a)  # beta + delta
+    else:
+        sum_angle = 0.0
+    if abs(b) > 1e-12:
+        # su2[0,1] = -exp(-i(beta-delta)/2) sin(gamma/2)
+        diff_angle = -2.0 * cmath.phase(-b)
+    else:
+        diff_angle = 0.0
+    beta = (sum_angle + diff_angle) / 2.0
+    delta = (sum_angle - diff_angle) / 2.0
+    return alpha, beta, gamma, delta
+
+
+def controlled_unitary_abc(
+    matrix: np.ndarray, control: int, target: int, num_qubits: int
+) -> QuantumCircuit:
+    """Controlled single-qubit unitary as 1-qubit gates + two CX (Barenco ABC).
+
+    Implements ``|0⟩⟨0|⊗I + |1⟩⟨1|⊗U`` using the decomposition
+    ``U = e^{iα} A X B X C`` with ``A B C = I``.
+    """
+    alpha, beta, gamma, delta = euler_zyz(matrix)
+    circuit = QuantumCircuit(num_qubits, "c-u")
+    # C = Rz((delta - beta) / 2)
+    circuit.rz((delta - beta) / 2.0, target)
+    circuit.cx(control, target)
+    # B = Ry(-gamma/2) Rz(-(delta + beta)/2)
+    circuit.rz(-(delta + beta) / 2.0, target)
+    circuit.ry(-gamma / 2.0, target)
+    circuit.cx(control, target)
+    # A = Rz(beta) Ry(gamma/2)
+    circuit.ry(gamma / 2.0, target)
+    circuit.rz(beta, target)
+    # phase on the control
+    if abs(alpha) > 1e-15:
+        circuit.p(alpha, control)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Toffoli-family decompositions
+# ---------------------------------------------------------------------------
+
+
+def ccx_decomposition(c1: int, c2: int, target: int, num_qubits: int) -> QuantumCircuit:
+    """Standard 6-CX Toffoli decomposition (T-depth 3)."""
+    qc = QuantumCircuit(num_qubits, "ccx")
+    qc.h(target)
+    qc.cx(c2, target)
+    qc.tdg(target)
+    qc.cx(c1, target)
+    qc.t(target)
+    qc.cx(c2, target)
+    qc.tdg(target)
+    qc.cx(c1, target)
+    qc.t(c2)
+    qc.t(target)
+    qc.h(target)
+    qc.cx(c1, c2)
+    qc.t(c1)
+    qc.tdg(c2)
+    qc.cx(c1, c2)
+    return qc
+
+
+def ccp_decomposition(theta: float, c1: int, c2: int, target: int, num_qubits: int) -> QuantumCircuit:
+    """Doubly-controlled phase from 3 CP and 2 CX gates."""
+    qc = QuantumCircuit(num_qubits, "ccp")
+    qc.cp(theta / 2.0, c2, target)
+    qc.cx(c1, c2)
+    qc.cp(-theta / 2.0, c2, target)
+    qc.cx(c1, c2)
+    qc.cp(theta / 2.0, c1, target)
+    return qc
+
+
+def ccz_decomposition(c1: int, c2: int, target: int, num_qubits: int) -> QuantumCircuit:
+    """CCZ as a CCP(π)."""
+    qc = ccp_decomposition(math.pi, c1, c2, target, num_qubits)
+    qc.name = "ccz"
+    return qc
+
+
+def cswap_decomposition(control: int, a: int, b: int, num_qubits: int) -> QuantumCircuit:
+    """Fredkin gate from two CX and one Toffoli."""
+    qc = QuantumCircuit(num_qubits, "cswap")
+    qc.cx(b, a)
+    qc.compose(ccx_decomposition(control, a, b, num_qubits))
+    qc.cx(b, a)
+    return qc
+
+
+# ---------------------------------------------------------------------------
+# Multi-controlled gates
+# ---------------------------------------------------------------------------
+
+
+def _apply_ctrl_state_flips(
+    circuit: QuantumCircuit, controls: Sequence[int], ctrl_state: int | None
+) -> list[int]:
+    """X-flip the control qubits whose required control value is 0.
+
+    Returns the list of flipped qubits so the caller can undo the flips.
+    """
+    if ctrl_state is None:
+        return []
+    bits = int_to_bits(ctrl_state, len(controls))
+    flipped = [q for q, bit in zip(controls, bits) if bit == 0]
+    for q in flipped:
+        circuit.x(q)
+    return flipped
+
+
+def mcp_decomposition(
+    theta: float,
+    controls: Sequence[int],
+    target: int,
+    num_qubits: int,
+    ctrl_state: int | None = None,
+) -> QuantumCircuit:
+    """Multi-controlled phase gate without ancilla qubits.
+
+    Uses the standard recursion
+    ``C^k P(θ) = CP(θ/2)·C^{k-1}X·CP(-θ/2)·C^{k-1}X·C^{k-1}P(θ/2)``
+    which is exact for every angle.  The gate count grows polynomially
+    (roughly 3^k for this naive recursion); the analytic linear/quadratic
+    cost models of :mod:`repro.core.resource` are used for large-``k``
+    resource estimates instead.
+    """
+    controls = list(controls)
+    qc = QuantumCircuit(num_qubits, f"mcp({len(controls)})")
+    flipped = _apply_ctrl_state_flips(qc, controls, ctrl_state)
+    _mcp_all_ones(qc, theta, controls, target)
+    for q in flipped:
+        qc.x(q)
+    return qc
+
+
+def _mcp_all_ones(qc: QuantumCircuit, theta: float, controls: list[int], target: int) -> None:
+    if len(controls) == 0:
+        qc.p(theta, target)
+        return
+    if len(controls) == 1:
+        qc.cp(theta, controls[0], target)
+        return
+    last = controls[-1]
+    rest = controls[:-1]
+    qc.cp(theta / 2.0, last, target)
+    _mcx_all_ones(qc, rest, last)
+    qc.cp(-theta / 2.0, last, target)
+    _mcx_all_ones(qc, rest, last)
+    _mcp_all_ones(qc, theta / 2.0, rest, target)
+
+
+def _mcx_all_ones(qc: QuantumCircuit, controls: list[int], target: int) -> None:
+    if len(controls) == 0:
+        qc.x(target)
+        return
+    if len(controls) == 1:
+        qc.cx(controls[0], target)
+        return
+    if len(controls) == 2:
+        qc.compose(ccx_decomposition(controls[0], controls[1], target, qc.num_qubits))
+        return
+    qc.h(target)
+    _mcp_all_ones(qc, theta=math.pi, controls=controls, target=target)
+    qc.h(target)
+
+
+def mcx_decomposition(
+    controls: Sequence[int],
+    target: int,
+    num_qubits: int,
+    ctrl_state: int | None = None,
+) -> QuantumCircuit:
+    """Ancilla-free multi-controlled X (via ``H · C^nP(π) · H``)."""
+    controls = list(controls)
+    qc = QuantumCircuit(num_qubits, f"mcx({len(controls)})")
+    flipped = _apply_ctrl_state_flips(qc, controls, ctrl_state)
+    _mcx_all_ones(qc, controls, target)
+    for q in flipped:
+        qc.x(q)
+    return qc
+
+
+def mcz_decomposition(
+    controls: Sequence[int],
+    target: int,
+    num_qubits: int,
+    ctrl_state: int | None = None,
+) -> QuantumCircuit:
+    """Ancilla-free multi-controlled Z (a multi-controlled phase of π)."""
+    qc = mcp_decomposition(math.pi, controls, target, num_qubits, ctrl_state)
+    qc.name = f"mcz({len(list(controls))})"
+    return qc
+
+
+def mc_rotation_decomposition(
+    axis: str,
+    theta: float,
+    controls: Sequence[int],
+    target: int,
+    num_qubits: int,
+    ctrl_state: int | None = None,
+) -> QuantumCircuit:
+    """Multi-controlled RX/RY/RZ without ancilla.
+
+    Uses the sign-flip identity highlighted in the paper
+    (``Z R_{X/Y}(θ) Z = R_{X/Y}(-θ)``, and ``X RZ(θ) X = RZ(-θ)``): a half
+    rotation, a multi-controlled inversion of the rotation axis, the inverse
+    half rotation, and the uncompute of the inversion implement the controlled
+    rotation with two MCX/MCZ and two plain rotations.
+    """
+    axis = axis.lower()
+    if axis not in {"x", "y", "z"}:
+        raise DecompositionError(f"axis must be x, y or z, got {axis!r}")
+    controls = list(controls)
+    qc = QuantumCircuit(num_qubits, f"mcr{axis}({len(controls)})")
+    flipped = _apply_ctrl_state_flips(qc, controls, ctrl_state)
+
+    def rot(angle: float) -> None:
+        if axis == "x":
+            qc.rx(angle, target)
+        elif axis == "y":
+            qc.ry(angle, target)
+        else:
+            qc.rz(angle, target)
+
+    # R(θ/2) then controlled flip of the rotation sense, R(-θ/2), flip back:
+    # if the controls are satisfied the two halves add up to R(θ); otherwise
+    # they cancel.
+    rot(theta / 2.0)
+    if axis in {"x", "y"}:
+        _mcp_all_ones(qc, math.pi, controls, target)  # multi-controlled Z on target
+    else:
+        _mcx_all_ones(qc, controls, target)
+    rot(-theta / 2.0)
+    if axis in {"x", "y"}:
+        _mcp_all_ones(qc, math.pi, controls, target)
+    else:
+        _mcx_all_ones(qc, controls, target)
+
+    for q in flipped:
+        qc.x(q)
+    return qc
+
+
+def mcx_vchain(
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+    num_qubits: int,
+    ctrl_state: int | None = None,
+) -> QuantumCircuit:
+    """Multi-controlled X with a V-chain of clean ancilla qubits.
+
+    For ``k`` controls, ``k - 2`` clean ancillas are required and the circuit
+    uses ``2k - 3`` Toffoli gates (each expanded to 6 CX), i.e. a two-qubit
+    cost linear in ``k`` — the regime assumed by the paper's ``∝ 192·n``
+    cost model for :math:`\\widehat{C^nP}` gates.
+    """
+    controls = list(controls)
+    ancillas = list(ancillas)
+    k = len(controls)
+    if k <= 2:
+        qc = QuantumCircuit(num_qubits, "mcx-vchain")
+        flipped = _apply_ctrl_state_flips(qc, controls, ctrl_state)
+        if k == 0:
+            qc.x(target)
+        elif k == 1:
+            qc.cx(controls[0], target)
+        else:
+            qc.compose(ccx_decomposition(controls[0], controls[1], target, num_qubits))
+        for q in flipped:
+            qc.x(q)
+        return qc
+    if len(ancillas) < k - 2:
+        raise DecompositionError(
+            f"mcx_vchain with {k} controls needs {k - 2} ancillas, got {len(ancillas)}"
+        )
+    qc = QuantumCircuit(num_qubits, "mcx-vchain")
+    flipped = _apply_ctrl_state_flips(qc, controls, ctrl_state)
+
+    def toffoli(a: int, b: int, t: int) -> None:
+        qc.compose(ccx_decomposition(a, b, t, num_qubits))
+
+    # Compute chain: anc[0] = c0 AND c1; anc[i] = anc[i-1] AND c_{i+1}
+    toffoli(controls[0], controls[1], ancillas[0])
+    for i in range(k - 3):
+        toffoli(ancillas[i], controls[i + 2], ancillas[i + 1])
+    # Apply the final Toffoli onto the target.
+    toffoli(ancillas[k - 3], controls[k - 1], target)
+    # Uncompute the chain.
+    for i in reversed(range(k - 3)):
+        toffoli(ancillas[i], controls[i + 2], ancillas[i + 1])
+    toffoli(controls[0], controls[1], ancillas[0])
+
+    for q in flipped:
+        qc.x(q)
+    return qc

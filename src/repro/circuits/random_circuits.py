@@ -1,0 +1,54 @@
+"""Random circuit generation, used by property-based tests and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+_ONE_QUBIT = ("x", "y", "z", "h", "s", "sdg", "t", "tdg")
+_ONE_QUBIT_PARAM = ("rx", "ry", "rz", "p")
+_TWO_QUBIT = ("cx", "cz", "swap")
+_TWO_QUBIT_PARAM = ("cp", "crx", "cry", "crz", "rzz")
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    two_qubit_prob: float = 0.5,
+) -> QuantumCircuit:
+    """Generate a random circuit of roughly the requested depth.
+
+    Each "layer" appends one random gate per qubit-pair slot; the result is a
+    generic non-Clifford circuit suitable for exercising the simulator,
+    transpiler and DAG utilities.
+    """
+    if num_qubits < 1:
+        raise CircuitError("random_circuit needs at least one qubit")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    qc = QuantumCircuit(num_qubits, "random")
+    for _ in range(depth):
+        q = int(rng.integers(num_qubits))
+        use_two = num_qubits >= 2 and rng.random() < two_qubit_prob
+        if use_two:
+            q2 = int(rng.integers(num_qubits - 1))
+            if q2 >= q:
+                q2 += 1
+            if rng.random() < 0.5:
+                name = _TWO_QUBIT[int(rng.integers(len(_TWO_QUBIT)))]
+                getattr(qc, name)(q, q2)
+            else:
+                name = _TWO_QUBIT_PARAM[int(rng.integers(len(_TWO_QUBIT_PARAM)))]
+                getattr(qc, name)(float(rng.uniform(-np.pi, np.pi)), q, q2)
+        else:
+            if rng.random() < 0.5:
+                name = _ONE_QUBIT[int(rng.integers(len(_ONE_QUBIT)))]
+                getattr(qc, name)(q)
+            else:
+                name = _ONE_QUBIT_PARAM[int(rng.integers(len(_ONE_QUBIT_PARAM)))]
+                getattr(qc, name)(float(rng.uniform(-np.pi, np.pi)), q)
+    return qc

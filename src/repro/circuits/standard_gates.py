@@ -1,0 +1,273 @@
+"""Matrices of the standard gate set.
+
+All matrices follow the bit-ordering convention of :mod:`repro.utils.bits`:
+for a multi-qubit gate acting on qubits ``(q_0, q_1, ..., q_{k-1})`` as listed
+in the instruction, the basis ordering of the matrix is
+``|b_{q_0} b_{q_1} ... b_{q_{k-1}}⟩`` with the *first listed qubit as the most
+significant bit*.  For example ``CX(control, target)`` is the familiar
+
+    [[1, 0, 0, 0],
+     [0, 1, 0, 0],
+     [0, 0, 0, 1],
+     [0, 0, 1, 0]].
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GateError
+
+# ---------------------------------------------------------------------------
+# Constant single-qubit matrices
+# ---------------------------------------------------------------------------
+
+I1 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+TDG = T.conj().T
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+# Single Component Basis matrices (Table I of the paper); they are not gates
+# (not unitary) but are convenient to expose next to the Pauli matrices.
+SIGMA = np.array([[0, 0], [1, 0]], dtype=complex)  # |1><0|
+SIGMA_DAG = np.array([[0, 1], [0, 0]], dtype=complex)  # |0><1|
+NUM = np.array([[0, 0], [0, 1]], dtype=complex)  # n = |1><1|
+HOLE = np.array([[1, 0], [0, 0]], dtype=complex)  # m = |0><0|
+
+
+# ---------------------------------------------------------------------------
+# Parametric single-qubit matrices
+# ---------------------------------------------------------------------------
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """``RX(θ) = exp(-i θ X / 2)``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """``RY(θ) = exp(-i θ Y / 2)``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """``RZ(θ) = exp(-i θ Z / 2)``."""
+    return np.array(
+        [[cmath.exp(-1j * theta / 2.0), 0], [0, cmath.exp(1j * theta / 2.0)]], dtype=complex
+    )
+
+
+def phase_matrix(theta: float) -> np.ndarray:
+    """``P(θ) = diag(1, e^{iθ})`` — the exponential of the number operator."""
+    return np.array([[1, 0], [0, cmath.exp(1j * theta)]], dtype=complex)
+
+
+def u_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit gate ``U(θ, φ, λ)`` (OpenQASM convention)."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def global_phase_matrix(theta: float) -> np.ndarray:
+    """Single-qubit gate equal to ``e^{iθ} I`` (used to track exact phases)."""
+    return cmath.exp(1j * theta) * np.eye(2, dtype=complex)
+
+
+def rot_axis_matrix(theta_x: float, theta_y: float) -> np.ndarray:
+    """``exp(-i (θ_x X + θ_y Y) / 2)`` — rotation about an axis in the XY plane.
+
+    Used by the complex-coefficient construction of Section III-A when an exact
+    (single-rotation) implementation of ``Re[z] X + Im[z] Y`` is wanted instead
+    of the Trotterised ``RX·RY`` product shown in the paper.
+    """
+    angle = math.hypot(theta_x, theta_y)
+    if angle == 0.0:
+        return np.eye(2, dtype=complex)
+    nx, ny = theta_x / angle, theta_y / angle
+    c, s = math.cos(angle / 2.0), math.sin(angle / 2.0)
+    return np.array(
+        [
+            [c, (-1j * nx - ny) * s],
+            [(-1j * nx + ny) * s, c],
+        ],
+        dtype=complex,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Two-qubit matrices
+# ---------------------------------------------------------------------------
+
+
+def _controlled(matrix: np.ndarray) -> np.ndarray:
+    """Embed a single-qubit matrix as a controlled gate (control = MSB)."""
+    out = np.eye(4, dtype=complex)
+    out[2:, 2:] = matrix
+    return out
+
+
+CX = _controlled(X)
+CY = _controlled(Y)
+CZ = _controlled(Z)
+CH = _controlled(H)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+FSWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, -1]], dtype=complex
+)
+
+
+def cp_matrix(theta: float) -> np.ndarray:
+    """Controlled-phase gate ``CP(θ) = diag(1, 1, 1, e^{iθ})``."""
+    return np.diag([1, 1, 1, cmath.exp(1j * theta)]).astype(complex)
+
+
+def crx_matrix(theta: float) -> np.ndarray:
+    return _controlled(rx_matrix(theta))
+
+
+def cry_matrix(theta: float) -> np.ndarray:
+    return _controlled(ry_matrix(theta))
+
+
+def crz_matrix(theta: float) -> np.ndarray:
+    return _controlled(rz_matrix(theta))
+
+
+def rxx_matrix(theta: float) -> np.ndarray:
+    """``exp(-i θ X⊗X / 2)``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    out = np.eye(4, dtype=complex) * c
+    out[0, 3] = out[3, 0] = out[1, 2] = out[2, 1] = -1j * s
+    return out
+
+
+def ryy_matrix(theta: float) -> np.ndarray:
+    """``exp(-i θ Y⊗Y / 2)``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    out = np.eye(4, dtype=complex) * c
+    out[0, 3] = out[3, 0] = 1j * s
+    out[1, 2] = out[2, 1] = -1j * s
+    return out
+
+
+def rzz_matrix(theta: float) -> np.ndarray:
+    """``exp(-i θ Z⊗Z / 2)``."""
+    e_m = cmath.exp(-1j * theta / 2.0)
+    e_p = cmath.exp(1j * theta / 2.0)
+    return np.diag([e_m, e_p, e_p, e_m]).astype(complex)
+
+
+# ---------------------------------------------------------------------------
+# Three-qubit matrices
+# ---------------------------------------------------------------------------
+
+CCX = np.eye(8, dtype=complex)
+CCX[6:, 6:] = X
+CCZ = np.diag([1, 1, 1, 1, 1, 1, 1, -1]).astype(complex)
+CSWAP = np.eye(8, dtype=complex)
+CSWAP[[5, 6], :] = CSWAP[[6, 5], :]
+
+
+def ccp_matrix(theta: float) -> np.ndarray:
+    """Doubly-controlled phase gate ``CCP(θ)``."""
+    diag = np.ones(8, dtype=complex)
+    diag[7] = cmath.exp(1j * theta)
+    return np.diag(diag)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: name -> (num_qubits, num_params, matrix factory)
+_GateSpec = tuple[int, int, Callable[..., np.ndarray]]
+
+STANDARD_GATES: dict[str, _GateSpec] = {
+    "id": (1, 0, lambda: I1),
+    "x": (1, 0, lambda: X),
+    "y": (1, 0, lambda: Y),
+    "z": (1, 0, lambda: Z),
+    "h": (1, 0, lambda: H),
+    "s": (1, 0, lambda: S),
+    "sdg": (1, 0, lambda: SDG),
+    "t": (1, 0, lambda: T),
+    "tdg": (1, 0, lambda: TDG),
+    "sx": (1, 0, lambda: SX),
+    "rx": (1, 1, rx_matrix),
+    "ry": (1, 1, ry_matrix),
+    "rz": (1, 1, rz_matrix),
+    "p": (1, 1, phase_matrix),
+    "u": (1, 3, u_matrix),
+    "gphase": (1, 1, global_phase_matrix),
+    "rxy": (1, 2, rot_axis_matrix),
+    "cx": (2, 0, lambda: CX),
+    "cy": (2, 0, lambda: CY),
+    "cz": (2, 0, lambda: CZ),
+    "ch": (2, 0, lambda: CH),
+    "swap": (2, 0, lambda: SWAP),
+    "iswap": (2, 0, lambda: ISWAP),
+    "fswap": (2, 0, lambda: FSWAP),
+    "cp": (2, 1, cp_matrix),
+    "crx": (2, 1, crx_matrix),
+    "cry": (2, 1, cry_matrix),
+    "crz": (2, 1, crz_matrix),
+    "rxx": (2, 1, rxx_matrix),
+    "ryy": (2, 1, ryy_matrix),
+    "rzz": (2, 1, rzz_matrix),
+    "ccx": (3, 0, lambda: CCX),
+    "ccz": (3, 0, lambda: CCZ),
+    "cswap": (3, 0, lambda: CSWAP),
+    "ccp": (3, 1, ccp_matrix),
+}
+
+#: Gates whose action is diagonal in the computational basis.
+DIAGONAL_GATES = frozenset(
+    {"id", "z", "s", "sdg", "t", "tdg", "rz", "p", "gphase", "cz", "cp", "crz", "rzz", "ccz", "ccp"}
+)
+
+#: Gates that carry a continuous rotation parameter (used for rotation counts).
+ROTATION_GATES = frozenset(
+    {"rx", "ry", "rz", "p", "u", "rxy", "cp", "crx", "cry", "crz", "rxx", "ryy", "rzz", "ccp"}
+)
+
+
+def standard_gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the matrix of the named standard gate with the given parameters."""
+    if name not in STANDARD_GATES:
+        raise GateError(f"unknown standard gate {name!r}")
+    num_qubits, num_params, factory = STANDARD_GATES[name]
+    if len(params) != num_params:
+        raise GateError(
+            f"gate {name!r} expects {num_params} parameter(s), got {len(params)}"
+        )
+    return np.asarray(factory(*params), dtype=complex)
+
+
+def standard_gate_num_qubits(name: str) -> int:
+    """Number of qubits the named standard gate acts on."""
+    if name not in STANDARD_GATES:
+        raise GateError(f"unknown standard gate {name!r}")
+    return STANDARD_GATES[name][0]

@@ -1,0 +1,68 @@
+"""Exact unitary extraction of a circuit.
+
+The full ``2^n × 2^n`` unitary is obtained by evolving the identity matrix
+column-by-column in a single batched tensor contraction per gate, reusing the
+vectorized kernel of :mod:`repro.circuits.statevector`.  This is practical up
+to roughly 12–13 qubits which covers every correctness check in the test
+suite; larger circuits are verified through their action on statevectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.statevector import apply_matrix
+from repro.exceptions import SimulationError
+
+
+def circuit_unitary(circuit: QuantumCircuit, max_qubits: int = 14) -> np.ndarray:
+    """Dense unitary matrix implemented by ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to evaluate.
+    max_qubits:
+        Safety limit; computing the dense unitary beyond ~14 qubits would
+        allocate multi-gigabyte arrays, so the caller must raise the limit
+        explicitly if that is really intended.
+    """
+    n = circuit.num_qubits
+    if n > max_qubits:
+        raise SimulationError(
+            f"refusing to build a dense unitary on {n} qubits (limit {max_qubits}); "
+            "raise max_qubits explicitly if this is intended"
+        )
+    dim = 1 << n
+    # Batch of column vectors: shape (2,)*n + (dim,) where the last axis indexes
+    # the input basis state.
+    tensor = np.eye(dim, dtype=complex).reshape((2,) * n + (dim,))
+    for instr in circuit:
+        tensor = apply_matrix(tensor, instr.gate.matrix(), instr.qubits)
+    unitary = tensor.reshape(dim, dim)
+    if circuit.global_phase:
+        unitary = unitary * np.exp(1j * circuit.global_phase)
+    return unitary
+
+
+def circuits_equivalent(
+    a: QuantumCircuit,
+    b: QuantumCircuit,
+    atol: float = 1e-8,
+    up_to_global_phase: bool = False,
+) -> bool:
+    """Whether two circuits implement the same unitary (optionally up to phase)."""
+    if a.num_qubits != b.num_qubits:
+        return False
+    ua = circuit_unitary(a)
+    ub = circuit_unitary(b)
+    if np.allclose(ua, ub, atol=atol):
+        return True
+    if not up_to_global_phase:
+        return False
+    overlap = np.trace(ua.conj().T @ ub)
+    if abs(overlap) < 1e-12:
+        return False
+    phase = overlap / abs(overlap)
+    return np.allclose(ua * phase, ub, atol=atol)

@@ -1,0 +1,199 @@
+"""Basis changes used by the direct Hamiltonian-simulation circuits.
+
+Three building blocks (Section III and Annex A of the paper):
+
+* :func:`transition_basis_change` — the generalized-Bell basis change that
+  maps the two states ``|a⟩``/``|b⟩`` coupled by the transition operators to a
+  pair of states that differ only on a single *pivot* qubit, with every other
+  transition qubit reading ``|0⟩``.  Both the linear (CX chain from the pivot)
+  and the pyramidal (two-by-two merging, Fig. 3) layouts are provided; they use
+  the same number of CX gates but the pyramid has logarithmic depth.
+* :func:`pauli_diagonalisation` — per-qubit ``{H, S, S†}`` rotations that map
+  each Pauli factor to ``Z``.
+* :func:`parity_accumulation` — CX ladder (linear or pyramidal, Fig. 25) that
+  reports the parity of a set of qubits onto one of them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+
+@dataclass(frozen=True)
+class TransitionBasisChange:
+    """Result of :func:`transition_basis_change`.
+
+    Attributes
+    ----------
+    circuit:
+        The basis-change circuit ``V`` (apply before the rotation, apply
+        ``circuit.inverse()`` afterwards).
+    pivot:
+        The transition qubit left carrying the ``|a⟩`` vs ``|b⟩`` distinction.
+    pivot_ket_bit:
+        The bit value the pivot holds for the ket state ``|a⟩`` after ``V``.
+    cleared_qubits:
+        The other transition qubits; after ``V`` they read ``|0⟩`` for both
+        coupled states.
+    """
+
+    circuit: QuantumCircuit
+    pivot: int
+    pivot_ket_bit: int
+    cleared_qubits: tuple[int, ...]
+
+    @property
+    def cx_count(self) -> int:
+        return self.circuit.count_ops().get("cx", 0)
+
+    @property
+    def depth(self) -> int:
+        return self.circuit.depth()
+
+
+def transition_basis_change(
+    num_qubits: int,
+    qubits: Sequence[int],
+    ket_bits: Sequence[int],
+    *,
+    mode: str = "linear",
+    pivot: int | None = None,
+) -> TransitionBasisChange:
+    """Basis change sending ``|a⟩, |b⟩`` to states differing only on a pivot.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the circuit to create.
+    qubits:
+        The transition qubits (set S), in increasing order.
+    ket_bits:
+        The bit value of ``|a⟩`` on each of ``qubits`` (``|b⟩`` is its
+        complement, Eq. 6).
+    mode:
+        ``"linear"`` (CX fan from the pivot, linear depth) or ``"pyramid"``
+        (two-by-two merging, Fig. 3, logarithmic depth).  Both use
+        ``len(qubits) - 1`` CX gates.
+    pivot:
+        Which transition qubit should carry the distinction; defaults to the
+        last one for ``"linear"`` and is chosen by the tree for ``"pyramid"``.
+    """
+    qubits = list(qubits)
+    ket_bits = list(ket_bits)
+    if len(qubits) != len(ket_bits) or not qubits:
+        raise CircuitError("qubits and ket_bits must be non-empty and of equal length")
+    circuit = QuantumCircuit(num_qubits, "transition-basis")
+
+    if mode == "linear":
+        chosen = pivot if pivot is not None else qubits[-1]
+        if chosen not in qubits:
+            raise CircuitError(f"pivot {chosen} is not a transition qubit")
+        pivot_bit = ket_bits[qubits.index(chosen)]
+        cleared = []
+        for q, bit in zip(qubits, ket_bits):
+            if q == chosen:
+                continue
+            # After CX(pivot -> q), qubit q reads bit ⊕ pivot_bit for both
+            # coupled states (their difference cancels); flip it to |0⟩.
+            circuit.cx(chosen, q)
+            if bit ^ pivot_bit:
+                circuit.x(q)
+            cleared.append(q)
+        return TransitionBasisChange(circuit, chosen, pivot_bit, tuple(cleared))
+
+    if mode == "pyramid":
+        if pivot is not None and pivot not in qubits:
+            raise CircuitError(f"pivot {pivot} is not a transition qubit")
+        active: list[tuple[int, int]] = list(zip(qubits, ket_bits))
+        if pivot is not None:
+            # Keep the requested pivot at the end so it survives the merging.
+            active.sort(key=lambda pair: pair[0] == pivot)
+        cleared: list[int] = []
+        while len(active) > 1:
+            survivors: list[tuple[int, int]] = []
+            i = 0
+            while i + 1 < len(active):
+                (q_src, bit_src), (q_keep, bit_keep) = active[i], active[i + 1]
+                # CX(q_keep -> q_src): q_src now reads bit_src ⊕ bit_keep for
+                # both coupled states; normalise it to |0⟩.
+                circuit.cx(q_keep, q_src)
+                if bit_src ^ bit_keep:
+                    circuit.x(q_src)
+                cleared.append(q_src)
+                survivors.append((q_keep, bit_keep))
+                i += 2
+            if i < len(active):
+                survivors.append(active[i])
+            active = survivors
+        chosen, pivot_bit = active[0]
+        return TransitionBasisChange(circuit, chosen, pivot_bit, tuple(sorted(cleared)))
+
+    raise CircuitError(f"unknown basis-change mode {mode!r}")
+
+
+# ---------------------------------------------------------------------------
+# Pauli diagonalisation and parity accumulation
+# ---------------------------------------------------------------------------
+
+
+def pauli_diagonalisation(
+    num_qubits: int, qubits: Sequence[int], labels: Sequence[str]
+) -> QuantumCircuit:
+    """Per-qubit basis change ``B`` with ``B P B† = Z`` for each Pauli factor.
+
+    ``X`` uses ``H``; ``Y`` uses ``H·S†`` (apply ``S†`` then ``H``); ``Z`` and
+    ``I`` need nothing.  Apply the returned circuit before the interaction and
+    its inverse afterwards.
+    """
+    circuit = QuantumCircuit(num_qubits, "pauli-diag")
+    for q, label in zip(qubits, labels):
+        if label == "X":
+            circuit.h(q)
+        elif label == "Y":
+            circuit.sdg(q)
+            circuit.h(q)
+        elif label in ("Z", "I"):
+            continue
+        else:
+            raise CircuitError(f"invalid Pauli label {label!r}")
+    return circuit
+
+
+def parity_accumulation(
+    num_qubits: int, qubits: Sequence[int], target: int, *, mode: str = "linear"
+) -> QuantumCircuit:
+    """Accumulate the parity of ``qubits`` onto ``target`` (which keeps its own bit).
+
+    ``mode="linear"`` chains CX gates onto the target (depth ``len(qubits)``);
+    ``mode="pyramid"`` uses the tree layout of Fig. 25 (same CX count,
+    logarithmic depth).
+    """
+    circuit = QuantumCircuit(num_qubits, "parity")
+    sources = [q for q in qubits if q != target]
+    if not sources:
+        return circuit
+    if mode == "linear":
+        for q in sources:
+            circuit.cx(q, target)
+        return circuit
+    if mode == "pyramid":
+        active = sources + [target]
+        while len(active) > 1:
+            survivors: list[int] = []
+            i = 0
+            while i + 1 < len(active):
+                control, tgt = active[i], active[i + 1]
+                circuit.cx(control, tgt)
+                survivors.append(tgt)
+                i += 2
+            if i < len(active):
+                survivors.append(active[i])
+            active = survivors
+        if active[0] != target:
+            raise CircuitError("pyramid parity did not terminate on the target qubit")
+        return circuit
+    raise CircuitError(f"unknown parity mode {mode!r}")

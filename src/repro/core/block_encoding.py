@@ -1,0 +1,314 @@
+"""Block encoding of SCB terms with at most six unitaries (Section IV).
+
+The paper observes that every gathered Hermitian fragment
+
+    ``H = γ · H_σ ⊗ H_n ⊗ PS``           (γ real)
+
+splits, family by family, into a Linear Combination of Unitaries built from
+the *same* gates as its Hamiltonian-simulation circuit:
+
+* number factors:      ``H_n = |k⟩⟨k| = (I - C^nZ{|k⟩}) / 2``           (Eq. 10)
+* transition factors:  ``H_σ = |a⟩⟨b| + |b⟩⟨a|``
+                        ``    = C^nX{|a⟩;|b⟩} - (I + C^nZC^nZ{|a⟩;|b⟩})/2`` (Eq. 11)
+* Pauli factors:       already unitary.
+
+Multiplying the sub-decompositions gives at most ``3 × 2 × 1 = 6`` unitaries
+per term (Eq. 12).  :func:`term_lcu_decomposition` builds that decomposition as
+explicit circuits and :func:`fragment_block_encoding` assembles the
+PREPARE–SELECT–PREPARE† block encoding from it.
+
+Note on Eq. 11: with ``C^nZC^nZ{|a⟩;|b⟩} = I - 2(|a⟩⟨a| + |b⟩⟨b|)`` the exact
+identity is ``H_σ = C^nX{|a⟩;|b⟩} - (I + C^nZC^nZ)/2`` (the paper's displayed
+equation drops the sign of the projector part); the decomposition built here
+is verified numerically against the fragment matrix.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import ControlledGate, StandardGate
+from repro.core.basis_change import transition_basis_change
+from repro.core.families import TermStructure, analyze_term
+from repro.core.lcu import BlockEncoding, LCUDecomposition, block_encoding
+from repro.exceptions import BlockEncodingError
+from repro.operators.hamiltonian import Hamiltonian, HermitianFragment
+from repro.operators.scb_term import SCBTerm
+from repro.utils.bits import bits_to_int
+
+
+# ---------------------------------------------------------------------------
+# Elementary unitaries (Figs. 4-6)
+# ---------------------------------------------------------------------------
+
+
+def cnz_on_state(num_qubits: int, qubits: tuple[int, ...], bits: tuple[int, ...]) -> QuantumCircuit:
+    """``C^nZ{|key⟩}``: phase ``-1`` on the basis state ``|key⟩`` of ``qubits`` (Fig. 4)."""
+    if not qubits:
+        raise BlockEncodingError("C^nZ needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, "cnz")
+    target = qubits[-1]
+    target_bit = bits[-1]
+    if target_bit == 0:
+        circuit.x(target)
+    if len(qubits) == 1:
+        circuit.z(target)
+    else:
+        circuit.append(
+            ControlledGate(StandardGate("z"), len(qubits) - 1, bits_to_int(bits[:-1])),
+            tuple(qubits[:-1]) + (target,),
+        )
+    if target_bit == 0:
+        circuit.x(target)
+    return circuit
+
+
+def cnx_on_pair(
+    num_qubits: int,
+    qubits: tuple[int, ...],
+    ket_bits: tuple[int, ...],
+    *,
+    basis_change_mode: str = "linear",
+) -> QuantumCircuit:
+    """``C^nX{|a⟩;|b⟩}``: swap the two complementary states ``|a⟩``/``|b⟩`` (Fig. 6).
+
+    Built from the Hamiltonian-simulation basis change with the central
+    rotation replaced by an X gate, exactly as the paper describes
+    (``RX(-2θ) ← X``).
+    """
+    circuit = QuantumCircuit(num_qubits, "cnx-pair")
+    change = transition_basis_change(num_qubits, qubits, ket_bits, mode=basis_change_mode)
+    circuit.compose(change.circuit)
+    others = change.cleared_qubits
+    if others:
+        circuit.append(
+            ControlledGate(StandardGate("x"), len(others), 0), tuple(others) + (change.pivot,)
+        )
+    else:
+        circuit.x(change.pivot)
+    circuit.compose(change.circuit.inverse())
+    return circuit
+
+
+def cny_on_pair(
+    num_qubits: int,
+    qubits: tuple[int, ...],
+    ket_bits: tuple[int, ...],
+    *,
+    basis_change_mode: str = "linear",
+) -> QuantumCircuit:
+    """``C^nY{|a⟩;|b⟩}``: the unitary completion of ``i|a⟩⟨b| - i|b⟩⟨a|``.
+
+    Counterpart of :func:`cnx_on_pair` used when the gathered fragment carries
+    a purely imaginary coefficient (the anti-symmetric combination produced by
+    the Section III-A split); identity outside span{|a⟩, |b⟩}.
+    """
+    import numpy as np
+
+    from repro.circuits.gate import UnitaryGate
+
+    circuit = QuantumCircuit(num_qubits, "cny-pair")
+    change = transition_basis_change(num_qubits, qubits, ket_bits, mode=basis_change_mode)
+    circuit.compose(change.circuit)
+    # In the rotated frame i|a⟩⟨b| - i|b⟩⟨a| restricted to the pivot reads +Y
+    # when the pivot ket bit is 1 and -Y when it is 0.
+    sign = 1.0 if change.pivot_ket_bit == 1 else -1.0
+    y_block = sign * np.array([[0.0, -1j], [1j, 0.0]])
+    base = UnitaryGate(y_block, label="y-block")
+    others = change.cleared_qubits
+    if others:
+        circuit.append(ControlledGate(base, len(others), 0), tuple(others) + (change.pivot,))
+    else:
+        circuit.append(base, (change.pivot,))
+    circuit.compose(change.circuit.inverse())
+    return circuit
+
+
+def cnz_cnz_on_pair(
+    num_qubits: int,
+    qubits: tuple[int, ...],
+    ket_bits: tuple[int, ...],
+    *,
+    basis_change_mode: str = "linear",
+) -> QuantumCircuit:
+    """``C^nZ·C^nZ{|a⟩;|b⟩} = I - 2(|a⟩⟨a| + |b⟩⟨b|)`` (Fig. 5).
+
+    After the basis change the two states are the only ones whose non-pivot
+    transition qubits are all ``|0⟩``, so the double reflection is a phase
+    ``-1`` controlled on those qubits being zero (independent of the pivot).
+    """
+    circuit = QuantumCircuit(num_qubits, "cnz-cnz-pair")
+    change = transition_basis_change(num_qubits, qubits, ket_bits, mode=basis_change_mode)
+    others = change.cleared_qubits
+    if not others:
+        # Single transition qubit: |a⟩⟨a| + |b⟩⟨b| = I, the reflection is -I.
+        circuit.global_phase = math.pi
+        return circuit
+    circuit.compose(change.circuit)
+    circuit.compose(cnz_on_state(num_qubits, others, tuple(0 for _ in others)))
+    circuit.compose(change.circuit.inverse())
+    return circuit
+
+
+def pauli_string_circuit(num_qubits: int, qubits: tuple[int, ...], labels: tuple[str, ...]) -> QuantumCircuit:
+    """The Pauli-string factor as a plain circuit of X/Y/Z gates."""
+    circuit = QuantumCircuit(num_qubits, "pauli-string")
+    for qubit, label in zip(qubits, labels):
+        if label == "X":
+            circuit.x(qubit)
+        elif label == "Y":
+            circuit.y(qubit)
+        elif label == "Z":
+            circuit.z(qubit)
+        else:
+            raise BlockEncodingError(f"invalid Pauli label {label!r}")
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Term-level LCU (≤ 6 unitaries, Eq. 12)
+# ---------------------------------------------------------------------------
+
+
+def term_lcu_decomposition(
+    fragment: HermitianFragment, *, basis_change_mode: str = "linear"
+) -> LCUDecomposition:
+    """LCU of a gathered Hermitian fragment with at most six unitaries.
+
+    The coefficient of the fragment must be real (a complex coefficient is
+    handled by splitting the fragment into its real and imaginary parts first,
+    see :func:`split_complex_fragment`).
+    """
+    term = fragment.term
+    coeff = complex(term.coefficient)
+    if abs(coeff.imag) > 1e-12 and abs(coeff.real) > 1e-12:
+        raise BlockEncodingError(
+            "term_lcu_decomposition needs a real or purely imaginary coefficient; "
+            "use split_complex_fragment first"
+        )
+    pure_imaginary = abs(coeff.imag) > 1e-12
+    gamma = coeff.imag if pure_imaginary else coeff.real
+    structure = analyze_term(term)
+    n = term.num_qubits
+    if pure_imaginary and not structure.has_transition:
+        raise BlockEncodingError(
+            "a purely imaginary coefficient on a transition-free term cancels "
+            "against its Hermitian conjugate; nothing to block-encode"
+        )
+
+    # Start from the Pauli-string factor (always exactly one unitary).
+    pauli_part = pauli_string_circuit(n, structure.pauli_qubits, structure.pauli_labels)
+    groups: list[list[tuple[complex, QuantumCircuit, str]]] = [[(1.0, pauli_part, "PS")]]
+
+    if structure.has_number:
+        identity = QuantumCircuit(n, "id")
+        cnz = cnz_on_state(n, structure.number_qubits, structure.number_bits)
+        groups.append([(0.5, identity, "I"), (-0.5, cnz, "CnZ")])
+
+    if structure.has_transition:
+        if not fragment.include_hc:
+            raise BlockEncodingError("a transition fragment must include its h.c. partner")
+        identity = QuantumCircuit(n, "id")
+        if pure_imaginary:
+            flip = cny_on_pair(n, structure.transition_qubits, structure.ket_bits,
+                               basis_change_mode=basis_change_mode)
+            flip_label = "CnY"
+        else:
+            flip = cnx_on_pair(n, structure.transition_qubits, structure.ket_bits,
+                               basis_change_mode=basis_change_mode)
+            flip_label = "CnX"
+        cnzcnz = cnz_cnz_on_pair(n, structure.transition_qubits, structure.ket_bits,
+                                 basis_change_mode=basis_change_mode)
+        groups.append([(1.0, flip, flip_label), (-0.5, identity, "I"), (-0.5, cnzcnz, "CnZCnZ")])
+    else:
+        # No transition: the (optional) + h.c. doubles the real coefficient.
+        if fragment.include_hc:
+            gamma *= 2.0
+
+    decomposition = LCUDecomposition(n)
+    combos: list[tuple[complex, QuantumCircuit, str]] = [(gamma, QuantumCircuit(n, "id"), "")]
+    for group in groups:
+        new_combos = []
+        for coeff_acc, circuit_acc, label_acc in combos:
+            for coeff_g, circuit_g, label_g in group:
+                merged = circuit_acc.copy()
+                merged.compose(circuit_g)
+                new_label = (label_acc + "·" + label_g).strip("·")
+                new_combos.append((coeff_acc * coeff_g, merged, new_label))
+        combos = new_combos
+    for coeff_u, circuit_u, label_u in combos:
+        decomposition.add(coeff_u, circuit_u, label_u or "I")
+    return decomposition
+
+
+def split_complex_fragment(fragment: HermitianFragment) -> list[HermitianFragment]:
+    """Split ``z·A + h.c.`` into ``Re[z]·(A + h.c.)`` and ``Im[z]·(iA + h.c.)`` pieces.
+
+    Each returned fragment has a real coefficient and can be block-encoded
+    with :func:`term_lcu_decomposition`; together they sum to the original
+    fragment (Section III-A applied to the block-encoding side).
+    """
+    term = fragment.term
+    coeff = complex(term.coefficient)
+    has_transition = bool(term.transition_qubits)
+    out = []
+    if abs(coeff.real) > 1e-14:
+        out.append(HermitianFragment(term.with_coefficient(coeff.real), fragment.include_hc))
+    if abs(coeff.imag) > 1e-14 and has_transition:
+        # For transition-free Hermitian structures the imaginary part cancels
+        # against the + h.c. partner, so only transition terms keep it.
+        out.append(
+            HermitianFragment(term.with_coefficient(1j * coeff.imag), fragment.include_hc)
+        )
+    return out
+
+
+def fragment_block_encoding(
+    fragment: HermitianFragment, *, basis_change_mode: str = "linear"
+) -> BlockEncoding:
+    """PREPARE–SELECT–PREPARE† block encoding of a single fragment."""
+    decomposition = term_lcu_decomposition(fragment, basis_change_mode=basis_change_mode)
+    return block_encoding(decomposition)
+
+
+def hamiltonian_lcu_decomposition(
+    hamiltonian: Hamiltonian, *, basis_change_mode: str = "linear"
+) -> LCUDecomposition:
+    """LCU of a whole Hamiltonian: at most six unitaries per gathered term."""
+    decomposition = LCUDecomposition(hamiltonian.num_qubits)
+    for fragment in hamiltonian.hermitian_fragments():
+        pieces = [fragment]
+        if abs(np.imag(fragment.term.coefficient)) > 1e-14 and fragment.include_hc:
+            pieces = split_complex_fragment(fragment)
+        for piece in pieces:
+            part = term_lcu_decomposition(piece, basis_change_mode=basis_change_mode)
+            for lcu_term in part.terms:
+                decomposition.add(lcu_term.coefficient, lcu_term.circuit, lcu_term.label)
+    return decomposition
+
+
+def hamiltonian_block_encoding(
+    hamiltonian: Hamiltonian, *, basis_change_mode: str = "linear"
+) -> BlockEncoding:
+    """Block encoding of a whole Hamiltonian of SCB terms."""
+    return block_encoding(
+        hamiltonian_lcu_decomposition(hamiltonian, basis_change_mode=basis_change_mode)
+    )
+
+
+def term_unitary_count(term: SCBTerm) -> int:
+    """Number of unitaries of the paper's decomposition for one term (Eq. 12).
+
+    3 if the term has transition factors (times) 2 if it has number factors,
+    i.e. 1, 2, 3 or 6 — never more than six.
+    """
+    structure = analyze_term(term)
+    count = 1
+    if structure.has_transition:
+        count *= 3
+    if structure.has_number:
+        count *= 2
+    return count

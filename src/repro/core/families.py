@@ -1,0 +1,144 @@
+"""Structural analysis of an SCB term into the paper's four operator families.
+
+Section III of the paper gathers the factors of a term into four families —
+identity, Pauli, number (control) and transition — and treats each family
+differently when building the Hamiltonian-simulation circuit.  The
+:class:`TermStructure` computed here is the single source of truth used by the
+direct-evolution builder, the block-encoding builder and the measurement
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import OperatorError
+from repro.operators.hamiltonian import HermitianFragment
+from repro.operators.scb_term import SCBTerm
+from repro.utils.bits import bits_to_int
+
+
+@dataclass(frozen=True)
+class TermStructure:
+    """Family decomposition of one SCB term.
+
+    Attributes
+    ----------
+    term:
+        The analysed term.
+    transition_qubits:
+        Qubits carrying ``σ`` or ``σ†`` (the set S of Section III).
+    ket_bits, bra_bits:
+        Bit values per transition qubit for the ket/bra side of ``|a⟩⟨b|``;
+        the two patterns are each other's complement (Eq. 6).
+    number_qubits, number_bits:
+        Qubits carrying ``n``/``m`` and the control key they project onto
+        (``n`` → 1, ``m`` → 0).
+    pauli_qubits, pauli_labels:
+        Qubits carrying a non-identity Pauli and their labels.
+    identity_qubits:
+        Untouched qubits.
+    """
+
+    term: SCBTerm
+    transition_qubits: tuple[int, ...]
+    ket_bits: tuple[int, ...]
+    bra_bits: tuple[int, ...]
+    number_qubits: tuple[int, ...]
+    number_bits: tuple[int, ...]
+    pauli_qubits: tuple[int, ...]
+    pauli_labels: tuple[str, ...]
+    identity_qubits: tuple[int, ...]
+
+    # ------------------------------------------------------------------ counts
+
+    @property
+    def num_qubits(self) -> int:
+        return self.term.num_qubits
+
+    @property
+    def coefficient(self) -> complex:
+        return self.term.coefficient
+
+    @property
+    def has_transition(self) -> bool:
+        return bool(self.transition_qubits)
+
+    @property
+    def has_pauli(self) -> bool:
+        return bool(self.pauli_qubits)
+
+    @property
+    def has_number(self) -> bool:
+        return bool(self.number_qubits)
+
+    @property
+    def number_key(self) -> int:
+        """Integer key of the number-operator controls (first qubit = MSB)."""
+        return bits_to_int(self.number_bits) if self.number_bits else 0
+
+    @property
+    def transition_ket(self) -> int:
+        """Integer value of the ket pattern on the transition qubits."""
+        return bits_to_int(self.ket_bits) if self.ket_bits else 0
+
+    @property
+    def transition_bra(self) -> int:
+        return bits_to_int(self.bra_bits) if self.bra_bits else 0
+
+    def controls_for_rotation(self, pivot: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Control qubits and required bit values for the central rotation.
+
+        After the transition basis change every non-pivot transition qubit
+        must read 0 and every number qubit must read its key bit; the
+        returned ``(qubits, bits)`` pair lists them in a fixed order.
+        """
+        qubits: list[int] = []
+        bits: list[int] = []
+        for q in self.transition_qubits:
+            if q == pivot:
+                continue
+            qubits.append(q)
+            bits.append(0)
+        for q, bit in zip(self.number_qubits, self.number_bits):
+            qubits.append(q)
+            bits.append(bit)
+        return tuple(qubits), tuple(bits)
+
+
+def analyze_term(term: SCBTerm) -> TermStructure:
+    """Compute the :class:`TermStructure` of a term."""
+    transition = term.transition_qubits
+    number = term.number_qubits
+    pauli = term.pauli_qubits
+    identity = term.identity_qubits
+    ket_bits = tuple(term.factors[q].ket_bit for q in transition)
+    bra_bits = tuple(term.factors[q].bra_bit for q in transition)
+    number_bits = tuple(term.factors[q].number_bit for q in number)
+    pauli_labels = tuple(term.factors[q].label for q in pauli)
+    return TermStructure(
+        term=term,
+        transition_qubits=transition,
+        ket_bits=ket_bits,
+        bra_bits=bra_bits,
+        number_qubits=number,
+        number_bits=number_bits,
+        pauli_qubits=pauli,
+        pauli_labels=pauli_labels,
+        identity_qubits=identity,
+    )
+
+
+def analyze_fragment(fragment: HermitianFragment) -> TermStructure:
+    """Analyse the representative term of a Hermitian fragment.
+
+    Raises if the fragment claims to be Hermitian without the ``+ h.c.``
+    partner while its representative term is not (that would make the
+    "fragment" non-Hermitian and not exponentiable into a unitary).
+    """
+    structure = analyze_term(fragment.term)
+    if not fragment.include_hc and not fragment.term.is_hermitian:
+        raise OperatorError(
+            "fragment marked as not needing + h.c. but its term is not Hermitian"
+        )
+    return structure

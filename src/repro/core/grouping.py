@@ -1,0 +1,140 @@
+"""Fragment ordering and commutation grouping (Section VI-B).
+
+The Trotter error of a product formula depends on how the non-commuting
+fragments are ordered and grouped; the paper notes that ordering/partitioning
+optimisations developed for the usual strategy apply equally to the direct
+strategy.  This module provides the basic tools:
+
+* :func:`fragments_commute` — exact commutation test of two gathered fragments;
+* :func:`group_commuting_fragments` — greedy partition of a Hamiltonian's
+  fragments into mutually commuting groups (fragments inside a group can be
+  exponentiated in any order without error);
+* :func:`ordered_trotter_circuit` — a Trotter step with an explicit fragment
+  order, used to study the ordering dependence of the error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.direct_evolution import EvolutionOptions, evolve_fragment
+from repro.exceptions import TrotterError
+from repro.operators.hamiltonian import Hamiltonian, HermitianFragment
+
+
+def fragments_commute(
+    a: HermitianFragment, b: HermitianFragment, atol: float = 1e-10
+) -> bool:
+    """Whether two gathered fragments commute (exact sparse-matrix test)."""
+    matrix_a = a.matrix(sparse=True)
+    matrix_b = b.matrix(sparse=True)
+    commutator = matrix_a @ matrix_b - matrix_b @ matrix_a
+    if commutator.nnz == 0:
+        return True
+    return bool(abs(commutator).max() < atol)
+
+
+def group_commuting_fragments(
+    hamiltonian: Hamiltonian, *, atol: float = 1e-10
+) -> list[list[HermitianFragment]]:
+    """Greedy partition of the fragments into mutually commuting groups.
+
+    Fragments are scanned in order; each one joins the first existing group it
+    commutes with entirely, otherwise it opens a new group.  The number of
+    groups upper-bounds the number of "effective" non-commuting layers of a
+    Trotter step.
+    """
+    groups: list[list[HermitianFragment]] = []
+    for fragment in hamiltonian.hermitian_fragments():
+        placed = False
+        for group in groups:
+            if all(fragments_commute(fragment, member, atol) for member in group):
+                group.append(fragment)
+                placed = True
+                break
+        if not placed:
+            groups.append([fragment])
+    return groups
+
+
+def commuting_group_count(hamiltonian: Hamiltonian) -> int:
+    """Number of mutually commuting groups found by the greedy partition."""
+    return len(group_commuting_fragments(hamiltonian))
+
+
+def ordered_trotter_circuit(
+    hamiltonian: Hamiltonian,
+    time: float,
+    order_indices: Sequence[int],
+    *,
+    steps: int = 1,
+    options: EvolutionOptions | None = None,
+) -> QuantumCircuit:
+    """First-order Trotter step exponentiating the fragments in a chosen order."""
+    fragments = hamiltonian.hermitian_fragments()
+    if sorted(order_indices) != list(range(len(fragments))):
+        raise TrotterError("order_indices must be a permutation of the fragment indices")
+    if steps < 1:
+        raise TrotterError("steps must be >= 1")
+    circuit = QuantumCircuit(hamiltonian.num_qubits, "ordered-trotter")
+    dt = time / steps
+    for _ in range(steps):
+        for index in order_indices:
+            circuit.compose(evolve_fragment(fragments[index], dt, options=options))
+    return circuit
+
+
+def grouped_trotter_circuit(
+    hamiltonian: Hamiltonian,
+    time: float,
+    *,
+    steps: int = 1,
+    options: EvolutionOptions | None = None,
+) -> QuantumCircuit:
+    """Trotter step that exponentiates commuting groups back-to-back.
+
+    Within a group the ordering is irrelevant (no error); only the interfaces
+    between groups contribute to the Trotter error, which often reduces it
+    compared with an arbitrary interleaving.
+    """
+    groups = group_commuting_fragments(hamiltonian)
+    circuit = QuantumCircuit(hamiltonian.num_qubits, "grouped-trotter")
+    dt = time / steps
+    for _ in range(steps):
+        for group in groups:
+            for fragment in group:
+                circuit.compose(evolve_fragment(fragment, dt, options=options))
+    return circuit
+
+
+def ordering_error_spread(
+    hamiltonian: Hamiltonian,
+    time: float,
+    *,
+    num_orderings: int = 6,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[float, float]:
+    """(min, max) single-step Trotter error over random fragment orderings.
+
+    A quick way to quantify how much the ordering matters for a given
+    Hamiltonian (Section VI-B's discussion).
+    """
+    from scipy.linalg import expm
+
+    from repro.circuits.unitary import circuit_unitary
+    from repro.utils.linalg import spectral_norm_diff
+
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    exact = expm(-1j * time * hamiltonian.matrix())
+    num_fragments = len(hamiltonian.hermitian_fragments())
+    errors = []
+    for _ in range(num_orderings):
+        order = list(rng.permutation(num_fragments))
+        circuit = ordered_trotter_circuit(hamiltonian, time, order)
+        errors.append(spectral_norm_diff(circuit_unitary(circuit), exact))
+    return min(errors), max(errors)

@@ -1,0 +1,257 @@
+"""Gates acting *in between* computational-basis states (appendix Figs. 13–24).
+
+The paper's appendix defines the family of gates
+
+    ``C^nU{|ψ₁⟩; |ψ₂⟩}`` — apply the single-qubit gate ``U`` inside the
+    two-dimensional subspace spanned by two chosen computational-basis states,
+    identity elsewhere
+
+and gives explicit decompositions for the special cases used in the body of
+the paper (``PP``, ``CRZ``, ``CRX``, ``CRY``, ``e^{-itA1}``, ``e^{iB}``,
+``e^{-itA2}``, their controlled variants and the fermionic SWAP).  This module
+provides the general constructor (Annex B) and the named special cases; each
+function returns a plain :class:`QuantumCircuit` and is verified against the
+exact matrix in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import ControlledGate, StandardGate, UnitaryGate
+from repro.core.basis_change import transition_basis_change
+from repro.exceptions import CircuitError
+from repro.utils.bits import bits_to_int, int_to_bits
+from repro.utils.linalg import is_unitary
+
+
+def two_state_gate_matrix(
+    unitary_2x2: np.ndarray, state_a: int, state_b: int, num_qubits: int
+) -> np.ndarray:
+    """Dense matrix of ``C^nU{|a⟩;|b⟩}`` (identity outside span{|a⟩, |b⟩})."""
+    dim = 1 << num_qubits
+    if not 0 <= state_a < dim or not 0 <= state_b < dim or state_a == state_b:
+        raise CircuitError("state_a and state_b must be distinct basis states in range")
+    out = np.eye(dim, dtype=complex)
+    u = np.asarray(unitary_2x2, dtype=complex)
+    out[state_a, state_a] = u[0, 0]
+    out[state_a, state_b] = u[0, 1]
+    out[state_b, state_a] = u[1, 0]
+    out[state_b, state_b] = u[1, 1]
+    return out
+
+
+def two_state_gate(
+    unitary_2x2: np.ndarray,
+    state_a: int,
+    state_b: int,
+    num_qubits: int,
+    *,
+    basis_change_mode: str = "linear",
+    label: str = "U",
+) -> QuantumCircuit:
+    """Circuit applying ``U`` between two arbitrary computational-basis states.
+
+    This is the Annex-B construction (Fig. 26): change basis so the two states
+    differ on a single pivot qubit (CX/X network), apply ``U`` on the pivot
+    controlled by every other qubit being in the right state, uncompute.
+
+    Unlike the transition-operator case, ``|a⟩`` and ``|b⟩`` need not be
+    complements, so differing and agreeing qubits are handled separately:
+    agreeing qubits only contribute controls, differing qubits (other than the
+    pivot) are cleared by the CX network.
+    """
+    if not is_unitary(unitary_2x2):
+        raise CircuitError("the 2x2 block must be unitary")
+    a_bits = int_to_bits(state_a, num_qubits)
+    b_bits = int_to_bits(state_b, num_qubits)
+    differing = [q for q in range(num_qubits) if a_bits[q] != b_bits[q]]
+    agreeing = [q for q in range(num_qubits) if a_bits[q] == b_bits[q]]
+    if not differing:
+        raise CircuitError("the two states must differ on at least one qubit")
+
+    change = transition_basis_change(
+        num_qubits, differing, [a_bits[q] for q in differing], mode=basis_change_mode
+    )
+    pivot = change.pivot
+
+    circuit = QuantumCircuit(num_qubits, f"C{num_qubits - 1}{label}")
+    circuit.compose(change.circuit)
+
+    controls: list[int] = []
+    control_bits: list[int] = []
+    for q in change.cleared_qubits:
+        controls.append(q)
+        control_bits.append(0)
+    for q in agreeing:
+        controls.append(q)
+        control_bits.append(a_bits[q])
+
+    # With pivot bit = a-bit x: the block acts as U on (|x⟩=row a, |1-x⟩=row b);
+    # if x == 1 the natural qubit ordering (|0⟩, |1⟩) is swapped, so conjugate
+    # the 2x2 block by X.
+    u = np.asarray(unitary_2x2, dtype=complex)
+    if change.pivot_ket_bit == 1:
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        u = x @ u @ x
+    base = UnitaryGate(u, label=label)
+    if controls:
+        circuit.append(
+            ControlledGate(base, len(controls), bits_to_int(control_bits)),
+            tuple(controls) + (pivot,),
+        )
+    else:
+        circuit.append(base, (pivot,))
+
+    circuit.compose(change.circuit.inverse())
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Named two-qubit in-between gates (Figs. 13–18)
+# ---------------------------------------------------------------------------
+
+
+def pp_gate(theta: float, qubit_a: int, qubit_b: int, num_qubits: int) -> QuantumCircuit:
+    """``PP{|01⟩;|10⟩}``: phase ``e^{iθ}`` on both ``|01⟩`` and ``|10⟩`` (Fig. 13)."""
+    qc = QuantumCircuit(num_qubits, "PP")
+    qc.cx(qubit_a, qubit_b)
+    qc.p(theta, qubit_b)
+    qc.cx(qubit_a, qubit_b)
+    return qc
+
+
+def cr_z_between(theta: float, qubit_a: int, qubit_b: int, num_qubits: int) -> QuantumCircuit:
+    """``CRZ{|01⟩;|10⟩}``: ``RZ(θ)`` inside the ``{|01⟩, |10⟩}`` subspace (Fig. 14)."""
+    qc = QuantumCircuit(num_qubits, "CRZ01-10")
+    qc.cx(qubit_a, qubit_b)
+    qc.append(ControlledGate(StandardGate("rz", (theta,)), 1, 1), (qubit_b, qubit_a))
+    qc.cx(qubit_a, qubit_b)
+    return qc
+
+
+def exp_a1_gate(time: float, qubit_a: int, qubit_b: int, num_qubits: int) -> QuantumCircuit:
+    """``e^{-i t A1}`` with ``A1 = σ†σ + h.c.`` — hopping gate (Fig. 15).
+
+    ``A1`` couples ``|01⟩`` and ``|10⟩``; the circuit is CX, controlled-RX,
+    CX (the controlled rotation acts only in the single-excitation subspace).
+    """
+    qc = QuantumCircuit(num_qubits, "expA1")
+    qc.cx(qubit_a, qubit_b)
+    qc.crx(2.0 * time, qubit_b, qubit_a)
+    qc.cx(qubit_a, qubit_b)
+    return qc
+
+
+def cr_y_between(theta: float, qubit_a: int, qubit_b: int, num_qubits: int) -> QuantumCircuit:
+    """``CRY{|01⟩;|10⟩}`` — the Givens-rotation gate of Fig. 16."""
+    qc = QuantumCircuit(num_qubits, "CRY01-10")
+    qc.cx(qubit_a, qubit_b)
+    qc.cry(theta, qubit_b, qubit_a)
+    qc.cx(qubit_a, qubit_b)
+    return qc
+
+
+def cr_x_pair_creation(theta: float, qubit_a: int, qubit_b: int, num_qubits: int) -> QuantumCircuit:
+    """``CRX{|00⟩;|11⟩} = e^{-i (θ/2)(σ†σ† + h.c.)}`` — pair creation (Fig. 17)."""
+    qc = QuantumCircuit(num_qubits, "CRX00-11")
+    qc.cx(qubit_a, qubit_b)
+    qc.append(ControlledGate(StandardGate("rx", (theta,)), 1, 0), (qubit_b, qubit_a))
+    qc.cx(qubit_a, qubit_b)
+    return qc
+
+
+def exp_b_gate(
+    alpha: float, beta: float, qubit_a: int, qubit_b: int, num_qubits: int
+) -> QuantumCircuit:
+    """``e^{-i B̂}`` with ``B = α(σ†σ + h.c.) + β(σ†σ† + h.c.)`` (Fig. 18).
+
+    The hopping part rotates the ``{|01⟩,|10⟩}`` subspace and the pairing part
+    the ``{|00⟩,|11⟩}`` subspace; after one CX both are plain controlled
+    rotations on the same target with opposite control values.
+    """
+    qc = QuantumCircuit(num_qubits, "expB")
+    qc.cx(qubit_a, qubit_b)
+    qc.append(ControlledGate(StandardGate("rx", (2.0 * alpha,)), 1, 1), (qubit_b, qubit_a))
+    qc.append(ControlledGate(StandardGate("rx", (2.0 * beta,)), 1, 0), (qubit_b, qubit_a))
+    qc.cx(qubit_a, qubit_b)
+    return qc
+
+
+def exp_a2_gate(
+    time: float, qubits: tuple[int, int, int, int], num_qubits: int
+) -> QuantumCircuit:
+    """``e^{-i t A2}`` with ``A2 = σ†σ†σσ + h.c.`` on four qubits (Fig. 19).
+
+    ``A2`` couples ``|1100⟩`` and ``|0011⟩`` (double excitation); the
+    construction is the generic transition circuit: CX network from the pivot,
+    multi-controlled RX on the pivot, uncompute.
+    """
+    i, j, k, l = qubits
+    term_states = {"a": 0b1100, "b": 0b0011}
+    matrix = _rx_matrix(2.0 * time)
+    a = _embed_state(term_states["a"], (i, j, k, l), num_qubits)
+    b = _embed_state(term_states["b"], (i, j, k, l), num_qubits)
+    qc = two_state_gate(matrix, a, b, num_qubits, label="RX")
+    qc.name = "expA2"
+    return qc
+
+
+def _rx_matrix(theta: float) -> np.ndarray:
+    return StandardGate("rx", (theta,)).matrix()
+
+
+def _embed_state(local_state: int, qubits: tuple[int, ...], num_qubits: int) -> int:
+    bits = [0] * num_qubits
+    local_bits = int_to_bits(local_state, len(qubits))
+    for q, bit in zip(qubits, local_bits):
+        bits[q] = bit
+    return bits_to_int(bits)
+
+
+# ---------------------------------------------------------------------------
+# Controlled variants (Figs. 20–22)
+# ---------------------------------------------------------------------------
+
+
+def controlled_exp_a1(
+    time: float, control: int, qubit_a: int, qubit_b: int, num_qubits: int
+) -> QuantumCircuit:
+    """Controlled ``e^{-i t A1}`` by controlling only the central rotation (Fig. 20)."""
+    qc = QuantumCircuit(num_qubits, "c-expA1")
+    qc.cx(qubit_a, qubit_b)
+    qc.append(
+        ControlledGate(StandardGate("rx", (2.0 * time,)), 2, 0b11),
+        (control, qubit_b, qubit_a),
+    )
+    qc.cx(qubit_a, qubit_b)
+    return qc
+
+
+def pm_controlled_exp_a1(
+    time: float, control: int, qubit_a: int, qubit_b: int, num_qubits: int
+) -> QuantumCircuit:
+    """``e^{±i t A1}`` with the sign selected by a control qubit (Fig. 21).
+
+    Uses the sign-flip identity ``Z RX(θ) Z = RX(-θ)``: the rotation sign is
+    toggled by two CZ gates instead of duplicating the controlled rotation
+    (control = |0⟩ applies ``e^{-i t A1}``, control = |1⟩ applies ``e^{+i t A1}``).
+    """
+    qc = QuantumCircuit(num_qubits, "pm-expA1")
+    qc.cx(qubit_a, qubit_b)
+    qc.cz(control, qubit_a)
+    qc.crx(2.0 * time, qubit_b, qubit_a)
+    qc.cz(control, qubit_a)
+    qc.cx(qubit_a, qubit_b)
+    return qc
+
+
+def fswap_gate(qubit_a: int, qubit_b: int, num_qubits: int) -> QuantumCircuit:
+    """Fermionic SWAP as SWAP followed by CZ (Figs. 23–24)."""
+    qc = QuantumCircuit(num_qubits, "fswap")
+    qc.cx(qubit_a, qubit_b)
+    qc.cx(qubit_b, qubit_a)
+    qc.cx(qubit_a, qubit_b)
+    qc.cz(qubit_a, qubit_b)
+    return qc

@@ -1,0 +1,226 @@
+"""Linear Combination of Unitaries machinery and block-encoding circuits.
+
+An :class:`LCUDecomposition` is a list of ``(coefficient, circuit)`` pairs
+whose weighted sum equals a target operator.  :func:`block_encoding` turns any
+such decomposition into a PREPARE–SELECT–PREPARE† circuit whose top-left block
+(ancillas in ``|0⟩``) equals the target divided by the one-norm λ of the
+coefficients — the standard definition of a block encoding the paper's
+Section IV plugs its six-unitary term decompositions into.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import UnitaryGate
+from repro.circuits.unitary import circuit_unitary
+from repro.exceptions import BlockEncodingError
+from repro.utils.linalg import spectral_norm_diff
+
+
+@dataclass(frozen=True)
+class LCUTerm:
+    """One unitary of an LCU with its (complex) coefficient."""
+
+    coefficient: complex
+    circuit: QuantumCircuit
+    label: str = "U"
+
+
+@dataclass
+class LCUDecomposition:
+    """A target operator written as ``Σ_i α_i U_i``."""
+
+    num_qubits: int
+    terms: list[LCUTerm] = field(default_factory=list)
+
+    def add(self, coefficient: complex, circuit: QuantumCircuit, label: str = "U") -> None:
+        if circuit.num_qubits != self.num_qubits:
+            raise BlockEncodingError(
+                f"unitary acts on {circuit.num_qubits} qubits, expected {self.num_qubits}"
+            )
+        if abs(coefficient) > 1e-15:
+            self.terms.append(LCUTerm(complex(coefficient), circuit, label))
+
+    @property
+    def num_unitaries(self) -> int:
+        return len(self.terms)
+
+    def one_norm(self) -> float:
+        """λ = Σ |α_i| — the sub-normalisation of the resulting block encoding."""
+        return float(sum(abs(t.coefficient) for t in self.terms))
+
+    def matrix(self) -> np.ndarray:
+        """Dense ``Σ_i α_i U_i`` (for verification)."""
+        dim = 1 << self.num_qubits
+        out = np.zeros((dim, dim), dtype=complex)
+        for term in self.terms:
+            out = out + term.coefficient * circuit_unitary(term.circuit)
+        return out
+
+    def reconstruction_error(self, target: np.ndarray) -> float:
+        """Spectral-norm distance between ``Σ α_i U_i`` and a target matrix."""
+        return spectral_norm_diff(self.matrix(), np.asarray(target, dtype=complex))
+
+
+# ---------------------------------------------------------------------------
+# PREPARE
+# ---------------------------------------------------------------------------
+
+
+def prepare_circuit(amplitudes: Sequence[float], num_qubits: int) -> QuantumCircuit:
+    """State-preparation circuit mapping ``|0…0⟩`` to ``Σ_i a_i |i⟩ / ‖a‖``.
+
+    ``amplitudes`` are (non-negative) *amplitudes*, not probabilities; the
+    block-encoding caller passes ``√(α_i/λ)``.  Implemented as a dense unitary
+    completion of the target column; adequate for the small ancilla registers
+    of term block encodings (⌈log₂ 6⌉ = 3 ancillas at most for a single term).
+    """
+    dim = 1 << num_qubits
+    target = np.zeros(dim, dtype=complex)
+    amps = np.asarray(amplitudes, dtype=float)
+    if amps.ndim != 1 or len(amps) > dim:
+        raise BlockEncodingError("invalid amplitude vector for the PREPARE circuit")
+    if np.any(amps < -1e-12):
+        raise BlockEncodingError("PREPARE amplitudes must be non-negative")
+    norm = float(np.linalg.norm(amps))
+    if norm < 1e-15:
+        raise BlockEncodingError("cannot prepare the zero vector")
+    target[: len(amps)] = amps / norm
+    unitary = _unitary_with_first_column(target)
+    circuit = QuantumCircuit(num_qubits, "prepare")
+    circuit.unitary(unitary, tuple(range(num_qubits)), label="prepare")
+    return circuit
+
+
+def _unitary_with_first_column(column: np.ndarray) -> np.ndarray:
+    """A unitary whose first column is the given normalised vector."""
+    dim = len(column)
+    basis = np.eye(dim, dtype=complex)
+    basis[:, 0] = column
+    # Gram-Schmidt via QR; fix the phase so the first column is exactly `column`.
+    q, r = np.linalg.qr(basis)
+    phase = r[0, 0] / abs(r[0, 0]) if abs(r[0, 0]) > 1e-15 else 1.0
+    q[:, 0] = q[:, 0] * phase
+    if not np.allclose(q[:, 0], column, atol=1e-9):
+        raise BlockEncodingError("failed to complete the PREPARE unitary")
+    return q
+
+
+# ---------------------------------------------------------------------------
+# SELECT and the full block encoding
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BlockEncoding:
+    """A block-encoding circuit with its metadata.
+
+    ``circuit`` acts on ``num_ancillas + num_system`` qubits, the ancillas
+    being the most significant (first) qubits; when the ancillas start and end
+    in ``|0…0⟩``, the system register undergoes ``target / scale``.
+    """
+
+    circuit: QuantumCircuit
+    num_ancillas: int
+    num_system: int
+    scale: float
+
+    def encoded_block(self) -> np.ndarray:
+        """Top-left system block of the full unitary, multiplied by ``scale``."""
+        full = circuit_unitary(self.circuit)
+        dim_sys = 1 << self.num_system
+        block = full[:dim_sys, :dim_sys]
+        return self.scale * block
+
+    def verification_error(self, target: np.ndarray) -> float:
+        """Spectral-norm distance between the encoded block and a target matrix."""
+        return spectral_norm_diff(self.encoded_block(), np.asarray(target, dtype=complex))
+
+
+def select_circuit(decomposition: LCUDecomposition, num_ancillas: int) -> QuantumCircuit:
+    """SELECT = Π_i |i⟩⟨i| ⊗ U_i over the ancilla register (ancillas first)."""
+    total = num_ancillas + decomposition.num_qubits
+    select = QuantumCircuit(total, "select")
+    for index, term in enumerate(decomposition.terms):
+        controlled = term.circuit.controlled(num_ancillas, ctrl_state=index)
+        select.compose(controlled, qubits=range(total))
+    return select
+
+
+def block_encoding(decomposition: LCUDecomposition) -> BlockEncoding:
+    """PREPARE–SELECT–PREPARE† block encoding of an LCU decomposition.
+
+    Complex coefficient phases are absorbed into the unitaries so the PREPARE
+    amplitudes stay real and non-negative.
+    """
+    if decomposition.num_unitaries == 0:
+        raise BlockEncodingError("cannot block-encode an empty decomposition")
+
+    # Absorb phases into the unitaries.
+    absorbed = LCUDecomposition(decomposition.num_qubits)
+    for term in decomposition.terms:
+        coeff = term.coefficient
+        magnitude = abs(coeff)
+        phase = cmath.phase(coeff)
+        circuit = term.circuit.copy()
+        circuit.global_phase += phase
+        absorbed.add(magnitude, circuit, term.label)
+
+    num_ancillas = max(1, math.ceil(math.log2(absorbed.num_unitaries)))
+    lam = absorbed.one_norm()
+    amplitudes = [math.sqrt(abs(t.coefficient) / lam) for t in absorbed.terms]
+
+    prep = prepare_circuit(amplitudes, num_ancillas)
+    total = num_ancillas + decomposition.num_qubits
+
+    circuit = QuantumCircuit(total, "block-encoding")
+    circuit.compose(prep, qubits=range(num_ancillas))
+    circuit.compose(select_circuit(absorbed, num_ancillas), qubits=range(total))
+    circuit.compose(prep.inverse(), qubits=range(num_ancillas))
+
+    return BlockEncoding(
+        circuit=circuit,
+        num_ancillas=num_ancillas,
+        num_system=decomposition.num_qubits,
+        scale=lam,
+    )
+
+
+def pauli_lcu_decomposition(operator, num_qubits: int | None = None) -> LCUDecomposition:
+    """LCU decomposition of a Pauli operator (one unitary per string).
+
+    The usual-strategy counterpart of the paper's six-unitary term
+    decomposition: the number of unitaries equals the number of Pauli strings.
+    """
+    from repro.operators.pauli import PauliOperator
+
+    if not isinstance(operator, PauliOperator):
+        raise BlockEncodingError("expected a PauliOperator")
+    n = num_qubits if num_qubits is not None else operator.num_qubits
+    decomposition = LCUDecomposition(n)
+    for string, coeff in operator.items():
+        circuit = QuantumCircuit(n, f"pauli-{string}")
+        expanded = string.expand(n)
+        for qubit, label in enumerate(expanded.labels):
+            if label == "X":
+                circuit.x(qubit)
+            elif label == "Y":
+                circuit.y(qubit)
+            elif label == "Z":
+                circuit.z(qubit)
+        decomposition.add(coeff, circuit, label=str(string))
+    return decomposition
+
+
+def unitary_lcu_term(matrix: np.ndarray, num_qubits: int, label: str = "U") -> QuantumCircuit:
+    """Wrap a dense unitary as a circuit for use in an LCU decomposition."""
+    circuit = QuantumCircuit(num_qubits, label)
+    circuit.append(UnitaryGate(matrix, label=label), tuple(range(num_qubits)))
+    return circuit

@@ -1,0 +1,168 @@
+"""Quantum Phase Estimation on top of the direct Hamiltonian simulation.
+
+QPE is one of the routines the paper lists as a consumer of Hamiltonian
+simulation (Section I), and the "origin of the direct strategy idea"
+(Section V-A.1) is precisely a QPE-like circuit reading the cost values of a
+HUBO problem whose phase separator was built in the boolean formalism.  This
+module provides:
+
+* :func:`qft_circuit` — the quantum Fourier transform (and its inverse);
+* :func:`phase_estimation_circuit` — textbook QPE for an arbitrary unitary
+  supplied as a circuit (controlled through
+  :meth:`~repro.circuits.circuit.QuantumCircuit.controlled`);
+* :func:`hamiltonian_phase_estimation` — QPE of ``e^{-i t H}`` where every
+  power is a direct Trotter step (exact for commuting/diagonal Hamiltonians);
+* :func:`estimate_eigenvalue` — classical post-processing of the measured
+  register into an eigenvalue estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.statevector import Statevector
+from repro.core.direct_evolution import EvolutionOptions
+from repro.core.trotter import direct_hamiltonian_simulation
+from repro.exceptions import CircuitError
+from repro.operators.hamiltonian import Hamiltonian
+
+
+def qft_circuit(num_qubits: int, *, inverse: bool = False, swaps: bool = True) -> QuantumCircuit:
+    """Quantum Fourier transform on ``num_qubits`` qubits (MSB-first register)."""
+    if num_qubits < 1:
+        raise CircuitError("the QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, "iqft" if inverse else "qft")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control_offset, control in enumerate(range(target + 1, num_qubits), start=2):
+            circuit.cp(2.0 * math.pi / (1 << control_offset), control, target)
+    if swaps:
+        for q in range(num_qubits // 2):
+            circuit.swap(q, num_qubits - 1 - q)
+    return circuit.inverse() if inverse else circuit
+
+
+def phase_estimation_circuit(
+    unitary: QuantumCircuit,
+    num_eval_qubits: int,
+    *,
+    state_preparation: QuantumCircuit | None = None,
+) -> QuantumCircuit:
+    """Textbook QPE: evaluation register (qubits ``0..m-1``) + system register.
+
+    The ``unitary`` circuit acts on the system register; controlled powers
+    ``U^{2^k}`` are built by repeating its controlled version.  The phase
+    ``φ ∈ [0, 1)`` of an eigenvalue ``e^{2π i φ}`` appears (MSB first) in the
+    evaluation register after the inverse QFT.
+    """
+    if num_eval_qubits < 1:
+        raise CircuitError("QPE needs at least one evaluation qubit")
+    num_system = unitary.num_qubits
+    total = num_eval_qubits + num_system
+    circuit = QuantumCircuit(total, f"qpe({num_eval_qubits})")
+
+    if state_preparation is not None:
+        if state_preparation.num_qubits != num_system:
+            raise CircuitError("state-preparation circuit width does not match the unitary")
+        circuit.compose(state_preparation, qubits=range(num_eval_qubits, total))
+
+    for q in range(num_eval_qubits):
+        circuit.h(q)
+
+    system_qubits = tuple(range(num_eval_qubits, total))
+    for index in range(num_eval_qubits):
+        # Evaluation qubit `index` (MSB first) controls U^{2^(m-1-index)}.
+        power = 1 << (num_eval_qubits - 1 - index)
+        controlled = unitary.controlled(1)
+        for _ in range(power):
+            circuit.compose(controlled, qubits=(index,) + system_qubits)
+
+    circuit.compose(qft_circuit(num_eval_qubits, inverse=True), qubits=range(num_eval_qubits))
+    return circuit
+
+
+def hamiltonian_phase_estimation(
+    hamiltonian: Hamiltonian,
+    time: float,
+    num_eval_qubits: int,
+    *,
+    state_preparation: QuantumCircuit | None = None,
+    trotter_steps: int = 1,
+    options: EvolutionOptions | None = None,
+) -> QuantumCircuit:
+    """QPE of ``e^{-i·time·H}`` with the direct-strategy evolution as the unitary."""
+    unitary = direct_hamiltonian_simulation(
+        hamiltonian, time, steps=trotter_steps, order=1, options=options
+    )
+    return phase_estimation_circuit(
+        unitary, num_eval_qubits, state_preparation=state_preparation
+    )
+
+
+def readout_distribution(
+    circuit: QuantumCircuit, num_eval_qubits: int
+) -> dict[int, float]:
+    """Probability of each evaluation-register outcome (system traced out)."""
+    state = Statevector.zero_state(circuit.num_qubits).evolve(circuit)
+    probabilities = state.probabilities()
+    num_system = circuit.num_qubits - num_eval_qubits
+    collapsed: dict[int, float] = {}
+    for index, p in enumerate(probabilities):
+        if p < 1e-15:
+            continue
+        eval_outcome = index >> num_system
+        collapsed[eval_outcome] = collapsed.get(eval_outcome, 0.0) + float(p)
+    return collapsed
+
+
+def estimate_eigenvalue(
+    circuit: QuantumCircuit, num_eval_qubits: int, time: float
+) -> tuple[float, float]:
+    """Most likely eigenvalue estimate and its probability.
+
+    The measured integer ``y`` encodes the phase ``φ = y / 2^m`` of
+    ``e^{-i t E} = e^{2π i φ}``, so ``E = -2π φ / t`` (reported in the
+    principal branch ``(-π/t, π/t]``).
+    """
+    distribution = readout_distribution(circuit, num_eval_qubits)
+    outcome, probability = max(distribution.items(), key=lambda item: item[1])
+    phase = outcome / (1 << num_eval_qubits)
+    # e^{-i t E} = e^{2π i φ}  =>  E = -2π φ / t  (mod 2π/t)
+    energy = -2.0 * math.pi * phase / time
+    period = 2.0 * math.pi / abs(time)
+    while energy <= -period / 2.0:
+        energy += period
+    while energy > period / 2.0:
+        energy -= period
+    return energy, probability
+
+
+def eigenvalue_from_state(
+    hamiltonian: Hamiltonian,
+    eigenstate_index: int,
+    num_eval_qubits: int,
+    *,
+    time: float | None = None,
+) -> tuple[float, float]:
+    """Convenience wrapper: QPE of a diagonal Hamiltonian on a basis eigenstate.
+
+    Used by the HUBO application to read cost values off the phase-separator
+    evolution (the Grover-Adaptive-Search-style circuit the paper cites as the
+    origin of the direct strategy).  ``time`` defaults to a value that maps the
+    spectral range onto the available phase window.
+    """
+    if time is None:
+        norm = hamiltonian.one_norm()
+        time = math.pi / max(norm, 1e-12)
+    preparation = QuantumCircuit(hamiltonian.num_qubits, "basis-state")
+    for qubit in range(hamiltonian.num_qubits):
+        if (eigenstate_index >> (hamiltonian.num_qubits - 1 - qubit)) & 1:
+            preparation.x(qubit)
+    circuit = hamiltonian_phase_estimation(
+        hamiltonian, time, num_eval_qubits, state_preparation=preparation
+    )
+    return estimate_eigenvalue(circuit, num_eval_qubits, time)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised on purpose by the library derives from :class:`ReproError`
+so that downstream users can catch library errors without catching unrelated
+``ValueError``/``TypeError`` raised by NumPy or SciPy.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid gate applications."""
+
+
+class GateError(CircuitError):
+    """Raised when a gate is constructed with invalid parameters or targets."""
+
+
+class SimulationError(ReproError):
+    """Raised when a statevector / unitary simulation cannot be performed."""
+
+
+class OperatorError(ReproError):
+    """Raised for malformed operators (SCB terms, Pauli strings, Hamiltonians)."""
+
+
+class ConversionError(OperatorError):
+    """Raised when an operator cannot be converted between formalisms."""
+
+
+class DecompositionError(ReproError):
+    """Raised when a matrix/operator decomposition fails or is inconsistent."""
+
+
+class BlockEncodingError(ReproError):
+    """Raised when a block encoding cannot be constructed or verified."""
+
+
+class TrotterError(ReproError):
+    """Raised for invalid product-formula specifications."""
+
+
+class ProblemError(ReproError):
+    """Raised for malformed application-level problems (HUBO, chemistry, PDE)."""

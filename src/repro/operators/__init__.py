@@ -1,0 +1,82 @@
+"""Operator substrate: Single Component Basis terms, Pauli operators, conversions."""
+
+from repro.operators.algebra import (
+    anticommutator,
+    cayley_table,
+    commutator,
+    simplify_to_single_operator,
+    single_qubit_product,
+)
+from repro.operators.conversion import (
+    conversion_is_exact,
+    formalism_switch_term_count,
+    hermitian_pair_to_pauli,
+    number_term_to_z_strings,
+    pauli_operator_to_scb,
+    pauli_string_to_scb,
+    pauli_term_count,
+    scb_term_to_pauli,
+    scb_terms_to_pauli,
+    z_string_to_number_terms,
+)
+from repro.operators.dilation import (
+    dilate_hamiltonian,
+    dilate_matrix,
+    dilate_term,
+    dilation_term_counts,
+    pauli_dilation_from_operator,
+)
+from repro.operators.hamiltonian import Hamiltonian, HermitianFragment, hamiltonian_from_terms
+from repro.operators.matrix_decomposition import (
+    pauli_decompose_matrix,
+    pauli_reconstruction_error,
+    scb_decompose_matrix,
+    scb_reconstruction_error,
+    single_component_transition,
+)
+from repro.operators.pauli import PauliOperator, PauliString
+from repro.operators.scb_term import SCBTerm
+from repro.operators.single_component import (
+    ALL_SCB_OPERATORS,
+    Family,
+    SCBOperator,
+    pauli_matrix,
+)
+
+__all__ = [
+    "anticommutator",
+    "cayley_table",
+    "commutator",
+    "simplify_to_single_operator",
+    "single_qubit_product",
+    "conversion_is_exact",
+    "formalism_switch_term_count",
+    "hermitian_pair_to_pauli",
+    "number_term_to_z_strings",
+    "pauli_operator_to_scb",
+    "pauli_string_to_scb",
+    "pauli_term_count",
+    "scb_term_to_pauli",
+    "scb_terms_to_pauli",
+    "z_string_to_number_terms",
+    "dilate_hamiltonian",
+    "dilate_matrix",
+    "dilate_term",
+    "dilation_term_counts",
+    "pauli_dilation_from_operator",
+    "Hamiltonian",
+    "HermitianFragment",
+    "hamiltonian_from_terms",
+    "pauli_decompose_matrix",
+    "pauli_reconstruction_error",
+    "scb_decompose_matrix",
+    "scb_reconstruction_error",
+    "single_component_transition",
+    "PauliOperator",
+    "PauliString",
+    "SCBTerm",
+    "ALL_SCB_OPERATORS",
+    "Family",
+    "SCBOperator",
+    "pauli_matrix",
+]

@@ -1,0 +1,113 @@
+"""Product algebra, commutators and anticommutators of the SCB ⊗ Pauli set.
+
+This module reproduces Table IV (the Cayley table of the tensor-product
+algebra) and Table V (commutation relations) of the paper's appendix.  The
+tables are *derived from the matrices* at import time rather than hard-coded,
+which both guarantees consistency with :class:`SCBOperator` and gives the test
+suite an independent target to compare the paper's printed tables against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import OperatorError
+from repro.operators.single_component import ALL_SCB_OPERATORS, SCBOperator
+
+
+def _match_basis(matrix: np.ndarray) -> tuple[complex, SCBOperator | None]:
+    """Express ``matrix`` as ``coeff · B`` with ``B`` a basis operator, or (0, None)."""
+    if np.allclose(matrix, 0.0, atol=1e-12):
+        return 0.0, None
+    for op in ALL_SCB_OPERATORS:
+        base = op.matrix
+        # Find the scaling factor using the largest entry of the candidate.
+        idx = np.unravel_index(np.argmax(np.abs(base)), base.shape)
+        if abs(base[idx]) < 1e-12:
+            continue
+        coeff = matrix[idx] / base[idx]
+        if abs(coeff) > 1e-12 and np.allclose(matrix, coeff * base, atol=1e-12):
+            return complex(coeff), op
+    raise OperatorError("matrix is not proportional to a Single Component Basis operator")
+
+
+# Precomputed Cayley table: (a, b) -> (coeff, op or None)
+_PRODUCT_TABLE: dict[tuple[SCBOperator, SCBOperator], tuple[complex, SCBOperator | None]] = {}
+for _a in ALL_SCB_OPERATORS:
+    for _b in ALL_SCB_OPERATORS:
+        _PRODUCT_TABLE[(_a, _b)] = _match_basis(_a.matrix @ _b.matrix)
+
+
+def single_qubit_product(
+    a: SCBOperator, b: SCBOperator
+) -> tuple[complex, SCBOperator | None]:
+    """Product ``a · b`` as ``(coefficient, operator)``; ``(0, None)`` if it vanishes.
+
+    Every product of two operators of the Single Component Basis (plus Pauli
+    and identity) is again proportional to a basis operator — this closure is
+    what Table IV of the paper tabulates.
+    """
+    return _PRODUCT_TABLE[(a, b)]
+
+
+def cayley_table() -> dict[tuple[str, str], tuple[complex, str | None]]:
+    """The full Cayley table keyed by operator labels (Table IV)."""
+    return {
+        (a.label, b.label): (coeff, op.label if op is not None else None)
+        for (a, b), (coeff, op) in _PRODUCT_TABLE.items()
+    }
+
+
+def commutator(a: SCBOperator, b: SCBOperator) -> dict[SCBOperator, complex]:
+    """``[a, b] = ab - ba`` expressed on the Single Component Basis.
+
+    The result is returned as a dictionary ``{operator: coefficient}`` because
+    a commutator of basis elements is not always proportional to a single
+    basis element (e.g. ``[σ, σ†] = n - m = -Z``); the decomposition used here
+    is onto ``{m, n, σ, σ†}`` which spans all 2×2 matrices.
+    """
+    return _decompose_2x2(a.matrix @ b.matrix - b.matrix @ a.matrix)
+
+
+def anticommutator(a: SCBOperator, b: SCBOperator) -> dict[SCBOperator, complex]:
+    """``{a, b} = ab + ba`` expressed on the Single Component Basis."""
+    return _decompose_2x2(a.matrix @ b.matrix + b.matrix @ a.matrix)
+
+
+def _decompose_2x2(matrix: np.ndarray) -> dict[SCBOperator, complex]:
+    """Exact expansion of a 2×2 matrix on ``{m, n, σ, σ†}`` (Table II logic).
+
+    ``m`` carries entry (0,0), ``n`` entry (1,1), ``σ`` entry (1,0) and ``σ†``
+    entry (0,1), so the expansion is simply a relabelling of the matrix
+    entries.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    out: dict[SCBOperator, complex] = {}
+    entries = {
+        SCBOperator.M: matrix[0, 0],
+        SCBOperator.SIGMA_DAG: matrix[0, 1],
+        SCBOperator.SIGMA: matrix[1, 0],
+        SCBOperator.N: matrix[1, 1],
+    }
+    for op, value in entries.items():
+        if abs(value) > 1e-12:
+            out[op] = complex(value)
+    return out
+
+
+def simplify_to_single_operator(
+    expansion: dict[SCBOperator, complex]
+) -> tuple[complex, SCBOperator | None] | None:
+    """If an expansion is proportional to a single basis operator, return it.
+
+    Used when cross-checking the paper's Table V entries such as
+    ``[σ, Z] = 2σ``; returns ``None`` when the expansion genuinely needs more
+    than one basis element (e.g. ``{σ†, Y} = iI``, which is ``i·m + i·n``).
+    """
+    matrix = np.zeros((2, 2), dtype=complex)
+    for op, coeff in expansion.items():
+        matrix = matrix + coeff * op.matrix
+    try:
+        return _match_basis(matrix)
+    except OperatorError:
+        return None

@@ -1,0 +1,214 @@
+"""Hamiltonians as sums of Single Component Basis terms (Eq. 4 / Eq. 5).
+
+A :class:`Hamiltonian` stores a list of :class:`~repro.operators.scb_term.SCBTerm`
+objects.  :meth:`Hamiltonian.hermitian_fragments` gathers each non-Hermitian
+term with its Hermitian conjugate (Eq. 5) — the fragments are exactly the
+operators the direct strategy exponentiates one by one, and the unit the
+block-encoding of Section IV works with.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.exceptions import OperatorError
+from repro.operators.conversion import scb_term_to_pauli
+from repro.operators.pauli import PauliOperator
+from repro.operators.scb_term import SCBTerm
+
+
+@dataclass(frozen=True)
+class HermitianFragment:
+    """A gathered Hermitian fragment ``γ·A + h.c.`` (or a Hermitian term itself).
+
+    Attributes
+    ----------
+    term:
+        The representative SCB term ``γ·A``.
+    include_hc:
+        Whether the Hermitian conjugate must be added to form the fragment.
+        ``False`` for terms that are already Hermitian (no transition factor
+        and a real coefficient), in which case the fragment is the term alone.
+    """
+
+    term: SCBTerm
+    include_hc: bool
+
+    @property
+    def num_qubits(self) -> int:
+        return self.term.num_qubits
+
+    def matrix(self, sparse: bool = False):
+        """Matrix of the fragment."""
+        if self.include_hc:
+            return self.term.hermitian_matrix(sparse=sparse)
+        return self.term.matrix(sparse=sparse)
+
+    def to_pauli(self) -> PauliOperator:
+        """Pauli expansion of the fragment (for the usual-strategy baseline)."""
+        pauli = scb_term_to_pauli(self.term)
+        if self.include_hc:
+            pauli = pauli + scb_term_to_pauli(self.term.dagger())
+        return pauli.simplify()
+
+
+class Hamiltonian:
+    """A sum of SCB terms, the native problem description of the direct strategy."""
+
+    def __init__(self, num_qubits: int, terms: Iterable[SCBTerm] = ()):
+        if num_qubits < 0:
+            raise OperatorError("num_qubits must be non-negative")
+        self.num_qubits = int(num_qubits)
+        self._terms: list[SCBTerm] = []
+        for term in terms:
+            self.add_term(term)
+
+    # ------------------------------------------------------------------ basics
+
+    def add_term(self, term: SCBTerm) -> "Hamiltonian":
+        if term.num_qubits != self.num_qubits:
+            raise OperatorError(
+                f"term acts on {term.num_qubits} qubits, Hamiltonian has {self.num_qubits}"
+            )
+        if abs(term.coefficient) > 1e-15:
+            self._terms.append(term)
+        return self
+
+    def add_label(self, label: str, coefficient: complex = 1.0) -> "Hamiltonian":
+        """Convenience: add a term from its character label."""
+        return self.add_term(SCBTerm.from_label(label, coefficient))
+
+    def add_sparse(self, ops: dict[int, str], coefficient: complex = 1.0) -> "Hamiltonian":
+        """Convenience: add a term from a ``{qubit: operator-label}`` mapping."""
+        return self.add_term(SCBTerm.from_sparse_label(ops, self.num_qubits, coefficient))
+
+    @property
+    def terms(self) -> tuple[SCBTerm, ...]:
+        return tuple(self._terms)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[SCBTerm]:
+        return iter(self._terms)
+
+    def __add__(self, other: "Hamiltonian") -> "Hamiltonian":
+        if other.num_qubits != self.num_qubits:
+            raise OperatorError("cannot add Hamiltonians on different numbers of qubits")
+        return Hamiltonian(self.num_qubits, list(self._terms) + list(other._terms))
+
+    def __mul__(self, scalar: complex) -> "Hamiltonian":
+        return Hamiltonian(self.num_qubits, [t * scalar for t in self._terms])
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Hamiltonian({self.num_qubits} qubits, {self.num_terms} terms)"
+
+    def copy(self) -> "Hamiltonian":
+        return Hamiltonian(self.num_qubits, list(self._terms))
+
+    # ----------------------------------------------------------- fragmentation
+
+    def hermitian_fragments(self, *, auto_hc: bool = True) -> list[HermitianFragment]:
+        """Gather terms with their Hermitian conjugates (Eq. 5).
+
+        With ``auto_hc`` (the default), a term containing transition operators
+        or a complex coefficient is paired with its ``+ h.c.`` partner; terms
+        that are already Hermitian become fragments on their own.  The list of
+        fragments is what the direct strategy exponentiates term by term.
+        """
+        fragments = []
+        for term in self._terms:
+            include_hc = auto_hc and not term.is_hermitian
+            fragments.append(HermitianFragment(term, include_hc))
+        return fragments
+
+    def is_hermitian_as_written(self) -> bool:
+        """Whether the plain sum of terms (without adding h.c.) is Hermitian."""
+        mat = self.matrix(sparse=True, include_hc=False)
+        diff = mat - mat.conj().T
+        return bool(abs(diff).max() < 1e-10) if diff.nnz else True
+
+    # --------------------------------------------------------------- matrices
+
+    def matrix(self, sparse: bool = False, include_hc: bool = True):
+        """Matrix of the Hamiltonian.
+
+        With ``include_hc`` (default) every non-Hermitian term is gathered with
+        its Hermitian conjugate, matching :meth:`hermitian_fragments`; with
+        ``include_hc=False`` the terms are summed exactly as written.
+        """
+        dim = 1 << self.num_qubits
+        result = sp.csr_matrix((dim, dim), dtype=complex)
+        for fragment in self.hermitian_fragments(auto_hc=include_hc):
+            result = result + fragment.matrix(sparse=True)
+        return result if sparse else np.asarray(result.todense())
+
+    def to_pauli(self, include_hc: bool = True) -> PauliOperator:
+        """Pauli-string expansion of the full Hamiltonian (the usual strategy)."""
+        out = PauliOperator()
+        for fragment in self.hermitian_fragments(auto_hc=include_hc):
+            out = out + fragment.to_pauli()
+        return out.simplify()
+
+    # ------------------------------------------------------------------ physics
+
+    def ground_state(self, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Lowest ``k`` eigenvalues and eigenvectors of the (Hermitian) matrix."""
+        mat = self.matrix(sparse=True)
+        dim = mat.shape[0]
+        if dim <= 64 or k >= dim - 1:
+            dense = np.asarray(mat.todense())
+            vals, vecs = np.linalg.eigh(dense)
+            return vals[:k], vecs[:, :k]
+        vals, vecs = spla.eigsh(mat.asfptype(), k=k, which="SA")
+        order = np.argsort(vals)
+        return vals[order], vecs[:, order]
+
+    def expectation_value(self, state: np.ndarray) -> float:
+        """⟨ψ|H|ψ⟩ for a statevector ``ψ``."""
+        state = np.asarray(state, dtype=complex).reshape(-1)
+        mat = self.matrix(sparse=True)
+        return float(np.real(np.vdot(state, mat @ state)))
+
+    def evolve_exact(self, state: np.ndarray, time: float) -> np.ndarray:
+        """Exact time evolution ``e^{-i t H} |ψ⟩`` via sparse ``expm_multiply``.
+
+        This is the reference every circuit construction is verified against;
+        it scales to registers far beyond the dense-unitary limit (e.g. the
+        15-qubit example of Fig. 2).
+        """
+        state = np.asarray(state, dtype=complex).reshape(-1)
+        mat = self.matrix(sparse=True).tocsc()
+        return spla.expm_multiply(-1j * time * mat, state)
+
+    # -------------------------------------------------------------- statistics
+
+    def term_order_histogram(self) -> dict[int, int]:
+        """Number of terms per order (non-identity factor count)."""
+        hist: dict[int, int] = {}
+        for term in self._terms:
+            hist[term.order] = hist.get(term.order, 0) + 1
+        return hist
+
+    def one_norm(self) -> float:
+        """Sum of absolute term coefficients (h.c. partners counted once)."""
+        return float(sum(abs(t.coefficient) for t in self._terms))
+
+
+def hamiltonian_from_terms(terms: Sequence[SCBTerm]) -> Hamiltonian:
+    """Build a Hamiltonian, inferring the register width from the terms."""
+    if not terms:
+        raise OperatorError("need at least one term")
+    num_qubits = terms[0].num_qubits
+    return Hamiltonian(num_qubits, terms)

@@ -1,0 +1,57 @@
+"""Small shared utilities: bit manipulation, linear-algebra helpers, validation."""
+
+from repro.utils.bits import (
+    bit_parity,
+    bits_to_int,
+    bitstring_to_int,
+    complement_bits,
+    hamming_weight,
+    int_to_bits,
+    int_to_bitstring,
+    iter_bitstrings,
+)
+from repro.utils.linalg import (
+    dagger,
+    hilbert_schmidt_inner,
+    is_hermitian,
+    is_identity,
+    is_unitary,
+    kron_all,
+    matrices_close,
+    operator_norm,
+    phase_aligned_distance,
+    random_statevector,
+    spectral_norm_diff,
+)
+from repro.utils.validation import (
+    check_power_of_two,
+    check_probability_vector,
+    check_qubit_indices,
+    check_square,
+)
+
+__all__ = [
+    "bit_parity",
+    "bits_to_int",
+    "bitstring_to_int",
+    "complement_bits",
+    "hamming_weight",
+    "int_to_bits",
+    "int_to_bitstring",
+    "iter_bitstrings",
+    "dagger",
+    "hilbert_schmidt_inner",
+    "is_hermitian",
+    "is_identity",
+    "is_unitary",
+    "kron_all",
+    "matrices_close",
+    "operator_norm",
+    "phase_aligned_distance",
+    "random_statevector",
+    "spectral_norm_diff",
+    "check_power_of_two",
+    "check_probability_vector",
+    "check_qubit_indices",
+    "check_square",
+]

@@ -1,0 +1,85 @@
+"""Bit-level helpers used throughout the library.
+
+The paper indexes computational-basis states as ``|bin[a]⟩`` where ``a`` is an
+integer and the binary expansion is read most-significant bit first, i.e. the
+leftmost written qubit (qubit index 0 in the paper's figures) carries the most
+significant bit.  All helpers in this module follow that convention: the bit
+list ``[b_0, b_1, ..., b_{n-1}]`` corresponds to the integer
+``sum(b_i << (n - 1 - i))``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.exceptions import ReproError
+
+
+def int_to_bits(value: int, width: int) -> tuple[int, ...]:
+    """Return the ``width`` bits of ``value``, most significant first.
+
+    Parameters
+    ----------
+    value:
+        Non-negative integer to expand.
+    width:
+        Number of bits; must be large enough to hold ``value``.
+    """
+    if value < 0:
+        raise ReproError(f"value must be non-negative, got {value}")
+    if width < 0:
+        raise ReproError(f"width must be non-negative, got {width}")
+    if value >> width:
+        raise ReproError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits` (most significant bit first)."""
+    result = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ReproError(f"bits must be 0 or 1, got {bit!r}")
+        result = (result << 1) | bit
+    return result
+
+
+def int_to_bitstring(value: int, width: int) -> str:
+    """Return ``value`` as a ``width``-character string of ``'0'``/``'1'``."""
+    return "".join(str(b) for b in int_to_bits(value, width))
+
+
+def bitstring_to_int(bitstring: str) -> int:
+    """Parse a ``'0'``/``'1'`` string (most significant bit first)."""
+    if not bitstring or any(c not in "01" for c in bitstring):
+        raise ReproError(f"invalid bitstring {bitstring!r}")
+    return int(bitstring, 2)
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits of a non-negative integer."""
+    if value < 0:
+        raise ReproError(f"value must be non-negative, got {value}")
+    return bin(value).count("1")
+
+
+def bit_parity(value: int) -> int:
+    """Parity (0 or 1) of the number of set bits of ``value``."""
+    return hamming_weight(value) & 1
+
+
+def complement_bits(value: int, width: int) -> int:
+    """Bitwise complement of ``value`` restricted to ``width`` bits.
+
+    This realises the paper's observation that the two states coupled by a
+    tensor product of transition operators are each other's one's complement.
+    """
+    if value >> width:
+        raise ReproError(f"value {value} does not fit in {width} bits")
+    return (~value) & ((1 << width) - 1)
+
+
+def iter_bitstrings(width: int) -> Iterator[tuple[int, ...]]:
+    """Iterate over every bit tuple of the given width in ascending order."""
+    for value in range(1 << width):
+        yield int_to_bits(value, width)

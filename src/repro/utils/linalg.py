@@ -1,0 +1,127 @@
+"""Dense linear-algebra helpers shared by the operator and circuit layers.
+
+These are deliberately thin wrappers around NumPy/SciPy primitives; the heavy
+lifting (statevector updates, sparse operator assembly) lives in
+:mod:`repro.circuits` and :mod:`repro.operators`.  Keeping the predicates here
+makes the numerical tolerances used across the library consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+#: Default absolute tolerance used by the equality predicates below.
+DEFAULT_ATOL = 1e-9
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Conjugate transpose of a matrix."""
+    return np.asarray(matrix).conj().T
+
+
+def is_unitary(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Whether ``matrix`` is unitary within tolerance."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return np.allclose(matrix @ dagger(matrix), identity, atol=atol) and np.allclose(
+        dagger(matrix) @ matrix, identity, atol=atol
+    )
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Whether ``matrix`` equals its conjugate transpose within tolerance."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return np.allclose(matrix, dagger(matrix), atol=atol)
+
+
+def is_identity(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Whether ``matrix`` is the identity within tolerance."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return np.allclose(matrix, np.eye(matrix.shape[0]), atol=atol)
+
+
+def matrices_close(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    """Element-wise closeness of two matrices (shape mismatch returns ``False``)."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    return np.allclose(a, b, atol=atol)
+
+
+def operator_norm(matrix: np.ndarray) -> float:
+    """Spectral (largest-singular-value) norm of a dense matrix."""
+    return float(np.linalg.norm(np.asarray(matrix, dtype=complex), ord=2))
+
+
+def spectral_norm_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """Spectral norm of the difference of two matrices."""
+    return operator_norm(np.asarray(a, dtype=complex) - np.asarray(b, dtype=complex))
+
+
+def phase_aligned_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Spectral-norm distance between two unitaries modulo a global phase.
+
+    The phase is chosen to maximise ``Re tr(a† b e^{-iφ})``, i.e. the optimal
+    global-phase alignment, so that circuits that implement the same physical
+    operation compare as equal.
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    overlap = np.trace(dagger(a) @ b)
+    if abs(overlap) < 1e-14:
+        return spectral_norm_diff(a, b)
+    phase = overlap / abs(overlap)
+    return spectral_norm_diff(a * phase, b)
+
+
+def hilbert_schmidt_inner(a: np.ndarray, b: np.ndarray) -> complex:
+    """Hilbert–Schmidt inner product ``tr(a† b)``."""
+    return complex(np.trace(dagger(np.asarray(a)) @ np.asarray(b)))
+
+
+def kron_all(matrices: Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of matrices, left to right.
+
+    The leftmost matrix acts on the most significant qubit, matching the
+    bit-ordering convention of :mod:`repro.utils.bits`.
+    """
+    result: np.ndarray | None = None
+    for matrix in matrices:
+        matrix = np.asarray(matrix, dtype=complex)
+        result = matrix if result is None else np.kron(result, matrix)
+    if result is None:
+        raise ReproError("kron_all requires at least one matrix")
+    return result
+
+
+def random_statevector(
+    num_qubits: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Haar-ish random normalized statevector on ``num_qubits`` qubits."""
+    if num_qubits < 0:
+        raise ReproError("num_qubits must be non-negative")
+    rng = rng if rng is not None else np.random.default_rng()
+    dim = 1 << num_qubits
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return vec / np.linalg.norm(vec)
+
+
+def projector(states: Sequence[int], dim: int) -> np.ndarray:
+    """Projector onto the given computational-basis states of dimension ``dim``."""
+    proj = np.zeros((dim, dim), dtype=complex)
+    for state in states:
+        if not 0 <= state < dim:
+            raise ReproError(f"state index {state} out of range for dimension {dim}")
+        proj[state, state] = 1.0
+    return proj

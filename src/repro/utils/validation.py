@@ -1,0 +1,61 @@
+"""Argument-validation helpers with library-specific exceptions."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+def check_qubit_indices(qubits: Sequence[int], num_qubits: int | None = None) -> tuple[int, ...]:
+    """Validate a collection of qubit indices.
+
+    Ensures the indices are non-negative integers without duplicates and,
+    when ``num_qubits`` is given, within range.  Returns the indices as a
+    tuple for downstream immutability.
+    """
+    out = []
+    seen: set[int] = set()
+    for q in qubits:
+        if not isinstance(q, (int, np.integer)):
+            raise ReproError(f"qubit index must be an integer, got {q!r}")
+        q = int(q)
+        if q < 0:
+            raise ReproError(f"qubit index must be non-negative, got {q}")
+        if num_qubits is not None and q >= num_qubits:
+            raise ReproError(f"qubit index {q} out of range for {num_qubits} qubits")
+        if q in seen:
+            raise ReproError(f"duplicate qubit index {q}")
+        seen.add(q)
+        out.append(q)
+    return tuple(out)
+
+
+def check_square(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Ensure ``matrix`` is a square 2-D array and return it as complex ndarray."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ReproError(f"{name} must be square, got shape {matrix.shape}")
+    return matrix
+
+
+def check_power_of_two(value: int, name: str = "value") -> int:
+    """Ensure ``value`` is a positive power of two and return its log2."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ReproError(f"{name} must be a positive power of two, got {value}")
+    return int(value).bit_length() - 1
+
+
+def check_probability_vector(probs: np.ndarray, atol: float = 1e-9) -> np.ndarray:
+    """Ensure ``probs`` is a valid probability vector (non-negative, sums to 1)."""
+    probs = np.asarray(probs, dtype=float)
+    if probs.ndim != 1:
+        raise ReproError(f"probability vector must be 1-D, got shape {probs.shape}")
+    if np.any(probs < -atol):
+        raise ReproError("probability vector has negative entries")
+    total = float(probs.sum())
+    if abs(total - 1.0) > 1e-6:
+        raise ReproError(f"probability vector sums to {total}, expected 1")
+    return np.clip(probs, 0.0, None)

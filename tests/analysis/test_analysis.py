@@ -1,0 +1,109 @@
+"""Unit tests for the analysis helpers (gate counts, Trotter error, comparisons)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    StrategyComparison,
+    compare_circuits,
+    compare_strategies,
+    gate_count_report,
+    trotter_error_curve,
+    trotter_error_norm,
+    trotter_error_state,
+)
+from repro.analysis.gate_counts import format_comparison_table
+from repro.circuits import QuantumCircuit
+from repro.core import direct_hamiltonian_simulation
+from repro.operators import Hamiltonian
+
+
+@pytest.fixture
+def hamiltonian() -> Hamiltonian:
+    ham = Hamiltonian(3)
+    ham.add_label("nsI", 0.8)
+    ham.add_label("IZZ", 0.3)
+    ham.add_label("Xsd", 0.5)
+    return ham
+
+
+class TestGateCountReports:
+    def test_report_fields(self):
+        qc = QuantumCircuit(3, "probe")
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.mcx([0, 1], 2)
+        report = gate_count_report(qc)
+        assert report.size == 3
+        assert report.two_qubit_gates == 1
+        assert report.multi_qubit_gates == 1
+        assert report.num_qubits == 3
+
+    def test_transpiled_report_removes_composites(self):
+        qc = QuantumCircuit(3)
+        qc.mcx([0, 1], 2)
+        report = gate_count_report(qc, transpiled=True)
+        assert report.multi_qubit_gates == 0
+        assert report.two_qubit_gates > 0
+
+    def test_compare_circuits_and_table(self):
+        circuits = {"a": QuantumCircuit(2), "b": QuantumCircuit(2)}
+        circuits["a"].cx(0, 1)
+        circuits["b"].h(0)
+        reports = compare_circuits(circuits)
+        table = format_comparison_table(reports)
+        assert "a" in table and "b" in table
+        assert reports["a"].two_qubit_gates == 1
+
+    def test_summary_string(self):
+        report = gate_count_report(QuantumCircuit(1, "empty"))
+        assert "empty" in report.summary()
+
+
+class TestTrotterErrorMeasures:
+    def test_norm_error_zero_for_exact_circuit(self, hamiltonian):
+        # A fine second-order circuit should be very close to exact.
+        circuit = direct_hamiltonian_simulation(hamiltonian, 0.2, steps=8, order=2)
+        assert trotter_error_norm(hamiltonian, circuit, 0.2) < 1e-3
+
+    def test_state_error_close_to_norm_error(self, hamiltonian):
+        circuit = direct_hamiltonian_simulation(hamiltonian, 0.3, steps=1)
+        norm_error = trotter_error_norm(hamiltonian, circuit, 0.3)
+        state_error = trotter_error_state(hamiltonian, circuit, 0.3, rng=0)
+        assert state_error <= norm_error + 1e-9
+
+    def test_error_curve_decreasing(self, hamiltonian):
+        curve = trotter_error_curve(
+            hamiltonian,
+            lambda steps: direct_hamiltonian_simulation(hamiltonian, 0.4, steps=steps),
+            0.4,
+            [1, 2, 4],
+        )
+        errors = [e for _, e in curve]
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestStrategyComparison:
+    def test_comparison_fields(self, hamiltonian):
+        comparison = compare_strategies(hamiltonian, 0.3)
+        assert isinstance(comparison, StrategyComparison)
+        assert comparison.direct_fragments == 3
+        assert comparison.pauli_strings >= comparison.direct_fragments
+        # The paper's rotation metric: one rotation per gathered term for the
+        # direct strategy, one per Pauli string for the usual strategy.
+        assert comparison.direct_logical_rotations == 3
+        assert comparison.pauli_logical_rotations >= comparison.direct_logical_rotations
+
+    def test_comparison_errors_finite(self, hamiltonian):
+        comparison = compare_strategies(hamiltonian, 0.3)
+        assert np.isfinite(comparison.direct_error)
+        assert np.isfinite(comparison.pauli_error)
+
+    def test_summary_contains_both_strategies(self, hamiltonian):
+        comparison = compare_strategies(hamiltonian, 0.3, compute_error=False)
+        text = comparison.summary()
+        assert "direct strategy" in text and "usual" in text
+
+    def test_skip_error_computation(self, hamiltonian):
+        comparison = compare_strategies(hamiltonian, 0.3, compute_error=False)
+        assert np.isnan(comparison.direct_error)

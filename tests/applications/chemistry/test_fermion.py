@@ -1,0 +1,76 @@
+"""Unit tests for FermionOperator."""
+
+import numpy as np
+import pytest
+
+from repro.applications.chemistry import FermionOperator, one_body_operator, two_body_operator
+from repro.exceptions import OperatorError
+
+
+class TestConstruction:
+    def test_builders(self):
+        assert FermionOperator.creation(2).num_terms == 1
+        assert FermionOperator.number(1).terms == {((1, True), (1, False)): 1.0}
+        hopping = FermionOperator.hopping(0, 2, 0.5)
+        assert hopping.num_terms == 2
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(OperatorError):
+            FermionOperator({((-1, True),): 1.0})
+
+    def test_terms_merge_and_cancel(self):
+        op = FermionOperator.one_body(0, 1, 1.0) + FermionOperator.one_body(0, 1, -1.0)
+        assert op.num_terms == 0
+
+    def test_max_orbital(self):
+        op = FermionOperator.two_body(0, 3, 5, 1)
+        assert op.max_orbital() == 5
+        assert FermionOperator().max_orbital() == -1
+
+    def test_scalar_multiplication(self):
+        op = 2.0 * FermionOperator.number(0, 1.5)
+        assert op.terms[((0, True), (0, False))] == pytest.approx(3.0)
+
+
+class TestHermiticity:
+    def test_dagger_reverses_and_conjugates(self):
+        op = FermionOperator.one_body(0, 2, 1.0 + 2.0j)
+        dag = op.dagger()
+        assert dag.terms == {((2, True), (0, False)): 1.0 - 2.0j}
+
+    def test_hopping_is_hermitian(self):
+        assert FermionOperator.hopping(0, 1, 0.7).is_hermitian()
+
+    def test_one_body_alone_not_hermitian(self):
+        assert not FermionOperator.one_body(0, 1, 0.7).is_hermitian()
+
+    def test_hermitian_part(self):
+        op = FermionOperator.one_body(0, 1, 0.5)
+        herm = op.hermitian_part()
+        assert herm.is_hermitian()
+        assert herm.num_terms == 2
+
+    def test_number_operator_hermitian(self):
+        assert FermionOperator.number(3).is_hermitian()
+
+
+class TestIntegralBuilders:
+    def test_one_body_operator_counts_nonzeros(self):
+        h1 = np.array([[1.0, 0.5], [0.5, -1.0]])
+        op = one_body_operator(h1)
+        assert op.num_terms == 4
+        assert op.is_hermitian()
+
+    def test_one_body_rejects_rectangular(self):
+        with pytest.raises(OperatorError):
+            one_body_operator(np.ones((2, 3)))
+
+    def test_two_body_operator(self):
+        h2 = np.zeros((2, 2, 2, 2))
+        h2[0, 1, 1, 0] = 0.25
+        op = two_body_operator(h2)
+        assert op.terms == {((0, True), (1, True), (1, False), (0, False)): 0.25}
+
+    def test_two_body_rejects_wrong_rank(self):
+        with pytest.raises(OperatorError):
+            two_body_operator(np.zeros((2, 2)))

@@ -1,0 +1,119 @@
+"""Unit tests for the Jordan-Wigner mapping into the Single Component Basis."""
+
+import numpy as np
+import pytest
+
+from repro.applications.chemistry import (
+    FermionOperator,
+    fermi_hubbard_chain,
+    hartree_fock_state_index,
+    jordan_wigner_pauli,
+    jordan_wigner_scb,
+    jw_ladder_term,
+    jw_product_term,
+    occupation_state_index,
+    spinless_hopping_chain,
+    total_number_operator,
+    verify_anticommutation,
+)
+from repro.exceptions import ConversionError
+
+
+class TestLadderTerms:
+    def test_jw_string_structure(self):
+        term = jw_ladder_term(2, creation=True, num_modes=4)
+        assert term.label == "ZZsI"
+        term = jw_ladder_term(2, creation=False, num_modes=4)
+        assert term.label == "ZZdI"
+
+    def test_out_of_range(self):
+        with pytest.raises(ConversionError):
+            jw_ladder_term(4, True, 4)
+
+    def test_anticommutation_relations(self):
+        assert verify_anticommutation(3)
+
+    def test_number_operator_from_product(self):
+        term = jw_product_term(((1, True), (1, False)), 1.0, 3)
+        assert term.label == "InI"
+
+    def test_vanishing_product(self):
+        # a†_1 a†_1 = 0
+        assert jw_product_term(((1, True), (1, True)), 1.0, 3) is None
+
+
+class TestOperatorMapping:
+    def test_hopping_matrix(self):
+        op = FermionOperator.hopping(0, 1, -1.0)
+        ham = jordan_wigner_scb(op, 2)
+        # The two conjugate ladder products are gathered into one SCB term...
+        assert ham.num_terms == 1
+        # ...and the (h.c.-completed) matrix is the symmetric hopping operator.
+        expected = np.zeros((4, 4))
+        expected[1, 2] = expected[2, 1] = -1.0
+        np.testing.assert_allclose(ham.matrix(), expected, atol=1e-12)
+
+    def test_long_range_hopping_has_z_string(self):
+        op = FermionOperator.one_body(0, 3, 1.0)
+        ham = jordan_wigner_scb(op, 4)
+        assert ham.num_terms == 1
+        assert "Z" in ham.terms[0].label
+
+    def test_scb_and_pauli_mappings_agree(self):
+        op = fermi_hubbard_chain(2, 1.0, 2.0)
+        ham = jordan_wigner_scb(op)
+        pauli = jordan_wigner_pauli(op)
+        np.testing.assert_allclose(
+            ham.matrix(), pauli.matrix(num_qubits=4), atol=1e-10
+        )
+
+    def test_term_counts_scb_vs_pauli(self):
+        op = fermi_hubbard_chain(3, 1.0, 2.0)
+        ham = jordan_wigner_scb(op)
+        pauli = jordan_wigner_pauli(op)
+        # The SCB description needs no more terms than the Pauli description.
+        assert ham.num_terms <= pauli.num_terms
+
+    def test_hubbard_particle_number_conserved(self):
+        op = fermi_hubbard_chain(2, 1.0, 4.0)
+        ham = jordan_wigner_scb(op)
+        number = total_number_operator(4).matrix()
+        commutator = ham.matrix() @ number - number @ ham.matrix()
+        np.testing.assert_allclose(commutator, 0.0, atol=1e-10)
+
+    def test_hubbard_spectrum_interaction_limit(self):
+        # With t = 0 the spectrum is {0, U} per site combination.
+        op = fermi_hubbard_chain(2, 0.0, 3.0)
+        ham = jordan_wigner_scb(op)
+        eigenvalues = np.linalg.eigvalsh(ham.matrix())
+        assert set(np.round(np.unique(eigenvalues), 6)) <= {0.0, 3.0, 6.0}
+
+    def test_spinless_chain_single_particle_spectrum(self):
+        # Single-particle eigenvalues of the open chain: -2t cos(k).
+        num_modes = 4
+        op = spinless_hopping_chain(num_modes, 1.0)
+        ham = jordan_wigner_scb(op)
+        matrix = ham.matrix()
+        # restrict to the single-excitation subspace
+        indices = [1 << (num_modes - 1 - i) for i in range(num_modes)]
+        block = matrix[np.ix_(indices, indices)]
+        expected = np.array(
+            [-2.0 * np.cos(np.pi * k / (num_modes + 1)) for k in range(1, num_modes + 1)]
+        )
+        np.testing.assert_allclose(np.sort(np.linalg.eigvalsh(block)), np.sort(expected), atol=1e-9)
+
+
+class TestStateHelpers:
+    def test_occupation_index(self):
+        assert occupation_state_index((1, 0, 1)) == 0b101
+
+    def test_invalid_occupation(self):
+        with pytest.raises(ConversionError):
+            occupation_state_index((2, 0))
+
+    def test_hartree_fock_index(self):
+        assert hartree_fock_state_index(4, 2) == 0b1100
+
+    def test_hartree_fock_invalid(self):
+        with pytest.raises(ConversionError):
+            hartree_fock_state_index(2, 3)

@@ -1,0 +1,156 @@
+"""Unit tests for electronic transitions (E6) and the UCCSD ansatz."""
+
+import numpy as np
+import pytest
+
+from repro.applications.chemistry import (
+    compare_partitionings,
+    diatomic_toy_hamiltonian,
+    fermi_hubbard_chain,
+    hartree_fock_state_index,
+    jordan_wigner_scb,
+    number_conservation_error,
+    one_body_fragment,
+    reference_energy,
+    synthetic_molecular_hamiltonian,
+    transition_circuit,
+    transition_exactness_error,
+    transition_gate_counts,
+    transition_pauli_split_error,
+    two_body_fragment,
+    uccsd_ansatz,
+    uccsd_energy,
+    uccsd_excitations,
+    uccsd_parameter_count,
+    vqe_optimize,
+)
+from repro.applications.chemistry.uccsd import excitation_generator, hartree_fock_circuit
+from repro.circuits import Statevector
+from repro.exceptions import ProblemError
+
+
+class TestIndividualTransitions:
+    @pytest.mark.parametrize("i,j,modes", [(0, 1, 2), (0, 3, 5), (1, 4, 6), (2, 2, 4)])
+    def test_one_body_exactness(self, i, j, modes):
+        fragment = one_body_fragment(i, j, 0.7, modes)
+        assert transition_exactness_error(fragment, 0.41) < 1e-9
+
+    @pytest.mark.parametrize("indices,modes", [((0, 1, 2, 3), 4), ((0, 2, 3, 5), 6), ((1, 4, 0, 3), 5)])
+    def test_two_body_exactness(self, indices, modes):
+        fragment = two_body_fragment(*indices, 0.5, modes)
+        assert transition_exactness_error(fragment, 0.41) < 1e-9
+
+    def test_two_body_requires_distinct_pairs(self):
+        with pytest.raises(ProblemError):
+            two_body_fragment(0, 0, 1, 2, 0.5, 4)
+
+    def test_single_rotation_per_transition(self):
+        fragment = one_body_fragment(0, 3, 0.7, 5)
+        circuit = transition_circuit(fragment, 0.3)
+        assert circuit.num_rotation_gates() == 1
+
+    def test_particle_number_conserved(self):
+        fragment = one_body_fragment(0, 3, 0.7, 5)
+        assert number_conservation_error(fragment, 0.6, 0b10010) < 1e-10
+
+    def test_gate_count_comparison_structure(self):
+        counts = transition_gate_counts(two_body_fragment(0, 1, 2, 3, 0.5, 4))
+        assert counts["direct"]["rotation_gates"] < counts["usual"]["rotation_gates"]
+
+    def test_pauli_split_error_defined(self):
+        fragment = one_body_fragment(0, 2, 0.7, 4)
+        assert transition_pauli_split_error(fragment, 0.3) < 1e-6  # XX+YY strings commute
+
+
+class TestTrotterComparison:
+    def test_full_hamiltonian_has_trotter_error(self):
+        comparison = compare_partitionings(fermi_hubbard_chain(2, 1.0, 2.0), 0.3)
+        assert comparison.direct_error > 1e-6
+        assert comparison.pauli_error > 1e-6
+
+    def test_direct_uses_fewer_rotations(self):
+        comparison = compare_partitionings(fermi_hubbard_chain(2, 1.0, 2.0), 0.3)
+        assert comparison.direct_rotations <= comparison.pauli_rotations
+        assert comparison.direct_fragment_count <= comparison.pauli_fragment_count
+
+    def test_second_order_reduces_error(self):
+        op = fermi_hubbard_chain(2, 1.0, 2.0)
+        first = compare_partitionings(op, 0.3, order=1)
+        second = compare_partitionings(op, 0.3, order=2)
+        assert second.direct_error < first.direct_error
+
+    def test_summary_string(self):
+        comparison = compare_partitionings(fermi_hubbard_chain(2, 1.0, 2.0), 0.2)
+        assert "direct err" in comparison.summary()
+
+
+class TestModelHamiltonians:
+    def test_synthetic_operator_is_hermitian(self):
+        op = synthetic_molecular_hamiltonian(4, rng=0)
+        ham = jordan_wigner_scb(op, 4)
+        matrix = ham.matrix()
+        np.testing.assert_allclose(matrix, matrix.conj().T, atol=1e-10)
+
+    def test_synthetic_reproducible(self):
+        a = synthetic_molecular_hamiltonian(4, rng=7)
+        b = synthetic_molecular_hamiltonian(4, rng=7)
+        assert a.terms.keys() == b.terms.keys()
+
+    def test_hubbard_invalid_sites(self):
+        with pytest.raises(ProblemError):
+            fermi_hubbard_chain(0)
+
+    def test_toy_molecule_spectrum_below_reference(self):
+        ham = jordan_wigner_scb(diatomic_toy_hamiltonian(), 4)
+        exact = ham.ground_state()[0][0]
+        hf = reference_energy(ham, 2)
+        assert exact <= hf + 1e-12
+
+
+class TestUCCSD:
+    def test_excitation_enumeration(self):
+        excitations = uccsd_excitations(4, 2)
+        singles = [e for e in excitations if e.order == 1]
+        doubles = [e for e in excitations if e.order == 2]
+        assert len(singles) == 4 and len(doubles) == 1
+        assert uccsd_parameter_count(4, 2) == 5
+
+    def test_invalid_electron_count(self):
+        with pytest.raises(ProblemError):
+            uccsd_excitations(4, 0)
+
+    def test_generator_is_antihermitian_exponent(self):
+        # exp(θ(T - T†)) must be unitary and real-orthogonal-like on the HF state.
+        generator = excitation_generator(uccsd_excitations(4, 2)[0], 4)
+        matrix = generator.matrix()
+        np.testing.assert_allclose(matrix, matrix.conj().T, atol=1e-12)
+
+    def test_hartree_fock_circuit(self):
+        circuit = hartree_fock_circuit(4, 2)
+        state = Statevector.zero_state(4).evolve(circuit)
+        assert np.argmax(np.abs(state.data)) == hartree_fock_state_index(4, 2)
+
+    def test_parameter_count_enforced(self):
+        with pytest.raises(ProblemError):
+            uccsd_ansatz(4, 2, np.zeros(3))
+
+    def test_zero_parameters_give_reference_state(self):
+        ham = jordan_wigner_scb(diatomic_toy_hamiltonian(), 4)
+        energy = uccsd_energy(ham, 2, np.zeros(uccsd_parameter_count(4, 2)))
+        assert energy == pytest.approx(reference_energy(ham, 2), abs=1e-10)
+
+    def test_ansatz_conserves_particle_number(self, rng):
+        from repro.applications.chemistry import total_number_operator
+
+        params = rng.uniform(-0.3, 0.3, uccsd_parameter_count(4, 2))
+        circuit = uccsd_ansatz(4, 2, params)
+        state = Statevector.zero_state(4).evolve(circuit)
+        number = total_number_operator(4).matrix()
+        value = float(np.real(np.vdot(state.data, number @ state.data)))
+        assert value == pytest.approx(2.0, abs=1e-9)
+
+    def test_vqe_reaches_exact_ground_state_of_toy_molecule(self):
+        ham = jordan_wigner_scb(diatomic_toy_hamiltonian(), 4)
+        exact = ham.ground_state()[0][0]
+        energy, _ = vqe_optimize(ham, 2, maxiter=80, rng=0)
+        assert energy == pytest.approx(exact, abs=2e-3)

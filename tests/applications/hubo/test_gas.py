@@ -1,0 +1,71 @@
+"""Unit tests for the QPE-based HUBO cost read-out (Section V-A.1 origin)."""
+
+import numpy as np
+import pytest
+
+from repro.applications.hubo import (
+    HUBOProblem,
+    cost_spectrum_readout,
+    evaluate_cost_by_qpe,
+    grover_threshold_counts,
+)
+from repro.exceptions import ProblemError
+
+
+@pytest.fixture
+def integer_problem() -> HUBOProblem:
+    # Integer-weight boolean problem: costs are exactly representable on a few bits.
+    return HUBOProblem(3, {(0,): 1.0, (1,): 2.0, (0, 2): 3.0}, formalism="boolean")
+
+
+class TestCostReadout:
+    @pytest.mark.parametrize("assignment,expected", [
+        ([0, 0, 0], 0.0),
+        ([1, 0, 0], 1.0),
+        ([0, 1, 0], 2.0),
+        ([1, 1, 1], 6.0),
+    ])
+    def test_exact_integer_costs(self, integer_problem, assignment, expected):
+        cost, probability = evaluate_cost_by_qpe(integer_problem, assignment, 4)
+        assert probability == pytest.approx(1.0, abs=1e-6)
+        # costs are read modulo the 4-bit window [-8, 8)
+        assert abs(cost - expected) < 1e-6 or abs(abs(cost - expected) - 16.0) < 1e-6
+
+    def test_matches_classical_evaluation(self, integer_problem):
+        for index in range(8):
+            bits = [int(b) for b in format(index, "03b")]
+            cost, _ = evaluate_cost_by_qpe(integer_problem, bits, 4)
+            classical = integer_problem.evaluate(bits)
+            assert abs(cost - classical) < 1e-6
+
+    def test_usual_strategy_gives_same_readout(self, integer_problem):
+        direct, _ = evaluate_cost_by_qpe(integer_problem, [1, 1, 0], 4, strategy="direct")
+        usual, _ = evaluate_cost_by_qpe(integer_problem, [1, 1, 0], 4, strategy="usual")
+        assert direct == pytest.approx(usual, abs=1e-9)
+
+    def test_wrong_assignment_length(self, integer_problem):
+        with pytest.raises(ProblemError):
+            evaluate_cost_by_qpe(integer_problem, [0, 1], 4)
+
+
+class TestSpectrumReadout:
+    def test_histogram_matches_energy_multiset(self, integer_problem):
+        histogram = cost_spectrum_readout(integer_problem, 4)
+        energies = integer_problem.energy_vector()
+        # every classical cost value appears with weight (#assignments)/8
+        for value, count in zip(*np.unique(np.round(energies, 6), return_counts=True)):
+            matches = [p for cost, p in histogram.items() if abs(cost - value) < 1e-6
+                       or abs(abs(cost - value) - 16.0) < 1e-6]
+            assert sum(matches) == pytest.approx(count / 8.0, abs=1e-6)
+
+    def test_probabilities_sum_to_one(self, integer_problem):
+        histogram = cost_spectrum_readout(integer_problem, 4)
+        assert sum(histogram.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestThresholdHelper:
+    def test_counts_below_threshold(self, integer_problem):
+        below, total = grover_threshold_counts(integer_problem, 2.0)
+        energies = integer_problem.energy_vector()
+        assert total == 8
+        assert below == int(np.sum(energies < 2.0))

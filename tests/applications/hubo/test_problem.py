@@ -1,0 +1,121 @@
+"""Unit tests for HUBOProblem (Section V-A, Eqs. 13-14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.applications.hubo import HUBOProblem, random_hubo, single_monomial_problem
+from repro.exceptions import ProblemError
+
+
+class TestConstruction:
+    def test_invalid_formalism(self):
+        with pytest.raises(ProblemError):
+            HUBOProblem(3, formalism="qubo")
+
+    def test_variable_out_of_range(self):
+        problem = HUBOProblem(3)
+        with pytest.raises(ProblemError):
+            problem.add_term((3,), 1.0)
+
+    def test_terms_merge_and_cancel(self):
+        problem = HUBOProblem(3)
+        problem.add_term((0, 1), 1.0)
+        problem.add_term((1, 0), -1.0)
+        assert problem.num_terms == 0
+
+    def test_order_and_histogram(self):
+        problem = HUBOProblem(4, {(0,): 1.0, (0, 1): 1.0, (0, 1, 2): 1.0})
+        assert problem.max_order == 3
+        assert problem.order_histogram() == {1: 1, 2: 1, 3: 1}
+
+    def test_density(self):
+        problem = HUBOProblem(3, {(0, 1): 1.0})
+        assert 0.0 < problem.density() < 1.0
+
+    def test_single_monomial(self):
+        problem = single_monomial_problem(5)
+        assert problem.num_terms == 1 and problem.max_order == 5
+
+
+class TestEvaluation:
+    def test_boolean_evaluation(self):
+        problem = HUBOProblem(3, {(0, 1): 2.0, (2,): -1.0}, formalism="boolean")
+        assert problem.evaluate([1, 1, 0]) == pytest.approx(2.0)
+        assert problem.evaluate([1, 0, 1]) == pytest.approx(-1.0)
+
+    def test_spin_evaluation(self):
+        problem = HUBOProblem(2, {(0, 1): 1.0}, formalism="spin")
+        assert problem.evaluate([0, 0]) == pytest.approx(1.0)
+        assert problem.evaluate([0, 1]) == pytest.approx(-1.0)
+
+    def test_constant_term(self):
+        problem = HUBOProblem(2, {(): 5.0})
+        assert problem.evaluate([0, 1]) == pytest.approx(5.0)
+
+    def test_assignment_length_checked(self):
+        with pytest.raises(ProblemError):
+            HUBOProblem(2).evaluate([0])
+
+    def test_energy_vector_matches_evaluate(self):
+        problem = random_hubo(5, 7, 3, rng=3, formalism="spin")
+        energies = problem.energy_vector()
+        for index in range(32):
+            bits = [int(b) for b in format(index, "05b")]
+            assert energies[index] == pytest.approx(problem.evaluate(bits))
+
+    def test_brute_force_minimum(self):
+        problem = HUBOProblem(2, {(0,): 1.0, (1,): 1.0}, formalism="boolean")
+        value, index = problem.brute_force_minimum()
+        assert value == pytest.approx(0.0)
+        assert index == 0
+
+
+class TestFormalismConversion:
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_conversion_preserves_energies(self, seed):
+        problem = random_hubo(5, 6, 4, rng=seed)
+        converted = problem.convert_formalism()
+        assert converted.formalism != problem.formalism
+        for index in range(32):
+            bits = [int(b) for b in format(index, "05b")]
+            assert converted.evaluate(bits) == pytest.approx(problem.evaluate(bits), abs=1e-9)
+
+    def test_double_conversion_round_trip_energies(self):
+        problem = random_hubo(4, 5, 3, rng=1, formalism="spin")
+        round_trip = problem.convert_formalism().convert_formalism()
+        for index in range(16):
+            bits = [int(b) for b in format(index, "04b")]
+            assert round_trip.evaluate(bits) == pytest.approx(problem.evaluate(bits), abs=1e-9)
+
+    def test_conversion_term_blowup(self):
+        problem = single_monomial_problem(6, formalism="boolean")
+        converted = problem.convert_formalism()
+        # 2^6 terms including the constant.
+        assert converted.num_terms == 2 ** 6
+
+    def test_hamiltonian_matrix_matches_energy_vector(self):
+        problem = random_hubo(4, 5, 3, rng=2, formalism="boolean")
+        ham = problem.to_hamiltonian()
+        np.testing.assert_allclose(
+            np.real(np.diag(ham.matrix())), problem.energy_vector(), atol=1e-9
+        )
+
+    def test_spin_hamiltonian_diagonal(self):
+        problem = random_hubo(4, 5, 3, rng=4, formalism="spin")
+        matrix = problem.to_hamiltonian().matrix()
+        np.testing.assert_allclose(matrix, np.diag(np.diag(matrix)), atol=1e-12)
+        np.testing.assert_allclose(np.real(np.diag(matrix)), problem.energy_vector(), atol=1e-9)
+
+
+class TestGenerators:
+    def test_random_hubo_respects_limits(self):
+        problem = random_hubo(8, 10, 4, rng=0)
+        assert problem.num_terms <= 10
+        assert problem.max_order <= 4
+
+    def test_random_hubo_reproducible(self):
+        a = random_hubo(6, 8, 3, rng=11)
+        b = random_hubo(6, 8, 3, rng=11)
+        assert a.terms == b.terms

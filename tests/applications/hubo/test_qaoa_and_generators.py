@@ -1,0 +1,113 @@
+"""Unit tests for the QAOA driver and the problem generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.applications.hubo import (
+    HUBOProblem,
+    approximation_ratio,
+    hypergraph_maxcut_problem,
+    knapsack_problem,
+    maxcut_problem,
+    parity_constrained_problem,
+    qaoa_expectation,
+    random_hypergraph_maxcut,
+    run_qaoa,
+)
+from repro.exceptions import ProblemError
+
+
+class TestQAOADriver:
+    def test_expectation_matches_both_strategies(self):
+        problem = HUBOProblem(4, {(0, 1): 1.0, (2,): -0.5, (1, 2, 3): 0.7}, formalism="spin")
+        gammas, betas = np.array([0.4]), np.array([0.7])
+        direct = qaoa_expectation(problem, gammas, betas, strategy="direct")
+        usual = qaoa_expectation(problem, gammas, betas, strategy="usual")
+        assert direct == pytest.approx(usual, abs=1e-9)
+
+    def test_run_qaoa_improves_over_random(self):
+        problem = maxcut_problem(nx.cycle_graph(5))
+        result = run_qaoa(problem, num_layers=1, rng=0, maxiter=60)
+        energies = problem.energy_vector()
+        mean_energy = float(np.mean(energies))
+        assert result.optimal_value < mean_energy
+
+    def test_run_qaoa_size_guard(self):
+        with pytest.raises(ProblemError):
+            run_qaoa(HUBOProblem(17, {(0,): 1.0}), 1)
+
+    def test_approximation_ratio_bounds(self):
+        problem = maxcut_problem(nx.path_graph(4))
+        energies = problem.energy_vector()
+        assert approximation_ratio(problem, float(energies.min())) == pytest.approx(1.0)
+        assert approximation_ratio(problem, float(energies.max())) == pytest.approx(0.0)
+
+    def test_result_reports_bitstring(self):
+        problem = maxcut_problem(nx.cycle_graph(4))
+        result = run_qaoa(problem, num_layers=1, rng=1, maxiter=40)
+        assert len(result.best_bitstring) == 4
+        assert result.strategy == "direct"
+
+
+class TestMaxCut:
+    def test_cycle_graph_optimum(self):
+        problem = maxcut_problem(nx.cycle_graph(5))
+        best_value, _ = problem.brute_force_minimum()
+        # Best cut of C5 is 4 edges: energy = Σ w/2 (z_i z_j) = (#same - #cut)/2 = (1-4)/2
+        assert best_value + 2.5 == pytest.approx(-1.5)
+
+    def test_weighted_graph(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=2.0)
+        graph.add_edge(1, 2, weight=1.0)
+        problem = maxcut_problem(graph)
+        # cutting both edges is possible (bipartite path)
+        value, index = problem.brute_force_minimum()
+        assert value == pytest.approx(-3.0)
+
+    def test_hypergraph_maxcut_order(self):
+        problem = hypergraph_maxcut_problem(6, [((0, 1, 2, 3), 1.0), ((2, 4, 5), 2.0)])
+        assert problem.max_order == 4
+        assert problem.formalism == "spin"
+
+    def test_random_hypergraph_reproducible(self):
+        a = random_hypergraph_maxcut(8, 5, 4, rng=3)
+        b = random_hypergraph_maxcut(8, 5, 4, rng=3)
+        assert a.terms == b.terms
+
+
+class TestKnapsackAndParity:
+    def test_knapsack_optimum_respects_capacity(self):
+        values = [3.0, 4.0, 5.0]
+        weights = [2.0, 3.0, 4.0]
+        problem = knapsack_problem(values, weights, capacity=5.0)
+        _, index = problem.brute_force_minimum()
+        bits = [int(b) for b in format(index, "03b")]
+        total_weight = sum(w * b for w, b in zip(weights, bits))
+        assert total_weight <= 5.0
+        # items 0 and 1 (weight 5, value 7) beat item 2 alone (value 5)
+        assert bits == [1, 1, 0]
+
+    def test_knapsack_length_mismatch(self):
+        with pytest.raises(ProblemError):
+            knapsack_problem([1.0], [1.0, 2.0], 3.0)
+
+    def test_knapsack_is_boolean_low_order(self):
+        problem = knapsack_problem([1.0, 2.0], [1.0, 1.0], 2.0)
+        assert problem.formalism == "boolean"
+        assert problem.max_order == 2
+
+    def test_parity_constraints_minimum_satisfies_clauses(self):
+        clauses = [((0, 1, 2), 1), ((2, 3), 0), ((0, 3, 4), 1)]
+        problem = parity_constrained_problem(5, clauses, penalty=1.0)
+        value, index = problem.brute_force_minimum()
+        bits = [int(b) for b in format(index, "05b")]
+        for subset, parity in clauses:
+            assert sum(bits[v] for v in subset) % 2 == parity
+        assert value == pytest.approx(0.0)
+
+    def test_parity_problem_is_high_order_spin(self):
+        problem = parity_constrained_problem(6, [((0, 1, 2, 3, 4, 5), 0)])
+        assert problem.formalism == "spin"
+        assert problem.max_order == 6

@@ -1,0 +1,93 @@
+"""Unit tests for the Rosenberg quadratization (footnote 1 of Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.applications.hubo import HUBOProblem, random_hubo
+from repro.applications.hubo.quadratization import (
+    QuadratizationResult,
+    quadratization_overhead,
+    quadratize,
+)
+from repro.exceptions import ProblemError
+
+
+class TestQuadratize:
+    def test_output_is_quadratic(self):
+        problem = random_hubo(6, 8, 5, rng=2, formalism="boolean")
+        result = quadratize(problem)
+        assert result.problem.max_order <= 2
+
+    def test_requires_boolean_formalism(self):
+        with pytest.raises(ProblemError):
+            quadratize(random_hubo(4, 3, 3, rng=0, formalism="spin"))
+
+    def test_already_quadratic_problem_unchanged(self):
+        problem = HUBOProblem(3, {(0, 1): 1.0, (2,): -0.5}, formalism="boolean")
+        result = quadratize(problem)
+        assert result.num_auxiliary_variables == 0
+        assert result.problem.terms == problem.terms
+
+    def test_lifted_assignments_preserve_cost(self):
+        problem = random_hubo(5, 6, 4, rng=4, formalism="boolean")
+        result = quadratize(problem)
+        for index in range(1 << problem.num_variables):
+            bits = [int(b) for b in format(index, f"0{problem.num_variables}b")]
+            lifted = result.lift_assignment(bits)
+            assert result.problem.evaluate(lifted) == pytest.approx(problem.evaluate(bits), abs=1e-9)
+
+    def test_minimum_preserved(self):
+        problem = HUBOProblem(
+            4,
+            {(0, 1, 2): -2.0, (1, 2, 3): 1.5, (0, 3): 0.5, (2,): -0.25},
+            formalism="boolean",
+        )
+        original_min, _ = problem.brute_force_minimum()
+        result = quadratize(problem)
+        quadratic_min, quadratic_index = result.problem.brute_force_minimum()
+        assert quadratic_min == pytest.approx(original_min, abs=1e-9)
+        # The minimiser projects back to a minimiser of the original problem.
+        bits = [int(b) for b in format(quadratic_index, f"0{result.problem.num_variables}b")]
+        projected = result.project_assignment(bits)
+        assert problem.evaluate(projected) == pytest.approx(original_min, abs=1e-9)
+
+    def test_inconsistent_auxiliary_is_penalised(self):
+        problem = HUBOProblem(3, {(0, 1, 2): -1.0}, formalism="boolean")
+        result = quadratize(problem)
+        consistent = result.lift_assignment([1, 1, 1])
+        inconsistent = list(consistent)
+        aux_index = result.num_original_variables
+        inconsistent[aux_index] = 1 - inconsistent[aux_index]
+        assert result.problem.evaluate(inconsistent) > result.problem.evaluate(consistent) + 1.0
+
+    def test_substitution_bookkeeping(self):
+        problem = HUBOProblem(4, {(0, 1, 2, 3): 1.0}, formalism="boolean")
+        result = quadratize(problem)
+        assert isinstance(result, QuadratizationResult)
+        # Order-4 monomial needs two substitutions.
+        assert result.num_auxiliary_variables == 2
+        for aux, (i, j) in result.substitutions.items():
+            assert aux >= problem.num_variables
+            assert 0 <= i < aux and 0 <= j < aux
+
+
+class TestOverheadComparison:
+    def test_overhead_report_fields(self):
+        problem = random_hubo(8, 10, 6, rng=6, formalism="boolean")
+        overhead = quadratization_overhead(problem)
+        assert overhead["quadratized_variables"] >= overhead["original_variables"]
+        assert overhead["original_max_order"] >= 3
+        assert (
+            overhead["quadratized_variables"]
+            == overhead["original_variables"] + overhead["auxiliary_variables"]
+        )
+
+    def test_high_order_term_costs_many_auxiliaries(self):
+        # A single order-k monomial needs k-2 auxiliaries: the "higher problem
+        # size" the paper's footnote 1 refers to, versus one C^{k-1}P gate for
+        # the direct strategy.
+        for order in (3, 5, 7):
+            problem = HUBOProblem(order, {tuple(range(order)): 1.0}, formalism="boolean")
+            overhead = quadratization_overhead(problem)
+            assert overhead["auxiliary_variables"] == order - 2
+            assert overhead["quadratized_terms"] > problem.num_terms

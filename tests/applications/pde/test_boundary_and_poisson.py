@@ -1,0 +1,141 @@
+"""Unit tests for boundary handling and the Poisson workflows (Section V-C.3)."""
+
+import numpy as np
+import pytest
+
+from repro.applications.pde import (
+    DirichletCondition,
+    NeumannCondition,
+    analytic_poisson_1d,
+    apply_dirichlet,
+    component_override_terms,
+    dilated_qlsp_hamiltonian,
+    inhomogeneous_coefficient_hamiltonian,
+    laplacian_matrix,
+    line_grid,
+    line_selector_term,
+    neumann_rhs_shift,
+    paper_boundary_example_hamiltonian,
+    poisson_block_encoding,
+    poisson_evolution_circuit,
+    poisson_operator,
+    poisson_system,
+    solve_poisson,
+    two_line_grid,
+)
+from repro.exceptions import ProblemError
+from repro.operators import SCBTerm
+
+
+class TestBoundaryHelpers:
+    def test_apply_dirichlet_pins_value(self):
+        grid = line_grid(8)
+        matrix, rhs = poisson_system(grid, np.zeros(8))
+        fixed, new_rhs = apply_dirichlet(matrix, rhs, [DirichletCondition(0, 3.0)])
+        solution = np.linalg.solve(fixed.toarray(), new_rhs)
+        assert solution[0] == pytest.approx(3.0)
+
+    def test_apply_dirichlet_out_of_range(self):
+        grid = line_grid(4)
+        matrix, rhs = poisson_system(grid, np.zeros(4))
+        with pytest.raises(ProblemError):
+            apply_dirichlet(matrix, rhs, [DirichletCondition(9, 0.0)])
+
+    def test_neumann_rhs_shift(self):
+        rhs = neumann_rhs_shift(np.zeros(4), 0.5, [NeumannCondition(0, 2.0, "low")])
+        assert rhs[0] == pytest.approx(-2.0)
+        rhs = neumann_rhs_shift(np.zeros(4), 0.5, [NeumannCondition(3, 2.0, "high")])
+        assert rhs[3] == pytest.approx(2.0)
+
+    def test_component_override_terms(self):
+        terms = component_override_terms([(0, 3, 2.0), (5, 5, -1.0)], 3)
+        matrix = sum(t.hermitian_matrix() if not t.is_hermitian else t.matrix() for t in terms)
+        assert matrix[0, 3] == pytest.approx(2.0)
+        assert matrix[3, 0] == pytest.approx(2.0)
+        assert matrix[5, 5] == pytest.approx(-1.0)
+
+    def test_line_selector_term(self):
+        base = SCBTerm.from_label("IIX", 1.0)
+        selected = line_selector_term([1], base, 1)
+        assert selected.label == "nIX"
+
+    def test_line_selector_conflict(self):
+        base = SCBTerm.from_label("nIX", 1.0)
+        with pytest.raises(ProblemError):
+            line_selector_term([1], base, 1)
+
+    def test_paper_boundary_example_is_hermitian_and_sparse(self):
+        ham = paper_boundary_example_hamiltonian(1, 2, 3, 4, 0.5, 0.6, 0.7, 0.8, 0.9)
+        matrix = ham.matrix()
+        np.testing.assert_allclose(matrix, matrix.conj().T, atol=1e-12)
+        assert ham.num_terms == 9
+        # every listed coefficient shows up in the matrix
+        assert matrix[0, 0] == pytest.approx(1.0)   # b11 on |000>
+        assert matrix[7, 7] == pytest.approx(4.0)   # b22 on |111>
+
+
+class TestInhomogeneousCoefficients:
+    def test_two_mediums_block_structure(self):
+        grid = two_line_grid(4)
+        ham = inhomogeneous_coefficient_hamiltonian(grid, [1.0, 3.0])
+        matrix = np.real(ham.matrix())
+        # line 0 block uses coefficient 1, line 1 block coefficient 3
+        assert matrix[0, 1] == pytest.approx(1.0)
+        assert matrix[4, 5] == pytest.approx(3.0)
+        assert matrix[0, 0] == pytest.approx(-2.0)
+        assert matrix[4, 4] == pytest.approx(-6.0)
+
+    def test_requires_two_dimensions(self):
+        with pytest.raises(ProblemError):
+            inhomogeneous_coefficient_hamiltonian(line_grid(4), [1.0])
+
+    def test_wrong_number_of_line_coefficients(self):
+        with pytest.raises(ProblemError):
+            inhomogeneous_coefficient_hamiltonian(two_line_grid(4), [1.0, 2.0, 3.0])
+
+
+class TestPoissonWorkflows:
+    def test_solve_matches_analytic_mode(self):
+        num_nodes = 16
+        source, expected = analytic_poisson_1d(num_nodes, mode=2)
+        grid = line_grid(num_nodes, spacing=1.0 / (num_nodes + 1))
+        solution = solve_poisson(grid, source)
+        np.testing.assert_allclose(solution.solution, expected, atol=1e-9)
+        assert solution.residual_norm < 1e-9
+
+    def test_solve_2d_residual(self, rng):
+        grid = two_line_grid(8)
+        source = rng.normal(size=grid.num_nodes)
+        solution = solve_poisson(grid, source)
+        assert solution.residual_norm < 1e-9
+
+    def test_singular_boundary_is_pinned(self):
+        grid = line_grid(8)
+        solution = solve_poisson(grid, np.zeros(8), boundary="periodic")
+        assert np.isfinite(solution.solution).all()
+
+    def test_block_encoding_of_laplacian(self):
+        grid = line_grid(4)
+        be = poisson_block_encoding(grid)
+        target = laplacian_matrix(grid).toarray()
+        assert be.verification_error(target) < 1e-8
+
+    def test_evolution_circuit_error_scaling(self):
+        from repro.analysis import trotter_error_norm
+
+        grid = line_grid(8)
+        ham = poisson_operator(grid)
+        err1 = trotter_error_norm(ham, poisson_evolution_circuit(grid, 0.2, steps=1), 0.2)
+        err4 = trotter_error_norm(ham, poisson_evolution_circuit(grid, 0.2, steps=4), 0.2)
+        assert err4 < err1
+
+    def test_dilated_qlsp_term_count_preserved(self):
+        grid = line_grid(8)
+        ham = poisson_operator(grid)
+        dilated = dilated_qlsp_hamiltonian(grid)
+        assert dilated.num_terms == ham.num_terms
+        assert dilated.num_qubits == ham.num_qubits + 1
+
+    def test_analytic_case_requires_two_nodes(self):
+        with pytest.raises(ProblemError):
+            analytic_poisson_1d(1)

@@ -1,0 +1,131 @@
+"""Unit tests for the SCB decompositions of finite-difference matrices (Section V-C.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.applications.pde import (
+    adjacency_1d,
+    adjacency_terms_1d,
+    decomposition_reconstruction_error,
+    double_layer_grid,
+    double_layer_hamiltonian,
+    fd_measured_two_qubit_count,
+    fd_term_count,
+    fd_two_qubit_model,
+    grid_laplacian_hamiltonian,
+    laplacian_1d_hamiltonian,
+    laplacian_matrix,
+    line_grid,
+    paper_double_layer_matrix,
+    paper_two_line_matrix,
+    two_line_grid,
+    two_line_hamiltonian,
+)
+from repro.exceptions import ProblemError
+
+
+class TestAdjacencyTerms:
+    @pytest.mark.parametrize("q", [1, 2, 3, 4])
+    def test_reconstructs_adjacency(self, q):
+        terms = adjacency_terms_1d(q, q, 0, 1.0)
+        ham_matrix = sum(
+            t.hermitian_matrix() if not t.is_hermitian else t.matrix() for t in terms
+        )
+        np.testing.assert_allclose(
+            np.real(ham_matrix), adjacency_1d(1 << q).toarray(), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("q", [2, 3, 4, 5])
+    def test_term_count_is_logarithmic(self, q):
+        terms = adjacency_terms_1d(q, q, 0, 1.0)
+        assert len(terms) == q
+
+    def test_periodic_adds_wrap_term(self):
+        terms = adjacency_terms_1d(3, 3, 0, 1.0, boundary="periodic")
+        assert len(terms) == 4
+        assert any(t.label == "sss" for t in terms)
+
+    def test_neumann_adds_two_components(self):
+        terms = adjacency_terms_1d(3, 3, 0, 1.0, boundary="neumann")
+        assert len(terms) == 5
+
+    def test_invalid_boundary(self):
+        with pytest.raises(ProblemError):
+            adjacency_terms_1d(3, 3, 0, 1.0, boundary="robin")
+
+    def test_offset_embedding(self):
+        terms = adjacency_terms_1d(2, 4, 1, 1.0)
+        for term in terms:
+            assert set(term.support) <= {1, 2}
+
+
+class TestLaplacianDecompositions:
+    @pytest.mark.parametrize("q", [1, 2, 3, 4])
+    def test_1d_reconstruction(self, q):
+        ham = laplacian_1d_hamiltonian(q, spacing=0.5)
+        target = laplacian_matrix(line_grid(1 << q, spacing=0.5)).toarray()
+        np.testing.assert_allclose(np.real(ham.matrix()), target, atol=1e-10)
+
+    @pytest.mark.parametrize("boundary", ["dirichlet", "periodic", "neumann"])
+    def test_boundaries_reconstruct(self, boundary):
+        grid = line_grid(8)
+        assert decomposition_reconstruction_error(grid, boundary=boundary) < 1e-10
+
+    def test_2d_and_3d_reconstruction(self):
+        assert decomposition_reconstruction_error(two_line_grid(8)) < 1e-10
+        assert decomposition_reconstruction_error(double_layer_grid(4)) < 1e-10
+
+    def test_general_grid_reconstruction(self):
+        grid = line_grid(16)
+        ham = grid_laplacian_hamiltonian(grid)
+        np.testing.assert_allclose(
+            np.real(ham.matrix()), laplacian_matrix(grid).toarray(), atol=1e-10
+        )
+
+    @given(st.integers(min_value=1, max_value=5))
+    def test_term_count_formula(self, q):
+        ham = laplacian_1d_hamiltonian(q)
+        assert ham.num_terms == fd_term_count(q)
+        assert ham.num_terms == q + 1  # identity + X + (q-1) carry terms
+
+    def test_term_count_boundary_extras(self):
+        assert fd_term_count(3, boundary="periodic") == fd_term_count(3) + 1
+        assert fd_term_count(3, boundary="neumann") == fd_term_count(3) + 2
+
+
+class TestPaperExplicitOperators:
+    def test_two_line_hamiltonian_matches_matrix(self):
+        ham = two_line_hamiltonian(4, -4.0, -3.0, 1.0, 2.0, 0.5)
+        target = paper_two_line_matrix(4, -4.0, -3.0, 1.0, 2.0, 0.5)
+        np.testing.assert_allclose(np.real(ham.matrix()), target, atol=1e-10)
+
+    def test_two_line_term_count(self):
+        ham = two_line_hamiltonian(4, -4.0, -4.0, 1.0, 1.0, 1.0)
+        # 2 diagonal selectors + 2 * (q terms) + 1 coupling with q = 2.
+        assert ham.num_terms == 2 + 2 * 2 + 1
+
+    def test_double_layer_hamiltonian_matches_matrix(self):
+        diag = (-6.0, -5.0, -4.0, -3.0)
+        intra = (1.0, 2.0, 0.5, 1.5)
+        ham = double_layer_hamiltonian(4, diag, intra, (1.0, 0.5), (2.0, 0.25))
+        target = paper_double_layer_matrix(4, diag, intra, (1.0, 0.5), (2.0, 0.25))
+        np.testing.assert_allclose(np.real(ham.matrix()), target, atol=1e-10)
+
+    def test_zero_coefficients_drop_terms(self):
+        ham = two_line_hamiltonian(4, -4.0, 0.0, 1.0, 0.0, 0.0)
+        labels = [t.label for t in ham.terms]
+        assert all(not label.startswith("n") or "s" not in label for label in labels)
+
+
+class TestScaling:
+    def test_eq23_model_is_quadratic_in_log(self):
+        values = [fd_two_qubit_model(q) for q in range(1, 7)]
+        assert values == [1, 3, 6, 10, 15, 21]
+
+    def test_measured_two_qubit_count_grows_polynomially_in_log(self):
+        counts = [fd_measured_two_qubit_count(q) for q in (2, 3, 4)]
+        assert counts[0] < counts[1] < counts[2]
+        # Far below the 2^q scaling a dense method would need.
+        assert counts[2] < (1 << 4) ** 2

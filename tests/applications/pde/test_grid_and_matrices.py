@@ -1,0 +1,163 @@
+"""Unit tests for grids and classical finite-difference matrices (Fig. 7, Eqs. 19-22)."""
+
+import numpy as np
+import pytest
+
+from repro.applications.pde import (
+    CartesianGrid,
+    adjacency_1d,
+    double_layer_grid,
+    first_derivative_1d,
+    laplacian_matrix,
+    line_grid,
+    paper_double_layer_matrix,
+    paper_two_line_matrix,
+    poisson_system,
+    second_derivative_1d,
+    two_line_grid,
+)
+from repro.exceptions import ProblemError
+
+
+class TestGrid:
+    def test_fig7_grids(self):
+        assert line_grid(8).shape == (8,)
+        assert two_line_grid(8).shape == (2, 8)
+        assert double_layer_grid(8).shape == (2, 2, 8)
+
+    def test_qubit_counts(self):
+        grid = double_layer_grid(8)
+        assert grid.qubits_per_dimension == (1, 1, 3)
+        assert grid.num_qubits == 5
+        assert grid.num_nodes == 32
+
+    def test_extent_must_be_power_of_two(self):
+        with pytest.raises(Exception):
+            CartesianGrid((6,))
+
+    def test_spacing_positive(self):
+        with pytest.raises(ProblemError):
+            CartesianGrid((4,), spacing=0.0)
+
+    def test_flat_index_roundtrip(self):
+        grid = CartesianGrid((2, 4, 8))
+        for flat in (0, 5, 17, 63):
+            assert grid.flat_index(grid.coordinates(flat)) == flat
+
+    def test_flat_index_out_of_range(self):
+        grid = line_grid(4)
+        with pytest.raises(ProblemError):
+            grid.flat_index((4,))
+        with pytest.raises(ProblemError):
+            grid.coordinates(4)
+
+    def test_neighbors_interior_and_boundary(self):
+        grid = two_line_grid(4)
+        interior = grid.flat_index((0, 1))
+        assert sorted(grid.neighbors(interior)) == sorted(
+            [grid.flat_index((0, 0)), grid.flat_index((0, 2)), grid.flat_index((1, 1))]
+        )
+        corner = grid.flat_index((0, 0))
+        assert len(grid.neighbors(corner)) == 2
+
+    def test_node_positions_shape(self):
+        grid = two_line_grid(4, spacing=0.5)
+        positions = grid.node_positions()
+        assert positions.shape == (8, 2)
+        assert positions[:, 1].max() == pytest.approx(1.5)
+
+
+class TestOneDimensionalOperators:
+    def test_adjacency_dirichlet(self):
+        matrix = adjacency_1d(4).toarray()
+        expected = np.array(
+            [[0, 1, 0, 0], [1, 0, 1, 0], [0, 1, 0, 1], [0, 0, 1, 0]], dtype=float
+        )
+        np.testing.assert_allclose(matrix, expected)
+
+    def test_adjacency_periodic(self):
+        matrix = adjacency_1d(4, boundary="periodic").toarray()
+        assert matrix[0, 3] == 1 and matrix[3, 0] == 1
+
+    def test_adjacency_neumann_symmetric(self):
+        matrix = adjacency_1d(4, boundary="neumann").toarray()
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert matrix[0, 1] == 2
+
+    def test_adjacency_invalid_boundary(self):
+        with pytest.raises(ProblemError):
+            adjacency_1d(4, boundary="robin")
+
+    def test_second_derivative_row_sum(self):
+        matrix = second_derivative_1d(8, spacing=0.5).toarray()
+        # interior rows sum to zero: (1 - 2 + 1)/d²
+        np.testing.assert_allclose(matrix[3].sum(), 0.0, atol=1e-12)
+        assert matrix[3, 3] == pytest.approx(-2.0 / 0.25)
+
+    def test_first_derivative_antisymmetric_interior(self):
+        matrix = first_derivative_1d(8).toarray()
+        assert matrix[3, 4] == pytest.approx(0.5)
+        assert matrix[3, 2] == pytest.approx(-0.5)
+
+    def test_first_derivative_periodic_wrap(self):
+        matrix = first_derivative_1d(4, boundary="periodic").toarray()
+        assert matrix[0, 3] == pytest.approx(-0.5)
+
+
+class TestLaplacians:
+    def test_1d_laplacian_eigenvalues(self):
+        n = 8
+        lap = laplacian_matrix(line_grid(n)).toarray()
+        eigenvalues = np.sort(np.linalg.eigvalsh(lap))
+        expected = np.sort(
+            [-(2 - 2 * np.cos(np.pi * k / (n + 1))) for k in range(1, n + 1)]
+        )
+        np.testing.assert_allclose(eigenvalues, expected, atol=1e-10)
+
+    def test_2d_laplacian_is_kron_sum(self):
+        grid = two_line_grid(4)
+        lap = laplacian_matrix(grid).toarray()
+        d2_line = second_derivative_1d(4).toarray()
+        d2_pair = second_derivative_1d(2).toarray()
+        expected = np.kron(d2_pair, np.eye(4)) + np.kron(np.eye(2), d2_line)
+        np.testing.assert_allclose(lap, expected, atol=1e-12)
+
+    def test_3d_laplacian_diagonal(self):
+        grid = double_layer_grid(4)
+        lap = laplacian_matrix(grid).toarray()
+        assert lap[0, 0] == pytest.approx(-6.0)
+
+    def test_poisson_system_shapes(self):
+        grid = line_grid(8)
+        matrix, rhs = poisson_system(grid, np.ones(8))
+        assert matrix.shape == (8, 8)
+        np.testing.assert_allclose(rhs, -np.ones(8))
+
+    def test_poisson_system_wrong_source_length(self):
+        with pytest.raises(ProblemError):
+            poisson_system(line_grid(8), np.ones(4))
+
+
+class TestPaperMatrices:
+    def test_two_line_matrix_structure(self):
+        matrix = paper_two_line_matrix(4, -4, -4, 1, 1, 1)
+        assert matrix.shape == (8, 8)
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert matrix[0, 4] == 1  # line coupling
+        assert matrix[0, 1] == 1  # intra-line coupling
+        assert matrix[0, 0] == -4
+
+    def test_two_line_matrix_equals_paper_laplacian_case(self):
+        # With the Eq. 22 coefficients the two-line matrix is the grid Laplacian
+        # up to the missing inter-line diagonal contribution convention.
+        matrix = paper_two_line_matrix(4, -4, -4, 1, 1, 1)
+        lap = laplacian_matrix(two_line_grid(4)).toarray()
+        # Same off-diagonal structure.
+        np.testing.assert_allclose(np.triu(matrix, 1), np.triu(lap, 1), atol=1e-12)
+
+    def test_double_layer_matrix_structure(self):
+        matrix = paper_double_layer_matrix(4, (-6,) * 4, (1,) * 4, (1, 1), (1, 1))
+        assert matrix.shape == (16, 16)
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert matrix[0, 8] == 1   # layer coupling (ak13)
+        assert matrix[0, 4] == 1   # line coupling (aj12)

@@ -1,0 +1,55 @@
+"""Unit tests for the DAG / layering utilities."""
+
+from repro.circuits import QuantumCircuit, circuit_layers, critical_path_length
+from repro.circuits.dag import circuit_dependency_graph
+
+
+class TestLayers:
+    def test_single_layer(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.h(1)
+        qc.h(2)
+        layers = circuit_layers(qc)
+        assert layers.depth == 1
+        assert layers.widths() == (3,)
+
+    def test_sequential_layers(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(1, 0)
+        qc.cx(0, 1)
+        assert circuit_layers(qc).depth == 3
+
+    def test_min_qubits_filter(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.h(1)
+        assert circuit_layers(qc, min_qubits=2).depth == 1
+
+    def test_depth_matches_circuit_depth(self, rng):
+        from repro.circuits import random_circuit
+
+        qc = random_circuit(5, 40, rng=rng)
+        assert circuit_layers(qc).depth == qc.depth()
+
+
+class TestDependencyGraph:
+    def test_edges_follow_shared_qubits(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)        # 0
+        qc.cx(0, 1)    # 1 depends on 0
+        qc.x(2)        # 2 independent
+        qc.cx(1, 2)    # 3 depends on 1 and 2
+        graph = circuit_dependency_graph(qc)
+        assert set(graph.edges()) == {(0, 1), (1, 3), (2, 3)}
+
+    def test_critical_path_equals_depth(self, rng):
+        from repro.circuits import random_circuit
+
+        qc = random_circuit(4, 30, rng=rng)
+        assert critical_path_length(qc) == qc.depth()
+
+    def test_empty_circuit(self):
+        assert critical_path_length(QuantumCircuit(2)) == 0

@@ -1,0 +1,199 @@
+"""Unit tests for the composite-gate decompositions (parity ladders, MCX, MCP, ...)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    Statevector,
+    ccp_decomposition,
+    ccx_decomposition,
+    ccz_decomposition,
+    circuit_unitary,
+    circuits_equivalent,
+    controlled_unitary_abc,
+    cx_ladder,
+    cx_pyramid,
+    euler_zyz,
+    mc_rotation_decomposition,
+    mcp_decomposition,
+    mcx_decomposition,
+    mcx_vchain,
+    mcz_decomposition,
+    undo_cx_pairs,
+)
+from repro.circuits.decompositions import cswap_decomposition
+from repro.circuits.standard_gates import rz_matrix, ry_matrix
+from repro.exceptions import DecompositionError
+
+
+class TestParityLadders:
+    def test_linear_ladder_cx_count(self):
+        qc = QuantumCircuit(5)
+        cx_ladder(qc, [0, 1, 2, 3], 4)
+        assert qc.count_ops() == {"cx": 4}
+        assert qc.depth() == 4
+
+    def test_pyramid_same_count_lower_depth(self):
+        linear = QuantumCircuit(8)
+        cx_ladder(linear, list(range(7)), 7)
+        pyramid = QuantumCircuit(8)
+        pairs = cx_pyramid(pyramid, list(range(7)), 7)
+        assert len(pairs) == 7
+        assert pyramid.count_ops()["cx"] == linear.count_ops()["cx"]
+        assert pyramid.depth() < linear.depth()
+
+    def test_pyramid_parity_on_target(self, rng):
+        # The parity of all qubits must end up on the target for every basis state.
+        n = 6
+        for _ in range(6):
+            bits = rng.integers(0, 2, n)
+            index = int("".join(map(str, bits)), 2)
+            qc = QuantumCircuit(n)
+            cx_pyramid(qc, list(range(n - 1)), n - 1)
+            out = Statevector(index, n).evolve(qc)
+            out_index = int(np.argmax(np.abs(out.data)))
+            assert (out_index & 1) == (int(bits.sum()) & 1)
+
+    def test_undo_cx_pairs_restores_identity(self):
+        qc = QuantumCircuit(5)
+        pairs = cx_pyramid(qc, [0, 1, 2, 3], 4)
+        undo_cx_pairs(qc, pairs)
+        np.testing.assert_allclose(circuit_unitary(qc), np.eye(32), atol=1e-12)
+
+
+class TestEulerAndABC:
+    def test_euler_reconstructs(self, random_unitary_2x2):
+        alpha, beta, gamma, delta = euler_zyz(random_unitary_2x2)
+        rebuilt = (
+            np.exp(1j * alpha) * rz_matrix(beta) @ ry_matrix(gamma) @ rz_matrix(delta)
+        )
+        np.testing.assert_allclose(rebuilt, random_unitary_2x2, atol=1e-9)
+
+    def test_euler_rejects_wrong_shape(self):
+        with pytest.raises(DecompositionError):
+            euler_zyz(np.eye(4))
+
+    def test_controlled_unitary_abc(self, random_unitary_2x2):
+        ref = QuantumCircuit(2)
+        ref.mc_unitary(random_unitary_2x2, [0], [1])
+        dec = controlled_unitary_abc(random_unitary_2x2, 0, 1, 2)
+        assert circuits_equivalent(ref, dec)
+
+    def test_abc_only_one_and_two_qubit_gates(self, random_unitary_2x2):
+        dec = controlled_unitary_abc(random_unitary_2x2, 0, 1, 2)
+        assert all(len(instr.qubits) <= 2 for instr in dec)
+
+
+class TestToffoliFamily:
+    def test_ccx(self):
+        ref = QuantumCircuit(3)
+        ref.ccx(0, 1, 2)
+        assert circuits_equivalent(ref, ccx_decomposition(0, 1, 2, 3), up_to_global_phase=True)
+
+    def test_ccz(self):
+        ref = QuantumCircuit(3)
+        ref.ccz(0, 1, 2)
+        assert circuits_equivalent(ref, ccz_decomposition(0, 1, 2, 3))
+
+    def test_ccp(self):
+        ref = QuantumCircuit(3)
+        ref.ccp(0.37, 0, 1, 2)
+        assert circuits_equivalent(ref, ccp_decomposition(0.37, 0, 1, 2, 3))
+
+    def test_cswap(self):
+        ref = QuantumCircuit(3)
+        ref.cswap(0, 1, 2)
+        assert circuits_equivalent(ref, cswap_decomposition(0, 1, 2, 3), up_to_global_phase=True)
+
+    def test_ccx_cx_count(self):
+        assert ccx_decomposition(0, 1, 2, 3).count_ops()["cx"] == 6
+
+
+class TestMultiControlled:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_mcx_all_ones(self, k):
+        ref = QuantumCircuit(k + 1)
+        ref.mcx(list(range(k)), k)
+        dec = mcx_decomposition(list(range(k)), k, k + 1)
+        assert circuits_equivalent(ref, dec, up_to_global_phase=True)
+
+    @pytest.mark.parametrize("ctrl_state", [0, 1, 2, 5])
+    def test_mcx_ctrl_state(self, ctrl_state):
+        ref = QuantumCircuit(4)
+        ref.mcx([0, 1, 2], 3, ctrl_state)
+        dec = mcx_decomposition([0, 1, 2], 3, 4, ctrl_state)
+        assert circuits_equivalent(ref, dec, up_to_global_phase=True)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_mcp(self, k):
+        ref = QuantumCircuit(k + 1)
+        ref.mcp(0.81, list(range(k)), k)
+        dec = mcp_decomposition(0.81, list(range(k)), k, k + 1)
+        assert circuits_equivalent(ref, dec)
+
+    def test_mcz(self):
+        ref = QuantumCircuit(4)
+        ref.mcz([0, 1, 2], 3)
+        dec = mcz_decomposition([0, 1, 2], 3, 4)
+        assert circuits_equivalent(ref, dec)
+
+    @pytest.mark.parametrize("axis", ["x", "y", "z"])
+    def test_mc_rotation(self, axis):
+        ref = QuantumCircuit(4)
+        getattr(ref, f"mcr{axis}")(0.63, [0, 1, 2], 3, 0b011)
+        dec = mc_rotation_decomposition(axis, 0.63, [0, 1, 2], 3, 4, 0b011)
+        assert circuits_equivalent(ref, dec)
+
+    def test_mc_rotation_invalid_axis(self):
+        with pytest.raises(DecompositionError):
+            mc_rotation_decomposition("w", 0.2, [0], 1, 2)
+
+    def test_decompositions_contain_only_small_gates(self):
+        dec = mcp_decomposition(0.3, [0, 1, 2, 3], 4, 5)
+        assert all(len(instr.qubits) <= 2 for instr in dec)
+
+
+class TestVChain:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_vchain_correct_on_zero_ancillas(self, k):
+        num_anc = k - 2
+        total = k + 1 + num_anc
+        ref = QuantumCircuit(k + 1)
+        ref.mcx(list(range(k)), k)
+        dec = mcx_vchain(list(range(k)), k, list(range(k + 1, total)), total)
+        # Compare action on the subspace where the ancillas are |0>.
+        full = circuit_unitary(dec)
+        dim = 1 << (k + 1)
+        indices = [i << num_anc for i in range(dim)]
+        block = full[np.ix_(indices, indices)]
+        np.testing.assert_allclose(np.abs(block), np.abs(circuit_unitary(ref)), atol=1e-8)
+
+    def test_vchain_two_qubit_count_linear(self):
+        counts = []
+        for k in (4, 6, 8):
+            num_anc = k - 2
+            total = k + 1 + num_anc
+            dec = mcx_vchain(list(range(k)), k, list(range(k + 1, total)), total)
+            counts.append(dec.num_two_qubit_gates())
+        # 2k-3 Toffolis at 6 CX each -> linear growth with constant increment.
+        assert counts[1] - counts[0] == counts[2] - counts[1]
+
+    def test_vchain_requires_enough_ancillas(self):
+        with pytest.raises(DecompositionError):
+            mcx_vchain([0, 1, 2, 3], 4, [5], 7)
+
+    def test_vchain_small_cases(self):
+        ref = QuantumCircuit(3)
+        ref.ccx(0, 1, 2)
+        dec = mcx_vchain([0, 1], 2, [], 3)
+        assert circuits_equivalent(ref, dec, up_to_global_phase=True)
+
+
+class TestMCPAngleAccumulation:
+    def test_mcp_pi_equals_mcz(self):
+        a = mcp_decomposition(math.pi, [0, 1], 2, 3)
+        b = mcz_decomposition([0, 1], 2, 3)
+        assert circuits_equivalent(a, b)

@@ -1,0 +1,76 @@
+"""Random-circuit generator tests and hypothesis properties of the circuit layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    QuantumCircuit,
+    Statevector,
+    circuit_unitary,
+    random_circuit,
+    transpile,
+)
+from repro.exceptions import CircuitError
+from repro.utils.linalg import is_unitary, random_statevector
+
+
+class TestRandomCircuit:
+    def test_reproducible(self):
+        a = random_circuit(4, 20, rng=7)
+        b = random_circuit(4, 20, rng=7)
+        assert [i.name for i in a] == [i.name for i in b]
+
+    def test_requires_positive_width(self):
+        with pytest.raises(CircuitError):
+            random_circuit(0, 5)
+
+    def test_single_qubit_circuit(self):
+        qc = random_circuit(1, 15, rng=3)
+        assert qc.num_qubits == 1
+        assert qc.size() == 15
+
+
+class TestHypothesisProperties:
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=30),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    def test_unitarity(self, num_qubits, depth, seed):
+        qc = random_circuit(num_qubits, depth, rng=seed)
+        assert is_unitary(circuit_unitary(qc))
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=25),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    def test_inverse_property(self, num_qubits, depth, seed):
+        qc = random_circuit(num_qubits, depth, rng=seed)
+        product = qc.copy()
+        product.compose(qc.inverse())
+        np.testing.assert_allclose(
+            circuit_unitary(product), np.eye(1 << num_qubits), atol=1e-8
+        )
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=25),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    def test_depth_bounds(self, num_qubits, depth, seed):
+        qc = random_circuit(num_qubits, depth, rng=seed)
+        assert 0 < qc.depth() <= qc.size()
+        assert qc.two_qubit_depth() <= qc.depth()
+
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    def test_norm_preservation(self, num_qubits, depth, seed):
+        qc = random_circuit(num_qubits, depth, rng=seed)
+        psi = Statevector(random_statevector(num_qubits, np.random.default_rng(seed)))
+        assert psi.evolve(qc).norm() == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_transpile_of_random_multi_controlled(self, num_qubits, seed):
+        rng = np.random.default_rng(seed)
+        qc = QuantumCircuit(num_qubits + 1)
+        controls = list(range(num_qubits))
+        ctrl_state = int(rng.integers(0, 1 << num_qubits))
+        qc.mcrx(float(rng.uniform(-np.pi, np.pi)), controls, num_qubits, ctrl_state)
+        out = transpile(qc)
+        np.testing.assert_allclose(
+            circuit_unitary(out), circuit_unitary(qc), atol=1e-8
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for the standard gate matrices."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits.standard_gates import (
+    CX,
+    CZ,
+    DIAGONAL_GATES,
+    FSWAP,
+    ROTATION_GATES,
+    STANDARD_GATES,
+    SWAP,
+    X,
+    Y,
+    Z,
+    ccp_matrix,
+    cp_matrix,
+    phase_matrix,
+    rot_axis_matrix,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    rzz_matrix,
+    standard_gate_matrix,
+    standard_gate_num_qubits,
+    u_matrix,
+)
+from repro.exceptions import GateError
+from repro.utils.linalg import is_unitary
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(STANDARD_GATES))
+    def test_every_gate_is_unitary(self, name):
+        num_qubits, num_params, _ = STANDARD_GATES[name]
+        params = [0.37 * (i + 1) for i in range(num_params)]
+        matrix = standard_gate_matrix(name, params)
+        assert matrix.shape == (1 << num_qubits, 1 << num_qubits)
+        assert is_unitary(matrix)
+
+    def test_unknown_gate(self):
+        with pytest.raises(GateError):
+            standard_gate_matrix("nope")
+
+    def test_wrong_param_count(self):
+        with pytest.raises(GateError):
+            standard_gate_matrix("rx", ())
+
+    def test_num_qubits(self):
+        assert standard_gate_num_qubits("ccx") == 3
+
+    def test_diagonal_gates_are_diagonal(self):
+        for name in DIAGONAL_GATES:
+            num_qubits, num_params, _ = STANDARD_GATES[name]
+            matrix = standard_gate_matrix(name, [0.3] * num_params)
+            off_diag = matrix - np.diag(np.diag(matrix))
+            assert np.allclose(off_diag, 0.0), name
+
+    def test_rotation_set_members_have_params(self):
+        for name in ROTATION_GATES:
+            assert STANDARD_GATES[name][1] >= 1, name
+
+
+class TestRotations:
+    def test_rx_is_exponential(self):
+        np.testing.assert_allclose(rx_matrix(0.7), expm(-1j * 0.7 * X / 2), atol=1e-12)
+
+    def test_ry_is_exponential(self):
+        np.testing.assert_allclose(ry_matrix(-1.2), expm(1j * 1.2 * Y / 2), atol=1e-12)
+
+    def test_rz_is_exponential(self):
+        np.testing.assert_allclose(rz_matrix(0.5), expm(-1j * 0.5 * Z / 2), atol=1e-12)
+
+    def test_phase_gate(self):
+        np.testing.assert_allclose(phase_matrix(np.pi), np.diag([1, -1]), atol=1e-12)
+
+    def test_rot_axis_matches_exponential(self):
+        np.testing.assert_allclose(
+            rot_axis_matrix(0.4, -0.9), expm(-1j * (0.4 * X - 0.9 * Y) / 2), atol=1e-12
+        )
+
+    def test_rot_axis_zero_angle(self):
+        np.testing.assert_allclose(rot_axis_matrix(0.0, 0.0), np.eye(2), atol=1e-12)
+
+    def test_u_gate_special_case(self):
+        # U(θ, -π/2, π/2) = RX(θ)
+        np.testing.assert_allclose(
+            u_matrix(0.8, -np.pi / 2, np.pi / 2), rx_matrix(0.8), atol=1e-12
+        )
+
+    def test_rzz_diagonal_values(self):
+        theta = 0.61
+        expected = np.diag(
+            [np.exp(-1j * theta / 2), np.exp(1j * theta / 2),
+             np.exp(1j * theta / 2), np.exp(-1j * theta / 2)]
+        )
+        np.testing.assert_allclose(rzz_matrix(theta), expected, atol=1e-12)
+
+
+class TestTwoAndThreeQubit:
+    def test_cx_action(self):
+        state = np.zeros(4)
+        state[2] = 1.0  # |10>
+        np.testing.assert_allclose(CX @ state, np.array([0, 0, 0, 1.0]))
+
+    def test_cz_symmetric(self):
+        np.testing.assert_allclose(CZ, CZ.T)
+
+    def test_swap(self):
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        np.testing.assert_allclose(SWAP @ state, np.array([0, 0, 1.0, 0]))
+
+    def test_fswap_sign(self):
+        assert FSWAP[3, 3] == -1
+
+    def test_cp_only_phases_11(self):
+        matrix = cp_matrix(0.9)
+        np.testing.assert_allclose(np.diag(matrix)[:3], np.ones(3))
+        assert np.angle(matrix[3, 3]) == pytest.approx(0.9)
+
+    def test_ccp_only_phases_111(self):
+        matrix = ccp_matrix(0.4)
+        np.testing.assert_allclose(np.diag(matrix)[:7], np.ones(7))
+        assert np.angle(matrix[7, 7]) == pytest.approx(0.4)

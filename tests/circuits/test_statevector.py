@@ -1,0 +1,123 @@
+"""Unit tests for the statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, Statevector, apply_matrix, simulate
+from repro.circuits.standard_gates import CX, H, X
+from repro.exceptions import SimulationError
+from repro.utils.linalg import random_statevector
+
+
+class TestConstruction:
+    def test_from_int(self):
+        state = Statevector(3, 2)
+        np.testing.assert_allclose(state.data, [0, 0, 0, 1])
+
+    def test_from_int_requires_width(self):
+        with pytest.raises(SimulationError):
+            Statevector(3)
+
+    def test_from_bitstring(self):
+        state = Statevector.from_bitstring("10")
+        np.testing.assert_allclose(state.data, [0, 0, 1, 0])
+
+    def test_invalid_length(self):
+        with pytest.raises(SimulationError):
+            Statevector(np.ones(3))
+
+    def test_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            Statevector(np.ones(4), num_qubits=3)
+
+    def test_normalize(self):
+        state = Statevector(np.array([3.0, 4.0, 0, 0]))
+        assert state.normalize().norm() == pytest.approx(1.0)
+
+    def test_normalize_zero_vector(self):
+        with pytest.raises(SimulationError):
+            Statevector(np.zeros(2)).normalize()
+
+
+class TestApplyMatrix:
+    def test_single_qubit_on_msb(self):
+        tensor = np.zeros((2, 2), dtype=complex)
+        tensor[0, 0] = 1.0
+        out = apply_matrix(tensor, X, [0])
+        assert out[1, 0] == pytest.approx(1.0)
+
+    def test_two_qubit_ordering(self):
+        # CX with control=qubit1 (LSB), target=qubit0 (MSB) on |01> -> |11>
+        state = Statevector(0b01, 2)
+        out = state.evolve_matrix(CX, [1, 0])
+        np.testing.assert_allclose(np.abs(out.data), [0, 0, 0, 1])
+
+    def test_shape_mismatch(self):
+        tensor = np.zeros((2, 2), dtype=complex)
+        with pytest.raises(SimulationError):
+            apply_matrix(tensor, np.eye(4), [0])
+
+
+class TestEvolution:
+    def test_bell_state(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        state = simulate(qc)
+        np.testing.assert_allclose(state.data, [1 / np.sqrt(2), 0, 0, 1 / np.sqrt(2)])
+
+    def test_width_mismatch(self):
+        qc = QuantumCircuit(3)
+        with pytest.raises(SimulationError):
+            Statevector.zero_state(2).evolve(qc)
+
+    def test_global_phase_applied(self):
+        qc = QuantumCircuit(1)
+        qc.global_phase = np.pi / 2
+        state = simulate(qc)
+        assert state.data[0] == pytest.approx(1j)
+
+    def test_norm_preserved(self, rng):
+        from repro.circuits import random_circuit
+
+        qc = random_circuit(4, 40, rng=rng)
+        psi = Statevector(random_statevector(4, rng))
+        assert psi.evolve(qc).norm() == pytest.approx(1.0)
+
+    def test_evolve_matches_matrix_product(self, rng):
+        from repro.circuits import circuit_unitary, random_circuit
+
+        qc = random_circuit(3, 25, rng=rng)
+        psi = random_statevector(3, rng)
+        direct = Statevector(psi).evolve(qc).data
+        via_matrix = circuit_unitary(qc) @ psi
+        np.testing.assert_allclose(direct, via_matrix, atol=1e-10)
+
+
+class TestMeasurementHelpers:
+    def test_probabilities_sum(self, rng):
+        state = Statevector(random_statevector(3, rng))
+        assert state.probabilities().sum() == pytest.approx(1.0)
+
+    def test_expectation_value_of_projector(self):
+        state = Statevector.from_bitstring("01")
+        proj = np.diag([0, 1, 0, 0]).astype(complex)
+        assert state.expectation_value(proj) == pytest.approx(1.0)
+
+    def test_expectation_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            Statevector.zero_state(1).expectation_value(np.eye(4))
+
+    def test_sample_counts_deterministic_state(self):
+        counts = Statevector.from_bitstring("101").sample_counts(50, np.random.default_rng(0))
+        assert counts == {"101": 50}
+
+    def test_sample_counts_invalid_shots(self):
+        with pytest.raises(SimulationError):
+            Statevector.zero_state(1).sample_counts(0)
+
+    def test_inner_and_fidelity(self):
+        a = Statevector.from_bitstring("0")
+        b = Statevector(np.array([1, 1]) / np.sqrt(2))
+        assert abs(a.inner(b)) == pytest.approx(1 / np.sqrt(2))
+        assert a.fidelity(b) == pytest.approx(0.5)

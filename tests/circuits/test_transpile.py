@@ -1,0 +1,132 @@
+"""Unit tests for the transpiler."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    TranspileOptions,
+    circuit_unitary,
+    circuits_equivalent,
+    transpile,
+)
+from repro.circuits.gate import ControlledGate, StandardGate, UnitaryGate
+from repro.exceptions import DecompositionError
+
+
+def _composite_circuit() -> QuantumCircuit:
+    qc = QuantumCircuit(5, "composite")
+    qc.mcx([0, 1, 2], 3)
+    qc.mcp(0.4, [1, 2], 4, 0b01)
+    qc.mcrx(0.7, [0, 3], 4)
+    qc.mcry(0.3, [2, 4], 0, 0b10)
+    qc.mcrz(-0.5, [1], 3)
+    qc.ccx(0, 1, 2)
+    qc.ccz(2, 3, 4)
+    qc.ccp(1.1, 0, 2, 4)
+    qc.cswap(0, 1, 2)
+    qc.h(0)
+    qc.cx(1, 2)
+    return qc
+
+
+class TestNoAncillaTranspile:
+    def test_equivalence(self):
+        qc = _composite_circuit()
+        out = transpile(qc)
+        assert circuits_equivalent(qc, out, up_to_global_phase=True)
+
+    def test_max_arity_two(self):
+        out = transpile(_composite_circuit())
+        assert all(len(instr.qubits) <= 2 for instr in out)
+
+    def test_no_extra_qubits(self):
+        out = transpile(_composite_circuit())
+        assert out.num_qubits == 5
+
+    def test_plain_gates_pass_through(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        out = transpile(qc)
+        assert out.count_ops() == {"h": 1, "cx": 1}
+
+    def test_global_phase_preserved(self):
+        qc = QuantumCircuit(1)
+        qc.global_phase = 0.8
+        assert transpile(qc).global_phase == pytest.approx(0.8)
+
+    def test_controlled_generic_unitary(self, random_unitary_2x2):
+        qc = QuantumCircuit(3)
+        qc.mc_unitary(random_unitary_2x2, [0, 1], [2], ctrl_state=0b01)
+        out = transpile(qc)
+        assert circuits_equivalent(qc, out, up_to_global_phase=True)
+        assert all(len(instr.qubits) <= 2 for instr in out)
+
+    def test_controlled_gphase(self):
+        qc = QuantumCircuit(2)
+        qc.append(ControlledGate(StandardGate("gphase", (0.5,)), 1, 1), (0, 1))
+        out = transpile(qc)
+        assert circuits_equivalent(qc, out)
+
+    def test_multiqubit_unitary_rejected(self):
+        qc = QuantumCircuit(3)
+        matrix = np.eye(8)
+        qc.append(UnitaryGate(matrix), (0, 1, 2))
+        with pytest.raises(DecompositionError):
+            transpile(qc)
+
+    def test_controlled_multiqubit_base_rejected(self):
+        qc = QuantumCircuit(3)
+        qc.mc_unitary(np.eye(4), [0], [1, 2])
+        with pytest.raises(DecompositionError):
+            transpile(qc)
+
+
+class TestVChainTranspile:
+    def test_adds_ancillas_and_stays_correct(self):
+        qc = QuantumCircuit(6)
+        qc.mcx([0, 1, 2, 3, 4], 5)
+        out = transpile(qc, TranspileOptions(mcx_mode="vchain"))
+        assert out.num_qubits == 6 + 3
+        full = circuit_unitary(out)
+        dim = 1 << 6
+        indices = [i << 3 for i in range(dim)]
+        block = full[np.ix_(indices, indices)]
+        np.testing.assert_allclose(block, circuit_unitary(qc), atol=1e-8)
+
+    def test_vchain_cheaper_than_noancilla_for_many_controls(self):
+        qc = QuantumCircuit(7)
+        qc.mcx(list(range(6)), 6)
+        no_anc = transpile(qc, TranspileOptions(mcx_mode="noancilla"))
+        v_chain = transpile(qc, TranspileOptions(mcx_mode="vchain"))
+        assert v_chain.num_two_qubit_gates() < no_anc.num_two_qubit_gates()
+
+
+class TestTwoQubitExpansion:
+    def test_expand_to_cx_basis(self):
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1)
+        qc.swap(0, 1)
+        qc.crz(0.4, 0, 1)
+        qc.rzz(0.3, 0, 1)
+        qc.rxx(0.2, 0, 1)
+        qc.ryy(0.6, 0, 1)
+        qc.cry(0.5, 0, 1)
+        out = transpile(qc, TranspileOptions(expand_two_qubit=True, keep_cp=True))
+        names = set(out.count_ops())
+        assert names <= {"cx", "cp", "h", "s", "sdg", "rz", "ry", "p", "x"}
+        assert circuits_equivalent(qc, out, up_to_global_phase=True)
+
+    def test_keep_cp_false_removes_cp(self):
+        qc = QuantumCircuit(2)
+        qc.cp(0.9, 0, 1)
+        out = transpile(qc, TranspileOptions(expand_two_qubit=True, keep_cp=False))
+        assert "cp" not in out.count_ops()
+        assert circuits_equivalent(qc, out, up_to_global_phase=True)
+
+    def test_cx_untouched(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        out = transpile(qc, TranspileOptions(expand_two_qubit=True))
+        assert out.count_ops() == {"cx": 1}

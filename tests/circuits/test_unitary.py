@@ -1,0 +1,65 @@
+"""Unit tests for the dense-unitary builder and equivalence checks."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, circuit_unitary, circuits_equivalent, random_circuit
+from repro.exceptions import SimulationError
+from repro.utils.linalg import is_unitary
+
+
+class TestCircuitUnitary:
+    def test_identity_circuit(self):
+        qc = QuantumCircuit(2)
+        np.testing.assert_allclose(circuit_unitary(qc), np.eye(4))
+
+    def test_random_circuit_is_unitary(self, rng):
+        qc = random_circuit(4, 30, rng=rng)
+        assert is_unitary(circuit_unitary(qc))
+
+    def test_respects_global_phase(self):
+        qc = QuantumCircuit(1)
+        qc.global_phase = 0.3
+        np.testing.assert_allclose(circuit_unitary(qc), np.exp(1j * 0.3) * np.eye(2))
+
+    def test_size_guard(self):
+        qc = QuantumCircuit(15)
+        with pytest.raises(SimulationError):
+            circuit_unitary(qc)
+
+    def test_gate_order(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.z(0)
+        # operator = Z @ X
+        expected = np.array([[0, 1], [-1, 0]], dtype=complex)
+        np.testing.assert_allclose(circuit_unitary(qc), expected)
+
+
+class TestEquivalence:
+    def test_equivalent_true(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        b = QuantumCircuit(2)
+        b.h(1)
+        b.cz(0, 1)
+        b.h(1)
+        assert circuits_equivalent(a, b)
+
+    def test_equivalent_false(self):
+        a = QuantumCircuit(1)
+        a.x(0)
+        b = QuantumCircuit(1)
+        b.z(0)
+        assert not circuits_equivalent(a, b)
+
+    def test_width_mismatch(self):
+        assert not circuits_equivalent(QuantumCircuit(1), QuantumCircuit(2))
+
+    def test_up_to_global_phase(self):
+        a = QuantumCircuit(1)
+        a.z(0)
+        b = QuantumCircuit(1)
+        b.rz(np.pi, 0)  # differs from Z by a global phase
+        assert not circuits_equivalent(a, b)
+        assert circuits_equivalent(a, b, up_to_global_phase=True)

@@ -1,0 +1,43 @@
+"""Shared pytest fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep hypothesis runs short enough for the full suite while still exploring
+# a meaningful part of the input space.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by the tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def random_unitary_2x2(rng) -> np.ndarray:
+    matrix = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    q, _ = np.linalg.qr(matrix)
+    return q
+
+
+def assert_unitaries_close(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> None:
+    """Assert two unitaries are equal (no global-phase allowance)."""
+    np.testing.assert_allclose(a, b, atol=atol, rtol=0.0)
+
+
+def assert_unitaries_close_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> None:
+    """Assert two unitaries are equal up to a global phase."""
+    overlap = np.trace(a.conj().T @ b)
+    assert abs(overlap) > 1e-12, "unitaries are orthogonal, not phase-related"
+    phase = overlap / abs(overlap)
+    np.testing.assert_allclose(a * phase, b, atol=atol, rtol=0.0)

@@ -1,0 +1,131 @@
+"""Unit tests for the basis changes (Fig. 2 dashed box, Fig. 3, Fig. 25)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Statevector, circuit_unitary
+from repro.core import parity_accumulation, pauli_diagonalisation, transition_basis_change
+from repro.exceptions import CircuitError
+from repro.operators import pauli_matrix
+from repro.utils.bits import bits_to_int, complement_bits, int_to_bits
+
+
+def _map_basis_state(circuit, index, num_qubits):
+    out = Statevector(index, num_qubits).evolve(circuit)
+    position = int(np.argmax(np.abs(out.data)))
+    assert abs(out.data[position]) == pytest.approx(1.0)
+    return position
+
+
+class TestTransitionBasisChange:
+    @pytest.mark.parametrize("mode", ["linear", "pyramid"])
+    def test_maps_pair_to_pivot_difference(self, mode):
+        num_qubits = 5
+        qubits = (0, 2, 3, 4)
+        ket_bits = (1, 0, 0, 1)
+        change = transition_basis_change(num_qubits, qubits, ket_bits, mode=mode)
+        a = bits_to_int([1, 0, 0, 0, 1][:num_qubits])
+        # Build the full-register a and b states (qubit 1 arbitrary, say 0).
+        a_bits = [0] * num_qubits
+        b_bits = [0] * num_qubits
+        for q, bit in zip(qubits, ket_bits):
+            a_bits[q] = bit
+            b_bits[q] = 1 - bit
+        a = bits_to_int(a_bits)
+        b = bits_to_int(b_bits)
+        mapped_a = _map_basis_state(change.circuit, a, num_qubits)
+        mapped_b = _map_basis_state(change.circuit, b, num_qubits)
+        # The two images differ only on the pivot qubit...
+        diff = mapped_a ^ mapped_b
+        assert diff == 1 << (num_qubits - 1 - change.pivot)
+        # ...and every cleared qubit reads 0 in both images.
+        for q in change.cleared_qubits:
+            mask = 1 << (num_qubits - 1 - q)
+            assert not (mapped_a & mask)
+            assert not (mapped_b & mask)
+
+    @pytest.mark.parametrize("mode", ["linear", "pyramid"])
+    def test_cx_count_is_size_minus_one(self, mode):
+        change = transition_basis_change(6, (0, 1, 2, 3, 4, 5), (1, 0, 1, 1, 0, 0), mode=mode)
+        assert change.cx_count == 5
+
+    def test_pyramid_depth_lower_than_linear(self):
+        qubits = tuple(range(8))
+        bits = (1, 0, 1, 1, 0, 0, 1, 0)
+        linear = transition_basis_change(8, qubits, bits, mode="linear")
+        pyramid = transition_basis_change(8, qubits, bits, mode="pyramid")
+        assert pyramid.cx_count == linear.cx_count
+        assert pyramid.depth < linear.depth
+
+    def test_explicit_pivot_linear(self):
+        change = transition_basis_change(4, (0, 1, 3), (1, 1, 0), mode="linear", pivot=1)
+        assert change.pivot == 1
+
+    def test_explicit_pivot_pyramid(self):
+        change = transition_basis_change(4, (0, 1, 3), (1, 1, 0), mode="pyramid", pivot=0)
+        assert change.pivot == 0
+
+    def test_invalid_pivot(self):
+        with pytest.raises(CircuitError):
+            transition_basis_change(4, (0, 1), (1, 0), pivot=3)
+
+    def test_invalid_mode(self):
+        with pytest.raises(CircuitError):
+            transition_basis_change(4, (0, 1), (1, 0), mode="diagonal")
+
+    def test_empty_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            transition_basis_change(4, (), ())
+
+    def test_single_transition_qubit(self):
+        change = transition_basis_change(3, (1,), (0,))
+        assert change.pivot == 1
+        assert change.cx_count == 0
+        assert change.pivot_ket_bit == 0
+
+
+class TestPauliDiagonalisation:
+    @pytest.mark.parametrize("label", ["X", "Y", "Z"])
+    def test_diagonalises_each_pauli(self, label):
+        circuit = pauli_diagonalisation(1, (0,), (label,))
+        basis = circuit_unitary(circuit)
+        conjugated = basis @ pauli_matrix(label) @ basis.conj().T
+        np.testing.assert_allclose(conjugated, pauli_matrix("Z"), atol=1e-12)
+
+    def test_invalid_label(self):
+        with pytest.raises(CircuitError):
+            pauli_diagonalisation(1, (0,), ("Q",))
+
+    def test_multi_qubit_string(self):
+        circuit = pauli_diagonalisation(3, (0, 1, 2), ("X", "Y", "Z"))
+        basis = circuit_unitary(circuit)
+        string = np.kron(np.kron(pauli_matrix("X"), pauli_matrix("Y")), pauli_matrix("Z"))
+        target = np.kron(np.kron(pauli_matrix("Z"), pauli_matrix("Z")), pauli_matrix("Z"))
+        np.testing.assert_allclose(basis @ string @ basis.conj().T, target, atol=1e-12)
+
+
+class TestParityAccumulation:
+    @pytest.mark.parametrize("mode", ["linear", "pyramid"])
+    def test_target_holds_total_parity(self, mode, rng):
+        num_qubits = 6
+        circuit = parity_accumulation(num_qubits, tuple(range(num_qubits)), 5, mode=mode)
+        for _ in range(6):
+            bits = rng.integers(0, 2, num_qubits)
+            index = bits_to_int(list(bits))
+            mapped = _map_basis_state(circuit, index, num_qubits)
+            target_bit = int_to_bits(mapped, num_qubits)[5]
+            assert target_bit == int(bits.sum()) % 2
+
+    def test_pyramid_depth_advantage(self):
+        linear = parity_accumulation(9, tuple(range(9)), 8, mode="linear")
+        pyramid = parity_accumulation(9, tuple(range(9)), 8, mode="pyramid")
+        assert linear.count_ops().get("cx", 0) == pyramid.count_ops().get("cx", 0)
+        assert pyramid.depth() < linear.depth()
+
+    def test_single_qubit_is_empty(self):
+        circuit = parity_accumulation(3, (1,), 1)
+        assert circuit.size() == 0
+
+    def test_invalid_mode(self):
+        with pytest.raises(CircuitError):
+            parity_accumulation(3, (0, 1), 1, mode="tree3")

@@ -1,0 +1,131 @@
+"""Unit tests for controlled / sign-controlled direct evolutions (Figs. 20-22)."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits import circuit_unitary
+from repro.core import (
+    controlled_direct_trotter_step,
+    controlled_evolve_fragment,
+    sign_controlled_evolve_fragment,
+)
+from repro.exceptions import CircuitError
+from repro.operators import Hamiltonian, SCBTerm
+from repro.operators.hamiltonian import HermitianFragment
+from repro.utils.linalg import spectral_norm_diff
+
+
+def _controlled_target(unitary: np.ndarray, ctrl_state: int = 1) -> np.ndarray:
+    dim = unitary.shape[0]
+    blocks = [np.eye(dim), np.eye(dim)]
+    blocks[ctrl_state] = unitary
+    return np.block(
+        [[np.diag([1, 0]).astype(complex)[i, j] * blocks[0] +
+          np.diag([0, 1]).astype(complex)[i, j] * blocks[1] for j in range(2)] for i in range(2)]
+    )
+
+
+class TestControlledEvolution:
+    @pytest.mark.parametrize("label,coeff", [("Zsd", 0.7), ("nsd", -0.4), ("nZ", 0.5), ("ZZ", 0.3)])
+    def test_control_one_applies_evolution(self, label, coeff):
+        term = SCBTerm.from_label(label, coeff)
+        fragment = HermitianFragment(term, include_hc=not term.is_hermitian)
+        unitary = expm(-1j * 0.5 * fragment.matrix())
+        circuit = controlled_evolve_fragment(fragment, 0.5)
+        dim = unitary.shape[0]
+        target = np.kron(np.diag([1, 0]), np.eye(dim)) + np.kron(np.diag([0, 1]), unitary)
+        assert spectral_norm_diff(circuit_unitary(circuit), target) < 1e-8
+
+    def test_control_zero_state(self):
+        term = SCBTerm.from_label("sd", 0.6)
+        fragment = HermitianFragment(term, True)
+        unitary = expm(-1j * 0.4 * fragment.matrix())
+        circuit = controlled_evolve_fragment(fragment, 0.4, ctrl_state=0)
+        target = np.kron(np.diag([1, 0]), unitary) + np.kron(np.diag([0, 1]), np.eye(4))
+        assert spectral_norm_diff(circuit_unitary(circuit), target) < 1e-8
+
+    def test_identity_fragment_controlled_global_phase(self):
+        term = SCBTerm.from_label("II", 0.9)
+        fragment = HermitianFragment(term, include_hc=False)
+        circuit = controlled_evolve_fragment(fragment, 0.3)
+        unitary = circuit_unitary(circuit)
+        # phase e^{-i 0.27} only on the control = 1 block
+        assert np.angle(unitary[4, 4]) == pytest.approx(-0.27)
+        assert unitary[0, 0] == pytest.approx(1.0)
+
+    def test_existing_free_qubit_as_control(self):
+        term = SCBTerm.from_label("Isd", 0.5)
+        fragment = HermitianFragment(term, True)
+        circuit = controlled_evolve_fragment(fragment, 0.3, control=0)
+        assert circuit.num_qubits == 3
+        unitary = expm(-1j * 0.3 * fragment.matrix())
+        # fragment acts trivially on qubit 0 so the 8x8 target factorises
+        target = np.zeros((8, 8), dtype=complex)
+        target[:4, :4] = np.eye(4)
+        target[4:, 4:] = unitary[4:, 4:]
+        # build exact target: control qubit 0 -> identity on block 0, evolution on block 1
+        sub = expm(-1j * 0.3 * HermitianFragment(SCBTerm.from_label("sd", 0.5), True).matrix())
+        target = np.kron(np.diag([1, 0]), np.eye(4)) + np.kron(np.diag([0, 1]), sub)
+        assert spectral_norm_diff(circuit_unitary(circuit), target) < 1e-8
+
+    def test_control_inside_support_rejected(self):
+        term = SCBTerm.from_label("sd", 0.5)
+        fragment = HermitianFragment(term, True)
+        with pytest.raises(CircuitError):
+            controlled_evolve_fragment(fragment, 0.3, control=0)
+
+    def test_only_rotation_is_controlled(self):
+        # The controlled circuit must not contain controlled versions of the
+        # basis-change CX gates (paper's point: only the rotation is controlled).
+        term = SCBTerm.from_label("Zsd", 0.7)
+        fragment = HermitianFragment(term, True)
+        circuit = controlled_evolve_fragment(fragment, 0.5)
+        base = controlled = 0
+        for instr in circuit:
+            if instr.name == "cx":
+                base += 1
+            if instr.name.startswith("c") and "rx" in instr.name:
+                controlled += 1
+        assert base >= 2
+        assert controlled == 1
+
+
+class TestSignControlledEvolution:
+    @pytest.mark.parametrize("label,coeff", [("Zsd", 0.7), ("sd", 0.4), ("nsdX", 0.6)])
+    def test_sign_selection(self, label, coeff):
+        term = SCBTerm.from_label(label, coeff)
+        fragment = HermitianFragment(term, True)
+        unitary = expm(-1j * 0.5 * fragment.matrix())
+        circuit = sign_controlled_evolve_fragment(fragment, 0.5)
+        dim = unitary.shape[0]
+        target = np.kron(np.diag([1, 0]), unitary) + np.kron(np.diag([0, 1]), unitary.conj().T)
+        assert spectral_norm_diff(circuit_unitary(circuit), target) < 1e-8
+
+    def test_rz_central_gate_rejected(self):
+        term = SCBTerm.from_label("ZZ", 0.3)
+        fragment = HermitianFragment(term, include_hc=False)
+        with pytest.raises(CircuitError):
+            sign_controlled_evolve_fragment(fragment, 0.2)
+
+    def test_cheaper_than_two_controlled_evolutions(self):
+        term = SCBTerm.from_label("Zsd", 0.7)
+        fragment = HermitianFragment(term, True)
+        pm = sign_controlled_evolve_fragment(fragment, 0.5)
+        ctrl = controlled_evolve_fragment(fragment, 0.5)
+        assert pm.num_rotation_gates() <= ctrl.num_rotation_gates()
+        assert pm.num_multi_qubit_gates() <= ctrl.num_multi_qubit_gates()
+
+
+class TestControlledTrotterStep:
+    def test_matches_controlled_exact_step(self):
+        ham = Hamiltonian(2)
+        ham.add_label("sI", 0.3)
+        ham.add_label("Zn", 0.1)
+        circuit = controlled_direct_trotter_step(ham, 0.2)
+        # The controlled step equals control ⊗ (product of fragment evolutions).
+        step = np.eye(4, dtype=complex)
+        for fragment in ham.hermitian_fragments():
+            step = expm(-1j * 0.2 * fragment.matrix()) @ step
+        target = np.kron(np.diag([1, 0]), np.eye(4)) + np.kron(np.diag([0, 1]), step)
+        assert spectral_norm_diff(circuit_unitary(circuit), target) < 1e-8

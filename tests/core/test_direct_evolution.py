@@ -1,0 +1,188 @@
+"""Unit and property tests for the direct Hamiltonian-simulation circuits (Fig. 2).
+
+The central claim tested here is the paper's exactness statement: for every
+gathered Hermitian fragment the direct circuit equals ``exp(-i t H)`` with no
+Trotter error, for every combination of operator families, basis-change layout
+and parity layout.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy.linalg import expm
+
+from repro.circuits import Statevector, circuit_unitary
+from repro.core import (
+    EvolutionOptions,
+    direct_trotter_step,
+    evolve_fragment,
+    evolve_term,
+    fragment_evolution_error,
+    trotter_step_matrix_error,
+)
+from repro.exceptions import OperatorError
+from repro.operators import Hamiltonian, SCBTerm
+from repro.operators.hamiltonian import HermitianFragment
+from repro.utils.linalg import random_statevector, spectral_norm_diff
+
+FAMILY_CASES = [
+    ("s", 0.7),          # single transition
+    ("d", -0.3),         # single transition (conjugate flavour)
+    ("sd", 0.9),         # two transitions
+    ("nsd", 1.1),        # number + transitions
+    ("Xs", 0.5),         # Pauli + transition
+    ("ZYsd", -0.8),      # Paulis + transitions
+    ("nmsdX", 0.6),      # all three non-trivial families
+    ("msdn", 0.45),      # permuted layout
+    ("nXm", 0.4),        # number + Pauli, no transition
+    ("ZZ", 0.3),         # pure Pauli string
+    ("Y", -1.7),         # single Pauli
+    ("nn", 1.3),         # pure projector
+    ("nmn", -0.7),       # mixed projector
+    ("m", 0.2),          # single hole projector
+    ("III", 0.2),        # identity (global phase)
+]
+
+
+class TestExactnessPerFamily:
+    @pytest.mark.parametrize("label,coeff", FAMILY_CASES)
+    def test_real_coefficient_exact(self, label, coeff):
+        term = SCBTerm.from_label(label, coeff)
+        fragment = HermitianFragment(term, include_hc=not term.is_hermitian)
+        assert fragment_evolution_error(fragment, 0.37) < 1e-9
+
+    @pytest.mark.parametrize("label,coeff", FAMILY_CASES)
+    def test_pyramid_layouts_exact(self, label, coeff):
+        term = SCBTerm.from_label(label, coeff)
+        fragment = HermitianFragment(term, include_hc=not term.is_hermitian)
+        options = EvolutionOptions(basis_change="pyramid", parity_mode="pyramid")
+        assert fragment_evolution_error(fragment, -0.61, options) < 1e-9
+
+    @pytest.mark.parametrize("label", ["nsdm", "sdds", "XYZs", "Isd"])
+    def test_complex_coefficient_exact_mode(self, label):
+        term = SCBTerm.from_label(label, 0.3 + 0.4j)
+        fragment = HermitianFragment(term, include_hc=True)
+        assert fragment_evolution_error(fragment, 0.53) < 1e-9
+
+    def test_complex_coefficient_trotter_split_has_error(self):
+        term = SCBTerm.from_label("nsdm", 0.3 + 0.4j)
+        fragment = HermitianFragment(term, include_hc=True)
+        split = fragment_evolution_error(
+            fragment, 0.37, EvolutionOptions(complex_mode="trotter_split")
+        )
+        exact = fragment_evolution_error(fragment, 0.37)
+        assert exact < 1e-9
+        assert split > 1e-4  # the paper's RX·RY split carries a Trotter error
+
+    def test_unknown_complex_mode(self):
+        term = SCBTerm.from_label("sd", 0.1 + 0.1j)
+        fragment = HermitianFragment(term, include_hc=True)
+        from repro.exceptions import CircuitError
+
+        with pytest.raises(CircuitError):
+            evolve_fragment(fragment, 0.1, options=EvolutionOptions(complex_mode="magic"))
+
+    def test_zero_time_is_identity(self):
+        circuit = evolve_term(SCBTerm.from_label("nsdX", 0.7), 0.0)
+        np.testing.assert_allclose(circuit_unitary(circuit), np.eye(16), atol=1e-12)
+
+
+class TestValidation:
+    def test_transition_without_hc_rejected(self):
+        fragment = HermitianFragment(SCBTerm.from_label("s", 1.0), include_hc=False)
+        with pytest.raises(OperatorError):
+            evolve_fragment(fragment, 0.1)
+
+    def test_complex_without_hc_rejected(self):
+        fragment = HermitianFragment(SCBTerm.from_label("nZ", 1.0j), include_hc=False)
+        with pytest.raises(OperatorError):
+            evolve_fragment(fragment, 0.1)
+
+    def test_include_hc_auto_detection(self):
+        hermitian = evolve_term(SCBTerm.from_label("nZ", 0.4), 0.3)
+        exact = expm(-1j * 0.3 * SCBTerm.from_label("nZ", 0.4).matrix())
+        assert spectral_norm_diff(circuit_unitary(hermitian), exact) < 1e-9
+
+
+class TestRotationAndGateCounts:
+    def test_single_rotation_per_fragment(self):
+        term = SCBTerm.from_label("nmmXYdnsssdYZds", 1.0)
+        circuit = evolve_term(term, 0.2)
+        assert circuit.num_rotation_gates() == 1
+
+    def test_gate_inventory_of_fig2_style_term(self):
+        circuit = evolve_term(SCBTerm.from_label("nmXsd", 0.8), 0.2)
+        counts = circuit.count_ops()
+        assert counts.get("cx", 0) >= 2        # transition basis change + uncompute
+        assert counts.get("h", 0) == 2         # X diagonalisation + uncompute
+        assert any(name.endswith("rx") or name == "rx" for name in counts)
+
+    def test_pivot_option_respected(self):
+        term = SCBTerm.from_label("sds", 0.5)
+        options = EvolutionOptions(pivot=2)
+        circuit = evolve_fragment(HermitianFragment(term, True), 0.3, options=options)
+        exact = expm(-1j * 0.3 * term.hermitian_matrix())
+        assert spectral_norm_diff(circuit_unitary(circuit), exact) < 1e-9
+
+
+class TestTrotterStep:
+    def test_step_error_scales_quadratically(self):
+        ham = Hamiltonian(4)
+        ham.add_label("nsdI", 0.8)
+        ham.add_label("ZZII", 0.3)
+        ham.add_label("IXsd", 0.5)
+        ham.add_label("nnnn", -0.2)
+        err_dt = trotter_step_matrix_error(ham, 0.05)
+        err_half = trotter_step_matrix_error(ham, 0.025)
+        assert err_dt / err_half == pytest.approx(4.0, rel=0.15)
+
+    def test_commuting_terms_no_error(self):
+        ham = Hamiltonian(3)
+        ham.add_label("ZII", 0.4)
+        ham.add_label("nnI", -0.3)
+        ham.add_label("IZn", 0.7)
+        assert trotter_step_matrix_error(ham, 0.9) < 1e-9
+
+    def test_direct_step_composes_all_fragments(self):
+        ham = Hamiltonian(2)
+        ham.add_label("sI", 0.3)
+        ham.add_label("Zn", 0.1)
+        circuit = direct_trotter_step(ham, 0.2)
+        assert circuit.num_rotation_gates() == 2
+
+
+class TestLargeRegisterStatevectorCheck:
+    def test_fig2_fifteen_qubit_term(self, rng):
+        term = SCBTerm.from_label("nmmXYdnsssdYZds", 1.0)
+        ham = Hamiltonian(15, [term])
+        circuit = evolve_term(term, 0.23)
+        psi = random_statevector(15, rng)
+        via_circuit = Statevector(psi).evolve(circuit).data
+        via_exact = ham.evolve_exact(psi, 0.23)
+        assert np.max(np.abs(via_circuit - via_exact)) < 1e-10
+
+
+class TestHypothesisProperties:
+    @given(
+        st.text(alphabet="IXYZnmsd", min_size=1, max_size=5),
+        st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+        st.floats(min_value=-1.5, max_value=1.5, allow_nan=False),
+    )
+    def test_every_term_is_exact(self, label, coeff, time):
+        if abs(coeff) < 1e-6:
+            coeff = 0.5
+        term = SCBTerm.from_label(label, coeff)
+        fragment = HermitianFragment(term, include_hc=not term.is_hermitian)
+        assert fragment_evolution_error(fragment, time) < 1e-8
+
+    @given(
+        st.text(alphabet="IXYZnmsd", min_size=1, max_size=5),
+        st.floats(min_value=0.1, max_value=1.5, allow_nan=False),
+    )
+    def test_evolution_is_unitary_and_inverse_matches(self, label, time):
+        term = SCBTerm.from_label(label, 0.8)
+        fragment = HermitianFragment(term, include_hc=not term.is_hermitian)
+        forward = circuit_unitary(evolve_fragment(fragment, time))
+        backward = circuit_unitary(evolve_fragment(fragment, -time))
+        np.testing.assert_allclose(forward @ backward, np.eye(forward.shape[0]), atol=1e-8)

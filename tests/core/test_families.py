@@ -1,0 +1,60 @@
+"""Unit tests for the term-structure analysis (the four families of Section III)."""
+
+import pytest
+
+from repro.core import analyze_fragment, analyze_term
+from repro.exceptions import OperatorError
+from repro.operators import SCBTerm
+from repro.operators.hamiltonian import HermitianFragment
+
+
+class TestAnalyzeTerm:
+    def test_fig2_example_partition(self):
+        structure = analyze_term(SCBTerm.from_label("nmmXYdnsssdYZds"))
+        assert structure.number_qubits == (0, 1, 2, 6)
+        assert structure.number_bits == (1, 0, 0, 1)
+        assert structure.pauli_qubits == (3, 4, 11, 12)
+        assert structure.pauli_labels == ("X", "Y", "Y", "Z")
+        assert structure.transition_qubits == (5, 7, 8, 9, 10, 13, 14)
+
+    def test_number_key_matches_paper(self):
+        # |c> = |1001> on the number qubits 0, 1, 2, 6 of the Fig. 2 example.
+        structure = analyze_term(SCBTerm.from_label("nmmXYdnsssdYZds"))
+        assert structure.number_key == 0b1001
+
+    def test_transition_kets_are_complements(self):
+        structure = analyze_term(SCBTerm.from_label("sdIds"))
+        width = len(structure.transition_qubits)
+        assert structure.transition_ket ^ structure.transition_bra == (1 << width) - 1
+
+    def test_flags(self):
+        structure = analyze_term(SCBTerm.from_label("nXI"))
+        assert structure.has_number and structure.has_pauli and not structure.has_transition
+
+    def test_identity_only(self):
+        structure = analyze_term(SCBTerm.from_label("III"))
+        assert not (structure.has_number or structure.has_pauli or structure.has_transition)
+        assert structure.identity_qubits == (0, 1, 2)
+
+    def test_controls_for_rotation(self):
+        structure = analyze_term(SCBTerm.from_label("nsmd"))
+        qubits, bits = structure.controls_for_rotation(pivot=3)
+        # transition qubits 1, 3 (pivot 3 excluded -> control on 1 with value 0);
+        # number qubits 0 (n -> 1) and 2 (m -> 0).
+        assert qubits == (1, 0, 2)
+        assert bits == (0, 1, 0)
+
+    def test_coefficient_passthrough(self):
+        structure = analyze_term(SCBTerm.from_label("ns", 0.5 - 0.25j))
+        assert structure.coefficient == 0.5 - 0.25j
+
+
+class TestAnalyzeFragment:
+    def test_valid_hermitian_fragment(self):
+        fragment = HermitianFragment(SCBTerm.from_label("nZ", 0.4), include_hc=False)
+        assert analyze_fragment(fragment).has_number
+
+    def test_invalid_fragment_raises(self):
+        fragment = HermitianFragment(SCBTerm.from_label("s", 1.0), include_hc=False)
+        with pytest.raises(OperatorError):
+            analyze_fragment(fragment)

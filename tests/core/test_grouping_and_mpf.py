@@ -1,0 +1,128 @@
+"""Unit tests for commutation grouping / ordering and the multi-product formula."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits import circuit_unitary
+from repro.core import (
+    commuting_group_count,
+    fragments_commute,
+    group_commuting_fragments,
+    grouped_trotter_circuit,
+    mpf_coefficients,
+    mpf_error,
+    mpf_one_norm,
+    multi_product_formula,
+    ordered_trotter_circuit,
+    ordering_error_spread,
+    single_formula_error,
+    direct_fragments,
+)
+from repro.exceptions import TrotterError
+from repro.operators import Hamiltonian, SCBTerm
+from repro.operators.hamiltonian import HermitianFragment
+from repro.utils.linalg import spectral_norm_diff
+
+
+@pytest.fixture
+def mixed_hamiltonian() -> Hamiltonian:
+    ham = Hamiltonian(3)
+    ham.add_label("ZII", 0.4)
+    ham.add_label("IZZ", 0.3)
+    ham.add_label("Xsd", 0.5)
+    ham.add_label("nsI", 0.7)
+    return ham
+
+
+class TestCommutationGrouping:
+    def test_fragments_commute_diagonal_pair(self):
+        a = HermitianFragment(SCBTerm.from_label("ZII", 1.0), False)
+        b = HermitianFragment(SCBTerm.from_label("InZ", 1.0), False)
+        assert fragments_commute(a, b)
+
+    def test_fragments_anticommute_pair(self):
+        a = HermitianFragment(SCBTerm.from_label("X", 1.0), False)
+        b = HermitianFragment(SCBTerm.from_label("Z", 1.0), False)
+        assert not fragments_commute(a, b)
+
+    def test_grouping_covers_all_fragments(self, mixed_hamiltonian):
+        groups = group_commuting_fragments(mixed_hamiltonian)
+        assert sum(len(g) for g in groups) == mixed_hamiltonian.num_terms
+        assert commuting_group_count(mixed_hamiltonian) == len(groups)
+
+    def test_groups_are_internally_commuting(self, mixed_hamiltonian):
+        for group in group_commuting_fragments(mixed_hamiltonian):
+            for i, a in enumerate(group):
+                for b in group[i + 1:]:
+                    assert fragments_commute(a, b)
+
+    def test_fully_commuting_hamiltonian_single_group(self):
+        ham = Hamiltonian(3)
+        ham.add_label("ZII", 0.4)
+        ham.add_label("nnI", -0.3)
+        ham.add_label("IZn", 0.7)
+        assert commuting_group_count(ham) == 1
+
+
+class TestOrderedTrotter:
+    def test_ordered_circuit_matches_default_order(self, mixed_hamiltonian):
+        default = ordered_trotter_circuit(mixed_hamiltonian, 0.3, [0, 1, 2, 3])
+        from repro.core import direct_trotter_step
+
+        reference = direct_trotter_step(mixed_hamiltonian, 0.3)
+        assert spectral_norm_diff(circuit_unitary(default), circuit_unitary(reference)) < 1e-12
+
+    def test_invalid_permutation(self, mixed_hamiltonian):
+        with pytest.raises(TrotterError):
+            ordered_trotter_circuit(mixed_hamiltonian, 0.3, [0, 1, 2])
+        with pytest.raises(TrotterError):
+            ordered_trotter_circuit(mixed_hamiltonian, 0.3, [0, 1, 2, 3], steps=0)
+
+    def test_ordering_changes_error(self, mixed_hamiltonian):
+        low, high = ordering_error_spread(mixed_hamiltonian, 0.6, num_orderings=8, rng=1)
+        assert low <= high
+        assert high > 0  # non-commuting fragments: some ordering error exists
+
+    def test_grouped_circuit_is_valid_approximation(self, mixed_hamiltonian):
+        circuit = grouped_trotter_circuit(mixed_hamiltonian, 0.3, steps=4)
+        exact = expm(-1j * 0.3 * mixed_hamiltonian.matrix())
+        assert spectral_norm_diff(circuit_unitary(circuit), exact) < 0.05
+
+    def test_grouped_exact_for_commuting_hamiltonian(self):
+        ham = Hamiltonian(2)
+        ham.add_label("ZI", 0.4)
+        ham.add_label("nn", -0.3)
+        circuit = grouped_trotter_circuit(ham, 0.9)
+        exact = expm(-1j * 0.9 * ham.matrix())
+        assert spectral_norm_diff(circuit_unitary(circuit), exact) < 1e-9
+
+
+class TestMultiProductFormula:
+    def test_coefficients_sum_to_one(self):
+        for steps in ([1, 2], [1, 2, 3], [2, 3, 5]):
+            assert sum(mpf_coefficients(steps)) == pytest.approx(1.0)
+
+    def test_coefficients_reject_duplicates(self):
+        with pytest.raises(TrotterError):
+            mpf_coefficients([2, 2])
+
+    def test_one_norm_reasonable(self):
+        assert mpf_one_norm([1, 2]) < 3.0
+        assert mpf_one_norm([1, 2, 3]) < 4.0
+
+    def test_mpf_reduces_error(self, mixed_hamiltonian):
+        baseline = single_formula_error(mixed_hamiltonian, 0.6, 2)
+        improved = mpf_error(mixed_hamiltonian, 0.6, [1, 2])
+        best = mpf_error(mixed_hamiltonian, 0.6, [1, 2, 3])
+        assert improved < baseline / 5
+        assert best < improved / 5
+
+    def test_mpf_is_lcu_of_trotter_circuits(self, mixed_hamiltonian):
+        fragments = direct_fragments(mixed_hamiltonian)
+        decomposition = multi_product_formula(fragments, 3, 0.4, [1, 2])
+        assert decomposition.num_unitaries == 2
+        exact = expm(-1j * 0.4 * mixed_hamiltonian.matrix())
+        assert decomposition.reconstruction_error(exact) < single_formula_error(
+            mixed_hamiltonian, 0.4, 2
+        )

@@ -1,0 +1,141 @@
+"""Unit tests for the in-between-qubit gates (appendix Figs. 13-24, 26)."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits import circuit_unitary
+from repro.circuits.standard_gates import FSWAP
+from repro.core import (
+    controlled_exp_a1,
+    cr_x_pair_creation,
+    cr_y_between,
+    cr_z_between,
+    exp_a1_gate,
+    exp_a2_gate,
+    exp_b_gate,
+    fswap_gate,
+    pm_controlled_exp_a1,
+    pp_gate,
+    two_state_gate,
+    two_state_gate_matrix,
+)
+from repro.exceptions import CircuitError
+from repro.operators import SCBTerm
+from repro.utils.linalg import spectral_norm_diff
+
+
+def _check(circuit, target, atol=1e-9):
+    assert spectral_norm_diff(circuit_unitary(circuit), target) < atol
+
+
+class TestNamedTwoQubitGates:
+    def test_pp_gate(self):
+        theta = 0.73
+        target = np.diag([1, np.exp(1j * theta), np.exp(1j * theta), 1])
+        _check(pp_gate(theta, 0, 1, 2), target)
+
+    def test_crz_between(self):
+        theta = 0.41
+        target = np.diag([1, np.exp(-1j * theta / 2), np.exp(1j * theta / 2), 1])
+        _check(cr_z_between(theta, 0, 1, 2), target)
+
+    def test_exp_a1(self):
+        a1 = SCBTerm.from_label("ds", 1.0).hermitian_matrix()
+        _check(exp_a1_gate(0.3, 0, 1, 2), expm(-1j * 0.3 * a1))
+
+    def test_cry_between(self):
+        theta = 0.9
+        target = np.eye(4, dtype=complex)
+        c, s = np.cos(theta / 2), np.sin(theta / 2)
+        target[1, 1], target[1, 2], target[2, 1], target[2, 2] = c, -s, s, c
+        _check(cr_y_between(theta, 0, 1, 2), target)
+
+    def test_pair_creation(self):
+        pairing = SCBTerm.from_label("dd", 1.0).hermitian_matrix()
+        _check(cr_x_pair_creation(0.9, 0, 1, 2), expm(-1j * 0.45 * pairing))
+
+    def test_exp_b(self):
+        a1 = SCBTerm.from_label("ds", 1.0).hermitian_matrix()
+        pairing = SCBTerm.from_label("dd", 1.0).hermitian_matrix()
+        target = expm(-1j * (0.4 * a1 + 0.7 * pairing))
+        _check(exp_b_gate(0.4, 0.7, 0, 1, 2), target)
+
+    def test_fswap(self):
+        _check(fswap_gate(0, 1, 2), FSWAP)
+
+    def test_gates_embedded_in_wider_register(self):
+        circuit = pp_gate(0.3, 1, 3, 4)
+        assert circuit.num_qubits == 4
+        unitary = circuit_unitary(circuit)
+        assert unitary.shape == (16, 16)
+
+
+class TestExpA2:
+    def test_matches_exact(self):
+        a2 = SCBTerm.from_label("ddss", 1.0).hermitian_matrix()
+        _check(exp_a2_gate(0.3, (0, 1, 2, 3), 4), expm(-1j * 0.3 * a2))
+
+    def test_permuted_qubits(self):
+        circuit = exp_a2_gate(0.2, (3, 1, 0, 2), 4)
+        # Verify unitarity and that it differs from the canonical ordering.
+        unitary = circuit_unitary(circuit)
+        np.testing.assert_allclose(unitary @ unitary.conj().T, np.eye(16), atol=1e-9)
+
+
+class TestControlledVariants:
+    def test_controlled_exp_a1(self):
+        a1 = SCBTerm.from_label("ds", 1.0).hermitian_matrix()
+        target = np.kron(np.diag([1, 0]), np.eye(4)) + np.kron(
+            np.diag([0, 1]), expm(-1j * 0.3 * a1)
+        )
+        _check(controlled_exp_a1(0.3, 0, 1, 2, 3), target)
+
+    def test_pm_controlled_exp_a1(self):
+        a1 = SCBTerm.from_label("ds", 1.0).hermitian_matrix()
+        target = np.kron(np.diag([1, 0]), expm(-1j * 0.3 * a1)) + np.kron(
+            np.diag([0, 1]), expm(1j * 0.3 * a1)
+        )
+        _check(pm_controlled_exp_a1(0.3, 0, 1, 2, 3), target)
+
+    def test_pm_gate_cheaper_than_two_controlled_rotations(self):
+        pm = pm_controlled_exp_a1(0.3, 0, 1, 2, 3)
+        assert pm.num_rotation_gates() == 1  # one rotation + two CZ sign flips
+
+
+class TestGenericTwoStateGate:
+    def test_matches_matrix(self, random_unitary_2x2):
+        target = two_state_gate_matrix(random_unitary_2x2, 11, 5, 4)
+        _check(two_state_gate(random_unitary_2x2, 11, 5, 4), target)
+
+    def test_annex_b_example_indices(self, random_unitary_2x2):
+        # Fig. 26 uses a = 1222, b = 1145 on 11 qubits; verify the action on
+        # the two selected states only (statevector check keeps it cheap).
+        from repro.circuits import Statevector
+
+        circuit = two_state_gate(random_unitary_2x2, 1222, 1145, 11)
+        out = Statevector(1222, 11).evolve(circuit)
+        amp_a = out.data[1222]
+        amp_b = out.data[1145]
+        assert amp_a == pytest.approx(random_unitary_2x2[0, 0], abs=1e-9)
+        assert amp_b == pytest.approx(random_unitary_2x2[1, 0], abs=1e-9)
+
+    def test_identity_outside_selected_states(self, random_unitary_2x2):
+        circuit = two_state_gate(random_unitary_2x2, 3, 12, 4)
+        unitary = circuit_unitary(circuit)
+        untouched = [i for i in range(16) if i not in (3, 12)]
+        for i in untouched:
+            assert unitary[i, i] == pytest.approx(1.0, abs=1e-9)
+
+    def test_rejects_non_unitary_block(self):
+        with pytest.raises(CircuitError):
+            two_state_gate(np.array([[1, 1], [0, 1]]), 0, 1, 2)
+
+    def test_rejects_identical_states(self):
+        with pytest.raises(CircuitError):
+            two_state_gate_matrix(np.eye(2), 3, 3, 3)
+
+    def test_same_bit_count_states(self, random_unitary_2x2):
+        # States that are not complements of each other (agreeing qubits exist).
+        target = two_state_gate_matrix(random_unitary_2x2, 0b1010, 0b1001, 4)
+        _check(two_state_gate(random_unitary_2x2, 0b1010, 0b1001, 4), target)

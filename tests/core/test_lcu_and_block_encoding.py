@@ -1,0 +1,213 @@
+"""Unit tests for the LCU machinery and the ≤6-unitary term block encoding (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, circuit_unitary
+from repro.core import (
+    block_encoding,
+    cnx_on_pair,
+    cnz_cnz_on_pair,
+    cnz_on_state,
+    fragment_block_encoding,
+    hamiltonian_block_encoding,
+    hamiltonian_lcu_decomposition,
+    pauli_lcu_decomposition,
+    prepare_circuit,
+    split_complex_fragment,
+    term_lcu_decomposition,
+    term_unitary_count,
+)
+from repro.core.lcu import LCUDecomposition
+from repro.exceptions import BlockEncodingError
+from repro.operators import Hamiltonian, PauliOperator, SCBTerm
+from repro.operators.hamiltonian import HermitianFragment
+from repro.utils.linalg import is_unitary, spectral_norm_diff
+
+
+class TestElementaryUnitaries:
+    def test_cnz_on_state(self):
+        circuit = cnz_on_state(3, (0, 1, 2), (1, 0, 1))
+        unitary = circuit_unitary(circuit)
+        expected = np.eye(8, dtype=complex)
+        expected[0b101, 0b101] = -1
+        np.testing.assert_allclose(unitary, expected, atol=1e-12)
+
+    def test_cnz_single_qubit(self):
+        circuit = cnz_on_state(2, (1,), (0,))
+        unitary = circuit_unitary(circuit)
+        np.testing.assert_allclose(np.diag(unitary), [-1, 1, -1, 1], atol=1e-12)
+
+    def test_cnz_requires_qubits(self):
+        with pytest.raises(BlockEncodingError):
+            cnz_on_state(2, (), ())
+
+    def test_cnx_on_pair_swaps_complementary_states(self):
+        # |a> = |10>, |b> = |01> on qubits (0, 1)
+        circuit = cnx_on_pair(2, (0, 1), (1, 0))
+        unitary = circuit_unitary(circuit)
+        expected = np.eye(4, dtype=complex)
+        expected[[1, 2]] = expected[[2, 1]]
+        np.testing.assert_allclose(unitary, expected, atol=1e-12)
+
+    def test_cnx_fig6_example(self):
+        # Fig. 6: |a> = |1000110>, |b> = |0111001> on 7 qubits.
+        ket_bits = (1, 0, 0, 0, 1, 1, 0)
+        circuit = cnx_on_pair(7, tuple(range(7)), ket_bits)
+        unitary = circuit_unitary(circuit)
+        a, b = 0b1000110, 0b0111001
+        assert unitary[a, b] == pytest.approx(1.0)
+        assert unitary[b, a] == pytest.approx(1.0)
+        assert unitary[a, a] == pytest.approx(0.0)
+        # Any untouched state stays put.
+        assert unitary[5, 5] == pytest.approx(1.0)
+
+    def test_cnz_cnz_on_pair(self):
+        ket_bits = (1, 0, 1)
+        circuit = cnz_cnz_on_pair(3, (0, 1, 2), ket_bits)
+        unitary = circuit_unitary(circuit)
+        a, b = 0b101, 0b010
+        diag = np.diag(unitary)
+        assert diag[a] == pytest.approx(-1.0)
+        assert diag[b] == pytest.approx(-1.0)
+        others = [i for i in range(8) if i not in (a, b)]
+        np.testing.assert_allclose(diag[others], np.ones(6), atol=1e-12)
+
+    def test_cnz_cnz_single_transition_qubit_is_minus_identity(self):
+        circuit = cnz_cnz_on_pair(1, (0,), (1,))
+        np.testing.assert_allclose(circuit_unitary(circuit), -np.eye(2), atol=1e-12)
+
+
+class TestTermLCU:
+    CASES = [
+        ("nsd", 0.8, 6),
+        ("ZYsd", -0.6, 3),
+        ("nXm", 0.4, 2),
+        ("nn", 1.2, 2),
+        ("sdds", 0.5, 3),
+        ("XZ", 0.9, 1),
+        ("nmsdXY", 0.3, 6),
+    ]
+
+    @pytest.mark.parametrize("label,coeff,expected_unitaries", CASES)
+    def test_decomposition_reconstructs_fragment(self, label, coeff, expected_unitaries):
+        term = SCBTerm.from_label(label, coeff)
+        fragment = HermitianFragment(term, include_hc=not term.is_hermitian)
+        decomposition = term_lcu_decomposition(fragment)
+        assert decomposition.num_unitaries <= 6
+        assert decomposition.num_unitaries == expected_unitaries
+        assert decomposition.reconstruction_error(fragment.matrix()) < 1e-9
+
+    @pytest.mark.parametrize("label,coeff,expected_unitaries", CASES)
+    def test_every_lcu_member_is_unitary(self, label, coeff, expected_unitaries):
+        term = SCBTerm.from_label(label, coeff)
+        fragment = HermitianFragment(term, include_hc=not term.is_hermitian)
+        for lcu_term in term_lcu_decomposition(fragment).terms:
+            assert is_unitary(circuit_unitary(lcu_term.circuit))
+
+    def test_term_unitary_count_formula(self):
+        assert term_unitary_count(SCBTerm.from_label("nsdXm")) == 6
+        assert term_unitary_count(SCBTerm.from_label("sd")) == 3
+        assert term_unitary_count(SCBTerm.from_label("nm")) == 2
+        assert term_unitary_count(SCBTerm.from_label("XYZ")) == 1
+
+    def test_mixed_complex_coefficient_rejected(self):
+        fragment = HermitianFragment(SCBTerm.from_label("sd", 0.2 + 1j), True)
+        with pytest.raises(BlockEncodingError):
+            term_lcu_decomposition(fragment)
+
+    def test_pure_imaginary_coefficient_supported(self):
+        fragment = HermitianFragment(SCBTerm.from_label("nsd", 0.7j), True)
+        decomposition = term_lcu_decomposition(fragment)
+        assert decomposition.num_unitaries <= 6
+        assert decomposition.reconstruction_error(fragment.matrix()) < 1e-9
+
+    def test_pure_imaginary_without_transition_rejected(self):
+        fragment = HermitianFragment(SCBTerm.from_label("nZ", 0.7j), True)
+        with pytest.raises(BlockEncodingError):
+            term_lcu_decomposition(fragment)
+
+    def test_split_complex_fragment(self):
+        fragment = HermitianFragment(SCBTerm.from_label("sd", 0.3 + 0.4j), True)
+        pieces = split_complex_fragment(fragment)
+        assert len(pieces) == 2
+        total = sum(piece.matrix() for piece in pieces)
+        np.testing.assert_allclose(total, fragment.matrix(), atol=1e-12)
+
+    def test_pyramid_basis_change_mode(self):
+        term = SCBTerm.from_label("sdds", 0.5)
+        fragment = HermitianFragment(term, True)
+        decomposition = term_lcu_decomposition(fragment, basis_change_mode="pyramid")
+        assert decomposition.reconstruction_error(fragment.matrix()) < 1e-9
+
+
+class TestBlockEncodingCircuits:
+    @pytest.mark.parametrize("label,coeff", [("nsd", 0.8), ("nXm", 0.4), ("sdds", -0.5)])
+    def test_fragment_block_encoding(self, label, coeff):
+        term = SCBTerm.from_label(label, coeff)
+        fragment = HermitianFragment(term, include_hc=not term.is_hermitian)
+        be = fragment_block_encoding(fragment)
+        assert be.verification_error(fragment.matrix()) < 1e-8
+        assert be.num_ancillas <= 3
+
+    def test_hamiltonian_block_encoding(self):
+        ham = Hamiltonian(3)
+        ham.add_label("nsI", 0.8)
+        ham.add_label("IZZ", 0.3)
+        ham.add_label("Xsd", 0.5)
+        be = hamiltonian_block_encoding(ham)
+        assert be.verification_error(ham.matrix()) < 1e-8
+
+    def test_hamiltonian_block_encoding_with_complex_terms(self):
+        ham = Hamiltonian(2)
+        ham.add_label("sd", 0.4 + 0.3j)
+        ham.add_label("nZ", 0.2)
+        be = hamiltonian_block_encoding(ham)
+        assert be.verification_error(ham.matrix()) < 1e-8
+
+    def test_scale_equals_one_norm(self):
+        ham = Hamiltonian(2)
+        ham.add_label("nZ", 0.5)
+        decomposition = hamiltonian_lcu_decomposition(ham)
+        be = block_encoding(decomposition)
+        assert be.scale == pytest.approx(decomposition.one_norm())
+
+    def test_block_encoding_unitary(self):
+        term = SCBTerm.from_label("nsd", 0.8)
+        be = fragment_block_encoding(HermitianFragment(term, True))
+        assert is_unitary(circuit_unitary(be.circuit))
+
+    def test_empty_decomposition_rejected(self):
+        with pytest.raises(BlockEncodingError):
+            block_encoding(LCUDecomposition(2))
+
+
+class TestPrepareAndPauliLCU:
+    def test_prepare_state(self):
+        amplitudes = np.sqrt([0.5, 0.25, 0.25])
+        circuit = prepare_circuit(list(amplitudes), 2)
+        from repro.circuits import Statevector
+
+        state = Statevector.zero_state(2).evolve(circuit)
+        expected = np.append(amplitudes, 0.0)
+        np.testing.assert_allclose(np.abs(state.data), expected, atol=1e-9)
+
+    def test_prepare_rejects_negative(self):
+        with pytest.raises(BlockEncodingError):
+            prepare_circuit([-0.1, 1.1], 1)
+
+    def test_prepare_rejects_zero_vector(self):
+        with pytest.raises(BlockEncodingError):
+            prepare_circuit([0.0, 0.0], 1)
+
+    def test_pauli_lcu_block_encoding(self):
+        op = PauliOperator({"ZZ": 0.4, "XI": 0.3, "IY": -0.2})
+        decomposition = pauli_lcu_decomposition(op)
+        assert decomposition.num_unitaries == 3
+        be = block_encoding(decomposition)
+        assert be.verification_error(op.matrix()) < 1e-8
+
+    def test_width_mismatch_in_decomposition(self):
+        decomposition = LCUDecomposition(2)
+        with pytest.raises(BlockEncodingError):
+            decomposition.add(1.0, QuantumCircuit(3))

@@ -1,0 +1,102 @@
+"""Unit tests for the usual-strategy Pauli-string evolutions (Figs. 8-10)."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits import circuit_unitary
+from repro.core import (
+    PauliEvolutionOptions,
+    pauli_evolution_gate_counts,
+    pauli_operator_rotation_count,
+    pauli_string_evolution,
+    pauli_trotter_step,
+)
+from repro.exceptions import OperatorError
+from repro.operators import PauliOperator, PauliString
+from repro.utils.linalg import spectral_norm_diff
+
+
+class TestPauliStringEvolution:
+    @pytest.mark.parametrize("label", ["Z", "ZZ", "ZZZ", "XYZZ", "XIZY", "YY"])
+    def test_matches_exact_exponential(self, label):
+        string = PauliString(label)
+        circuit = pauli_string_evolution(string, 0.43, 0.71)
+        exact = expm(-1j * 0.71 * 0.43 * string.matrix())
+        assert spectral_norm_diff(circuit_unitary(circuit), exact) < 1e-9
+
+    def test_identity_string_global_phase(self):
+        circuit = pauli_string_evolution(PauliString("II"), 0.5, 0.3)
+        np.testing.assert_allclose(
+            circuit_unitary(circuit), np.exp(-1j * 0.15) * np.eye(4), atol=1e-12
+        )
+
+    def test_complex_coefficient_rejected(self):
+        with pytest.raises(OperatorError):
+            pauli_string_evolution(PauliString("Z"), 0.5j, 0.3)
+
+    def test_embedding_in_wider_register(self):
+        circuit = pauli_string_evolution(PauliString("ZZ"), 0.3, 0.2, num_qubits=4)
+        assert circuit.num_qubits == 4
+
+    def test_rzz_figure8_gate_counts(self):
+        # Fig. 8: R_ZZ uses 2 CX and one RZ.
+        circuit = pauli_string_evolution(PauliString("ZZ"), 1.0, 0.1)
+        assert circuit.count_ops() == {"cx": 2, "rz": 1}
+
+    def test_rzzz_figure9_gate_counts(self):
+        circuit = pauli_string_evolution(PauliString("ZZZ"), 1.0, 0.1)
+        assert circuit.count_ops() == {"cx": 4, "rz": 1}
+
+    def test_rxyzz_figure10_structure(self):
+        # Fig. 10: one H pair for X, one (S,H) pair for Y, 2(w-1) CX, one RZ.
+        circuit = pauli_string_evolution(PauliString("XYZZ"), 1.0, 0.1)
+        counts = circuit.count_ops()
+        assert counts["rz"] == 1
+        assert counts["cx"] == 6
+        assert counts["h"] == 4
+
+    def test_pyramid_parity_option(self):
+        string = PauliString("ZZZZZ")
+        linear = pauli_string_evolution(string, 0.4, 0.2)
+        pyramid = pauli_string_evolution(
+            string, 0.4, 0.2, options=PauliEvolutionOptions(parity_mode="pyramid")
+        )
+        assert spectral_norm_diff(circuit_unitary(linear), circuit_unitary(pyramid)) < 1e-9
+        assert pyramid.depth() <= linear.depth()
+
+
+class TestGateCountModels:
+    def test_cx_count_formula(self):
+        counts = pauli_evolution_gate_counts(PauliString("XZZY"))
+        assert counts["cx"] == 2 * (4 - 1)
+        assert counts["rz"] == 1
+
+    def test_identity_string(self):
+        counts = pauli_evolution_gate_counts(PauliString("II"))
+        assert counts["cx"] == 0 and counts["rz"] == 0
+
+    def test_operator_rotation_count(self):
+        op = PauliOperator({"ZZ": 0.5, "XI": 0.3, "II": 1.0})
+        assert pauli_operator_rotation_count(op) == 2
+
+
+class TestPauliTrotterStep:
+    def test_matches_exact_for_commuting_strings(self):
+        op = PauliOperator({"ZZ": 0.4, "ZI": -0.2, "IZ": 0.7})
+        circuit = pauli_trotter_step(op, 0.9)
+        exact = expm(-1j * 0.9 * op.matrix())
+        assert spectral_norm_diff(circuit_unitary(circuit), exact) < 1e-9
+
+    def test_non_hermitian_rejected(self):
+        with pytest.raises(OperatorError):
+            pauli_trotter_step(PauliOperator({"Z": 1j}), 0.1)
+
+    def test_step_error_decreases_with_time(self):
+        op = PauliOperator({"XI": 0.8, "ZZ": 0.5})
+        errors = []
+        for t in (0.2, 0.1):
+            circuit = pauli_trotter_step(op, t)
+            exact = expm(-1j * t * op.matrix())
+            errors.append(spectral_norm_diff(circuit_unitary(circuit), exact))
+        assert errors[1] < errors[0]

@@ -1,0 +1,115 @@
+"""Unit tests for the QFT / QPE built on the direct evolution circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, circuit_unitary
+from repro.core import (
+    eigenvalue_from_state,
+    estimate_eigenvalue,
+    hamiltonian_phase_estimation,
+    phase_estimation_circuit,
+    qft_circuit,
+    readout_distribution,
+)
+from repro.exceptions import CircuitError
+from repro.operators import Hamiltonian
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_matrix(self, n):
+        dim = 1 << n
+        expected = np.array(
+            [[np.exp(2j * np.pi * j * k / dim) / np.sqrt(dim) for j in range(dim)]
+             for k in range(dim)]
+        )
+        np.testing.assert_allclose(circuit_unitary(qft_circuit(n)), expected, atol=1e-9)
+
+    def test_inverse_is_inverse(self):
+        qft = qft_circuit(3)
+        iqft = qft_circuit(3, inverse=True)
+        product = qft.copy()
+        product.compose(iqft)
+        np.testing.assert_allclose(circuit_unitary(product), np.eye(8), atol=1e-9)
+
+    def test_requires_positive_width(self):
+        with pytest.raises(CircuitError):
+            qft_circuit(0)
+
+    def test_gate_count(self):
+        # n Hadamards, n(n-1)/2 controlled phases, floor(n/2) swaps.
+        counts = qft_circuit(4).count_ops()
+        assert counts["h"] == 4
+        assert counts["cp"] == 6
+        assert counts["swap"] == 2
+
+
+class TestPhaseEstimation:
+    def test_exact_phase_of_single_qubit_unitary(self):
+        # U = P(2π·3/8): eigenphase of |1> is 3/8, exactly representable on 3 bits.
+        unitary = QuantumCircuit(1)
+        unitary.p(2.0 * np.pi * 3.0 / 8.0, 0)
+        preparation = QuantumCircuit(1)
+        preparation.x(0)
+        circuit = phase_estimation_circuit(unitary, 3, state_preparation=preparation)
+        distribution = readout_distribution(circuit, 3)
+        outcome, probability = max(distribution.items(), key=lambda item: item[1])
+        assert outcome == 3
+        assert probability == pytest.approx(1.0, abs=1e-9)
+
+    def test_eigenvalue_zero_for_ground_control(self):
+        unitary = QuantumCircuit(1)
+        unitary.p(0.7, 0)
+        circuit = phase_estimation_circuit(unitary, 3)  # system stays in |0>, phase 0
+        distribution = readout_distribution(circuit, 3)
+        assert max(distribution, key=distribution.get) == 0
+
+    def test_state_preparation_width_checked(self):
+        unitary = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            phase_estimation_circuit(unitary, 2, state_preparation=QuantumCircuit(3))
+
+    def test_requires_eval_qubits(self):
+        with pytest.raises(CircuitError):
+            phase_estimation_circuit(QuantumCircuit(1), 0)
+
+
+class TestHamiltonianQPE:
+    def test_diagonal_hamiltonian_eigenvalue_readout(self):
+        ham = Hamiltonian(2)
+        ham.add_label("nI", 0.5)
+        ham.add_label("In", 0.25)
+        ham.add_label("nn", 0.125)
+        # |11> has eigenvalue 0.875.
+        energy, probability = eigenvalue_from_state(ham, 0b11, 6)
+        assert abs(abs(energy) - 0.875) < 1e-9
+        assert probability == pytest.approx(1.0, abs=1e-6)
+
+    def test_resolution_limited_estimate(self):
+        ham = Hamiltonian(1)
+        ham.add_label("n", 0.3)
+        energy, probability = eigenvalue_from_state(ham, 1, 4, time=1.0)
+        # 0.3·1/(2π) is not on the 4-bit grid: the estimate lands within one bin.
+        assert abs(energy - 0.3) < 2.0 * np.pi / 16
+        assert probability > 0.4
+
+    def test_estimate_uses_most_likely_outcome(self):
+        ham = Hamiltonian(1)
+        ham.add_label("n", 0.5)
+        preparation = QuantumCircuit(1)
+        preparation.x(0)
+        circuit = hamiltonian_phase_estimation(ham, np.pi, 4, state_preparation=preparation)
+        energy, _ = estimate_eigenvalue(circuit, 4, np.pi)
+        assert abs(abs(energy) - 0.5) < 1e-9
+
+    def test_superposition_gives_two_peaks(self):
+        ham = Hamiltonian(1)
+        ham.add_label("n", 1.0)
+        preparation = QuantumCircuit(1)
+        preparation.h(0)
+        time = 2.0 * np.pi / 4.0  # eigenvalues 0 and 1 -> phases 0 and 3/4 on 2 bits
+        circuit = hamiltonian_phase_estimation(ham, time, 2, state_preparation=preparation)
+        distribution = readout_distribution(circuit, 2)
+        peaks = {k for k, v in distribution.items() if v > 0.4}
+        assert len(peaks) == 2

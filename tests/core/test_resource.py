@@ -1,0 +1,130 @@
+"""Unit tests for the analytic resource models (Section V-A counting)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    cnp_two_qubit_count_linear,
+    cnp_two_qubit_count_quadratic,
+    dense_reexpansion_rotation_count,
+    dense_reexpansion_two_qubit_count,
+    direct_term_resources,
+    hubo_crossover_order,
+    paper_crossover_inequality,
+    rzn_two_qubit_count,
+    usual_term_resources,
+)
+from repro.exceptions import ReproError
+
+
+class TestElementaryModels:
+    def test_rzn_formula(self):
+        assert rzn_two_qubit_count(1) == 0
+        assert rzn_two_qubit_count(2) == 2
+        assert rzn_two_qubit_count(5) == 8
+
+    def test_rzn_invalid(self):
+        with pytest.raises(ReproError):
+            rzn_two_qubit_count(0)
+
+    def test_cnp_linear_matches_paper_formula(self):
+        for n in (6, 8, 12):
+            assert cnp_two_qubit_count_linear(n) == 2 * (6 * 8 * (n - 5) + 48 * n - 212)
+
+    def test_cnp_linear_small_values_monotone(self):
+        values = [cnp_two_qubit_count_linear(n) for n in range(1, 7)]
+        assert values == sorted(values)
+
+    def test_cnp_quadratic(self):
+        assert cnp_two_qubit_count_quadratic(4) == 12
+        with pytest.raises(ReproError):
+            cnp_two_qubit_count_quadratic(0)
+
+    def test_dense_reexpansion_two_qubit(self):
+        # Σ_{h=1}^{n} 2(h-1) C(n,h) has the closed form 2[n·2^{n-1} - (2^n - 1)].
+        for n in (2, 3, 5, 8):
+            closed_form = 2 * (n * 2 ** (n - 1) - (2**n - 1))
+            assert dense_reexpansion_two_qubit_count(n) == closed_form
+
+    def test_dense_reexpansion_rotations(self):
+        assert dense_reexpansion_rotation_count(3) == 7
+        assert dense_reexpansion_rotation_count(10) == 1023
+
+
+class TestCrossover:
+    def test_paper_inequality_invalid_below_six(self):
+        assert not paper_crossover_inequality(5)
+
+    def test_paper_inequality_holds_at_large_order(self):
+        assert paper_crossover_inequality(12)
+
+    def test_crossover_order_with_paper_model(self):
+        order = hubo_crossover_order()
+        # Evaluating the paper's printed inequality gives n = 6; the paper quotes
+        # n > 7.  Either way the crossover exists and is a small constant.
+        assert 6 <= order <= 8
+
+    def test_crossover_with_quadratic_model(self):
+        order = hubo_crossover_order(cnp_model=cnp_two_qubit_count_quadratic, min_order=2)
+        assert 2 <= order <= 6
+
+    def test_no_crossover_raises(self):
+        with pytest.raises(ReproError):
+            hubo_crossover_order(cnp_model=lambda n: 10**9, max_order=20)
+
+    def test_direct_wins_asymptotically(self):
+        # The re-expansion cost grows exponentially, the C^nP cost linearly.
+        assert cnp_two_qubit_count_linear(20) < dense_reexpansion_two_qubit_count(20) / 100
+
+
+class TestTermResourceModels:
+    def test_direct_term_single_rotation(self):
+        estimate = direct_term_resources(num_transition=4, num_number=2, num_pauli=3)
+        assert estimate.rotations == 1
+        assert estimate.controlled_rotation_controls == 3 + 2
+        assert estimate.cx_basis_change == 2 * 3 + 2 * 2
+
+    def test_direct_term_no_controls(self):
+        estimate = direct_term_resources(num_transition=1, num_number=0, num_pauli=0)
+        assert estimate.controlled_rotation_controls == 0
+        assert estimate.two_qubit_total == 0
+
+    def test_direct_term_invalid(self):
+        with pytest.raises(ReproError):
+            direct_term_resources(-1, 0, 0)
+
+    def test_usual_term_exponential_strings(self):
+        counts = usual_term_resources(num_transition=4, num_number=2, num_pauli=1)
+        assert counts["pauli_strings"] == 2 ** 6
+        assert counts["rotations"] == 2 ** 6
+
+    def test_usual_term_invalid(self):
+        with pytest.raises(ReproError):
+            usual_term_resources(0, -2, 0)
+
+    def test_direct_beats_usual_in_rotations_for_high_order(self):
+        direct = direct_term_resources(6, 3, 2)
+        usual = usual_term_resources(6, 3, 2)
+        assert direct.rotations < usual["rotations"]
+
+    def test_as_dict_roundtrip(self):
+        estimate = direct_term_resources(2, 1, 1)
+        data = estimate.as_dict()
+        assert data["rotations"] == 1
+        assert set(data) == {
+            "cx_basis_change",
+            "single_qubit_clifford",
+            "controlled_rotation_controls",
+            "rotations",
+            "two_qubit_total",
+        }
+
+    def test_fig2_term_counts(self):
+        # The Fig. 2 term: 7 transitions, 4 number operators, 4 Paulis -> one
+        # rotation vs 2^11 = 2048 Pauli strings for the usual strategy.
+        direct = direct_term_resources(7, 4, 4)
+        usual = usual_term_resources(7, 4, 4)
+        assert usual["pauli_strings"] == 2048
+        assert direct.rotations == 1
+        assert math.isfinite(direct.two_qubit_total)

@@ -1,0 +1,124 @@
+"""Unit tests for the product formulas (Trotter, Suzuki, qDRIFT)."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits import circuit_unitary
+from repro.core import (
+    direct_fragments,
+    direct_hamiltonian_simulation,
+    pauli_fragments,
+    pauli_hamiltonian_simulation,
+    qdrift_circuit,
+    trotter_circuit,
+)
+from repro.exceptions import TrotterError
+from repro.operators import Hamiltonian
+from repro.utils.linalg import spectral_norm_diff
+
+
+@pytest.fixture
+def small_hamiltonian() -> Hamiltonian:
+    ham = Hamiltonian(3)
+    ham.add_label("nsI", 0.8)
+    ham.add_label("IZZ", 0.3)
+    ham.add_label("Xsd", 0.5)
+    return ham
+
+
+def _error(ham, circuit, time):
+    return spectral_norm_diff(circuit_unitary(circuit), expm(-1j * time * ham.matrix()))
+
+
+class TestFragmentLists:
+    def test_direct_fragment_count(self, small_hamiltonian):
+        assert len(direct_fragments(small_hamiltonian)) == 3
+
+    def test_pauli_fragment_count(self, small_hamiltonian):
+        operator = small_hamiltonian.to_pauli()
+        assert len(pauli_fragments(operator, 3)) == operator.num_terms
+
+    def test_fragment_weights_positive(self, small_hamiltonian):
+        assert all(f.weight > 0 for f in direct_fragments(small_hamiltonian))
+
+
+class TestProductFormulaOrders:
+    def test_order_scaling(self, small_hamiltonian):
+        time = 0.4
+        fragments = direct_fragments(small_hamiltonian)
+        errors = {}
+        for order in (1, 2, 4):
+            circuit = trotter_circuit(fragments, 3, time, steps=3, order=order)
+            errors[order] = _error(small_hamiltonian, circuit, time)
+        assert errors[2] < errors[1]
+        assert errors[4] < errors[2]
+
+    def test_error_decreases_with_steps(self, small_hamiltonian):
+        time = 0.5
+        fragments = direct_fragments(small_hamiltonian)
+        err1 = _error(small_hamiltonian, trotter_circuit(fragments, 3, time, steps=1), time)
+        err4 = _error(small_hamiltonian, trotter_circuit(fragments, 3, time, steps=4), time)
+        assert err4 < err1 / 2
+
+    def test_first_order_error_rate(self, small_hamiltonian):
+        # first-order error per total evolution ~ t^2 / steps
+        time = 0.4
+        fragments = direct_fragments(small_hamiltonian)
+        err2 = _error(small_hamiltonian, trotter_circuit(fragments, 3, time, steps=2), time)
+        err8 = _error(small_hamiltonian, trotter_circuit(fragments, 3, time, steps=8), time)
+        assert err2 / err8 == pytest.approx(4.0, rel=0.3)
+
+    def test_invalid_order(self, small_hamiltonian):
+        fragments = direct_fragments(small_hamiltonian)
+        with pytest.raises(TrotterError):
+            trotter_circuit(fragments, 3, 0.1, order=3)
+
+    def test_invalid_steps(self, small_hamiltonian):
+        fragments = direct_fragments(small_hamiltonian)
+        with pytest.raises(TrotterError):
+            trotter_circuit(fragments, 3, 0.1, steps=0)
+
+
+class TestStrategyWrappers:
+    def test_direct_wrapper(self, small_hamiltonian):
+        circuit = direct_hamiltonian_simulation(small_hamiltonian, 0.3, steps=2, order=2)
+        assert _error(small_hamiltonian, circuit, 0.3) < 5e-3
+
+    def test_pauli_wrapper(self, small_hamiltonian):
+        circuit = pauli_hamiltonian_simulation(
+            small_hamiltonian.to_pauli(), 0.3, num_qubits=3, steps=2, order=2
+        )
+        assert _error(small_hamiltonian, circuit, 0.3) < 5e-3
+
+    def test_both_strategies_converge_to_same_unitary(self, small_hamiltonian):
+        time = 0.2
+        direct = direct_hamiltonian_simulation(small_hamiltonian, time, steps=16, order=2)
+        pauli = pauli_hamiltonian_simulation(
+            small_hamiltonian.to_pauli(), time, num_qubits=3, steps=16, order=2
+        )
+        exact = expm(-1j * time * small_hamiltonian.matrix())
+        assert spectral_norm_diff(circuit_unitary(direct), exact) < 1e-3
+        assert spectral_norm_diff(circuit_unitary(pauli), exact) < 1e-3
+
+    def test_direct_has_fewer_rotations(self, small_hamiltonian):
+        direct = direct_hamiltonian_simulation(small_hamiltonian, 0.3)
+        pauli = pauli_hamiltonian_simulation(small_hamiltonian.to_pauli(), 0.3, num_qubits=3)
+        assert direct.num_rotation_gates() < pauli.num_rotation_gates()
+
+
+class TestQDrift:
+    def test_qdrift_approximates_evolution(self, small_hamiltonian):
+        fragments = direct_fragments(small_hamiltonian)
+        circuit = qdrift_circuit(fragments, 3, 0.2, num_samples=200, rng=1)
+        assert _error(small_hamiltonian, circuit, 0.2) < 0.15
+
+    def test_qdrift_requires_samples(self, small_hamiltonian):
+        with pytest.raises(TrotterError):
+            qdrift_circuit(direct_fragments(small_hamiltonian), 3, 0.1, num_samples=0)
+
+    def test_qdrift_reproducible(self, small_hamiltonian):
+        fragments = direct_fragments(small_hamiltonian)
+        a = qdrift_circuit(fragments, 3, 0.1, num_samples=20, rng=5)
+        b = qdrift_circuit(fragments, 3, 0.1, num_samples=20, rng=5)
+        assert spectral_norm_diff(circuit_unitary(a), circuit_unitary(b)) < 1e-12

@@ -1,0 +1,134 @@
+"""Cross-module property-based tests (hypothesis).
+
+These exercise whole pipelines on randomly generated inputs: random SCB
+Hamiltonians must evolve, block-encode, convert and measure consistently,
+random sparse matrices must round-trip through the Section V-D decomposition,
+and random HUBO problems must give identical physics through either strategy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import expm
+
+from repro.applications.hubo import HUBOProblem, phase_separator
+from repro.circuits import Statevector, circuit_unitary
+from repro.core import (
+    direct_trotter_step,
+    estimate_expectation,
+    evolve_fragment,
+    hamiltonian_block_encoding,
+    term_lcu_decomposition,
+)
+from repro.operators import Hamiltonian, SCBTerm, scb_decompose_matrix, scb_reconstruction_error
+from repro.operators.hamiltonian import HermitianFragment
+from repro.utils.linalg import phase_aligned_distance, random_statevector, spectral_norm_diff
+
+scb_label = st.text(alphabet="IXYZnmsd", min_size=2, max_size=4)
+
+
+def _random_hamiltonian(labels: list[str], seed: int) -> Hamiltonian:
+    rng = np.random.default_rng(seed)
+    width = max(len(label) for label in labels)
+    ham = Hamiltonian(width)
+    for label in labels:
+        padded = label + "I" * (width - len(label))
+        coeff = float(rng.uniform(-1.0, 1.0))
+        if abs(coeff) < 1e-3:
+            coeff = 0.5
+        ham.add_term(SCBTerm.from_label(padded, coeff))
+    return ham
+
+
+class TestEvolutionPipelines:
+    @given(st.lists(scb_label, min_size=1, max_size=3), st.integers(min_value=0, max_value=10**6))
+    def test_trotter_step_error_bounded_by_commutators(self, labels, seed):
+        ham = _random_hamiltonian(labels, seed)
+        time = 0.1
+        circuit = direct_trotter_step(ham, time)
+        exact = expm(-1j * time * ham.matrix())
+        error = spectral_norm_diff(circuit_unitary(circuit), exact)
+        # Loose universal bound: first-order Trotter error ≤ (t^2/2)·Σ_{i<j}‖[H_i,H_j]‖
+        fragments = ham.hermitian_fragments()
+        bound = 0.0
+        for i, a in enumerate(fragments):
+            for b in fragments[i + 1:]:
+                ma, mb = a.matrix(), b.matrix()
+                bound += np.linalg.norm(ma @ mb - mb @ ma, 2)
+        assert error <= time**2 / 2.0 * bound + 1e-8
+
+    @given(scb_label, st.integers(min_value=0, max_value=10**6))
+    def test_block_encoding_matches_evolution_generator(self, label, seed):
+        rng = np.random.default_rng(seed)
+        coeff = float(rng.uniform(0.2, 1.0))
+        term = SCBTerm.from_label(label, coeff)
+        fragment = HermitianFragment(term, include_hc=not term.is_hermitian)
+        # The LCU reconstruction and the evolution circuit must describe the
+        # same generator: exp(-i t Σ α_i U_i) == circuit.
+        decomposition = term_lcu_decomposition(fragment)
+        generator = decomposition.matrix()
+        circuit = evolve_fragment(fragment, 0.3)
+        assert spectral_norm_diff(circuit_unitary(circuit), expm(-1j * 0.3 * generator)) < 1e-8
+
+    @given(st.lists(scb_label, min_size=1, max_size=2), st.integers(min_value=0, max_value=10**6))
+    def test_hamiltonian_block_encoding_consistency(self, labels, seed):
+        ham = _random_hamiltonian(labels, seed)
+        encoding = hamiltonian_block_encoding(ham)
+        assert encoding.verification_error(ham.matrix()) < 1e-7
+
+    @given(st.lists(scb_label, min_size=1, max_size=3), st.integers(min_value=0, max_value=10**6))
+    def test_measurement_scheme_matches_matrix_expectation(self, labels, seed):
+        ham = _random_hamiltonian(labels, seed)
+        rng = np.random.default_rng(seed + 1)
+        state = Statevector(random_statevector(ham.num_qubits, rng))
+        estimate = estimate_expectation(ham, state)
+        exact = ham.expectation_value(state.data)
+        assert estimate == pytest.approx(exact, abs=1e-7)
+
+
+class TestMatrixRoundTrips:
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=0, max_value=10**6),
+           st.floats(min_value=0.1, max_value=0.9))
+    def test_sparse_matrix_decomposition_roundtrip(self, num_qubits, seed, density):
+        rng = np.random.default_rng(seed)
+        dim = 1 << num_qubits
+        matrix = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+        matrix = np.where(rng.random(size=(dim, dim)) < density, matrix, 0.0)
+        matrix = matrix + matrix.conj().T
+        ham = scb_decompose_matrix(matrix)
+        assert scb_reconstruction_error(matrix, ham) < 1e-9
+
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=0, max_value=10**6))
+    def test_decomposition_evolution_matches_expm(self, num_qubits, seed):
+        rng = np.random.default_rng(seed)
+        dim = 1 << num_qubits
+        matrix = rng.normal(size=(dim, dim))
+        matrix = np.where(rng.random(size=(dim, dim)) < 0.3, matrix, 0.0)
+        matrix = matrix + matrix.T
+        ham = scb_decompose_matrix(matrix)
+        psi = random_statevector(num_qubits, rng)
+        evolved = ham.evolve_exact(psi, 0.17)
+        expected = expm(-1j * 0.17 * matrix) @ psi
+        assert np.max(np.abs(evolved - expected)) < 1e-8
+
+
+class TestHUBOStrategies:
+    @settings(max_examples=15)
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=10**6))
+    def test_phase_separators_agree_for_random_problems(self, num_variables, seed):
+        rng = np.random.default_rng(seed)
+        problem = HUBOProblem(num_variables, formalism="boolean")
+        num_terms = int(rng.integers(1, 5))
+        for _ in range(num_terms):
+            order = int(rng.integers(1, num_variables + 1))
+            variables = tuple(rng.choice(num_variables, size=order, replace=False))
+            problem.add_term(variables, float(rng.uniform(-2.0, 2.0)))
+        if problem.num_terms == 0:
+            problem.add_term((0,), 1.0)
+        gamma = float(rng.uniform(0.1, 1.0))
+        direct = circuit_unitary(phase_separator(problem, gamma, strategy="direct"))
+        usual = circuit_unitary(phase_separator(problem, gamma, strategy="usual"))
+        exact = expm(-1j * gamma * problem.to_hamiltonian().matrix())
+        assert phase_aligned_distance(direct, exact) < 1e-8
+        assert phase_aligned_distance(usual, exact) < 1e-8

@@ -1,0 +1,122 @@
+"""Unit tests for SCB <-> Pauli conversions (Section II-B.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.operators import (
+    PauliOperator,
+    PauliString,
+    SCBTerm,
+    conversion_is_exact,
+    formalism_switch_term_count,
+    hermitian_pair_to_pauli,
+    number_term_to_z_strings,
+    pauli_operator_to_scb,
+    pauli_string_to_scb,
+    pauli_term_count,
+    scb_term_to_pauli,
+    scb_terms_to_pauli,
+    z_string_to_number_terms,
+)
+
+scb_labels = st.text(alphabet="IXYZnmsd", min_size=1, max_size=5)
+
+
+class TestSCBToPauli:
+    def test_term_count_power_of_two(self):
+        term = SCBTerm.from_label("nsdXm")
+        assert pauli_term_count(term) == 2 ** 4
+
+    def test_fig2_term_count_is_2048(self):
+        term = SCBTerm.from_label("nmmXYdnsssdYZds")
+        assert pauli_term_count(term) == 2048
+
+    def test_expansion_matches_matrix(self):
+        term = SCBTerm.from_label("nsY", 0.7 - 0.1j)
+        pauli = scb_term_to_pauli(term)
+        np.testing.assert_allclose(pauli.matrix(num_qubits=3), term.matrix(), atol=1e-12)
+
+    def test_pure_pauli_term_is_single_string(self):
+        pauli = scb_term_to_pauli(SCBTerm.from_label("XZI", 2.0))
+        assert pauli.num_terms == 1
+        assert pauli["XZI"] == pytest.approx(2.0)
+
+    def test_sum_of_terms(self):
+        terms = [SCBTerm.from_label("nI", 1.0), SCBTerm.from_label("In", 1.0)]
+        pauli = scb_terms_to_pauli(terms)
+        np.testing.assert_allclose(
+            pauli.matrix(num_qubits=2), sum(t.matrix() for t in terms), atol=1e-12
+        )
+
+    def test_hermitian_pair(self):
+        term = SCBTerm.from_label("sd", 0.5 + 0.5j)
+        pauli = hermitian_pair_to_pauli(term)
+        assert pauli.is_hermitian()
+        np.testing.assert_allclose(
+            pauli.matrix(num_qubits=2), term.hermitian_matrix(), atol=1e-12
+        )
+
+    @given(scb_labels)
+    def test_conversion_is_exact_property(self, label):
+        assert conversion_is_exact(SCBTerm.from_label(label, 0.3 - 1.2j))
+
+
+class TestPauliToSCB:
+    def test_single_string_expansion_count(self):
+        terms = pauli_string_to_scb(PauliString("XY"), 1.0)
+        assert len(terms) == 4
+
+    def test_expansion_matches_matrix(self):
+        string = PauliString("XZY")
+        terms = pauli_string_to_scb(string, -0.7)
+        total = sum(t.matrix() for t in terms)
+        np.testing.assert_allclose(total, -0.7 * string.matrix(), atol=1e-12)
+
+    def test_operator_expansion_merges(self):
+        op = PauliOperator({"XZ": 1.0, "YI": 0.5j})
+        terms = pauli_operator_to_scb(op)
+        total = sum(t.matrix() for t in terms)
+        np.testing.assert_allclose(total, op.matrix(), atol=1e-12)
+
+    def test_roundtrip(self):
+        original = SCBTerm.from_label("nsm", 0.9)
+        pauli = scb_term_to_pauli(original)
+        terms = pauli_operator_to_scb(pauli)
+        total = sum(t.matrix() for t in terms)
+        np.testing.assert_allclose(total, original.matrix(), atol=1e-12)
+
+
+class TestBooleanSpinExpansions:
+    def test_z_string_to_number_terms_matrix(self):
+        terms = z_string_to_number_terms((0, 1), 2, 1.0)
+        total = sum(t.matrix() for t in terms)
+        np.testing.assert_allclose(total, np.diag([1, -1, -1, 1]), atol=1e-12)
+
+    def test_z_string_term_count(self):
+        assert len(z_string_to_number_terms((0, 1, 2), 3)) == 8
+
+    def test_number_term_to_z_strings_matrix(self):
+        op = number_term_to_z_strings((0, 2), 3, 2.0)
+        expected = 2.0 * SCBTerm.from_label("nIn").matrix()
+        np.testing.assert_allclose(op.matrix(num_qubits=3), expected, atol=1e-12)
+
+    def test_appendix_nnn_expansion(self):
+        # n̂n̂n̂ = (1/8)(I - ZZZ + ZZ_ij + ZZ_ik + ZZ_jk - Z_i - Z_j - Z_k)
+        op = number_term_to_z_strings((0, 1, 2), 3, 1.0)
+        assert op["III"] == pytest.approx(1 / 8)
+        assert op["ZZZ"] == pytest.approx(-1 / 8)
+        assert op["ZZI"] == pytest.approx(1 / 8)
+        assert op["ZII"] == pytest.approx(-1 / 8)
+
+    def test_formalism_switch_count(self):
+        assert formalism_switch_term_count(1) == 1
+        assert formalism_switch_term_count(3) == 7
+        assert formalism_switch_term_count(10) == 1023
+
+    def test_formalism_switch_negative(self):
+        from repro.exceptions import ConversionError
+
+        with pytest.raises(ConversionError):
+            formalism_switch_term_count(-1)

@@ -1,0 +1,89 @@
+"""Unit tests for the non-Hermitian dilation (Section V-E)."""
+
+import numpy as np
+import pytest
+
+from repro.operators import (
+    Hamiltonian,
+    SCBTerm,
+    dilate_hamiltonian,
+    dilate_matrix,
+    dilate_term,
+    dilation_term_counts,
+    pauli_decompose_matrix,
+    pauli_dilation_from_operator,
+    scb_decompose_matrix,
+)
+
+
+class TestDilateMatrix:
+    def test_block_structure(self, rng):
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        dilated = dilate_matrix(matrix)
+        np.testing.assert_allclose(dilated[:4, 4:], matrix)
+        np.testing.assert_allclose(dilated[4:, :4], matrix.conj().T)
+        np.testing.assert_allclose(dilated[:4, :4], 0.0)
+
+    def test_dilation_is_hermitian(self, rng):
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        dilated = dilate_matrix(matrix)
+        np.testing.assert_allclose(dilated, dilated.conj().T)
+
+    def test_action_on_embedded_vector(self, rng):
+        # H (|0> ⊗ |a>) = |1> ⊗ A|a>  (Eq. 27)
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        vec = rng.normal(size=4) + 1j * rng.normal(size=4)
+        embedded = np.concatenate([vec, np.zeros(4)])
+        out = dilate_matrix(matrix) @ embedded
+        np.testing.assert_allclose(out[:4], 0.0, atol=1e-12)
+        np.testing.assert_allclose(out[4:], matrix.conj().T @ vec, atol=1e-12)
+
+    def test_rejects_non_square(self):
+        from repro.exceptions import OperatorError
+
+        with pytest.raises(OperatorError):
+            dilate_matrix(np.ones((2, 3)))
+
+
+class TestDilateTerms:
+    def test_dilate_term_adds_sigma_dag_prefix(self):
+        term = SCBTerm.from_label("nX", 0.5)
+        dilated = dilate_term(term)
+        assert dilated.label == "dnX"
+        assert dilated.coefficient == 0.5
+
+    def test_dilated_hamiltonian_matrix(self, rng):
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        ham = scb_decompose_matrix(matrix, hermitian=False)
+        dilated = dilate_hamiltonian(ham)
+        np.testing.assert_allclose(dilated.matrix(), dilate_matrix(matrix), atol=1e-10)
+
+    def test_term_count_preserved(self, rng):
+        matrix = rng.normal(size=(8, 8))
+        matrix[np.abs(matrix) < 1.0] = 0.0
+        ham = scb_decompose_matrix(matrix, hermitian=False)
+        assert dilate_hamiltonian(ham).num_terms == ham.num_terms
+
+
+class TestTermCountComparison:
+    def test_counts_structure(self, rng):
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        counts = dilation_term_counts(matrix)
+        assert counts["scb_terms"] == counts["scb_terms_dilated"]
+        assert counts["pauli_terms_dilated"] >= counts["pauli_terms"]
+
+    def test_pauli_dilation_from_operator_matches_matrix(self, rng):
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        pauli_a = pauli_decompose_matrix(matrix)
+        dilated_op = pauli_dilation_from_operator(pauli_a)
+        np.testing.assert_allclose(
+            dilated_op.matrix(num_qubits=3), dilate_matrix(matrix), atol=1e-10
+        )
+
+    def test_pauli_dilation_term_growth(self, rng):
+        # Each Pauli string of A yields up to two strings (X⊗P and Y⊗P).
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        pauli_a = pauli_decompose_matrix(matrix)
+        dilated = pauli_dilation_from_operator(pauli_a)
+        assert dilated.num_terms <= 2 * pauli_a.num_terms
+        assert dilated.num_terms > pauli_a.num_terms

@@ -1,0 +1,110 @@
+"""Unit tests for the matrix decompositions (Section V-D and the Pauli LCU)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import DecompositionError
+from repro.operators import (
+    pauli_decompose_matrix,
+    pauli_reconstruction_error,
+    scb_decompose_matrix,
+    scb_reconstruction_error,
+    single_component_transition,
+)
+
+
+class TestSingleComponentTransition:
+    def test_paper_example_1222_1145(self):
+        # Table II worked example: |bin[1222]><bin[1145]| on 11 qubits.
+        term = single_component_transition(1222, 1145, 11)
+        matrix = term.matrix(sparse=True)
+        assert matrix[1222, 1145] == pytest.approx(1.0)
+        assert matrix.nnz == 1
+
+    def test_diagonal_component(self):
+        term = single_component_transition(5, 5, 3, 2.0)
+        matrix = term.matrix(sparse=True)
+        assert matrix[5, 5] == pytest.approx(2.0)
+        assert matrix.nnz == 1
+
+    @given(st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=10**6))
+    def test_arbitrary_component(self, a, b, seed):
+        coeff = complex(np.cos(seed), np.sin(seed))
+        term = single_component_transition(a, b, 5, coeff)
+        matrix = term.matrix(sparse=True)
+        assert matrix[a, b] == pytest.approx(coeff)
+        assert matrix.nnz == 1
+
+
+class TestSCBDecomposition:
+    def test_hermitian_matrix_reconstruction(self, rng):
+        matrix = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        matrix = matrix + matrix.conj().T
+        ham = scb_decompose_matrix(matrix)
+        assert scb_reconstruction_error(matrix, ham) < 1e-10
+
+    def test_sparse_matrix_term_count(self, rng):
+        dense = np.zeros((8, 8), dtype=complex)
+        dense[0, 3] = 1.5
+        dense[3, 0] = 1.5
+        dense[5, 5] = -2.0
+        ham = scb_decompose_matrix(dense)
+        # one off-diagonal (upper triangle) + one diagonal component
+        assert ham.num_terms == 2
+        assert scb_reconstruction_error(dense, ham) < 1e-12
+
+    def test_non_hermitian_matrix(self, rng):
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        ham = scb_decompose_matrix(matrix, hermitian=False)
+        rebuilt = ham.matrix(include_hc=False)
+        np.testing.assert_allclose(rebuilt, matrix, atol=1e-10)
+
+    def test_accepts_sparse_input(self):
+        matrix = sp.random(16, 16, density=0.1, random_state=0, format="csr")
+        matrix = matrix + matrix.T
+        ham = scb_decompose_matrix(matrix.astype(complex))
+        assert scb_reconstruction_error(matrix.astype(complex), ham) < 1e-10
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DecompositionError):
+            scb_decompose_matrix(np.ones((2, 4)))
+
+    def test_rejects_non_power_of_two(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            scb_decompose_matrix(np.eye(3))
+
+
+class TestPauliDecomposition:
+    def test_reconstruction(self, rng):
+        matrix = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        op = pauli_decompose_matrix(matrix)
+        assert pauli_reconstruction_error(matrix, op) < 1e-10
+
+    def test_single_pauli_recovered(self):
+        from repro.operators import PauliString
+
+        matrix = 0.7 * PauliString("XZY").matrix()
+        op = pauli_decompose_matrix(matrix)
+        assert op.num_terms == 1
+        assert op["XZY"] == pytest.approx(0.7)
+
+    def test_dense_matrix_has_4n_terms(self, rng):
+        matrix = rng.normal(size=(4, 4))
+        op = pauli_decompose_matrix(matrix)
+        assert op.num_terms <= 16
+
+    def test_diagonal_matrix_gives_iz_strings(self):
+        op = pauli_decompose_matrix(np.diag([1.0, 2.0, 3.0, 4.0]))
+        assert all(set(str(s)) <= {"I", "Z"} for s, _ in op.items())
+
+    def test_hermitian_matrix_gives_real_coefficients(self, rng):
+        matrix = rng.normal(size=(8, 8))
+        matrix = matrix + matrix.T
+        op = pauli_decompose_matrix(matrix)
+        assert op.is_hermitian()

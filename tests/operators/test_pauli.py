@@ -1,0 +1,102 @@
+"""Unit tests for PauliString / PauliOperator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OperatorError
+from repro.operators import PauliOperator, PauliString
+
+
+class TestPauliString:
+    def test_invalid_label(self):
+        with pytest.raises(OperatorError):
+            PauliString("XQ")
+
+    def test_empty_label(self):
+        with pytest.raises(OperatorError):
+            PauliString("")
+
+    def test_weight_and_support(self):
+        string = PauliString("IXIZ")
+        assert string.weight == 2
+        assert string.support == (1, 3)
+
+    def test_matrix_of_zz(self):
+        np.testing.assert_allclose(
+            PauliString("ZZ").matrix(), np.diag([1, -1, -1, 1])
+        )
+
+    def test_sparse_dense_agree(self):
+        string = PauliString("XYZ")
+        np.testing.assert_allclose(string.matrix(), string.matrix(sparse=True).todense())
+
+    def test_compose_phases(self):
+        phase, result = PauliString("X").compose(PauliString("Y"))
+        assert result == PauliString("Z")
+        assert phase == pytest.approx(1j)
+
+    def test_compose_width_mismatch(self):
+        with pytest.raises(OperatorError):
+            PauliString("X").compose(PauliString("XX"))
+
+    def test_commutes_with(self):
+        assert PauliString("XX").commutes_with(PauliString("YY"))
+        assert not PauliString("XI").commutes_with(PauliString("ZI"))
+
+    def test_expand(self):
+        assert PauliString("XZ").expand(4, [3, 1]).labels == "IZIX"
+
+
+class TestPauliOperator:
+    def test_accumulates_coefficients(self):
+        op = PauliOperator({"XX": 1.0})
+        op = op + PauliOperator({"XX": 2.0, "ZZ": -1.0})
+        assert op["XX"] == pytest.approx(3.0)
+        assert op.num_terms == 2
+
+    def test_cancellation_removes_terms(self):
+        op = PauliOperator({"X": 1.0}) + PauliOperator({"X": -1.0})
+        assert op.num_terms == 0
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(OperatorError):
+            PauliOperator({"X": 1.0, "XX": 1.0})
+
+    def test_matrix(self):
+        op = PauliOperator({"ZI": 1.0, "IX": 0.5})
+        expected = np.kron(np.diag([1, -1]), np.eye(2)) + 0.5 * np.kron(
+            np.eye(2), np.array([[0, 1], [1, 0]])
+        )
+        np.testing.assert_allclose(op.matrix(), expected)
+
+    def test_compose(self):
+        a = PauliOperator({"X": 1.0})
+        b = PauliOperator({"Y": 1.0})
+        product = a.compose(b)
+        assert product["Z"] == pytest.approx(1j)
+
+    def test_dagger_and_hermiticity(self):
+        op = PauliOperator({"X": 1.0 + 1j})
+        assert not op.is_hermitian()
+        herm = op + op.dagger()
+        assert herm.is_hermitian()
+
+    def test_one_norm(self):
+        op = PauliOperator({"X": 3.0, "Z": -4.0})
+        assert op.one_norm() == pytest.approx(7.0)
+
+    def test_weight_histogram(self):
+        op = PauliOperator({"XX": 1.0, "XI": 1.0, "II": 2.0})
+        assert op.weight_histogram() == {2: 1, 1: 1, 0: 1}
+
+    def test_scalar_multiplication(self):
+        op = 2.0 * PauliOperator({"Z": 1.5})
+        assert op["Z"] == pytest.approx(3.0)
+
+    def test_subtraction(self):
+        op = PauliOperator({"Z": 1.0}) - PauliOperator({"Z": 0.25})
+        assert op["Z"] == pytest.approx(0.75)
+
+    def test_simplify(self):
+        op = PauliOperator({"Z": 1e-15, "X": 1.0})
+        assert op.simplify().num_terms == 1

@@ -1,0 +1,95 @@
+"""Unit tests for the Single Component Basis operators (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OperatorError
+from repro.operators import ALL_SCB_OPERATORS, Family, SCBOperator, pauli_matrix
+
+
+class TestMatrices:
+    def test_sigma_matrix(self):
+        np.testing.assert_allclose(SCBOperator.SIGMA.matrix, [[0, 0], [1, 0]])
+
+    def test_sigma_dag_matrix(self):
+        np.testing.assert_allclose(SCBOperator.SIGMA_DAG.matrix, [[0, 1], [0, 0]])
+
+    def test_number_matrices(self):
+        np.testing.assert_allclose(SCBOperator.N.matrix, np.diag([0, 1]))
+        np.testing.assert_allclose(SCBOperator.M.matrix, np.diag([1, 0]))
+
+    def test_n_plus_m_is_identity(self):
+        np.testing.assert_allclose(
+            SCBOperator.N.matrix + SCBOperator.M.matrix, np.eye(2)
+        )
+
+    def test_sigma_products_give_projectors(self):
+        # σ†σ = n and σσ† = m (appendix VIII-A).
+        np.testing.assert_allclose(
+            SCBOperator.SIGMA.matrix @ SCBOperator.SIGMA_DAG.matrix, SCBOperator.N.matrix
+        )
+        np.testing.assert_allclose(
+            SCBOperator.SIGMA_DAG.matrix @ SCBOperator.SIGMA.matrix, SCBOperator.M.matrix
+        )
+
+
+class TestTable1PauliExpansions:
+    @pytest.mark.parametrize("op", ALL_SCB_OPERATORS)
+    def test_expansion_reconstructs_matrix(self, op):
+        rebuilt = sum(
+            coeff * pauli_matrix(label) for label, coeff in op.pauli_expansion.items()
+        )
+        np.testing.assert_allclose(rebuilt, op.matrix, atol=1e-12)
+
+    def test_n_expansion(self):
+        assert SCBOperator.N.pauli_expansion == {"I": 0.5, "Z": -0.5}
+
+    def test_m_expansion(self):
+        assert SCBOperator.M.pauli_expansion == {"I": 0.5, "Z": 0.5}
+
+    def test_transition_expansions_have_two_terms(self):
+        assert len(SCBOperator.SIGMA.pauli_expansion) == 2
+        assert len(SCBOperator.SIGMA_DAG.pauli_expansion) == 2
+
+
+class TestFamiliesAndLabels:
+    def test_families(self):
+        assert SCBOperator.I.family is Family.IDENTITY
+        assert SCBOperator.X.family is Family.PAULI
+        assert SCBOperator.N.family is Family.NUMBER
+        assert SCBOperator.SIGMA.family is Family.TRANSITION
+
+    def test_hermiticity(self):
+        assert SCBOperator.Z.is_hermitian
+        assert not SCBOperator.SIGMA.is_hermitian
+
+    def test_dagger(self):
+        assert SCBOperator.SIGMA.dagger() is SCBOperator.SIGMA_DAG
+        assert SCBOperator.N.dagger() is SCBOperator.N
+
+    @pytest.mark.parametrize("op", ALL_SCB_OPERATORS)
+    def test_dagger_matches_matrix(self, op):
+        np.testing.assert_allclose(op.dagger().matrix, op.matrix.conj().T)
+
+    def test_from_label_aliases(self):
+        assert SCBOperator.from_label("+") is SCBOperator.SIGMA
+        assert SCBOperator.from_label("-") is SCBOperator.SIGMA_DAG
+        assert SCBOperator.from_label("N") is SCBOperator.N
+
+    def test_from_label_invalid(self):
+        with pytest.raises(OperatorError):
+            SCBOperator.from_label("Q")
+
+    def test_transition_bits(self):
+        assert SCBOperator.SIGMA.ket_bit == 1 and SCBOperator.SIGMA.bra_bit == 0
+        assert SCBOperator.SIGMA_DAG.ket_bit == 0 and SCBOperator.SIGMA_DAG.bra_bit == 1
+        assert SCBOperator.X.ket_bit is None
+
+    def test_number_bits(self):
+        assert SCBOperator.N.number_bit == 1
+        assert SCBOperator.M.number_bit == 0
+        assert SCBOperator.Z.number_bit is None
+
+    def test_pauli_matrix_invalid(self):
+        with pytest.raises(OperatorError):
+            pauli_matrix("Q")

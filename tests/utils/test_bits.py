@@ -1,0 +1,108 @@
+"""Unit tests for the bit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.utils.bits import (
+    bit_parity,
+    bits_to_int,
+    bitstring_to_int,
+    complement_bits,
+    hamming_weight,
+    int_to_bits,
+    int_to_bitstring,
+    iter_bitstrings,
+)
+
+
+class TestIntToBits:
+    def test_basic(self):
+        assert int_to_bits(5, 4) == (0, 1, 0, 1)
+
+    def test_zero(self):
+        assert int_to_bits(0, 3) == (0, 0, 0)
+
+    def test_full(self):
+        assert int_to_bits(7, 3) == (1, 1, 1)
+
+    def test_msb_first(self):
+        assert int_to_bits(4, 3) == (1, 0, 0)
+
+    def test_too_large(self):
+        with pytest.raises(ReproError):
+            int_to_bits(8, 3)
+
+    def test_negative(self):
+        with pytest.raises(ReproError):
+            int_to_bits(-1, 3)
+
+
+class TestBitsToInt:
+    def test_roundtrip_examples(self):
+        assert bits_to_int((1, 0, 1, 1)) == 11
+
+    def test_invalid_bit(self):
+        with pytest.raises(ReproError):
+            bits_to_int((0, 2, 1))
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1), st.integers(min_value=12, max_value=16))
+    def test_roundtrip_property(self, value, width):
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+
+class TestBitstrings:
+    def test_int_to_bitstring(self):
+        assert int_to_bitstring(6, 4) == "0110"
+
+    def test_bitstring_to_int(self):
+        assert bitstring_to_int("0110") == 6
+
+    def test_invalid_string(self):
+        with pytest.raises(ReproError):
+            bitstring_to_int("01x0")
+
+    def test_empty_string(self):
+        with pytest.raises(ReproError):
+            bitstring_to_int("")
+
+
+class TestHammingAndParity:
+    def test_hamming_weight(self):
+        assert hamming_weight(0b1011) == 3
+
+    def test_parity_even(self):
+        assert bit_parity(0b1001) == 0
+
+    def test_parity_odd(self):
+        assert bit_parity(0b1011) == 1
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_parity_matches_weight(self, value):
+        assert bit_parity(value) == hamming_weight(value) % 2
+
+
+class TestComplement:
+    def test_basic(self):
+        assert complement_bits(0b1010, 4) == 0b0101
+
+    def test_zero(self):
+        assert complement_bits(0, 5) == 0b11111
+
+    def test_out_of_range(self):
+        with pytest.raises(ReproError):
+            complement_bits(16, 4)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_involution(self, value):
+        assert complement_bits(complement_bits(value, 8), 8) == value
+
+
+class TestIterBitstrings:
+    def test_count(self):
+        assert len(list(iter_bitstrings(3))) == 8
+
+    def test_order(self):
+        strings = list(iter_bitstrings(2))
+        assert strings == [(0, 0), (0, 1), (1, 0), (1, 1)]

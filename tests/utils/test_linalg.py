@@ -1,0 +1,96 @@
+"""Unit tests for the linear-algebra helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.utils.linalg import (
+    dagger,
+    hilbert_schmidt_inner,
+    is_hermitian,
+    is_identity,
+    is_unitary,
+    kron_all,
+    matrices_close,
+    operator_norm,
+    phase_aligned_distance,
+    projector,
+    random_statevector,
+    spectral_norm_diff,
+)
+
+
+class TestPredicates:
+    def test_is_unitary_true(self):
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        assert is_unitary(h)
+
+    def test_is_unitary_false(self):
+        assert not is_unitary(np.array([[1, 1], [0, 1]]))
+
+    def test_is_unitary_non_square(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_is_hermitian_true(self):
+        assert is_hermitian(np.array([[1, 1j], [-1j, 2]]))
+
+    def test_is_hermitian_false(self):
+        assert not is_hermitian(np.array([[0, 1], [0, 0]]))
+
+    def test_is_identity(self):
+        assert is_identity(np.eye(4))
+        assert not is_identity(np.diag([1, 1, 1, -1]))
+
+    def test_matrices_close_shape_mismatch(self):
+        assert not matrices_close(np.eye(2), np.eye(4))
+
+
+class TestNorms:
+    def test_operator_norm_diagonal(self):
+        assert operator_norm(np.diag([3.0, -5.0])) == pytest.approx(5.0)
+
+    def test_spectral_norm_diff_zero(self):
+        a = np.eye(3)
+        assert spectral_norm_diff(a, a) == pytest.approx(0.0)
+
+    def test_phase_aligned_distance_pure_phase(self):
+        u = np.diag([1, 1j])
+        assert phase_aligned_distance(u, np.exp(1j * 0.7) * u) == pytest.approx(0.0, abs=1e-10)
+
+    def test_phase_aligned_distance_detects_difference(self):
+        assert phase_aligned_distance(np.eye(2), np.diag([1, -1])) > 0.5
+
+    def test_hilbert_schmidt(self):
+        assert hilbert_schmidt_inner(np.eye(2), np.eye(2)) == pytest.approx(2.0)
+
+
+class TestConstructors:
+    def test_dagger(self):
+        m = np.array([[1, 2j], [3, 4]])
+        np.testing.assert_allclose(dagger(m), m.conj().T)
+
+    def test_kron_all_order(self):
+        x = np.array([[0, 1], [1, 0]])
+        z = np.diag([1, -1])
+        np.testing.assert_allclose(kron_all([x, z]), np.kron(x, z))
+
+    def test_kron_all_empty(self):
+        with pytest.raises(ReproError):
+            kron_all([])
+
+    def test_random_statevector_normalised(self, rng):
+        vec = random_statevector(5, rng)
+        assert vec.shape == (32,)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_random_statevector_negative(self):
+        with pytest.raises(ReproError):
+            random_statevector(-1)
+
+    def test_projector(self):
+        proj = projector([1, 3], 4)
+        np.testing.assert_allclose(np.diag(proj), [0, 1, 0, 1])
+
+    def test_projector_out_of_range(self):
+        with pytest.raises(ReproError):
+            projector([5], 4)

@@ -1,0 +1,80 @@
+"""Unit tests for the validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.utils.validation import (
+    check_power_of_two,
+    check_probability_vector,
+    check_qubit_indices,
+    check_square,
+)
+
+
+class TestCheckQubitIndices:
+    def test_valid(self):
+        assert check_qubit_indices([0, 2, 1], 4) == (0, 2, 1)
+
+    def test_duplicate(self):
+        with pytest.raises(ReproError):
+            check_qubit_indices([0, 0], 4)
+
+    def test_out_of_range(self):
+        with pytest.raises(ReproError):
+            check_qubit_indices([0, 4], 4)
+
+    def test_negative(self):
+        with pytest.raises(ReproError):
+            check_qubit_indices([-1], 4)
+
+    def test_non_integer(self):
+        with pytest.raises(ReproError):
+            check_qubit_indices([0.5], 4)
+
+    def test_numpy_integers_accepted(self):
+        assert check_qubit_indices(np.array([1, 2]), 4) == (1, 2)
+
+
+class TestCheckSquare:
+    def test_valid(self):
+        out = check_square(np.eye(3))
+        assert out.dtype == complex
+
+    def test_rectangular(self):
+        with pytest.raises(ReproError):
+            check_square(np.ones((2, 3)))
+
+
+class TestCheckPowerOfTwo:
+    def test_valid(self):
+        assert check_power_of_two(8) == 3
+
+    def test_one(self):
+        assert check_power_of_two(1) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            check_power_of_two(6)
+
+    def test_zero(self):
+        with pytest.raises(ReproError):
+            check_power_of_two(0)
+
+
+class TestCheckProbabilityVector:
+    def test_valid(self):
+        out = check_probability_vector(np.array([0.25, 0.75]))
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_negative_entries(self):
+        with pytest.raises(ReproError):
+            check_probability_vector(np.array([-0.2, 1.2]))
+
+    def test_wrong_sum(self):
+        with pytest.raises(ReproError):
+            check_probability_vector(np.array([0.2, 0.2]))
+
+    def test_not_one_dimensional(self):
+        with pytest.raises(ReproError):
+            check_probability_vector(np.eye(2))
