@@ -1,64 +1,67 @@
-"""Quickstart: direct Hamiltonian simulation and block encoding of one term.
+"""Quickstart: the ``repro.compile`` pipeline on the paper's core workflow.
 
-This walks through the paper's core workflow on a small example:
-
-1. write a Hamiltonian as Single Component Basis terms (Eq. 4);
-2. exponentiate each gathered term exactly with the direct strategy (Fig. 2);
-3. compare against the usual Pauli-string strategy;
-4. block-encode a term with at most six unitaries (Section IV).
+1. state the problem once — a Hamiltonian of Single Component Basis terms
+   (Eq. 4) plus a time, wrapped in a :class:`SimulationProblem`;
+2. compile it with the paper's **direct** strategy (Fig. 2) and with the
+   **usual** Pauli-string strategy, and check both agree;
+3. inspect resources without building anything (``backend="resource"``);
+4. block-encode the same Hamiltonian with at most six unitaries per term
+   (Section IV) just by switching the strategy.
 
 Run with ``python examples/quickstart.py``.
 """
 
 import numpy as np
-from scipy.linalg import expm
 
-from repro.analysis import compare_strategies
-from repro.circuits import circuit_unitary
-from repro.core import evolve_term, fragment_block_encoding, term_lcu_decomposition
-from repro.operators import Hamiltonian, SCBTerm, pauli_term_count
-from repro.operators.hamiltonian import HermitianFragment
-from repro.utils.linalg import spectral_norm_diff
+import repro
 
 
 def main() -> None:
     # ------------------------------------------------------------------ 1.
-    # A Hamiltonian in the Single Component Basis: each character is one qubit,
-    # 'n'/'m' are number operators, 's'/'d' are σ/σ†, 'X','Y','Z' are Paulis.
-    hamiltonian = Hamiltonian(4)
-    hamiltonian.add_label("nsdI", 0.8)     # transition controlled by an occupation
-    hamiltonian.add_label("IZZI", 0.3)     # a plain Pauli string
-    hamiltonian.add_label("IXsd", 0.5)     # Pauli ⊗ transition
-    hamiltonian.add_label("mnsd", 0.2)     # all three families together
-    print(f"Hamiltonian: {hamiltonian.num_terms} SCB terms on {hamiltonian.num_qubits} qubits")
+    # One expression: each character is one qubit, 'n'/'m' are number
+    # operators, 's'/'d' are σ/σ†, 'X','Y','Z' are Paulis.
+    problem = repro.SimulationProblem.from_labels(
+        4,
+        {
+            "nsdI": 0.8,   # transition controlled by an occupation
+            "IZZI": 0.3,   # a plain Pauli string
+            "IXsd": 0.5,   # Pauli ⊗ transition
+            "mnsd": 0.2,   # all three families together
+        },
+        time=0.2,
+        name="quickstart",
+    )
+    print(problem.describe())
 
     # ------------------------------------------------------------------ 2.
-    # Exponentiate one gathered term exactly: exp(-i t (γ·A + h.c.)).
-    term = SCBTerm.from_label("nsdI", 0.8)
-    time = 0.37
-    circuit = evolve_term(term, time)
-    exact = expm(-1j * time * HermitianFragment(term, True).matrix())
-    error = spectral_norm_diff(circuit_unitary(circuit), exact)
-    print(f"\nDirect evolution of {term.label}: "
-          f"{circuit.size()} gates, {circuit.num_rotation_gates()} rotation, "
-          f"error vs expm = {error:.2e}")
-    print(f"The same term would map to {pauli_term_count(term)} Pauli strings "
-          f"with the usual strategy.")
+    # Compile under both strategies and run on the statevector backend.
+    direct = repro.compile(problem, strategy="direct")
+    pauli = repro.compile(problem, strategy="pauli")
+    state_direct = direct.run(backend="statevector")
+    state_pauli = pauli.run(backend="statevector")
+    overlap = abs(state_direct.inner(state_pauli))
+    print(f"\n|⟨direct|pauli⟩| = {overlap:.12f} (same product formula, two gate sets)")
+    print(f"max |U_direct − U_pauli| = "
+          f"{np.abs(direct.unitary() - pauli.unitary()).max():.2e}")
 
     # ------------------------------------------------------------------ 3.
-    # Whole-Hamiltonian comparison of the two strategies (one Trotter step).
-    comparison = compare_strategies(hamiltonian, time=0.2)
-    print("\n" + comparison.summary())
+    # Analytic resource estimates — no circuit is built for these counts —
+    # then the measured, transpiled comparison (the Fig. 2 / Table 3 view).
+    estimate = direct.run(backend="resource")
+    print(f"\nDirect strategy predicts {estimate.rotations} rotations and "
+          f"{estimate.two_qubit_gates} two-qubit gates for {estimate.fragments} fragments.")
+    sweep = repro.compare_all(problem)
+    print(sweep.summary())
+    print(f"two-qubit gap (direct − pauli): {sweep.gate_count_gap():+d}")
 
     # ------------------------------------------------------------------ 4.
-    # Block-encode a term with at most six unitaries (Eq. 10-12).
-    fragment = HermitianFragment(SCBTerm.from_label("mnsd", 0.2), True)
-    decomposition = term_lcu_decomposition(fragment)
-    encoding = fragment_block_encoding(fragment)
-    print(f"\nBlock encoding of {fragment.term.label}: "
-          f"{decomposition.num_unitaries} unitaries (≤ 6), "
-          f"{encoding.num_ancillas} ancilla qubits, scale λ = {encoding.scale:.3f}, "
-          f"encoded-block error = {encoding.verification_error(fragment.matrix()):.2e}")
+    # Block-encode the same problem: just another strategy.
+    encoded = repro.compile(problem, strategy="block_encoding")
+    target = problem.hamiltonian.matrix()
+    error = np.abs(encoded.matrix() - target).max()
+    print(f"\nBlock encoding: {encoded.metadata['num_ancillas']} ancillas, "
+          f"scale λ = {encoded.metadata['scale']:.3f}, "
+          f"encoded-block error vs H = {error:.2e}")
 
 
 if __name__ == "__main__":

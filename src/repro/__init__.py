@@ -4,9 +4,15 @@ Reproduction of "Gate Efficient Composition of Hamiltonian Simulation and
 Block-Encoding with its Application on HUBO, Chemistry and Finite Difference
 Method" (Ollive & Louise, IPPS 2025).
 
-The most commonly used classes and functions are re-exported here; the full
-API lives in the subpackages:
+The primary public API is the :mod:`repro.compile` pipeline::
 
+    problem = repro.SimulationProblem.from_labels(4, {"nsdI": 0.8}, time=0.2)
+    program = repro.compile(problem, strategy="direct")
+    state   = program.run(backend="statevector")
+
+The full machinery lives in the subpackages:
+
+* :mod:`repro.compile` — problem → program pipeline (strategies, backends);
 * :mod:`repro.circuits` — quantum-circuit substrate (gates, simulators,
   decompositions, transpiler);
 * :mod:`repro.operators` — Single Component Basis terms, Pauli operators,
@@ -16,21 +22,39 @@ API lives in the subpackages:
 * :mod:`repro.applications` — HUBO, chemistry and finite-difference
   applications;
 * :mod:`repro.analysis` — gate-count and Trotter-error reports.
+
+The pre-pipeline top-level entry points (``repro.evolve_term`` and friends)
+keep working but emit :class:`DeprecationWarning`; import them from
+:mod:`repro.core` directly if you need the raw builders without the warning.
 """
 
 from __future__ import annotations
 
+from repro import compile as compile  # noqa: F401  (callable subpackage)
+from repro._deprecation import deprecated_alias as _deprecated_alias
 from repro.circuits import QuantumCircuit, Statevector, circuit_unitary, transpile
-from repro.core import (
+from repro.compile import (
+    CompiledProgram,
+    CompileOptions,
     EvolutionOptions,
-    direct_hamiltonian_simulation,
-    evolve_fragment,
-    evolve_term,
-    fragment_block_encoding,
-    hamiltonian_block_encoding,
-    pauli_hamiltonian_simulation,
-    term_lcu_decomposition,
+    SimulationProblem,
+    available_backends,
+    available_strategies,
+    compare_all,
+    compile_many,
+    compile_problem,
+    run_many,
 )
+from repro.core import (
+    direct_hamiltonian_simulation as _direct_hamiltonian_simulation,
+    evolve_fragment as _evolve_fragment,
+    evolve_term as _evolve_term,
+    fragment_block_encoding as _fragment_block_encoding,
+    hamiltonian_block_encoding as _hamiltonian_block_encoding,
+    pauli_hamiltonian_simulation as _pauli_hamiltonian_simulation,
+    term_lcu_decomposition as _term_lcu_decomposition,
+)
+from repro.exceptions import CompileError, OptionsError, ReproError
 from repro.operators import (
     Hamiltonian,
     HermitianFragment,
@@ -41,22 +65,64 @@ from repro.operators import (
     scb_decompose_matrix,
 )
 
-__version__ = "1.0.0"
+# ---------------------------------------------------------------------------
+# Deprecated pre-pipeline entry points (still functional, now warning).
+# ---------------------------------------------------------------------------
+
+evolve_term = _deprecated_alias(
+    _evolve_term, "evolve_term", 'repro.compile(problem, strategy="direct")'
+)
+evolve_fragment = _deprecated_alias(
+    _evolve_fragment, "evolve_fragment", 'repro.compile(problem, strategy="direct")'
+)
+direct_hamiltonian_simulation = _deprecated_alias(
+    _direct_hamiltonian_simulation,
+    "direct_hamiltonian_simulation",
+    'repro.compile(problem, strategy="direct").circuit',
+)
+pauli_hamiltonian_simulation = _deprecated_alias(
+    _pauli_hamiltonian_simulation,
+    "pauli_hamiltonian_simulation",
+    'repro.compile(problem, strategy="pauli").circuit',
+)
+hamiltonian_block_encoding = _deprecated_alias(
+    _hamiltonian_block_encoding,
+    "hamiltonian_block_encoding",
+    'repro.compile(problem, strategy="block_encoding")',
+)
+fragment_block_encoding = _deprecated_alias(
+    _fragment_block_encoding,
+    "fragment_block_encoding",
+    'repro.compile(problem, strategy="block_encoding")',
+)
+term_lcu_decomposition = _deprecated_alias(
+    _term_lcu_decomposition,
+    "term_lcu_decomposition",
+    "repro.core.term_lcu_decomposition",
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # pipeline
+    "compile",
+    "compile_problem",
+    "compile_many",
+    "compare_all",
+    "run_many",
+    "SimulationProblem",
+    "CompiledProgram",
+    "CompileOptions",
+    "EvolutionOptions",
+    "available_backends",
+    "available_strategies",
+    # substrate
     "QuantumCircuit",
     "Statevector",
     "circuit_unitary",
     "transpile",
-    "EvolutionOptions",
-    "direct_hamiltonian_simulation",
-    "evolve_fragment",
-    "evolve_term",
-    "fragment_block_encoding",
-    "hamiltonian_block_encoding",
-    "pauli_hamiltonian_simulation",
-    "term_lcu_decomposition",
+    # operators
     "Hamiltonian",
     "HermitianFragment",
     "PauliOperator",
@@ -64,4 +130,16 @@ __all__ = [
     "SCBOperator",
     "SCBTerm",
     "scb_decompose_matrix",
+    # errors
+    "ReproError",
+    "CompileError",
+    "OptionsError",
+    # deprecated entry points
+    "evolve_term",
+    "evolve_fragment",
+    "direct_hamiltonian_simulation",
+    "pauli_hamiltonian_simulation",
+    "hamiltonian_block_encoding",
+    "fragment_block_encoding",
+    "term_lcu_decomposition",
 ]

@@ -1,0 +1,30 @@
+"""Deprecation shims for the pre-pipeline entry points.
+
+The loose top-level entry points of the seed (``repro.evolve_term``,
+``repro.pauli_hamiltonian_simulation``, …) keep working but now warn and point
+at the :mod:`repro.compile` pipeline.  The underlying implementations in
+:mod:`repro.core` are *not* deprecated — they are the layer the strategies
+call — only the top-level re-exports that applications used to wire by hand.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+
+def deprecated_alias(func, old_name: str, replacement: str):
+    """Wrap ``func`` so calling it via the old top-level name warns once per site."""
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"repro.{old_name} is deprecated; use {replacement} instead "
+            "(the old call keeps working and produces identical circuits)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func(*args, **kwargs)
+
+    wrapper.__deprecated__ = replacement
+    return wrapper

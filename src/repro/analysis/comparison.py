@@ -4,17 +4,22 @@ Gathers in one object the quantities the paper uses throughout its examples:
 number of exponentiated fragments, rotation counts, two-qubit gate counts,
 depths, and the Trotter error of a single product-formula step for both
 strategies.
+
+Since the :mod:`repro.compile` pipeline landed, this module is a thin
+presentation layer: :func:`compare_strategies` builds a
+:class:`~repro.compile.problem.SimulationProblem`, sweeps it through
+``compare_all(problem)`` and repackages the per-strategy reports into the
+historical :class:`StrategyComparison` shape.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.gate_counts import GateCountReport, gate_count_report
+from repro.analysis.gate_counts import GateCountReport
 from repro.analysis.trotter_error import trotter_error_norm, trotter_error_state
 from repro.circuits.transpile import TranspileOptions
 from repro.core.direct_evolution import EvolutionOptions
-from repro.core.trotter import direct_hamiltonian_simulation, pauli_hamiltonian_simulation
 from repro.operators.hamiltonian import Hamiltonian
 
 
@@ -64,39 +69,44 @@ def compare_strategies(
     compute_error: bool = True,
 ) -> StrategyComparison:
     """Build both single-step circuits and compare their resources and errors."""
-    pauli_operator = hamiltonian.to_pauli()
+    # Imported here: repro.analysis is a dependency of the pipeline's report
+    # layer, so a module-level import would be circular.
+    from repro.compile.options import CompileOptions
+    from repro.compile.pipeline import compare_all
+    from repro.compile.problem import SimulationProblem
 
-    direct_circuit = direct_hamiltonian_simulation(
-        hamiltonian, time, steps=steps, order=order, options=evolution_options
+    problem = SimulationProblem(
+        hamiltonian,
+        time,
+        steps=steps,
+        order=order,
+        options=CompileOptions.from_any(evolution_options),
     )
-    pauli_circuit = pauli_hamiltonian_simulation(
-        pauli_operator, time, num_qubits=hamiltonian.num_qubits, steps=steps, order=order
-    )
+    sweep = compare_all(problem)
+    direct, pauli = sweep["direct"], sweep["pauli"]
 
     options = TranspileOptions(mcx_mode="noancilla")
-    direct_report = gate_count_report(direct_circuit, transpiled=transpiled,
-                                      transpile_options=options)
-    pauli_report = gate_count_report(pauli_circuit, transpiled=transpiled,
-                                     transpile_options=options)
+    direct_report = direct.resources(transpiled=transpiled, transpile_options=options)
+    pauli_report = pauli.resources(transpiled=transpiled, transpile_options=options)
 
     direct_error = pauli_error = float("nan")
     if compute_error:
         if hamiltonian.num_qubits <= 9:
-            direct_error = trotter_error_norm(hamiltonian, direct_circuit, time)
-            pauli_error = trotter_error_norm(hamiltonian, pauli_circuit, time)
+            direct_error = trotter_error_norm(hamiltonian, direct.circuit, time)
+            pauli_error = trotter_error_norm(hamiltonian, pauli.circuit, time)
         else:
-            direct_error = trotter_error_state(hamiltonian, direct_circuit, time, rng=0)
-            pauli_error = trotter_error_state(hamiltonian, pauli_circuit, time, rng=0)
+            direct_error = trotter_error_state(hamiltonian, direct.circuit, time, rng=0)
+            pauli_error = trotter_error_state(hamiltonian, pauli.circuit, time, rng=0)
 
     return StrategyComparison(
         num_qubits=hamiltonian.num_qubits,
         time=time,
         direct_fragments=hamiltonian.num_terms,
-        pauli_strings=pauli_operator.num_terms,
+        pauli_strings=sweep.problem.pauli_operator().num_terms,
         direct_report=direct_report,
         pauli_report=pauli_report,
         direct_error=direct_error,
         pauli_error=pauli_error,
-        direct_logical_rotations=direct_circuit.num_rotation_gates(),
-        pauli_logical_rotations=pauli_circuit.num_rotation_gates(),
+        direct_logical_rotations=direct.circuit.num_rotation_gates(),
+        pauli_logical_rotations=pauli.circuit.num_rotation_gates(),
     )

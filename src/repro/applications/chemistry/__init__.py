@@ -32,6 +32,7 @@ from repro.applications.chemistry.transitions import (
 )
 from repro.applications.chemistry.trotter_study import (
     TrotterComparison,
+    chemistry_simulation_problem,
     compare_partitionings,
     compare_partitionings_scb,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "transition_pauli_split_error",
     "two_body_fragment",
     "TrotterComparison",
+    "chemistry_simulation_problem",
     "compare_partitionings",
     "compare_partitionings_scb",
     "Excitation",

@@ -20,11 +20,6 @@ from dataclasses import dataclass
 from repro.analysis.trotter_error import trotter_error_norm, trotter_error_state
 from repro.applications.chemistry.fermion import FermionOperator
 from repro.applications.chemistry.jordan_wigner import jordan_wigner_scb
-from repro.core.trotter import (
-    direct_fragments,
-    pauli_fragments,
-    trotter_circuit,
-)
 from repro.operators.hamiltonian import Hamiltonian
 
 
@@ -51,6 +46,23 @@ class TrotterComparison:
         )
 
 
+def chemistry_simulation_problem(
+    fermion_operator: FermionOperator,
+    time: float,
+    *,
+    steps: int = 1,
+    order: int = 1,
+    num_modes: int | None = None,
+):
+    """Jordan–Wigner the fermionic operator into a pipeline-ready problem."""
+    from repro.compile.problem import SimulationProblem
+
+    hamiltonian = jordan_wigner_scb(fermion_operator, num_modes)
+    return SimulationProblem(
+        hamiltonian, time, steps=steps, order=order, name="chemistry-jw"
+    )
+
+
 def compare_partitionings(
     fermion_operator: FermionOperator,
     time: float,
@@ -71,14 +83,15 @@ def compare_partitionings_scb(
     steps: int = 1,
     order: int = 1,
 ) -> TrotterComparison:
-    """Same comparison starting from an SCB Hamiltonian."""
-    n = hamiltonian.num_qubits
-    pauli_operator = hamiltonian.to_pauli()
+    """Same comparison starting from an SCB Hamiltonian (pipeline-backed)."""
+    from repro.compile.pipeline import compare_all
+    from repro.compile.problem import SimulationProblem
 
-    d_frags = direct_fragments(hamiltonian)
-    p_frags = pauli_fragments(pauli_operator, n)
-    direct_circuit = trotter_circuit(d_frags, n, time, steps=steps, order=order)
-    pauli_circuit = trotter_circuit(p_frags, n, time, steps=steps, order=order)
+    n = hamiltonian.num_qubits
+    problem = SimulationProblem(hamiltonian, time, steps=steps, order=order)
+    sweep = compare_all(problem)
+    direct_circuit = sweep["direct"].circuit
+    pauli_circuit = sweep["pauli"].circuit
 
     if n <= 9:
         direct_error = trotter_error_norm(hamiltonian, direct_circuit, time)
@@ -93,8 +106,8 @@ def compare_partitionings_scb(
         order=order,
         direct_error=direct_error,
         pauli_error=pauli_error,
-        direct_fragment_count=len(d_frags),
-        pauli_fragment_count=len(p_frags),
+        direct_fragment_count=sweep["direct"].estimate().fragments,
+        pauli_fragment_count=sweep["pauli"].estimate().fragments,
         direct_rotations=direct_circuit.num_rotation_gates(),
         pauli_rotations=pauli_circuit.num_rotation_gates(),
     )

@@ -20,7 +20,7 @@ import math
 
 import numpy as np
 
-from repro.applications.hubo.circuits import initial_superposition, phase_separator
+from repro.applications.hubo.circuits import initial_superposition
 from repro.applications.hubo.problem import HUBOProblem
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.phase_estimation import (
@@ -32,8 +32,23 @@ from repro.exceptions import ProblemError
 
 
 def cost_unitary(problem: HUBOProblem, time: float, *, strategy: str = "direct") -> QuantumCircuit:
-    """``exp(-i·time·H_P)`` for the problem's (diagonal) cost Hamiltonian."""
-    return phase_separator(problem, time, strategy=strategy)
+    """``exp(-i·time·H_P)`` for the problem's (diagonal) cost Hamiltonian.
+
+    Compiled through the :mod:`repro.compile` pipeline; ``"usual"`` is kept as
+    an alias of the pipeline's ``"pauli"`` strategy for the old signature.
+    """
+    from repro.compile.pipeline import compile_problem
+
+    pipeline_strategy = {"direct": "direct", "usual": "pauli", "pauli": "pauli"}.get(strategy)
+    if pipeline_strategy is None:
+        raise ProblemError(f"unknown strategy {strategy!r}")
+    # Match the formalism to the strategy (boolean → n̂-strings → C^nP gates,
+    # spin → Z-strings → R_{Z^k} ladders) so the emitted gate family is the
+    # one Table III attributes to the strategy, as phase_separator does.
+    native = "boolean" if pipeline_strategy == "direct" else "spin"
+    if problem.formalism != native:
+        problem = problem.convert_formalism()
+    return compile_problem(problem.to_simulation_problem(time), pipeline_strategy).circuit
 
 
 def _default_time(problem: HUBOProblem, num_eval_qubits: int) -> float:

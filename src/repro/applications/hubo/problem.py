@@ -160,6 +160,20 @@ class HUBOProblem:
             )
         return ham
 
+    def to_simulation_problem(self, time: float, **kwargs):
+        """The cost evolution ``exp(-i·time·H_P)`` as a pipeline-ready problem.
+
+        The cost Hamiltonian is diagonal, so any strategy compiles it without
+        Trotter error.  The gate family follows the problem's formalism
+        (boolean → ``n̂``-strings → multi-controlled phases, spin →
+        ``Z``-strings → ``R_{Z^k}`` ladders); call
+        :meth:`convert_formalism` first to target the other family.
+        """
+        from repro.compile.problem import SimulationProblem
+
+        name = kwargs.pop("name", f"hubo-{self.formalism}-{self.num_variables}v")
+        return SimulationProblem(self.to_hamiltonian(), time, name=name, **kwargs)
+
     def convert_formalism(self) -> "HUBOProblem":
         """Exact conversion to the other formalism (energies are preserved)."""
         target = "spin" if self.formalism == "boolean" else "boolean"

@@ -29,7 +29,6 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.core.block_encoding import hamiltonian_block_encoding
 from repro.core.direct_evolution import EvolutionOptions
 from repro.core.lcu import BlockEncoding
-from repro.core.trotter import direct_hamiltonian_simulation
 from repro.exceptions import ProblemError
 from repro.operators.dilation import dilate_hamiltonian
 from repro.operators.hamiltonian import Hamiltonian
@@ -82,6 +81,34 @@ def poisson_block_encoding(
     return hamiltonian_block_encoding(poisson_operator(grid, boundary=boundary))
 
 
+def poisson_simulation_problem(
+    grid: CartesianGrid,
+    time: float,
+    *,
+    boundary: str = "dirichlet",
+    steps: int = 1,
+    order: int = 1,
+    options=None,
+):
+    """The FD Laplacian evolution as a pipeline-ready SimulationProblem.
+
+    Feed the result to :func:`repro.compile.compile` with any strategy —
+    ``"direct"`` reproduces the paper's Section V-C circuits,
+    ``"block_encoding"`` the object an HHL/QSP solver queries.
+    """
+    from repro.compile.options import CompileOptions
+    from repro.compile.problem import SimulationProblem
+
+    return SimulationProblem(
+        poisson_operator(grid, boundary=boundary),
+        time,
+        steps=steps,
+        order=order,
+        options=CompileOptions.from_any(options),
+        name=f"poisson-{boundary}-{'x'.join(map(str, grid.shape))}",
+    )
+
+
 def poisson_evolution_circuit(
     grid: CartesianGrid,
     time: float,
@@ -91,10 +118,17 @@ def poisson_evolution_circuit(
     order: int = 1,
     options: EvolutionOptions | None = None,
 ) -> QuantumCircuit:
-    """Hamiltonian simulation ``e^{-i t Δ}`` of the FD Laplacian (direct strategy)."""
-    return direct_hamiltonian_simulation(
-        poisson_operator(grid, boundary=boundary), time, steps=steps, order=order, options=options
+    """Hamiltonian simulation ``e^{-i t Δ}`` of the FD Laplacian (direct strategy).
+
+    Thin shim over the pipeline: equivalent to compiling
+    :func:`poisson_simulation_problem` with ``strategy="direct"``.
+    """
+    from repro.compile.pipeline import compile_problem
+
+    problem = poisson_simulation_problem(
+        grid, time, boundary=boundary, steps=steps, order=order, options=options
     )
+    return compile_problem(problem, "direct").circuit
 
 
 def dilated_qlsp_hamiltonian(

@@ -1,0 +1,102 @@
+"""``repro.compile`` — the unified problem → program pipeline.
+
+The primary public API of the library::
+
+    import repro
+
+    problem = repro.SimulationProblem.from_labels(4, {"nsdI": 0.8, "IZZI": 0.3}, time=0.2)
+    program = repro.compile(problem, strategy="direct")
+    state   = program.run(backend="statevector")
+    counts  = program.run(backend="resource")
+    sweep   = repro.compare_all(problem)
+
+The module itself is callable (``repro.compile(problem, ...)`` is
+:func:`compile_problem`) while remaining a normal package —
+``repro.compile.STRATEGIES``, ``repro.compile.SimulationProblem`` etc. all
+resolve as attributes.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+
+from repro.compile.backends import (
+    BACKENDS,
+    Backend,
+    ResourceBackend,
+    StatevectorBackend,
+    UnitaryBackend,
+    available_backends,
+    get_backend,
+)
+from repro.compile.options import CompileOptions, EvolutionOptions, PauliEvolutionOptions
+from repro.compile.pipeline import (
+    StrategySweep,
+    compare_all,
+    compile_many,
+    compile_problem,
+    run_many,
+)
+from repro.compile.problem import SimulationProblem
+from repro.compile.program import CompiledProgram, ProgramComparison
+from repro.compile.registry import Registry
+from repro.compile.strategies import (
+    STRATEGIES,
+    BlockEncodingStrategy,
+    DirectStrategy,
+    MPFStrategy,
+    PauliStrategy,
+    ResourceEstimate,
+    Strategy,
+    available_strategies,
+    formula_passes,
+    get_strategy,
+    term_resource_estimate,
+)
+from repro.exceptions import CompileError, OptionsError
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "ResourceBackend",
+    "StatevectorBackend",
+    "UnitaryBackend",
+    "available_backends",
+    "get_backend",
+    "CompileOptions",
+    "EvolutionOptions",
+    "PauliEvolutionOptions",
+    "StrategySweep",
+    "compare_all",
+    "compile_many",
+    "compile_problem",
+    "run_many",
+    "SimulationProblem",
+    "CompiledProgram",
+    "ProgramComparison",
+    "Registry",
+    "STRATEGIES",
+    "BlockEncodingStrategy",
+    "DirectStrategy",
+    "MPFStrategy",
+    "PauliStrategy",
+    "ResourceEstimate",
+    "Strategy",
+    "available_strategies",
+    "formula_passes",
+    "get_strategy",
+    "term_resource_estimate",
+    "CompileError",
+    "OptionsError",
+]
+
+
+class _CallableModule(types.ModuleType):
+    """Module subclass making ``repro.compile(...)`` call :func:`compile_problem`."""
+
+    def __call__(self, problem, strategy: str = "direct", **opts):
+        return compile_problem(problem, strategy, **opts)
+
+
+sys.modules[__name__].__class__ = _CallableModule

@@ -1,0 +1,139 @@
+"""Execution backends: what to *do* with a compiled program.
+
+A :class:`Backend` consumes a :class:`~repro.compile.program.CompiledProgram`;
+the three built-ins cover the ways the seed's examples and benchmarks consumed
+circuits:
+
+========================  ====================================================
+``"statevector"``         evolve an initial state through the cached circuit
+``"unitary"``             dense unitary of the cached circuit (memoized)
+``"resource"``            analytic gate counts via :mod:`repro.core.resource`
+                          — no circuit is ever built
+========================  ====================================================
+
+Register your own with ``@BACKENDS.register("name")``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.circuits.statevector import Statevector
+from repro.compile.registry import Registry
+from repro.exceptions import CompileError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compile.program import CompiledProgram
+    from repro.compile.strategies import ResourceEstimate
+
+#: The global backend registry.
+BACKENDS = Registry("backend")
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What the pipeline requires of an execution backend."""
+
+    name: str
+
+    def run(self, program: "CompiledProgram", **kwargs) -> Any:
+        ...
+
+
+@BACKENDS.register("statevector")
+class StatevectorBackend:
+    """Evolve a statevector through the compiled circuit.
+
+    ``initial_state`` may be a :class:`Statevector`, a dense vector, or a
+    basis-state index (default ``0``).  Block-encoding programs receive the
+    state on the *system* register with ancillas prepended in ``|0…0⟩``.
+    """
+
+    name = "statevector"
+
+    def run(
+        self,
+        program: "CompiledProgram",
+        initial_state: "Statevector | np.ndarray | int" = 0,
+        **kwargs,
+    ) -> Statevector:
+        if kwargs:
+            raise CompileError(
+                f"unknown statevector-backend arguments: {', '.join(sorted(kwargs))}"
+            )
+        circuit = program.circuit
+        n = circuit.num_qubits
+        state = self._coerce(initial_state, n, program)
+        return state.evolve(circuit)
+
+    @staticmethod
+    def _coerce(initial_state, num_qubits: int, program: "CompiledProgram") -> Statevector:
+        if isinstance(initial_state, Statevector):
+            state = initial_state
+        elif isinstance(initial_state, (int, np.integer)):
+            return Statevector(int(initial_state), num_qubits)
+        else:
+            state = Statevector(np.asarray(initial_state))
+        if state.num_qubits == num_qubits:
+            return state
+        # A system-register state for a program that carries ancillas: embed
+        # it with the ancillas (most-significant qubits) in |0...0>.
+        extra = num_qubits - state.num_qubits
+        if extra > 0 and program.kind in ("block_encoding", "combination"):
+            padded = np.zeros(1 << num_qubits, dtype=complex)
+            padded[: 1 << state.num_qubits] = state.data
+            return Statevector(padded)
+        raise CompileError(
+            f"initial state on {state.num_qubits} qubits does not fit a "
+            f"{num_qubits}-qubit program"
+        )
+
+
+@BACKENDS.register("unitary")
+class UnitaryBackend:
+    """Return the dense unitary of the cached circuit (memoized on the program)."""
+
+    name = "unitary"
+
+    def run(self, program: "CompiledProgram", max_qubits: int = 14, **kwargs) -> np.ndarray:
+        if kwargs:
+            raise CompileError(
+                f"unknown unitary-backend arguments: {', '.join(sorted(kwargs))}"
+            )
+        return program.unitary(max_qubits=max_qubits)
+
+
+@BACKENDS.register("resource")
+class ResourceBackend:
+    """Analytic resource estimation — counts gates *without* building circuits.
+
+    Delegates to the strategy's :meth:`estimate_resources`, which sums the
+    closed-form models of :mod:`repro.core.resource`
+    (:func:`~repro.core.resource.direct_term_resources` per gathered term for
+    the direct strategy, ``2(w-1)`` CX per Pauli string for the usual one),
+    scaled by the product-formula pass count.
+    """
+
+    name = "resource"
+
+    def run(self, program: "CompiledProgram", **kwargs) -> "ResourceEstimate":
+        if kwargs:
+            raise CompileError(
+                f"unknown resource-backend arguments: {', '.join(sorted(kwargs))}"
+            )
+        return program.estimate()
+
+
+def get_backend(backend: "str | Backend") -> Backend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, str):
+        return BACKENDS.create(backend)
+    if isinstance(backend, Backend):
+        return backend
+    raise CompileError(f"not a backend: {backend!r}")
+
+
+def available_backends() -> tuple[str, ...]:
+    return BACKENDS.names()

@@ -1,0 +1,133 @@
+"""Single options surface of the compile pipeline.
+
+The seed grew two nearly-identical option dataclasses —
+:class:`~repro.core.direct_evolution.EvolutionOptions` for the direct strategy
+and :class:`~repro.core.pauli_evolution.PauliEvolutionOptions` for the usual
+one — and every entry point accepted whichever it happened to need.
+:class:`CompileOptions` unifies them: one validated set of names that every
+strategy reads its own slice of, with unknown names rejected loudly
+(:class:`~repro.exceptions.OptionsError`) instead of silently accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.core.direct_evolution import EvolutionOptions
+from repro.core.pauli_evolution import PauliEvolutionOptions
+from repro.exceptions import OptionsError
+
+#: Allowed values per constrained option name.
+_ALLOWED_VALUES: dict[str, tuple[str, ...]] = {
+    "basis_change": ("linear", "pyramid"),
+    "parity_mode": ("linear", "pyramid"),
+    "complex_mode": ("exact", "trotter_split"),
+    "mcx_mode": ("noancilla", "vchain"),
+}
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Every option the pipeline understands, in one validated dataclass.
+
+    Attributes
+    ----------
+    basis_change:
+        ``"linear"`` or ``"pyramid"`` layout for the transition basis change
+        (Fig. 2 vs Fig. 3) — direct strategy only.
+    parity_mode:
+        ``"linear"`` or ``"pyramid"`` layout of the parity report (Fig. 25);
+        read by both the direct and the usual strategy.
+    complex_mode:
+        ``"exact"`` or the paper's ``"trotter_split"`` for complex
+        coefficients — direct strategy only.
+    pivot:
+        Optional explicit pivot qubit of the transition basis change.
+    mcx_mode:
+        ``"noancilla"`` or ``"vchain"`` multi-controlled-gate expansion used
+        when transpiling for resource reports.
+    mpf_steps:
+        Step counts ``k_j`` of the multi-product formula (``"mpf"`` strategy).
+    """
+
+    basis_change: str = "linear"
+    parity_mode: str = "linear"
+    complex_mode: str = "exact"
+    pivot: int | None = None
+    mcx_mode: str = "noancilla"
+    mpf_steps: tuple[int, ...] = (1, 2)
+
+    def __post_init__(self) -> None:
+        for name, allowed in _ALLOWED_VALUES.items():
+            value = getattr(self, name)
+            if value not in allowed:
+                raise OptionsError(
+                    f"invalid value {value!r} for option {name!r}; "
+                    f"allowed: {', '.join(map(repr, allowed))}"
+                )
+        if self.pivot is not None and self.pivot < 0:
+            raise OptionsError("pivot must be a non-negative qubit index or None")
+        steps = tuple(int(k) for k in self.mpf_steps)
+        if any(k < 1 for k in steps) or len(steps) != len(set(steps)):
+            raise OptionsError("mpf_steps must be distinct positive integers")
+        object.__setattr__(self, "mpf_steps", steps)
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def option_names(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def from_any(cls, options=None, **overrides) -> "CompileOptions":
+        """Coerce whatever the caller passed into a validated CompileOptions.
+
+        Accepts ``None``, a :class:`CompileOptions`, a legacy
+        :class:`EvolutionOptions` / :class:`PauliEvolutionOptions`, or a plain
+        dict; keyword overrides are applied on top.  Unknown option names raise
+        :class:`OptionsError` with the list of valid names.
+        """
+        if options is None:
+            base = cls()
+        elif isinstance(options, cls):
+            base = options
+        elif isinstance(options, EvolutionOptions):
+            base = cls(
+                basis_change=options.basis_change,
+                parity_mode=options.parity_mode,
+                complex_mode=options.complex_mode,
+                pivot=options.pivot,
+            )
+        elif isinstance(options, PauliEvolutionOptions):
+            base = cls(parity_mode=options.parity_mode)
+        elif isinstance(options, dict):
+            base = cls()
+            overrides = {**options, **overrides}
+        else:
+            raise OptionsError(
+                f"cannot interpret {type(options).__name__!r} as compile options"
+            )
+        if not overrides:
+            return base
+        unknown = sorted(set(overrides) - set(cls.option_names()))
+        if unknown:
+            raise OptionsError(
+                f"unknown option name(s) {', '.join(map(repr, unknown))}; "
+                f"valid options: {', '.join(cls.option_names())}"
+            )
+        return replace(base, **overrides)
+
+    # ------------------------------------------------------ legacy projections
+
+    def evolution_options(self) -> EvolutionOptions:
+        """The slice the direct-evolution builder understands."""
+        return EvolutionOptions(
+            basis_change=self.basis_change,
+            parity_mode=self.parity_mode,
+            complex_mode=self.complex_mode,
+            pivot=self.pivot,
+        )
+
+    def pauli_options(self) -> PauliEvolutionOptions:
+        """The slice the usual-strategy builder understands."""
+        return PauliEvolutionOptions(parity_mode=self.parity_mode)

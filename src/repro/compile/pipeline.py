@@ -1,0 +1,135 @@
+"""Facade functions: problem in, compiled program(s) out.
+
+This is the seam every future scaling PR (result caching, multiprocessing
+fan-out, new backends) plugs into: a single :func:`compile_problem` call
+replaces the seed's dozen hand-wired builder invocations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.compile.backends import get_backend
+from repro.compile.options import CompileOptions
+from repro.compile.problem import SimulationProblem
+from repro.compile.program import CompiledProgram
+from repro.compile.strategies import get_strategy
+from repro.exceptions import CompileError
+from repro.operators.hamiltonian import Hamiltonian
+
+
+def _coerce_problem(problem, time=None, **problem_kwargs) -> SimulationProblem:
+    if isinstance(problem, SimulationProblem):
+        return problem
+    if isinstance(problem, Hamiltonian):
+        if time is None:
+            raise CompileError("a bare Hamiltonian needs an explicit time=")
+        return SimulationProblem(problem, time, **problem_kwargs)
+    raise CompileError(
+        f"cannot compile a {type(problem).__name__}; "
+        "pass a SimulationProblem (or a Hamiltonian with time=)"
+    )
+
+
+def compile_problem(
+    problem: SimulationProblem | Hamiltonian,
+    strategy: str = "direct",
+    *,
+    time: float | None = None,
+    steps: int | None = None,
+    order: int | None = None,
+    **opts,
+) -> CompiledProgram:
+    """Compile a problem with the given strategy into a :class:`CompiledProgram`.
+
+    ``**opts`` are validated option overrides (see
+    :class:`~repro.compile.options.CompileOptions`); unknown names raise
+    :class:`~repro.exceptions.OptionsError`.  ``time``/``steps``/``order``
+    override the problem's prescription without mutating it.
+    """
+    from dataclasses import replace
+
+    problem = _coerce_problem(problem, time=time)
+    updates: dict = {}
+    if time is not None and problem.time != time:
+        updates["time"] = time
+    if steps is not None:
+        updates["steps"] = steps
+    if order is not None:
+        updates["order"] = order
+    if opts:
+        updates["options"] = CompileOptions.from_any(problem.options, **opts)
+    if updates:
+        problem = replace(problem, **updates)
+    return CompiledProgram(problem=problem, strategy=get_strategy(strategy))
+
+
+@dataclass
+class StrategySweep:
+    """Every requested strategy compiled against the same problem."""
+
+    problem: SimulationProblem
+    programs: dict[str, CompiledProgram]
+
+    def __getitem__(self, name: str) -> CompiledProgram:
+        return self.programs[name]
+
+    def reports(self, *, transpiled: bool = True) -> dict:
+        return {
+            name: program.resources(transpiled=transpiled)
+            for name, program in self.programs.items()
+        }
+
+    def estimates(self) -> dict:
+        return {name: p.estimate() for name, p in self.programs.items()}
+
+    def gate_count_gap(self, left: str = "direct", right: str = "pauli") -> int:
+        """Transpiled two-qubit-gate gap between two strategies (left − right)."""
+        reports = self.reports()
+        return reports[left].two_qubit_gates - reports[right].two_qubit_gates
+
+    def summary(self) -> str:
+        from repro.analysis.gate_counts import format_comparison_table
+
+        return format_comparison_table(self.reports())
+
+
+def compare_all(
+    problem: SimulationProblem | Hamiltonian,
+    *,
+    strategies: Sequence[str] = ("direct", "pauli"),
+    time: float | None = None,
+    **opts,
+) -> StrategySweep:
+    """Compile the same problem under several strategies for side-by-side study.
+
+    The default pair reproduces the paper's Fig. 2 / Table 3 comparison; pass
+    ``strategies=repro.compile.available_strategies()`` for the full sweep.
+    """
+    problem = _coerce_problem(problem, time=time)
+    programs = {
+        name: compile_problem(problem, name, **opts) for name in strategies
+    }
+    return StrategySweep(problem=problem, programs=programs)
+
+
+def compile_many(
+    problems: Iterable[SimulationProblem | Hamiltonian],
+    strategy: str = "direct",
+    *,
+    time: float | None = None,
+    **opts,
+) -> list[CompiledProgram]:
+    """Batch compile — the hook a future fan-out/caching layer will override."""
+    return [
+        compile_problem(problem, strategy, time=time, **opts) for problem in problems
+    ]
+
+
+def run_many(
+    programs: Iterable[CompiledProgram], backend: str = "statevector", **kwargs
+) -> list:
+    """Run every program on the same backend, preserving order."""
+    resolved = get_backend(backend)
+    return [resolved.run(program, **kwargs) for program in programs]

@@ -46,3 +46,11 @@ class TrotterError(ReproError):
 
 class ProblemError(ReproError):
     """Raised for malformed application-level problems (HUBO, chemistry, PDE)."""
+
+
+class OptionsError(ReproError):
+    """Raised when compile/evolution options carry unknown names or bad values."""
+
+
+class CompileError(ReproError):
+    """Raised when the compile pipeline cannot build or run a program."""

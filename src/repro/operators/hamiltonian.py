@@ -9,7 +9,7 @@ block-encoding of Section IV works with.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -67,6 +67,27 @@ class Hamiltonian:
         self._terms: list[SCBTerm] = []
         for term in terms:
             self.add_term(term)
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_labels(
+        cls,
+        num_qubits: int,
+        terms: "Mapping[str, complex] | Iterable[tuple[str, complex]]",
+        ) -> "Hamiltonian":
+        """Build a whole Hamiltonian in one expression from label → coefficient.
+
+        ``Hamiltonian.from_labels(4, {"nsdI": 0.8, "IZZI": 0.3})`` — each key
+        is a character label (one factor per qubit, see
+        :meth:`SCBTerm.from_label`).  An iterable of ``(label, coefficient)``
+        pairs is accepted too, which allows repeated labels.
+        """
+        pairs = terms.items() if isinstance(terms, Mapping) else terms
+        ham = cls(num_qubits)
+        for label, coefficient in pairs:
+            ham.add_term(SCBTerm.from_label(label, coefficient))
+        return ham
 
     # ------------------------------------------------------------------ basics
 

@@ -69,6 +69,11 @@ class SCBTerm:
     def __str__(self) -> str:
         return f"{self.coefficient:+.4g}·{self.label}"
 
+    def __repr__(self) -> str:
+        coeff = complex(self.coefficient)
+        shown = coeff.real if coeff.imag == 0 else coeff
+        return f"SCBTerm.from_label({self.label!r}, {shown!r})"
+
     def with_coefficient(self, coefficient: complex) -> "SCBTerm":
         return SCBTerm(complex(coefficient), self.factors)
 

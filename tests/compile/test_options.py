@@ -1,0 +1,87 @@
+"""Unified options surface: validation, coercion, legacy projections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.options import CompileOptions
+from repro.core.direct_evolution import EvolutionOptions
+from repro.core.pauli_evolution import PauliEvolutionOptions
+from repro.exceptions import OptionsError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        options = CompileOptions()
+        assert options.basis_change == "linear"
+        assert options.complex_mode == "exact"
+
+    def test_unknown_option_name_raises(self):
+        with pytest.raises(OptionsError, match="unknown option name"):
+            CompileOptions.from_any(None, basis_chnge="linear")
+
+    def test_error_message_lists_valid_names(self):
+        with pytest.raises(OptionsError, match="basis_change"):
+            CompileOptions.from_any(None, nope=1)
+
+    @pytest.mark.parametrize(
+        "name,value",
+        [
+            ("basis_change", "diagonal"),
+            ("parity_mode", "spiral"),
+            ("complex_mode", "magic"),
+            ("mcx_mode", "telepathy"),
+        ],
+    )
+    def test_invalid_values_raise(self, name, value):
+        with pytest.raises(OptionsError, match="invalid value"):
+            CompileOptions(**{name: value})
+
+    def test_negative_pivot_raises(self):
+        with pytest.raises(OptionsError, match="pivot"):
+            CompileOptions(pivot=-1)
+
+    def test_bad_mpf_steps_raise(self):
+        with pytest.raises(OptionsError, match="mpf_steps"):
+            CompileOptions(mpf_steps=(1, 1))
+        with pytest.raises(OptionsError, match="mpf_steps"):
+            CompileOptions(mpf_steps=(0, 2))
+
+
+class TestCoercion:
+    def test_from_none(self):
+        assert CompileOptions.from_any(None) == CompileOptions()
+
+    def test_from_dict_and_overrides(self):
+        options = CompileOptions.from_any({"basis_change": "pyramid"}, parity_mode="pyramid")
+        assert options.basis_change == "pyramid"
+        assert options.parity_mode == "pyramid"
+
+    def test_from_legacy_evolution_options(self):
+        legacy = EvolutionOptions(basis_change="pyramid", complex_mode="trotter_split")
+        options = CompileOptions.from_any(legacy)
+        assert options.basis_change == "pyramid"
+        assert options.complex_mode == "trotter_split"
+
+    def test_from_legacy_pauli_options(self):
+        options = CompileOptions.from_any(PauliEvolutionOptions(parity_mode="pyramid"))
+        assert options.parity_mode == "pyramid"
+
+    def test_from_garbage_raises(self):
+        with pytest.raises(OptionsError):
+            CompileOptions.from_any(42)
+
+    def test_round_trip_projections(self):
+        options = CompileOptions(basis_change="pyramid", parity_mode="pyramid", pivot=2)
+        evo = options.evolution_options()
+        assert evo == EvolutionOptions(
+            basis_change="pyramid", parity_mode="pyramid", complex_mode="exact", pivot=2
+        )
+        assert options.pauli_options() == PauliEvolutionOptions(parity_mode="pyramid")
+
+    def test_single_surface_is_reexported_through_compile(self):
+        import repro.compile as rc
+
+        assert rc.EvolutionOptions is EvolutionOptions
+        assert rc.PauliEvolutionOptions is PauliEvolutionOptions
+        assert rc.CompileOptions is CompileOptions

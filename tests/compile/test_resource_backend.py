@@ -1,0 +1,99 @@
+"""ResourceBackend: analytic counts agree with core/resource.py, no circuits built."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.pipeline import compile_problem
+from repro.compile.problem import SimulationProblem
+from repro.compile.strategies import formula_passes, term_resource_estimate
+from repro.core.families import analyze_term
+from repro.core.resource import direct_term_resources, rzn_two_qubit_count
+from repro.operators.hamiltonian import Hamiltonian
+
+
+@pytest.fixture
+def problem() -> SimulationProblem:
+    return SimulationProblem.from_labels(
+        4, {"nsdI": 0.8, "IZZI": 0.3, "IXsd": 0.5, "mnsd": 0.2}, time=0.2
+    )
+
+
+class TestDirectCounts:
+    def test_per_term_counts_match_direct_term_resources(self, problem):
+        program = compile_problem(problem, "direct")
+        estimate = program.run(backend="resource")
+        assert len(estimate.per_term) == problem.num_terms
+        for fragment, entry in zip(
+            problem.hamiltonian.hermitian_fragments(), estimate.per_term
+        ):
+            structure = analyze_term(fragment.term)
+            reference = direct_term_resources(
+                len(structure.transition_qubits),
+                len(structure.number_qubits),
+                len(structure.pauli_qubits),
+            )
+            assert entry["two_qubit_total"] == reference.two_qubit_total
+            assert entry["rotations"] == reference.rotations
+        assert estimate.two_qubit_gates == sum(
+            e["two_qubit_total"] for e in estimate.per_term
+        )
+        assert not program.is_built
+
+    def test_term_resource_estimate_helper(self):
+        from repro.operators.scb_term import SCBTerm
+
+        term = SCBTerm.from_label("mnsd", 0.2)
+        assert term_resource_estimate(term) == direct_term_resources(2, 2, 0)
+
+
+class TestPauliCounts:
+    def test_counts_are_rzn_model(self, problem):
+        estimate = compile_problem(problem, "pauli").run(backend="resource")
+        expected_cx = sum(
+            rzn_two_qubit_count(string.weight)
+            for string, _ in problem.pauli_operator().items()
+            if string.weight >= 1
+        )
+        assert estimate.two_qubit_gates == expected_cx
+        assert estimate.rotations == estimate.fragments  # one RZ per string
+
+
+class TestFormulaScaling:
+    @pytest.mark.parametrize(
+        "order,steps,expected",
+        [(1, 1, 1), (1, 3, 3), (2, 1, 2), (2, 5, 10), (4, 1, 10), (6, 2, 100)],
+    )
+    def test_formula_passes(self, order, steps, expected):
+        assert formula_passes(order, steps) == expected
+
+    def test_estimates_scale_with_passes(self, problem):
+        base = compile_problem(problem, "direct").run(backend="resource")
+        scaled = compile_problem(problem, "direct", steps=3, order=2).run(
+            backend="resource"
+        )
+        assert scaled.two_qubit_gates == base.two_qubit_gates * 6
+        assert scaled.rotations == base.rotations * 6
+
+    def test_direct_pass_count_matches_built_rotations(self, problem):
+        """The analytic rotation count equals the built circuit's rotation count."""
+        program = compile_problem(problem, "direct", steps=2, order=2)
+        estimate = program.run(backend="resource")
+        # Each gathered fragment contributes exactly one (possibly controlled)
+        # central rotation per formula pass.
+        assert estimate.rotations == 4 * formula_passes(2, 2)
+
+    def test_block_encoding_estimate_counts_unitaries(self, problem):
+        estimate = compile_problem(problem, "block_encoding").run(backend="resource")
+        from repro.core.block_encoding import term_unitary_count
+
+        expected = sum(term_unitary_count(t) for t in problem.hamiltonian.terms)
+        assert estimate.fragments == expected
+
+    def test_mpf_estimate_sums_suzuki_circuits(self, problem):
+        estimate = compile_problem(problem, "mpf", mpf_steps=(1, 2)).run(
+            backend="resource"
+        )
+        base = compile_problem(problem, "direct").run(backend="resource")
+        # S2^1 + S2^2 = (2 + 4) order-2 passes over the fragment list.
+        assert estimate.two_qubit_gates == base.two_qubit_gates * 6
