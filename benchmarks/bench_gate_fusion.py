@@ -1,0 +1,112 @@
+"""Gate-fusion fast path: fused vs unfused statevector wall time.
+
+Times the ``statevector`` and ``sparse`` backends with and without
+``optimize_level=1`` on a 10-qubit direct Trotter program, verifies all four
+runs agree with the ``exact`` oracle, and writes the measured times to
+``BENCH_fusion.json`` next to this file so the speedup can be tracked across
+commits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import print_table
+from repro.circuits.transpile import fusion_report
+
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_fusion.json"
+
+NUM_QUBITS = 10
+TIME = 0.25
+STEPS = 4
+
+
+def _problem() -> repro.SimulationProblem:
+    rng = np.random.default_rng(2025)
+    terms: dict[str, float] = {}
+    # A banded mix of hopping (σ†σ) and interaction (n/Z) terms keeps every
+    # qubit busy without exploding the per-step gate count.
+    for q in range(NUM_QUBITS - 1):
+        hop = ["I"] * NUM_QUBITS
+        hop[q], hop[q + 1] = "d", "s"
+        terms["".join(hop)] = float(rng.uniform(0.3, 0.8))
+        zz = ["I"] * NUM_QUBITS
+        zz[q], zz[q + 1] = "Z", "Z"
+        terms["".join(zz)] = float(rng.uniform(0.1, 0.4))
+    return repro.SimulationProblem.from_labels(NUM_QUBITS, terms, time=TIME)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fused_statevector_beats_unfused(benchmark):
+    problem = _problem()
+    plain = repro.compile(problem, "direct", steps=STEPS, order=2)
+    fused = repro.compile(problem, "direct", steps=STEPS, order=2, optimize_level=1)
+
+    # Warm every cache (circuit build, fusion, CSR embedding) so the timings
+    # below measure execution, which is what a parameter sweep repays.
+    reference = plain.run(backend="statevector")
+    for program in (plain, fused):
+        program.run(backend="sparse")
+    zero_state = np.zeros(1 << NUM_QUBITS, dtype=complex)
+    zero_state[0] = 1.0
+    oracle = problem.hamiltonian.evolve_exact(zero_state, TIME)
+
+    times = {
+        "statevector_unfused_s": _best_of(lambda: plain.run(backend="statevector")),
+        "statevector_fused_s": _best_of(lambda: fused.run(backend="statevector")),
+        "sparse_unfused_s": _best_of(lambda: plain.run(backend="sparse")),
+        "sparse_fused_s": _best_of(lambda: fused.run(backend="sparse")),
+    }
+    benchmark(lambda: fused.run(backend="statevector"))
+
+    for backend in ("statevector", "sparse"):
+        state = fused.run(backend=backend)
+        assert abs(np.vdot(state.data, reference.data)) ** 2 > 1 - 1e-10
+    assert abs(np.vdot(reference.data, oracle)) ** 2 > 1 - 1e-4  # Trotter error only
+
+    report = fusion_report(plain.circuit, fused.execution_circuit)
+    speedup = times["statevector_unfused_s"] / times["statevector_fused_s"]
+    assert report.gates_after < report.gates_before
+    assert speedup > 1.0, f"fusion slowed execution down ({speedup:.2f}x)"
+
+    payload = {
+        "workload": {
+            "num_qubits": NUM_QUBITS,
+            "time": TIME,
+            "steps": STEPS,
+            "order": 2,
+            "strategy": "direct",
+        },
+        "gates_before": report.gates_before,
+        "gates_after": report.gates_after,
+        "fused_blocks": report.fused_blocks,
+        "compression": round(report.compression, 2),
+        **{k: round(v, 6) for k, v in times.items()},
+        "statevector_speedup": round(speedup, 2),
+        "sparse_speedup": round(times["sparse_unfused_s"] / times["sparse_fused_s"], 2),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_table(
+        "Gate fusion — 10-qubit direct Trotter program",
+        ["variant", "gates", "run time (s)", "speedup"],
+        [
+            ["statevector", report.gates_before, f"{times['statevector_unfused_s']:.4f}", "1.0x"],
+            ["statevector+fusion", report.gates_after, f"{times['statevector_fused_s']:.4f}", f"{speedup:.1f}x"],
+            ["sparse", report.gates_before, f"{times['sparse_unfused_s']:.4f}", "-"],
+            ["sparse+fusion", report.gates_after, f"{times['sparse_fused_s']:.4f}", f"{payload['sparse_speedup']:.1f}x"],
+        ],
+    )

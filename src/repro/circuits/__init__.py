@@ -17,10 +17,28 @@ from repro.circuits.decompositions import (
     mcz_decomposition,
     undo_cx_pairs,
 )
-from repro.circuits.gate import ControlledGate, Gate, Instruction, StandardGate, UnitaryGate
+from repro.circuits.gate import (
+    ControlledGate,
+    Gate,
+    Instruction,
+    MatrixGate,
+    StandardGate,
+    UnitaryGate,
+)
 from repro.circuits.random_circuits import random_circuit
+from repro.circuits.sparse import (
+    apply_circuit_sparse,
+    circuit_sparse_operators,
+    gate_sparse_operator,
+)
 from repro.circuits.statevector import Statevector, apply_matrix, simulate
-from repro.circuits.transpile import TranspileOptions, transpile
+from repro.circuits.transpile import (
+    FusionReport,
+    TranspileOptions,
+    fuse_gates,
+    fusion_report,
+    transpile,
+)
 from repro.circuits.unitary import circuit_unitary, circuits_equivalent
 
 __all__ = [
@@ -45,13 +63,20 @@ __all__ = [
     "ControlledGate",
     "Gate",
     "Instruction",
+    "MatrixGate",
     "StandardGate",
     "UnitaryGate",
     "random_circuit",
+    "apply_circuit_sparse",
+    "circuit_sparse_operators",
+    "gate_sparse_operator",
     "Statevector",
     "apply_matrix",
     "simulate",
+    "FusionReport",
     "TranspileOptions",
+    "fuse_gates",
+    "fusion_report",
     "transpile",
     "circuit_unitary",
     "circuits_equivalent",

@@ -135,6 +135,13 @@ class UnitaryGate(Gate):
         return UnitaryGate(dagger(self._matrix), label=f"{self.name}_dg", check=False)
 
 
+#: The name the fusion pass (and third-party passes) use for an explicit-matrix
+#: gate.  ``MatrixGate`` and ``UnitaryGate`` are the same class; the alias
+#: exists so call sites can say what they mean ("a computed matrix") rather
+#: than how it is stored.
+MatrixGate = UnitaryGate
+
+
 class ControlledGate(Gate):
     """``base`` gate applied when the control qubits are in ``ctrl_state``.
 

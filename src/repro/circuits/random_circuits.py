@@ -11,6 +11,8 @@ _ONE_QUBIT = ("x", "y", "z", "h", "s", "sdg", "t", "tdg")
 _ONE_QUBIT_PARAM = ("rx", "ry", "rz", "p")
 _TWO_QUBIT = ("cx", "cz", "swap")
 _TWO_QUBIT_PARAM = ("cp", "crx", "cry", "crz", "rzz")
+_THREE_QUBIT = ("ccx", "ccz", "cswap")
+_THREE_QUBIT_PARAM = ("ccp",)
 
 
 def random_circuit(
@@ -19,12 +21,16 @@ def random_circuit(
     rng: np.random.Generator | int | None = None,
     *,
     two_qubit_prob: float = 0.5,
+    multi_qubit_prob: float = 0.0,
 ) -> QuantumCircuit:
     """Generate a random circuit of roughly the requested depth.
 
     Each "layer" appends one random gate per qubit-pair slot; the result is a
     generic non-Clifford circuit suitable for exercising the simulator,
-    transpiler and DAG utilities.
+    transpiler and DAG utilities.  With ``multi_qubit_prob`` > 0 (and at least
+    three qubits) three-qubit gates — ``ccx``/``ccz``/``cswap`` plus the
+    parameterized ``ccp`` — are mixed in; the default of 0 draws nothing extra
+    from ``rng``, so existing seeds keep producing the exact same circuits.
     """
     if num_qubits < 1:
         raise CircuitError("random_circuit needs at least one qubit")
@@ -33,6 +39,23 @@ def random_circuit(
     qc = QuantumCircuit(num_qubits, "random")
     for _ in range(depth):
         q = int(rng.integers(num_qubits))
+        if (
+            multi_qubit_prob > 0
+            and num_qubits >= 3
+            and rng.random() < multi_qubit_prob
+        ):
+            others = [int(x) for x in rng.choice(
+                [x for x in range(num_qubits) if x != q], size=2, replace=False
+            )]
+            if rng.random() < 0.5:
+                name = _THREE_QUBIT[int(rng.integers(len(_THREE_QUBIT)))]
+                getattr(qc, name)(q, others[0], others[1])
+            else:
+                name = _THREE_QUBIT_PARAM[int(rng.integers(len(_THREE_QUBIT_PARAM)))]
+                getattr(qc, name)(
+                    float(rng.uniform(-np.pi, np.pi)), q, others[0], others[1]
+                )
+            continue
         use_two = num_qubits >= 2 and rng.random() < two_qubit_prob
         if use_two:
             q2 = int(rng.integers(num_qubits - 1))

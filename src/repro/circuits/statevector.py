@@ -35,7 +35,10 @@ def apply_matrix(
         raise SimulationError(
             f"matrix shape {matrix.shape} does not match {k} target qubits"
         )
-    gate_tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+    # Work in the state's own (complex) dtype: a complex64 state stays
+    # complex64 instead of being silently upcast by a complex128 gate matrix.
+    dtype = np.result_type(tensor.dtype, np.complex64)
+    gate_tensor = np.asarray(matrix, dtype=dtype).reshape((2,) * (2 * k))
     # Contract the "input" axes of the gate with the target qubit axes.
     moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), list(qubits)))
     # tensordot puts the gate's output axes first; move them back into place.

@@ -16,7 +16,12 @@ from repro.circuits.statevector import apply_matrix
 from repro.exceptions import SimulationError
 
 
-def circuit_unitary(circuit: QuantumCircuit, max_qubits: int = 14) -> np.ndarray:
+def circuit_unitary(
+    circuit: QuantumCircuit,
+    max_qubits: int = 14,
+    *,
+    dtype: np.dtype | type = np.complex128,
+) -> np.ndarray:
     """Dense unitary matrix implemented by ``circuit``.
 
     Parameters
@@ -26,8 +31,18 @@ def circuit_unitary(circuit: QuantumCircuit, max_qubits: int = 14) -> np.ndarray
     max_qubits:
         Safety limit; computing the dense unitary beyond ~14 qubits would
         allocate multi-gigabyte arrays, so the caller must raise the limit
-        explicitly if that is really intended.
+        explicitly if that is really intended.  The compile pipeline exposes
+        this knob as ``CompileOptions.unitary_max_qubits``.
+    dtype:
+        Complex dtype of the accumulation *and* of the returned array.  The
+        whole contraction runs in this dtype — gate matrices are cast down
+        (or up) once per gate — so requesting ``np.complex64`` really halves
+        the memory instead of being silently upcast to complex128 by the
+        first complex128 gate matrix, as earlier versions did.
     """
+    dtype = np.dtype(dtype)
+    if dtype.kind != "c":
+        raise SimulationError(f"circuit_unitary needs a complex dtype, got {dtype}")
     n = circuit.num_qubits
     if n > max_qubits:
         raise SimulationError(
@@ -37,12 +52,14 @@ def circuit_unitary(circuit: QuantumCircuit, max_qubits: int = 14) -> np.ndarray
     dim = 1 << n
     # Batch of column vectors: shape (2,)*n + (dim,) where the last axis indexes
     # the input basis state.
-    tensor = np.eye(dim, dtype=complex).reshape((2,) * n + (dim,))
+    tensor = np.eye(dim, dtype=dtype).reshape((2,) * n + (dim,))
     for instr in circuit:
         tensor = apply_matrix(tensor, instr.gate.matrix(), instr.qubits)
     unitary = tensor.reshape(dim, dim)
     if circuit.global_phase:
-        unitary = unitary * np.exp(1j * circuit.global_phase)
+        unitary = unitary * dtype.type(np.exp(1j * circuit.global_phase))
+    if unitary.dtype != dtype:  # pragma: no cover - defensive; kernel preserves dtype
+        unitary = unitary.astype(dtype)
     return unitary
 
 

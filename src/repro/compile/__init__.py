@@ -24,7 +24,9 @@ import types
 from repro.compile.backends import (
     BACKENDS,
     Backend,
+    ExactBackend,
     ResourceBackend,
+    SparseBackend,
     StatevectorBackend,
     UnitaryBackend,
     available_backends,
@@ -59,7 +61,9 @@ from repro.exceptions import CompileError, OptionsError
 __all__ = [
     "BACKENDS",
     "Backend",
+    "ExactBackend",
     "ResourceBackend",
+    "SparseBackend",
     "StatevectorBackend",
     "UnitaryBackend",
     "available_backends",

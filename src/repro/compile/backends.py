@@ -1,15 +1,26 @@
 """Execution backends: what to *do* with a compiled program.
 
 A :class:`Backend` consumes a :class:`~repro.compile.program.CompiledProgram`;
-the three built-ins cover the ways the seed's examples and benchmarks consumed
-circuits:
+the built-ins cover the ways the seed's examples and benchmarks consumed
+circuits, plus the scaling/oracle pair added with the gate-fusion fast path:
 
 ========================  ====================================================
-``"statevector"``         evolve an initial state through the cached circuit
+``"statevector"``         evolve an initial state through the (fused)
+                          execution circuit with dense tensordot kernels
+``"sparse"``              same evolution via cached scipy CSR operators —
+                          the backend for registers past the dense sweet spot
+``"exact"``               ``expm_multiply`` on the assembled Hamiltonian:
+                          ground truth with **zero Trotter error**, never
+                          builds a circuit (evolution programs only)
 ``"unitary"``             dense unitary of the cached circuit (memoized)
 ``"resource"``            analytic gate counts via :mod:`repro.core.resource`
                           — no circuit is ever built
 ========================  ====================================================
+
+``statevector`` and ``sparse`` honour ``CompileOptions.optimize_level`` by
+running :attr:`~repro.compile.program.CompiledProgram.execution_circuit`;
+``exact`` is the oracle the cross-backend differential tests check every
+strategy × backend combination against.
 
 Register your own with ``@BACKENDS.register("name")``.
 """
@@ -63,7 +74,7 @@ class StatevectorBackend:
             raise CompileError(
                 f"unknown statevector-backend arguments: {', '.join(sorted(kwargs))}"
             )
-        circuit = program.circuit
+        circuit = program.execution_circuit
         n = circuit.num_qubits
         state = self._coerce(initial_state, n, program)
         return state.evolve(circuit)
@@ -91,13 +102,86 @@ class StatevectorBackend:
         )
 
 
+@BACKENDS.register("sparse")
+class SparseBackend:
+    """Evolve a statevector through cached scipy CSR operators.
+
+    Each gate of the execution circuit is embedded once as a full-space CSR
+    matrix (:mod:`repro.circuits.sparse`) and cached on the program, so
+    repeated runs — a parameter sweep over initial states — pay only for the
+    matvecs.  Controlled and diagonal gates have ≤ 1 nonzero per row, which
+    is what pushes Trotter circuits past 20 qubits.
+    """
+
+    name = "sparse"
+
+    def run(
+        self,
+        program: "CompiledProgram",
+        initial_state: "Statevector | np.ndarray | int" = 0,
+        **kwargs,
+    ) -> Statevector:
+        if kwargs:
+            raise CompileError(
+                f"unknown sparse-backend arguments: {', '.join(sorted(kwargs))}"
+            )
+        from repro.circuits.sparse import apply_circuit_sparse
+
+        circuit = program.execution_circuit
+        state = StatevectorBackend._coerce(initial_state, circuit.num_qubits, program)
+        vec = apply_circuit_sparse(
+            circuit, state.data, operators=program.sparse_operators()
+        )
+        return Statevector(vec)
+
+
+@BACKENDS.register("exact")
+class ExactBackend:
+    """Trotter-free ground truth: ``e^{-i t H}`` via sparse ``expm_multiply``.
+
+    Evolves the initial state under the problem's *Hamiltonian matrix*
+    directly, bypassing the compiled circuit entirely — the result carries
+    zero Trotter error and is the oracle every strategy × backend combination
+    is differential-tested against.  Only meaningful for ``"evolution"``-kind
+    programs; block encodings and MPF combinations are not ``e^{-itH}``
+    circuits and are rejected.
+    """
+
+    name = "exact"
+
+    def run(
+        self,
+        program: "CompiledProgram",
+        initial_state: "Statevector | np.ndarray | int" = 0,
+        **kwargs,
+    ) -> Statevector:
+        if kwargs:
+            raise CompileError(
+                f"unknown exact-backend arguments: {', '.join(sorted(kwargs))}"
+            )
+        if program.kind != "evolution":
+            raise CompileError(
+                f"the exact backend evolves e^(-itH) and cannot run a "
+                f"{program.kind!r} program (strategy {program.strategy_name!r})"
+            )
+        problem = program.problem
+        state = StatevectorBackend._coerce(initial_state, problem.num_qubits, program)
+        evolved = problem.hamiltonian.evolve_exact(state.data, problem.time)
+        return Statevector(evolved)
+
+
 @BACKENDS.register("unitary")
 class UnitaryBackend:
-    """Return the dense unitary of the cached circuit (memoized on the program)."""
+    """Return the dense unitary of the cached circuit (memoized on the program).
+
+    ``max_qubits`` defaults to the problem's ``options.unitary_max_qubits``.
+    """
 
     name = "unitary"
 
-    def run(self, program: "CompiledProgram", max_qubits: int = 14, **kwargs) -> np.ndarray:
+    def run(
+        self, program: "CompiledProgram", max_qubits: int | None = None, **kwargs
+    ) -> np.ndarray:
         if kwargs:
             raise CompileError(
                 f"unknown unitary-backend arguments: {', '.join(sorted(kwargs))}"

@@ -17,6 +17,17 @@ from repro.core.direct_evolution import EvolutionOptions
 from repro.core.pauli_evolution import PauliEvolutionOptions
 from repro.exceptions import OptionsError
 
+def _coerce_int(name: str, value) -> int:
+    try:
+        coerced = int(value)
+        exact = coerced == value  # rejects 0.9 -> 0 style silent truncation
+    except (TypeError, ValueError):
+        exact = False
+    if not exact:
+        raise OptionsError(f"option {name!r} must be an integer, got {value!r}")
+    return coerced
+
+
 #: Allowed values per constrained option name.
 _ALLOWED_VALUES: dict[str, tuple[str, ...]] = {
     "basis_change": ("linear", "pyramid"),
@@ -48,6 +59,19 @@ class CompileOptions:
         when transpiling for resource reports.
     mpf_steps:
         Step counts ``k_j`` of the multi-product formula (``"mpf"`` strategy).
+    optimize_level:
+        Execution-side optimization: ``0`` runs circuits gate-by-gate, ``1``
+        enables the greedy gate-fusion pass
+        (:func:`~repro.circuits.transpile.fuse_gates`) on the execution
+        circuit consumed by the ``statevector`` and ``sparse`` backends.  The
+        logical circuit — and with it every gate-count report — is untouched.
+    fusion_max_qubits:
+        Largest qubit support a fused block may span (default 4, i.e. fused
+        matrices of at most 16×16).
+    unitary_max_qubits:
+        Dense-unitary safety limit enforced by
+        :meth:`~repro.compile.program.CompiledProgram.unitary` and the
+        ``unitary`` backend (default 14).
     """
 
     basis_change: str = "linear"
@@ -56,6 +80,9 @@ class CompileOptions:
     pivot: int | None = None
     mcx_mode: str = "noancilla"
     mpf_steps: tuple[int, ...] = (1, 2)
+    optimize_level: int = 0
+    fusion_max_qubits: int = 4
+    unitary_max_qubits: int = 14
 
     def __post_init__(self) -> None:
         for name, allowed in _ALLOWED_VALUES.items():
@@ -71,6 +98,17 @@ class CompileOptions:
         if any(k < 1 for k in steps) or len(steps) != len(set(steps)):
             raise OptionsError("mpf_steps must be distinct positive integers")
         object.__setattr__(self, "mpf_steps", steps)
+        level = _coerce_int("optimize_level", self.optimize_level)
+        if level not in (0, 1):
+            raise OptionsError(
+                f"optimize_level must be 0 (off) or 1 (gate fusion), got {level!r}"
+            )
+        object.__setattr__(self, "optimize_level", level)
+        for name in ("fusion_max_qubits", "unitary_max_qubits"):
+            value = _coerce_int(name, getattr(self, name))
+            if value < 1:
+                raise OptionsError(f"{name} must be a positive qubit count")
+            object.__setattr__(self, name, value)
 
     # ------------------------------------------------------------ construction
 

@@ -128,8 +128,35 @@ def compile_many(
 
 
 def run_many(
-    programs: Iterable[CompiledProgram], backend: str = "statevector", **kwargs
+    programs: Iterable[CompiledProgram],
+    backend: str = "statevector",
+    *,
+    initial_states: Sequence | None = None,
+    **kwargs,
 ) -> list:
-    """Run every program on the same backend, preserving order."""
+    """Run every program on the same backend, preserving order.
+
+    The backend is resolved once and every build product is cached *on the
+    program* — circuit, fused execution circuit, sparse operators — so a
+    parameter sweep amortizes compilation and fusion: a program appearing
+    several times in ``programs`` (e.g. swept over ``initial_states``) is
+    built and fused exactly once, and repeated ``run_many`` calls over the
+    same programs skip straight to execution.
+
+    ``initial_states`` zips one initial state per program (for the state
+    backends); sweep a single program over many states with
+    ``run_many([program] * len(states), initial_states=states)``.
+    """
     resolved = get_backend(backend)
-    return [resolved.run(program, **kwargs) for program in programs]
+    programs = list(programs)
+    if initial_states is None:
+        return [resolved.run(program, **kwargs) for program in programs]
+    states = list(initial_states)
+    if len(states) != len(programs):
+        raise CompileError(
+            f"{len(states)} initial states for {len(programs)} programs"
+        )
+    return [
+        resolved.run(program, initial_state=state, **kwargs)
+        for program, state in zip(programs, states)
+    ]

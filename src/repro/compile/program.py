@@ -42,6 +42,8 @@ class CompiledProgram:
     strategy: "Strategy"
     metadata: dict = field(default_factory=dict)
     _circuit: QuantumCircuit | None = field(default=None, repr=False)
+    _execution_circuit: QuantumCircuit | None = field(default=None, repr=False)
+    _sparse_operators: tuple | None = field(default=None, repr=False)
     _unitary: np.ndarray | None = field(default=None, repr=False)
     _matrix: np.ndarray | None = field(default=None, repr=False)
     _estimate: "ResourceEstimate | None" = field(default=None, repr=False)
@@ -68,12 +70,50 @@ class CompiledProgram:
     def is_built(self) -> bool:
         return self._circuit is not None
 
-    def unitary(self, max_qubits: int = 14) -> np.ndarray:
+    @property
+    def execution_circuit(self) -> QuantumCircuit:
+        """The circuit the execution backends actually run.
+
+        With ``options.optimize_level >= 1`` this is the gate-fused version of
+        :attr:`circuit` (built once, then cached — a parameter sweep through
+        :func:`~repro.compile.pipeline.run_many` pays for fusion a single
+        time).  Gate-count reports and :meth:`unitary` keep reading the
+        logical circuit, so enabling fusion never changes reported resources.
+        """
+        options = self.problem.options
+        if options.optimize_level < 1:
+            return self.circuit
+        if self._execution_circuit is None:
+            from repro.circuits.transpile import fuse_gates
+
+            self._execution_circuit = fuse_gates(
+                self.circuit, max_fused_qubits=options.fusion_max_qubits
+            )
+        return self._execution_circuit
+
+    def sparse_operators(self) -> tuple:
+        """Cached full-space CSR operators of the execution circuit.
+
+        The ``sparse`` backend reuses these across repeated runs (different
+        initial states, expectation-value sweeps) so the embedding cost is
+        paid once per program.
+        """
+        if self._sparse_operators is None:
+            from repro.circuits.sparse import circuit_sparse_operators
+
+            self._sparse_operators = circuit_sparse_operators(self.execution_circuit)
+        return self._sparse_operators
+
+    def unitary(self, max_qubits: int | None = None) -> np.ndarray:
         """Memoized dense unitary of the cached circuit.
 
-        ``max_qubits`` is enforced on every call, cached or not, so a stricter
-        limit still guards against handing out an oversized matrix.
+        ``max_qubits`` defaults to the problem's
+        ``options.unitary_max_qubits`` and is enforced on every call, cached
+        or not, so a stricter limit still guards against handing out an
+        oversized matrix.
         """
+        if max_qubits is None:
+            max_qubits = self.problem.options.unitary_max_qubits
         if self._unitary is None:
             self._unitary = circuit_unitary(self.circuit, max_qubits=max_qubits)
         elif self.circuit.num_qubits > max_qubits:

@@ -1,0 +1,138 @@
+"""Property-based tests of the gate-fusion pass.
+
+Acceptance criterion of the fusion fast path: fusing never changes the
+unitary.  Random circuits (seeded, up to 6 qubits, with parameterized and
+multi-qubit gates mixed in) are pushed through :func:`fuse_gates` at every
+block width and compared against :func:`circuit_unitary` exactly — no
+global-phase allowance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    MatrixGate,
+    QuantumCircuit,
+    UnitaryGate,
+    circuit_unitary,
+    fuse_gates,
+    fusion_report,
+    random_circuit,
+)
+from repro.exceptions import DecompositionError
+
+
+def assert_same_unitary(a: QuantumCircuit, b: QuantumCircuit, atol: float = 1e-9):
+    np.testing.assert_allclose(circuit_unitary(a), circuit_unitary(b), atol=atol, rtol=0.0)
+
+
+class TestFusionPreservesTheUnitary:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_qubits=st.integers(1, 6),
+        depth=st.integers(0, 50),
+        max_fused=st.integers(1, 4),
+    )
+    def test_random_circuits(self, seed, num_qubits, depth, max_fused):
+        circuit = random_circuit(num_qubits, depth, seed, multi_qubit_prob=0.2)
+        fused = fuse_gates(circuit, max_fused_qubits=max_fused)
+        assert_same_unitary(circuit, fused)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_fusion_is_idempotent_on_the_unitary(self, seed):
+        circuit = random_circuit(5, 30, seed, multi_qubit_prob=0.2)
+        once = fuse_gates(circuit)
+        twice = fuse_gates(once)
+        assert_same_unitary(circuit, twice)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_global_phase_survives(self, seed):
+        circuit = random_circuit(4, 20, seed)
+        circuit.global_phase = 1.234
+        fused = fuse_gates(circuit)
+        assert fused.global_phase == pytest.approx(1.234)
+        assert_same_unitary(circuit, fused)
+
+    def test_parameterized_and_explicit_unitary_gates(self, random_unitary_2x2):
+        circuit = QuantumCircuit(3)
+        circuit.rx(0.7, 0)
+        circuit.crz(-1.1, 0, 1)
+        circuit.unitary(random_unitary_2x2, (2,))
+        circuit.ccp(0.4, 0, 1, 2)
+        circuit.rzz(0.9, 1, 2)
+        assert_same_unitary(circuit, fuse_gates(circuit, max_fused_qubits=3))
+
+
+class TestFusionStructure:
+    def test_fused_blocks_respect_the_width_limit(self):
+        circuit = random_circuit(6, 80, 42, multi_qubit_prob=0.2)
+        for max_fused in (1, 2, 3, 4):
+            fused = fuse_gates(circuit, max_fused_qubits=max_fused)
+            for instr in fused:
+                if instr.name == "fused":
+                    assert len(instr.qubits) <= max_fused
+
+    def test_single_qubit_runs_collapse_to_one_gate(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(10):
+            circuit.h(0)
+            circuit.t(1)
+        fused = fuse_gates(circuit, max_fused_qubits=2)
+        assert fused.size() == 1
+        assert fusion_report(circuit, fused).compression == 20.0
+
+    def test_wide_gates_pass_through_untouched(self):
+        circuit = QuantumCircuit(6)
+        circuit.mcx((0, 1, 2, 3, 4), 5)
+        fused = fuse_gates(circuit, max_fused_qubits=4)
+        assert fused.size() == 1
+        assert fused.instructions[0].gate is circuit.instructions[0].gate
+
+    def test_commuting_gates_merge_across_disjoint_blocks(self):
+        # h(0) sits after the cx(2,3) in program order but shares no qubit
+        # with it, so it may legally merge backwards into the x(0) block.
+        circuit = QuantumCircuit(4)
+        circuit.x(0)
+        circuit.cx(2, 3)
+        circuit.h(0)
+        fused = fuse_gates(circuit, max_fused_qubits=2)
+        assert fused.size() == 2
+        assert_same_unitary(circuit, fused)
+
+    def test_ordering_barrier_is_respected(self):
+        # h(1) shares qubit 1 with the cx block; it must NOT migrate before it.
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.cx(1, 2)
+        circuit.h(1)
+        fused = fuse_gates(circuit, max_fused_qubits=2)
+        assert_same_unitary(circuit, fused)
+
+    def test_fused_gates_are_matrix_gates(self):
+        circuit = random_circuit(3, 20, 7)
+        fused = fuse_gates(circuit, max_fused_qubits=3)
+        assert any(isinstance(instr.gate, MatrixGate) for instr in fused)
+        assert MatrixGate is UnitaryGate
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(DecompositionError, match="max_fused_qubits"):
+            fuse_gates(QuantumCircuit(1), max_fused_qubits=0)
+
+    def test_report_counts(self):
+        circuit = random_circuit(4, 40, 3)
+        fused = fuse_gates(circuit)
+        report = fusion_report(circuit, fused)
+        assert report.gates_before == 40
+        assert report.gates_after == fused.size()
+        assert report.gates_after <= report.gates_before
+        assert 0 < report.widest_block <= 4
+
+    def test_report_follows_a_custom_label(self):
+        circuit = random_circuit(4, 40, 3)
+        fused = fuse_gates(circuit, label="blk")
+        assert fusion_report(circuit, fused, label="blk").fused_blocks > 0
+        assert fusion_report(circuit, fused).fused_blocks == 0  # default label

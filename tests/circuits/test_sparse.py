@@ -1,0 +1,92 @@
+"""Unit tests of the CSR gate-embedding kernel behind the sparse backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro.circuits.sparse as sparse_mod
+from repro.circuits import (
+    QuantumCircuit,
+    Statevector,
+    apply_circuit_sparse,
+    circuit_sparse_operators,
+    gate_sparse_operator,
+    random_circuit,
+)
+from repro.circuits.gate import StandardGate
+from repro.exceptions import SimulationError
+
+
+class TestGateSparseOperator:
+    def test_single_qubit_embedding_matches_kron(self):
+        x = StandardGate("x").matrix()
+        # qubit 0 is the MSB: X on qubit 0 of two qubits is X ⊗ I.
+        full = gate_sparse_operator(x, (0,), 2).toarray()
+        np.testing.assert_allclose(full, np.kron(x, np.eye(2)))
+        full = gate_sparse_operator(x, (1,), 2).toarray()
+        np.testing.assert_allclose(full, np.kron(np.eye(2), x))
+
+    def test_controlled_gates_stay_one_nonzero_per_row(self):
+        cx = StandardGate("cx").matrix()
+        op = gate_sparse_operator(cx, (0, 2), 8)
+        assert op.nnz == 1 << 8
+        assert (op.getnnz(axis=1) == 1).all()
+
+    def test_reversed_qubit_order(self):
+        cx = StandardGate("cx").matrix()
+        forward = gate_sparse_operator(cx, (0, 1), 2).toarray()
+        np.testing.assert_allclose(forward, cx)
+        backward = gate_sparse_operator(cx, (1, 0), 2).toarray()
+        qc = QuantumCircuit(2)
+        qc.cx(1, 0)
+        from repro.circuits import circuit_unitary
+
+        np.testing.assert_allclose(backward, circuit_unitary(qc))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(SimulationError, match="does not match"):
+            gate_sparse_operator(np.eye(4), (0,), 3)
+
+    def test_register_width_guard(self):
+        with pytest.raises(SimulationError, match="limit"):
+            gate_sparse_operator(np.eye(2), (0,), sparse_mod.MAX_SPARSE_QUBITS + 1)
+
+    def test_operator_nnz_guard_names_the_cure(self, monkeypatch):
+        # A dense fused block embeds to gate_nnz << (n-k) entries; the guard
+        # must trip before the allocation and point at the fusion options.
+        monkeypatch.setattr(sparse_mod, "MAX_SPARSE_OPERATOR_NNZ", 8)
+        dense = np.linalg.qr(
+            np.random.default_rng(0).normal(size=(4, 4))
+            + 1j * np.random.default_rng(1).normal(size=(4, 4))
+        )[0]
+        with pytest.raises(SimulationError, match="fusion_max_qubits"):
+            gate_sparse_operator(dense, (0, 1), 4)
+
+
+class TestApplyCircuitSparse:
+    def test_matches_dense_evolution(self):
+        qc = random_circuit(5, 40, 17)
+        qc.global_phase = 0.37
+        psi = np.random.default_rng(3).normal(size=32) + 0j
+        psi /= np.linalg.norm(psi)
+        np.testing.assert_allclose(
+            apply_circuit_sparse(qc, psi),
+            Statevector(psi).evolve(qc).data,
+            atol=1e-12,
+        )
+
+    def test_accepts_precomputed_operators(self):
+        qc = random_circuit(3, 10, 5)
+        ops = circuit_sparse_operators(qc)
+        assert all(sp.issparse(op) for op in ops)
+        np.testing.assert_allclose(
+            apply_circuit_sparse(qc, np.eye(8)[:, 0], operators=ops),
+            apply_circuit_sparse(qc, np.eye(8)[:, 0]),
+            atol=1e-12,
+        )
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(SimulationError, match="does not fit"):
+            apply_circuit_sparse(QuantumCircuit(3), np.zeros(4))

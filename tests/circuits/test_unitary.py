@@ -36,6 +36,27 @@ class TestCircuitUnitary:
         np.testing.assert_allclose(circuit_unitary(qc), expected)
 
 
+class TestDtypeControl:
+    """The contraction runs in (and returns) exactly the requested dtype."""
+
+    def test_default_is_complex128(self, rng):
+        qc = random_circuit(3, 15, rng=rng)
+        assert circuit_unitary(qc).dtype == np.complex128
+
+    def test_complex64_stays_complex64(self, rng):
+        # Before the fix the first complex128 gate matrix silently upcast the
+        # whole accumulation back to complex128.
+        qc = random_circuit(3, 15, rng=rng)
+        qc.global_phase = 0.7  # the phase multiply must not upcast either
+        low = circuit_unitary(qc, dtype=np.complex64)
+        assert low.dtype == np.complex64
+        np.testing.assert_allclose(low, circuit_unitary(qc), atol=1e-5)
+
+    def test_non_complex_dtype_rejected(self):
+        with pytest.raises(SimulationError, match="complex dtype"):
+            circuit_unitary(QuantumCircuit(1), dtype=np.float64)
+
+
 class TestEquivalence:
     def test_equivalent_true(self):
         a = QuantumCircuit(2)

@@ -47,6 +47,24 @@ class TestValidation:
         with pytest.raises(OptionsError, match="mpf_steps"):
             CompileOptions(mpf_steps=(0, 2))
 
+    def test_optimize_level_values(self):
+        assert CompileOptions(optimize_level=1).optimize_level == 1
+        with pytest.raises(OptionsError, match="optimize_level"):
+            CompileOptions(optimize_level=2)
+        with pytest.raises(OptionsError, match="integer"):
+            CompileOptions(optimize_level="fast")
+        # Non-integral floats must not silently truncate (0.9 is not "off").
+        with pytest.raises(OptionsError, match="integer"):
+            CompileOptions(optimize_level=0.9)
+        with pytest.raises(OptionsError, match="integer"):
+            CompileOptions(fusion_max_qubits=4.9)
+
+    @pytest.mark.parametrize("name", ["fusion_max_qubits", "unitary_max_qubits"])
+    def test_qubit_counts_must_be_positive(self, name):
+        assert getattr(CompileOptions(**{name: 3}), name) == 3
+        with pytest.raises(OptionsError, match=name):
+            CompileOptions(**{name: 0})
+
 
 class TestCoercion:
     def test_from_none(self):

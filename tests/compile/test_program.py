@@ -198,6 +198,44 @@ class TestGuards:
         with pytest.raises(SimulationError, match="limit 2"):
             program.unitary(max_qubits=2)
 
+    def test_unitary_limit_flows_from_options(self, problem):
+        from repro.exceptions import SimulationError
+
+        program = compile_problem(problem, "direct", unitary_max_qubits=2)
+        with pytest.raises(SimulationError, match="limit 2"):
+            program.unitary()
+        # An explicit argument still overrides the option.
+        assert program.unitary(max_qubits=4).shape == (16, 16)
+
+
+class TestExecutionFastPath:
+    def test_execution_circuit_is_the_logical_circuit_at_level_0(self, problem):
+        program = compile_problem(problem, "direct")
+        assert program.execution_circuit is program.circuit
+
+    def test_fusion_is_cached_and_does_not_change_reports(self, problem):
+        plain = compile_problem(problem, "direct")
+        fused = compile_problem(problem, "direct", optimize_level=1)
+        assert fused.execution_circuit is fused.execution_circuit
+        assert fused.execution_circuit.size() < plain.circuit.size()
+        # Resource reports keep reading the logical circuit.
+        assert (
+            fused.resources().two_qubit_gates == plain.resources().two_qubit_gates
+        )
+        np.testing.assert_allclose(fused.unitary(), plain.unitary(), atol=1e-12)
+
+    def test_sparse_operators_cached(self, problem):
+        program = compile_problem(problem, "direct")
+        ops = program.sparse_operators()
+        assert program.sparse_operators() is ops
+        assert len(ops) == program.execution_circuit.size()
+
+    def test_sparse_backend_matches_statevector(self, problem):
+        program = compile_problem(problem, "direct", steps=2)
+        dense = program.run(backend="statevector")
+        sparse = program.run(backend="sparse")
+        np.testing.assert_allclose(dense.data, sparse.data, atol=1e-12)
+
 
 class TestCallableModule:
     def test_repro_compile_is_callable_and_a_package(self, problem):

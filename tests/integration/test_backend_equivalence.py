@@ -1,0 +1,169 @@
+"""Cross-backend differential harness.
+
+Every execution path must tell the same story: the dense ``statevector``
+backend, the CSR ``sparse`` backend and the gate-fused variants of both are
+run against each other — and, for evolution programs, against the ``exact``
+``expm_multiply`` oracle — on random 3–6-qubit SCB Hamiltonians across all
+registered strategies.  Fidelity must exceed ``1 - 1e-10`` wherever the
+comparison is exact (same circuit, or commuting fragments), and converge at
+the Trotter rate where it is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compile.pipeline import run_many
+from repro.exceptions import CompileError
+from repro.utils.linalg import random_statevector
+
+#: Tolerance for comparisons that are exact up to floating-point roundoff.
+EXACT_FIDELITY = 1 - 1e-10
+
+#: The full SCB alphabet and its diagonal (mutually commuting) subset.
+FULL_ALPHABET = "IXYZnmsd"
+DIAGONAL_ALPHABET = "InmZ"
+
+STRATEGIES = ("direct", "pauli", "block_encoding", "mpf")
+EVOLUTION_STRATEGIES = ("direct", "pauli")
+
+
+def random_problem(
+    seed: int,
+    *,
+    num_qubits: int | None = None,
+    num_terms: int | None = None,
+    alphabet: str = FULL_ALPHABET,
+    time: float = 0.3,
+    **kwargs,
+) -> repro.SimulationProblem:
+    """A random SCB Hamiltonian problem with at least one non-identity factor
+    per term and real coefficients (so the Hamiltonian stays Hermitian after
+    the automatic h.c. gathering)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 7)) if num_qubits is None else num_qubits
+    terms: dict[str, float] = {}
+    for _ in range(int(rng.integers(2, 5)) if num_terms is None else num_terms):
+        while True:
+            label = "".join(rng.choice(list(alphabet), size=n))
+            if set(label) != {"I"} and label not in terms:
+                break
+        terms[label] = float(rng.uniform(0.2, 1.0) * rng.choice((-1, 1)))
+    return repro.SimulationProblem.from_labels(n, terms, time=time, **kwargs)
+
+
+def fidelity(a, b) -> float:
+    return abs(np.vdot(a.data, b.data)) ** 2
+
+
+class TestBackendsAgreeOnTheSameCircuit:
+    """statevector / sparse / fused-vs-unfused all execute the same unitary."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_strategies_all_backends(self, strategy, seed):
+        # Ancilla-carrying strategies build much wider circuits; keep the
+        # system register small enough that the harness stays quick.
+        small = strategy in ("block_encoding", "mpf")
+        problem = random_problem(
+            seed,
+            num_qubits=3 if small else None,
+            num_terms=2 if small else None,
+        )
+        plain = repro.compile(problem, strategy)
+        fused = repro.compile(problem, strategy, optimize_level=1)
+        reference = plain.run(backend="statevector")
+        for program, backend in (
+            (fused, "statevector"),
+            (plain, "sparse"),
+            (fused, "sparse"),
+        ):
+            result = program.run(backend=backend)
+            label = f"{strategy}/{backend}/fused={program is fused}"
+            assert fidelity(reference, result) > EXACT_FIDELITY, label
+
+    @pytest.mark.parametrize("strategy", EVOLUTION_STRATEGIES)
+    def test_random_initial_states(self, strategy):
+        problem = random_problem(11, num_qubits=4)
+        plain = repro.compile(problem, strategy, steps=2)
+        fused = repro.compile(problem, strategy, steps=2, optimize_level=1)
+        psi = random_statevector(4, np.random.default_rng(99))
+        reference = plain.run(backend="statevector", initial_state=psi)
+        assert fidelity(reference, fused.run(backend="statevector", initial_state=psi)) > EXACT_FIDELITY
+        assert fidelity(reference, plain.run(backend="sparse", initial_state=psi)) > EXACT_FIDELITY
+        assert fidelity(reference, fused.run(backend="sparse", initial_state=psi)) > EXACT_FIDELITY
+
+
+class TestExactOracle:
+    """The exact backend is Trotter-free ground truth for evolution programs."""
+
+    @pytest.mark.parametrize("strategy", EVOLUTION_STRATEGIES)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_commuting_hamiltonians_match_exactly(self, strategy, seed):
+        # Diagonal factors commute, so a single Trotter step is already exact
+        # and every backend must hit the oracle to full precision.
+        problem = random_problem(seed, alphabet=DIAGONAL_ALPHABET)
+        program = repro.compile(problem, strategy, optimize_level=1)
+        oracle = program.run(backend="exact")
+        assert fidelity(oracle, program.run(backend="statevector")) > EXACT_FIDELITY
+        assert fidelity(oracle, program.run(backend="sparse")) > EXACT_FIDELITY
+
+    def test_trotter_error_converges_to_the_oracle(self):
+        problem = random_problem(5, num_qubits=4)
+        oracle = repro.compile(problem, "direct").run(backend="exact")
+        errors = []
+        for steps in (1, 4, 16):
+            state = repro.compile(problem, "direct", steps=steps, order=2).run(
+                backend="statevector"
+            )
+            errors.append(1 - fidelity(oracle, state))
+        assert errors[2] <= errors[0]
+        assert errors[2] < 1e-6
+
+    def test_exact_never_builds_a_circuit(self):
+        program = repro.compile(random_problem(3), "direct")
+        program.run(backend="exact")
+        assert not program.is_built
+
+    @pytest.mark.parametrize("strategy", ("block_encoding", "mpf"))
+    def test_exact_rejects_non_evolution_programs(self, strategy):
+        program = repro.compile(random_problem(2, num_qubits=3, num_terms=2), strategy)
+        with pytest.raises(CompileError, match="exact backend"):
+            program.run(backend="exact")
+
+
+class TestRunManyAmortization:
+    """A sweep through run_many builds and fuses each program exactly once."""
+
+    def test_initial_state_sweep_reuses_caches(self):
+        problem = random_problem(7, num_qubits=4, time=0.2)
+        program = repro.compile(problem, "direct", optimize_level=1)
+        states = list(range(4))
+        swept = run_many([program] * len(states), "sparse", initial_states=states)
+        # The fused circuit and the CSR operators were each built once ...
+        assert program.execution_circuit is program.execution_circuit
+        assert program.sparse_operators() is program.sparse_operators()
+        # ... and the swept results match individual runs.
+        for state, result in zip(states, swept):
+            again = program.run(backend="sparse", initial_state=state)
+            assert fidelity(result, again) > EXACT_FIDELITY
+
+    def test_mismatched_sweep_lengths_raise(self):
+        program = repro.compile(random_problem(7, num_qubits=3), "direct")
+        with pytest.raises(CompileError, match="initial states"):
+            run_many([program], "statevector", initial_states=[0, 1])
+
+
+@pytest.mark.slow
+class TestBeyondTheDenseLimit:
+    """>10-qubit workloads, gated behind ``--runslow``."""
+
+    def test_sparse_backend_matches_exact_on_12_qubits(self):
+        problem = random_problem(
+            21, num_qubits=12, num_terms=4, alphabet=DIAGONAL_ALPHABET
+        )
+        program = repro.compile(problem, "direct", optimize_level=1)
+        oracle = program.run(backend="exact")
+        assert fidelity(oracle, program.run(backend="sparse")) > EXACT_FIDELITY
