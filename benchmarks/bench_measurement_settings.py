@@ -48,6 +48,49 @@ def test_measurement_setting_counts(benchmark):
         assert direct <= pauli
 
 
+def test_sample_counts_vectorized_guard(benchmark):
+    """Micro-benchmark guard for the vectorized ``Statevector.sample_counts``.
+
+    One multinomial draw (``O(2^n)``, shot-count independent) replaces the
+    old per-shot Python loop.  The guard is *relative*: the production path
+    must beat a per-shot loop baseline run in the same process, so it cannot
+    flake on a slow or loaded machine the way an absolute samples/s floor
+    would.
+    """
+    import time as _time
+
+    rng = np.random.default_rng(7)
+    state = Statevector(random_statevector(10, rng))
+    shots = 200_000
+
+    counts = benchmark(lambda: state.sample_counts(shots, np.random.default_rng(3)))
+    assert sum(counts.values()) == shots
+    assert len(counts) <= 1 << 10
+    # Seeded draws are reproducible.
+    assert counts == state.sample_counts(shots, np.random.default_rng(3))
+
+    def loop_baseline(loop_shots: int) -> float:
+        """The pre-vectorization implementation: one dict update per shot."""
+        loop_rng = np.random.default_rng(4)
+        probs = state.probabilities()
+        start = _time.perf_counter()
+        outcomes = loop_rng.choice(len(probs), size=loop_shots, p=probs)
+        tally: dict[str, int] = {}
+        for outcome in outcomes:
+            key = format(int(outcome), "010b")
+            tally[key] = tally.get(key, 0) + 1
+        return (_time.perf_counter() - start) / loop_shots
+
+    start = _time.perf_counter()
+    state.sample_counts(shots, np.random.default_rng(4))
+    vectorized_per_shot = (_time.perf_counter() - start) / shots
+    loop_per_shot = loop_baseline(20_000)
+    speedup = loop_per_shot / vectorized_per_shot
+    print(f"\nsample_counts: {1 / vectorized_per_shot:,.0f} samples/s "
+          f"({speedup:.1f}x the per-shot loop) at {shots} shots on 10 qubits")
+    assert speedup > 1.0, f"vectorized sampling slower than a per-shot loop ({speedup:.2f}x)"
+
+
 def test_estimator_accuracy_exact_and_sampled(benchmark):
     ham = jordan_wigner_scb(fermi_hubbard_chain(2, 1.0, 4.0))
     rng = np.random.default_rng(11)

@@ -1,0 +1,50 @@
+"""Noisy execution and shot-budgeted estimation, end to end.
+
+1. Compile a 4-qubit chemistry problem with a depolarizing + readout noise
+   model and run it on the ``density_matrix`` and ``sampling`` backends.
+2. Estimate the energy at a fixed shot budget with the Annex-C SCB settings
+   vs per-Pauli-string settings and print the variance ratio.
+
+Run with:  PYTHONPATH=src python examples/noisy_estimation.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.applications.chemistry import (
+    fermi_hubbard_chain,
+    jordan_wigner_scb,
+    measurement_reference_state,
+)
+from repro.noise import Estimator, NoiseModel, compare_measurement_schemes
+
+# ---------------------------------------------------------------- the problem
+
+hamiltonian = jordan_wigner_scb(fermi_hubbard_chain(2, 1.0, 4.0))
+problem = repro.SimulationProblem(hamiltonian, time=0.15, steps=2, order=2)
+print(problem.describe())
+
+# ------------------------------------------------- noisy execution backends
+
+model = NoiseModel.uniform_depolarizing(0.002, readout=0.01)
+clean = repro.compile(problem, "direct")
+noisy = repro.compile(problem, "direct", noise_model=model)
+
+psi = clean.run(backend="statevector")
+rho_ideal = clean.run(backend="density_matrix")
+rho_noisy = noisy.run(backend="density_matrix")
+print(f"\nideal density-matrix fidelity vs statevector: {rho_ideal.fidelity(psi):.12f}")
+print(f"noisy purity: {rho_noisy.purity():.4f} (1.0 would be a pure state)")
+
+counts = noisy.run(backend="sampling", shots=8192, rng=7)
+print(f"sampling under noise: {counts}; modal outcome {counts.most_frequent()!r}")
+
+# ------------------------------------- the measurement advantage at a budget
+
+state = measurement_reference_state(hamiltonian)
+result = Estimator(scheme="scb").estimate(hamiltonian, state, 16_384, rng=0)
+print(f"\n{result.summary()}")
+
+duel = compare_measurement_schemes(hamiltonian, state, 16_384, rng=0)
+print(f"\n{duel.summary()}")
+assert duel.variance_ratio > 1.0  # the paper's scheme wins at fixed shots

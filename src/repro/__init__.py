@@ -19,6 +19,8 @@ The full machinery lives in the subpackages:
   conversions and matrix decompositions;
 * :mod:`repro.core` — direct Hamiltonian simulation, Trotter formulas,
   block encodings, LCU machinery, measurement and resource models;
+* :mod:`repro.noise` — Kraus channels, noise models, shot sampling and the
+  budgeted measurement estimator;
 * :mod:`repro.applications` — HUBO, chemistry and finite-difference
   applications;
 * :mod:`repro.analysis` — gate-count and Trotter-error reports.
@@ -54,7 +56,16 @@ from repro.core import (
     pauli_hamiltonian_simulation as _pauli_hamiltonian_simulation,
     term_lcu_decomposition as _term_lcu_decomposition,
 )
+from repro.circuits.density_matrix import DensityMatrix
 from repro.exceptions import CompileError, OptionsError, ReproError
+from repro.noise import (
+    Estimator,
+    KrausChannel,
+    NoiseModel,
+    ReadoutError,
+    SamplingResult,
+    compare_measurement_schemes,
+)
 from repro.operators import (
     Hamiltonian,
     HermitianFragment,
@@ -120,8 +131,16 @@ __all__ = [
     # substrate
     "QuantumCircuit",
     "Statevector",
+    "DensityMatrix",
     "circuit_unitary",
     "transpile",
+    # noise & sampling
+    "NoiseModel",
+    "KrausChannel",
+    "ReadoutError",
+    "SamplingResult",
+    "Estimator",
+    "compare_measurement_schemes",
     # operators
     "Hamiltonian",
     "HermitianFragment",

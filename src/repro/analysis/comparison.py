@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.analysis.gate_counts import GateCountReport
 from repro.analysis.trotter_error import trotter_error_norm, trotter_error_state
 from repro.circuits.transpile import TranspileOptions
@@ -67,8 +69,21 @@ def compare_strategies(
     transpiled: bool = True,
     evolution_options: EvolutionOptions | None = None,
     compute_error: bool = True,
+    measurement_shots: int | None = None,
+    measurement_state=None,
+    measurement_rng=None,
 ) -> StrategyComparison:
-    """Build both single-step circuits and compare their resources and errors."""
+    """Build both single-step circuits and compare their resources and errors.
+
+    With ``measurement_shots`` set, the comparison additionally quantifies the
+    paper's Annex-C measurement advantage at that fixed shot budget: a
+    :class:`~repro.noise.estimator.MeasurementComparison` (one SCB setting per
+    fragment vs one setting per Pauli string, Neyman-allocated) is stored
+    under ``extra["measurement"]``.  ``measurement_state`` defaults to the
+    uniform superposition ``|+…+⟩`` — an eigenstate (e.g. the ground state)
+    would make every SCB setting deterministic and the comparison degenerate;
+    pass ``measurement_rng`` to seed the shots.
+    """
     # Imported here: repro.analysis is a dependency of the pipeline's report
     # layer, so a module-level import would be circular.
     from repro.compile.options import CompileOptions
@@ -98,6 +113,20 @@ def compare_strategies(
             direct_error = trotter_error_state(hamiltonian, direct.circuit, time, rng=0)
             pauli_error = trotter_error_state(hamiltonian, pauli.circuit, time, rng=0)
 
+    extra: dict = {}
+    if measurement_shots is not None:
+        from repro.circuits.statevector import Statevector
+        from repro.noise.estimator import compare_measurement_schemes
+
+        if measurement_state is None:
+            dim = 1 << hamiltonian.num_qubits
+            measurement_state = Statevector(np.full(dim, 1.0 / np.sqrt(dim)))
+        elif not isinstance(measurement_state, Statevector):
+            measurement_state = Statevector(measurement_state)
+        extra["measurement"] = compare_measurement_schemes(
+            hamiltonian, measurement_state, measurement_shots, rng=measurement_rng
+        )
+
     return StrategyComparison(
         num_qubits=hamiltonian.num_qubits,
         time=time,
@@ -109,4 +138,5 @@ def compare_strategies(
         pauli_error=pauli_error,
         direct_logical_rotations=direct.circuit.num_rotation_gates(),
         pauli_logical_rotations=pauli.circuit.num_rotation_gates(),
+        extra=extra,
     )

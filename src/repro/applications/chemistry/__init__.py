@@ -21,6 +21,11 @@ from repro.applications.chemistry.jordan_wigner import (
     total_number_operator,
     verify_anticommutation,
 )
+from repro.applications.chemistry.measurement_study import (
+    MeasurementStudy,
+    chemistry_measurement_study,
+    measurement_reference_state,
+)
 from repro.applications.chemistry.transitions import (
     number_conservation_error,
     one_body_fragment,
@@ -64,6 +69,9 @@ __all__ = [
     "occupation_state_index",
     "total_number_operator",
     "verify_anticommutation",
+    "MeasurementStudy",
+    "chemistry_measurement_study",
+    "measurement_reference_state",
     "number_conservation_error",
     "one_body_fragment",
     "transition_circuit",

@@ -1,0 +1,142 @@
+"""Annex-C measurement advantage on chemistry Hamiltonians, under shot noise.
+
+The paper's "16× fewer observables" claim for two-body fermionic terms only
+becomes an *accuracy* claim once shots are finite: fewer settings concentrate
+a fixed budget.  :func:`chemistry_measurement_study` makes that concrete on a
+Jordan–Wigner chemistry Hamiltonian — it prepares a short Trotter-evolved
+Hartree–Fock state (deliberately **not** an eigenstate, so every setting
+carries variance), runs the SCB and per-Pauli estimators at the same budget
+over several seeds, and reports predicted standard errors next to the
+empirical root-mean-square error of each scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.applications.chemistry.fermion import FermionOperator
+from repro.applications.chemistry.hamiltonians import fermi_hubbard_chain
+from repro.applications.chemistry.jordan_wigner import (
+    hartree_fock_state_index,
+    jordan_wigner_scb,
+)
+from repro.circuits.statevector import Statevector
+from repro.noise.estimator import Estimator
+from repro.operators.hamiltonian import Hamiltonian
+
+
+@dataclass(frozen=True)
+class MeasurementStudy:
+    """Fixed-budget estimator duel between the SCB and per-Pauli schemes."""
+
+    exact_value: float
+    total_shots: int
+    repeats: int
+    scb_settings: int
+    pauli_settings: int
+    scb_std_error: float
+    pauli_std_error: float
+    scb_rmse: float
+    pauli_rmse: float
+
+    @property
+    def variance_ratio(self) -> float:
+        """Predicted ``Var(pauli)/Var(scb)`` — >1 means the SCB scheme wins."""
+        if self.scb_std_error == 0.0:
+            return float("inf") if self.pauli_std_error > 0 else 1.0
+        return (self.pauli_std_error / self.scb_std_error) ** 2
+
+    @property
+    def empirical_variance_ratio(self) -> float:
+        if self.scb_rmse == 0.0:
+            return float("inf") if self.pauli_rmse > 0 else 1.0
+        return (self.pauli_rmse / self.scb_rmse) ** 2
+
+    def summary(self) -> str:
+        return (
+            f"⟨H⟩={self.exact_value:+.6f} at {self.total_shots} shots × "
+            f"{self.repeats} repeats: scb σ={self.scb_std_error:.5f} "
+            f"(rmse {self.scb_rmse:.5f}, {self.scb_settings} settings) vs "
+            f"pauli σ={self.pauli_std_error:.5f} (rmse {self.pauli_rmse:.5f}, "
+            f"{self.pauli_settings} settings) — predicted variance ratio "
+            f"{self.variance_ratio:.2f}×"
+        )
+
+
+def measurement_reference_state(
+    hamiltonian: Hamiltonian,
+    *,
+    num_electrons: int | None = None,
+    time: float = 0.15,
+    steps: int = 2,
+) -> Statevector:
+    """A short Trotter evolution of the Hartree–Fock determinant.
+
+    Eigenstates make every Annex-C setting deterministic (zero shot variance),
+    which degenerates the comparison; a briefly evolved reference spreads
+    weight over the determinant basis the way a mid-algorithm state does.
+    """
+    import repro
+
+    n = hamiltonian.num_qubits
+    electrons = n // 2 if num_electrons is None else num_electrons
+    index = hartree_fock_state_index(n, electrons)
+    program = repro.compile(hamiltonian, time=time, steps=steps, order=2)
+    return program.run(backend="statevector", initial_state=index)
+
+
+def chemistry_measurement_study(
+    operator: "FermionOperator | Hamiltonian | None" = None,
+    *,
+    total_shots: int = 8192,
+    repeats: int = 8,
+    allocation: str = "neyman",
+    rng: np.random.Generator | int | None = 0,
+    state: Statevector | None = None,
+) -> MeasurementStudy:
+    """Run both estimators at a fixed budget on a chemistry Hamiltonian.
+
+    ``operator`` defaults to the 2-site Fermi–Hubbard chain (4 qubits, the
+    smallest Hamiltonian with genuine two-body ``σσσ†σ†`` fragments); a
+    :class:`FermionOperator` is Jordan–Wigner mapped first.
+    """
+    if operator is None:
+        operator = fermi_hubbard_chain(2, 1.0, 4.0)
+    if isinstance(operator, FermionOperator):
+        hamiltonian = jordan_wigner_scb(operator)
+    else:
+        hamiltonian = operator
+    if state is None:
+        state = measurement_reference_state(hamiltonian)
+    exact = hamiltonian.expectation_value(state.data)
+
+    generator = np.random.default_rng(rng)
+    # prepare() caches the per-setting rotations once; the repeats only draw.
+    prepared = {
+        name: Estimator(scheme=name, allocation=allocation).prepare(hamiltonian, state)
+        for name in ("scb", "pauli")
+    }
+    errors: dict[str, list[float]] = {"scb": [], "pauli": []}
+    results = {}
+    for _ in range(repeats):
+        for name, ready in prepared.items():
+            result = ready.estimate(total_shots, rng=generator)
+            errors[name].append(result.value - exact)
+            results[name] = result
+
+    def rmse(values: list[float]) -> float:
+        return float(np.sqrt(np.mean(np.square(values))))
+
+    return MeasurementStudy(
+        exact_value=float(exact),
+        total_shots=total_shots,
+        repeats=repeats,
+        scb_settings=results["scb"].num_settings,
+        pauli_settings=results["pauli"].num_settings,
+        scb_std_error=results["scb"].std_error,
+        pauli_std_error=results["pauli"].std_error,
+        scb_rmse=rmse(errors["scb"]),
+        pauli_rmse=rmse(errors["pauli"]),
+    )

@@ -25,6 +25,7 @@ from repro.circuits.gate import (
     StandardGate,
     UnitaryGate,
 )
+from repro.circuits.density_matrix import DensityMatrix, simulate_density
 from repro.circuits.random_circuits import random_circuit
 from repro.circuits.sparse import (
     apply_circuit_sparse,
@@ -70,6 +71,8 @@ __all__ = [
     "apply_circuit_sparse",
     "circuit_sparse_operators",
     "gate_sparse_operator",
+    "DensityMatrix",
+    "simulate_density",
     "Statevector",
     "apply_matrix",
     "simulate",

@@ -18,7 +18,6 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.exceptions import SimulationError
 from repro.utils.bits import int_to_bitstring
-from repro.utils.validation import check_probability_vector
 
 
 def apply_matrix(
@@ -43,6 +42,33 @@ def apply_matrix(
     moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), list(qubits)))
     # tensordot puts the gate's output axes first; move them back into place.
     return np.moveaxis(moved, range(k), qubits)
+
+
+def sample_outcome_counts(
+    probs: np.ndarray, shots: int, rng: np.random.Generator, num_qubits: int
+) -> dict[str, int]:
+    """Draw ``shots`` outcomes from a distribution as seeded bitstring counts.
+
+    One vectorized multinomial draw (``O(2^n)``, independent of the shot
+    count) replaces any per-shot loop; only the observed outcomes are
+    materialised as bitstrings.  The vector is clipped and renormalised
+    defensively so accumulated floating-point drift — e.g. from a long noisy
+    density-matrix evolution — cannot trip the draw.  This is the single
+    sampler behind :meth:`Statevector.sample_counts`,
+    :meth:`~repro.circuits.density_matrix.DensityMatrix.sample_counts` and
+    the ``sampling`` backend.
+    """
+    if shots <= 0:
+        raise SimulationError("shots must be positive")
+    probs = np.clip(np.asarray(probs, dtype=float), 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        raise SimulationError("outcome distribution sums to zero; cannot sample")
+    freqs = rng.multinomial(shots, probs / total)
+    (hit,) = np.nonzero(freqs)
+    return {
+        int_to_bitstring(int(index), num_qubits): int(freqs[index]) for index in hit
+    }
 
 
 class Statevector:
@@ -146,16 +172,9 @@ class Statevector:
         self, shots: int, rng: np.random.Generator | None = None
     ) -> dict[str, int]:
         """Sample measurement outcomes in the computational basis."""
-        if shots <= 0:
-            raise SimulationError("shots must be positive")
         rng = rng if rng is not None else np.random.default_rng()
-        probs = check_probability_vector(self.probabilities() / np.sum(self.probabilities()))
-        outcomes = rng.choice(len(probs), size=shots, p=probs)
-        counts: dict[str, int] = {}
-        for outcome in outcomes:
-            key = int_to_bitstring(int(outcome), self.num_qubits)
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        # sample_outcome_counts clips and renormalises, so no extra pass here.
+        return sample_outcome_counts(self.probabilities(), shots, rng, self.num_qubits)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Statevector(num_qubits={self.num_qubits}, norm={self.norm():.6f})"

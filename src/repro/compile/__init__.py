@@ -24,8 +24,10 @@ import types
 from repro.compile.backends import (
     BACKENDS,
     Backend,
+    DensityMatrixBackend,
     ExactBackend,
     ResourceBackend,
+    SamplingBackend,
     SparseBackend,
     StatevectorBackend,
     UnitaryBackend,
@@ -61,8 +63,10 @@ from repro.exceptions import CompileError, OptionsError
 __all__ = [
     "BACKENDS",
     "Backend",
+    "DensityMatrixBackend",
     "ExactBackend",
     "ResourceBackend",
+    "SamplingBackend",
     "SparseBackend",
     "StatevectorBackend",
     "UnitaryBackend",

@@ -12,6 +12,11 @@ circuits, plus the scaling/oracle pair added with the gate-fusion fast path:
 ``"exact"``               ``expm_multiply`` on the assembled Hamiltonian:
                           ground truth with **zero Trotter error**, never
                           builds a circuit (evolution programs only)
+``"density_matrix"``      noisy evolution of ``ρ`` through the circuit,
+                          applying the channels of
+                          ``CompileOptions(noise_model=...)`` after each gate
+``"sampling"``            seeded shot-based counts (noisy or noiseless)
+                          returning a :class:`~repro.noise.sampling.SamplingResult`
 ``"unitary"``             dense unitary of the cached circuit (memoized)
 ``"resource"``            analytic gate counts via :mod:`repro.core.resource`
                           — no circuit is ever built
@@ -168,6 +173,139 @@ class ExactBackend:
         state = StatevectorBackend._coerce(initial_state, problem.num_qubits, program)
         evolved = problem.hamiltonian.evolve_exact(state.data, problem.time)
         return Statevector(evolved)
+
+
+@BACKENDS.register("density_matrix")
+class DensityMatrixBackend:
+    """Evolve a density matrix — exact noisy evolution under the noise model.
+
+    The channels of ``program.problem.options.noise_model`` are applied after
+    every gate; with no model (or :meth:`~repro.noise.model.NoiseModel.ideal`)
+    the run is exact unitary conjugation and matches the ``statevector``
+    backend to numerical precision.  ``initial_state`` accepts a
+    :class:`~repro.circuits.density_matrix.DensityMatrix`, a
+    :class:`Statevector`, a dense vector, or a basis index.
+
+    Gate noise is keyed on gate *names*, so noisy runs evolve the logical
+    circuit; only noiseless runs take the fused execution circuit.
+    """
+
+    name = "density_matrix"
+
+    def run(
+        self,
+        program: "CompiledProgram",
+        initial_state=0,
+        *,
+        noise_model=None,
+        **kwargs,
+    ):
+        if kwargs:
+            raise CompileError(
+                f"unknown density_matrix-backend arguments: {', '.join(sorted(kwargs))}"
+            )
+        noise = _resolve_noise(program, noise_model)
+        noisy = noise is not None and noise.has_gate_noise
+        circuit = program.circuit if noisy else program.execution_circuit
+        state = self._coerce(initial_state, circuit.num_qubits, program)
+        return state.evolve(circuit, noise_model=noise)
+
+    @staticmethod
+    def _coerce(initial_state, num_qubits: int, program: "CompiledProgram"):
+        from repro.circuits.density_matrix import DensityMatrix
+
+        if isinstance(initial_state, DensityMatrix):
+            if initial_state.num_qubits != num_qubits:
+                raise CompileError(
+                    f"initial density matrix on {initial_state.num_qubits} qubits "
+                    f"does not fit a {num_qubits}-qubit program"
+                )
+            return initial_state
+        # The DensityMatrix constructor enforces its 4^n memory guard; pass a
+        # pre-built DensityMatrix(..., max_qubits=...) to run wider programs.
+        pure = StatevectorBackend._coerce(initial_state, num_qubits, program)
+        return DensityMatrix(pure)
+
+
+@BACKENDS.register("sampling")
+class SamplingBackend:
+    """Seeded shot-based counts: the execution mode hardware actually offers.
+
+    Evolves the initial state (a statevector when the noise model has no gate
+    noise, a density matrix otherwise), applies the model's readout error to
+    the outcome distribution, and draws ``shots`` samples with a single
+    multinomial draw from ``rng`` — reproducible under an integer seed.
+    Returns a :class:`~repro.noise.sampling.SamplingResult`.
+    """
+
+    name = "sampling"
+
+    def run(
+        self,
+        program: "CompiledProgram",
+        initial_state=0,
+        *,
+        shots: int = 1024,
+        rng: "np.random.Generator | int | None" = None,
+        noise_model=None,
+        **kwargs,
+    ):
+        if kwargs:
+            raise CompileError(
+                f"unknown sampling-backend arguments: {', '.join(sorted(kwargs))}"
+            )
+        if shots <= 0:
+            raise CompileError(f"shots must be positive, got {shots}")
+        from repro.circuits.density_matrix import DensityMatrix
+        from repro.noise.model import NoiseModel
+        from repro.noise.sampling import SamplingResult, counts_from_probabilities
+
+        noise = _resolve_noise(program, noise_model)
+        gate_noise = noise is not None and noise.has_gate_noise
+        # A mixed initial state needs the density path even without gate noise.
+        if gate_noise or isinstance(initial_state, DensityMatrix):
+            # Forward the *resolved* model; a bare None would make the inner
+            # backend fall back to the compiled option, resurrecting noise an
+            # explicit NoiseModel.ideal() override asked to switch off.
+            rho = DensityMatrixBackend().run(
+                program,
+                initial_state,
+                noise_model=noise if noise is not None else NoiseModel.ideal(),
+            )
+            probs = rho.probabilities()
+            num_qubits = rho.num_qubits
+        else:
+            state = StatevectorBackend().run(program, initial_state)
+            probs = state.probabilities()
+            num_qubits = state.num_qubits
+        if noise is not None and noise.readout_error is not None:
+            probs = noise.readout_error.apply_to_probabilities(probs)
+        generator = np.random.default_rng(rng)
+        counts = counts_from_probabilities(probs, shots, generator, num_qubits)
+        return SamplingResult(
+            counts=counts,
+            shots=shots,
+            num_qubits=num_qubits,
+            metadata={
+                "noisy": gate_noise,
+                "readout_error": bool(noise is not None and noise.readout_error),
+                "strategy": program.strategy_name,
+            },
+        )
+
+
+def _resolve_noise(program: "CompiledProgram", override):
+    """The run-time noise model: explicit override, else the compiled option."""
+    from repro.noise.model import NoiseModel
+
+    noise = program.problem.options.noise_model if override is None else override
+    if noise is not None and not isinstance(noise, NoiseModel):
+        raise CompileError(
+            f"noise_model must be a NoiseModel, got {type(noise).__name__}"
+        )
+    if noise is not None and noise.is_ideal:
+        return None
+    return noise
 
 
 @BACKENDS.register("unitary")

@@ -16,6 +16,7 @@ from dataclasses import dataclass, fields, replace
 from repro.core.direct_evolution import EvolutionOptions
 from repro.core.pauli_evolution import PauliEvolutionOptions
 from repro.exceptions import OptionsError
+from repro.noise.model import NoiseModel
 
 def _coerce_int(name: str, value) -> int:
     try:
@@ -72,6 +73,14 @@ class CompileOptions:
         Dense-unitary safety limit enforced by
         :meth:`~repro.compile.program.CompiledProgram.unitary` and the
         ``unitary`` backend (default 14).
+    noise_model:
+        Optional :class:`~repro.noise.model.NoiseModel` consumed by the
+        ``density_matrix`` and ``sampling`` backends: its channels are applied
+        after each gate and its readout error perturbs sampled counts.
+        ``None`` (and :meth:`~repro.noise.model.NoiseModel.ideal`) mean
+        noiseless execution; the state backends (``statevector``, ``sparse``,
+        ``exact``, ``unitary``) ignore it.  Both backends also accept a
+        per-run ``noise_model=`` override.
     """
 
     basis_change: str = "linear"
@@ -83,6 +92,7 @@ class CompileOptions:
     optimize_level: int = 0
     fusion_max_qubits: int = 4
     unitary_max_qubits: int = 14
+    noise_model: "NoiseModel | None" = None
 
     def __post_init__(self) -> None:
         for name, allowed in _ALLOWED_VALUES.items():
@@ -109,6 +119,11 @@ class CompileOptions:
             if value < 1:
                 raise OptionsError(f"{name} must be a positive qubit count")
             object.__setattr__(self, name, value)
+        if self.noise_model is not None and not isinstance(self.noise_model, NoiseModel):
+            raise OptionsError(
+                f"noise_model must be a repro.noise.NoiseModel or None, "
+                f"got {type(self.noise_model).__name__!r}"
+            )
 
     # ------------------------------------------------------------ construction
 

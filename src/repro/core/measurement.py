@@ -26,7 +26,6 @@ from repro.core.families import analyze_term
 from repro.exceptions import OperatorError
 from repro.operators.conversion import scb_term_to_pauli
 from repro.operators.hamiltonian import Hamiltonian, HermitianFragment
-from repro.utils.bits import int_to_bits
 
 
 @dataclass(frozen=True)
@@ -108,18 +107,31 @@ def fragment_measurement_setting(fragment: HermitianFragment) -> MeasurementSett
     )
 
 
+def setting_eigenvalues(setting: MeasurementSetting, num_qubits: int) -> np.ndarray:
+    """Eigenvalue of the (coefficient-scaled) diagonal observable per basis state.
+
+    Vectorized companion of :meth:`MeasurementSetting.evaluate_bitstring`:
+    returns the length-``2^n`` array ``v`` with
+    ``v[index] == setting.evaluate_bitstring(int_to_bits(index, n))`` computed
+    with bit arithmetic instead of a Python loop over outcomes.  Qubit 0 is
+    the most significant bit, matching :func:`repro.utils.bits.int_to_bits`.
+    """
+    indices = np.arange(1 << num_qubits)
+    values = np.full(indices.shape, float(setting.coefficient))
+    for q in setting.z_qubits:
+        bit = (indices >> (num_qubits - 1 - q)) & 1
+        values *= 1.0 - 2.0 * bit
+    for q, expected in setting.projector_bits:
+        bit = (indices >> (num_qubits - 1 - q)) & 1
+        values[bit != expected] = 0.0
+    return values
+
+
 def exact_setting_expectation(setting: MeasurementSetting, state: Statevector) -> float:
     """Expectation of the diagonal observable in the rotated basis (no sampling)."""
     rotated = state.evolve(setting.basis_circuit)
     probs = rotated.probabilities()
-    n = rotated.num_qubits
-    total = 0.0
-    for index, p in enumerate(probs):
-        if p < 1e-16:
-            continue
-        bits = int_to_bits(index, n)
-        total += p * setting.evaluate_bitstring(bits)
-    return total
+    return float(probs @ setting_eigenvalues(setting, rotated.num_qubits))
 
 
 def sampled_setting_expectation(
@@ -129,8 +141,7 @@ def sampled_setting_expectation(
     rng: np.random.Generator | int | None = None,
 ) -> float:
     """Shot-based estimate of the same expectation value."""
-    if isinstance(rng, (int, np.integer)) or rng is None:
-        rng = np.random.default_rng(rng)
+    rng = np.random.default_rng(rng)
     rotated = state.evolve(setting.basis_circuit)
     counts = rotated.sample_counts(shots, rng)
     total = 0.0
@@ -140,6 +151,40 @@ def sampled_setting_expectation(
     return total / shots
 
 
+def hamiltonian_measurement_settings(
+    hamiltonian: Hamiltonian,
+) -> tuple[list[tuple[str, MeasurementSetting]], float]:
+    """Labelled Annex-C settings of a Hamiltonian, plus the deterministic offset.
+
+    One setting per gathered Hermitian fragment; a fragment with a complex
+    coefficient contributes two (the imaginary piece ``Im(γ)·i(A - A†)`` is
+    measured in the Y-like basis on the pivot — an extra S† before the pivot
+    Hadamard).  Identity terms carry no variance and are returned as a
+    constant ``offset`` instead of a setting.  This is the single source of
+    the setting list consumed by both :func:`estimate_expectation` and the
+    shot-allocating :class:`repro.noise.estimator.Estimator`.
+    """
+    labelled: list[tuple[str, MeasurementSetting]] = []
+    offset = 0.0
+    for fragment in hamiltonian.hermitian_fragments():
+        term = fragment.term
+        coeff = complex(term.coefficient)
+        if term.order == 0:
+            offset += coeff.real * (2.0 if fragment.include_hc else 1.0)
+            continue
+        if abs(coeff.real) > 1e-14:
+            real_piece = HermitianFragment(
+                term.with_coefficient(coeff.real), fragment.include_hc
+            )
+            labelled.append((term.label, fragment_measurement_setting(real_piece)))
+        if abs(coeff.imag) > 1e-14:
+            imag_piece = HermitianFragment(
+                term.with_coefficient(1j * coeff.imag), fragment.include_hc
+            )
+            labelled.append((f"{term.label}·i", _imaginary_fragment_setting(imag_piece)))
+    return labelled, offset
+
+
 def estimate_expectation(
     hamiltonian: Hamiltonian,
     state: Statevector,
@@ -147,28 +192,21 @@ def estimate_expectation(
     shots: int | None = None,
     rng: np.random.Generator | int | None = None,
 ) -> float:
-    """Estimate ``⟨ψ|H|ψ⟩`` with one measurement setting per gathered term."""
-    total = 0.0
-    for fragment in hamiltonian.hermitian_fragments():
-        coeff = complex(fragment.term.coefficient)
-        settings: list[MeasurementSetting] = []
-        if abs(coeff.real) > 1e-14:
-            real_piece = HermitianFragment(
-                fragment.term.with_coefficient(coeff.real), fragment.include_hc
-            )
-            settings.append(fragment_measurement_setting(real_piece))
-        if abs(coeff.imag) > 1e-14:
-            # Imaginary piece Im(γ)·i(A - A†): measured in the Y-like basis on
-            # the pivot (an extra S† before the pivot Hadamard).
-            imag_piece = HermitianFragment(
-                fragment.term.with_coefficient(1j * coeff.imag), fragment.include_hc
-            )
-            settings.append(_imaginary_fragment_setting(imag_piece))
-        for setting in settings:
-            if shots is None:
-                total += exact_setting_expectation(setting, state)
-            else:
-                total += sampled_setting_expectation(setting, state, shots, rng)
+    """Estimate ``⟨ψ|H|ψ⟩`` with one measurement setting per gathered term.
+
+    ``rng`` seeds the *whole* estimate: a single generator is created up
+    front and threaded through every setting, so an integer seed yields
+    independent draws per setting (instead of re-seeding each one) and the
+    full multi-setting estimate is reproducible.
+    """
+    labelled, total = hamiltonian_measurement_settings(hamiltonian)
+    if shots is not None:
+        rng = np.random.default_rng(rng)
+    for _, setting in labelled:
+        if shots is None:
+            total += exact_setting_expectation(setting, state)
+        else:
+            total += sampled_setting_expectation(setting, state, shots, rng)
     return total
 
 

@@ -1,0 +1,59 @@
+"""Noise channels, noise models, shot sampling and budgeted estimation.
+
+The noisy-hardware layer of the library:
+
+* :mod:`repro.noise.channels` — Kraus channels (depolarizing, damping,
+  flips), CPTP validation, PTM views, and classical :class:`ReadoutError`;
+* :mod:`repro.noise.model` — :class:`NoiseModel` mapping gates to channels,
+  attachable via ``CompileOptions(noise_model=...)``;
+* :mod:`repro.noise.sampling` — :class:`SamplingResult` returned by the
+  ``sampling`` backend;
+* :mod:`repro.noise.estimator` — shot-allocating :class:`Estimator` and the
+  SCB-vs-Pauli :func:`compare_measurement_schemes` study (Annex C under shot
+  noise).
+"""
+
+from repro.noise.channels import (
+    KrausChannel,
+    NoiseError,
+    ReadoutError,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    bit_phase_flip_channel,
+    depolarizing_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+)
+from repro.noise.estimator import (
+    EstimationResult,
+    Estimator,
+    MeasurementComparison,
+    PreparedEstimator,
+    SettingEstimate,
+    compare_measurement_schemes,
+)
+from repro.noise.model import NoiseModel
+from repro.noise.sampling import SamplingResult, counts_from_probabilities
+
+__all__ = [
+    "KrausChannel",
+    "NoiseError",
+    "ReadoutError",
+    "amplitude_damping_channel",
+    "bit_flip_channel",
+    "bit_phase_flip_channel",
+    "depolarizing_channel",
+    "pauli_channel",
+    "phase_damping_channel",
+    "phase_flip_channel",
+    "EstimationResult",
+    "Estimator",
+    "MeasurementComparison",
+    "PreparedEstimator",
+    "SettingEstimate",
+    "compare_measurement_schemes",
+    "NoiseModel",
+    "SamplingResult",
+    "counts_from_probabilities",
+]

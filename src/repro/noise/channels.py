@@ -1,0 +1,329 @@
+"""Quantum channels in Kraus (operator-sum) representation.
+
+A channel ``E(ρ) = Σ_i K_i ρ K_i†`` is stored as its tuple of Kraus operators.
+The factories below cover the standard error families every noisy-simulation
+study needs — depolarizing, amplitude damping, phase damping, bit/phase flip —
+plus :class:`ReadoutError`, which is *classical* noise on the measurement
+record (a per-qubit confusion matrix applied to outcome probabilities) rather
+than a channel on the state.
+
+Channels compose (:meth:`KrausChannel.compose`), tensor
+(:meth:`KrausChannel.tensor`), and validate themselves:
+:meth:`~KrausChannel.is_cptp` checks the trace-preservation condition
+``Σ_i K_i† K_i = I`` (complete positivity is automatic in Kraus form), and the
+Pauli-transfer-matrix view (:meth:`~KrausChannel.to_ptm`) follows the
+representation the ``quantumsim`` lineage of simulators uses for diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+class NoiseError(ReproError):
+    """Raised for malformed channels, noise models or sampling requests."""
+
+
+#: Single-qubit Pauli basis used by the PTM representation.
+_PAULIS = (
+    np.eye(2, dtype=complex),
+    np.array([[0, 1], [1, 0]], dtype=complex),
+    np.array([[0, -1j], [1j, 0]], dtype=complex),
+    np.array([[1, 0], [0, -1]], dtype=complex),
+)
+
+
+def _pauli_basis(num_qubits: int) -> list[np.ndarray]:
+    """The ``4^n`` tensor-product Pauli matrices, identity first."""
+    basis = [np.array([[1.0]], dtype=complex)]
+    for _ in range(num_qubits):
+        basis = [np.kron(b, p) for b in basis for p in _PAULIS]
+    return basis
+
+
+class KrausChannel:
+    """A completely positive map given by its Kraus operators.
+
+    Parameters
+    ----------
+    kraus:
+        Sequence of equally-shaped ``2^k × 2^k`` matrices.
+    name:
+        Short tag used in reports and ``repr``.
+    check:
+        Validate trace preservation at construction (default). Disable only
+        for deliberately non-trace-preserving maps (e.g. post-selection).
+    """
+
+    def __init__(
+        self,
+        kraus: Sequence[np.ndarray],
+        name: str = "channel",
+        *,
+        check: bool = True,
+    ):
+        operators = tuple(np.asarray(k, dtype=complex) for k in kraus)
+        if not operators:
+            raise NoiseError("a channel needs at least one Kraus operator")
+        dim = operators[0].shape[0]
+        if dim == 0 or dim & (dim - 1):
+            raise NoiseError(f"Kraus dimension {dim} is not a power of two")
+        for op in operators:
+            if op.ndim != 2 or op.shape != (dim, dim):
+                raise NoiseError(
+                    f"all Kraus operators must be {dim}x{dim}, got {op.shape}"
+                )
+        self.kraus = operators
+        self.name = name
+        self._num_qubits = dim.bit_length() - 1
+        if check and not self.is_cptp():
+            raise NoiseError(
+                f"channel {name!r} is not trace preserving: sum K_i^† K_i != I "
+                "(pass check=False for deliberately non-CPTP maps)"
+            )
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        return 1 << self._num_qubits
+
+    @property
+    def num_kraus(self) -> int:
+        return len(self.kraus)
+
+    def is_cptp(self, atol: float = 1e-9) -> bool:
+        """Whether ``Σ_i K_i† K_i = I`` (the map is CPTP).
+
+        A Kraus decomposition is completely positive by construction, so
+        trace preservation is the only condition left to verify.
+        """
+        total = sum(op.conj().T @ op for op in self.kraus)
+        return bool(np.allclose(total, np.eye(self.dim), atol=atol, rtol=0.0))
+
+    def is_unital(self, atol: float = 1e-9) -> bool:
+        """Whether the channel fixes the maximally mixed state (``Σ K_i K_i† = I``)."""
+        total = sum(op @ op.conj().T for op in self.kraus)
+        return bool(np.allclose(total, np.eye(self.dim), atol=atol, rtol=0.0))
+
+    # ------------------------------------------------------------- composition
+
+    def compose(self, other: "KrausChannel") -> "KrausChannel":
+        """Channel applying ``other`` first, then ``self`` (``self ∘ other``)."""
+        if other.num_qubits != self.num_qubits:
+            raise NoiseError(
+                f"cannot compose a {self.num_qubits}-qubit channel with a "
+                f"{other.num_qubits}-qubit one"
+            )
+        kraus = [a @ b for a in self.kraus for b in other.kraus]
+        return KrausChannel(
+            kraus, name=f"{self.name}∘{other.name}", check=False
+        )
+
+    def tensor(self, other: "KrausChannel") -> "KrausChannel":
+        """The product channel ``self ⊗ other`` on the joint register."""
+        kraus = [np.kron(a, b) for a in self.kraus for b in other.kraus]
+        return KrausChannel(kraus, name=f"{self.name}⊗{other.name}", check=False)
+
+    # ---------------------------------------------------------- representations
+
+    def apply_to(self, rho: np.ndarray) -> np.ndarray:
+        """``Σ_i K_i ρ K_i†`` for a dense density matrix of matching dimension.
+
+        The tensorized fast path for full-register states lives in
+        :meth:`repro.circuits.density_matrix.DensityMatrix.apply_channel`;
+        this dense form is the reference the tests check it against.
+        """
+        rho = np.asarray(rho, dtype=complex)
+        if rho.shape != (self.dim, self.dim):
+            raise NoiseError(
+                f"density matrix shape {rho.shape} does not match channel "
+                f"dimension {self.dim}"
+            )
+        out = np.zeros_like(rho)
+        for op in self.kraus:
+            out += op @ rho @ op.conj().T
+        return out
+
+    def to_ptm(self) -> np.ndarray:
+        """Pauli transfer matrix ``R_ij = Tr[P_i E(P_j)] / 2^n`` (real)."""
+        basis = _pauli_basis(self.num_qubits)
+        dim = self.dim
+        ptm = np.empty((len(basis), len(basis)))
+        for j, pj in enumerate(basis):
+            image = self.apply_to(pj)
+            for i, pi in enumerate(basis):
+                ptm[i, j] = np.real(np.trace(pi @ image)) / dim
+        return ptm
+
+    def to_superoperator(self) -> np.ndarray:
+        """Column-stacking superoperator ``Σ_i conj(K_i) ⊗ K_i``."""
+        return sum(np.kron(op.conj(), op) for op in self.kraus)
+
+    @classmethod
+    def from_unitary(cls, matrix: np.ndarray, name: str = "unitary") -> "KrausChannel":
+        """The noiseless channel ``ρ ↦ U ρ U†``."""
+        return cls([np.asarray(matrix, dtype=complex)], name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"KrausChannel({self.name!r}, num_qubits={self.num_qubits}, "
+            f"num_kraus={self.num_kraus})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Standard channel factories
+# ---------------------------------------------------------------------------
+
+
+def _check_probability(name: str, p: float, upper: float = 1.0) -> float:
+    p = float(p)
+    if not 0.0 <= p <= upper:
+        raise NoiseError(f"{name} must lie in [0, {upper:g}], got {p!r}")
+    return p
+
+
+def depolarizing_channel(p: float, num_qubits: int = 1) -> KrausChannel:
+    """Uniform depolarizing channel ``ρ ↦ (1-p)ρ + p·I/2^n``.
+
+    In Kraus form the ``4^n - 1`` non-identity Pauli operators each carry
+    weight ``p / 4^n`` and the identity keeps ``1 - p + p/4^n``.
+    """
+    p = _check_probability("depolarizing probability", p)
+    if num_qubits < 1:
+        raise NoiseError("depolarizing_channel needs at least one qubit")
+    basis = _pauli_basis(num_qubits)
+    dim = 1 << num_qubits
+    rate = p / dim**2
+    kraus = [np.sqrt(1.0 - p + rate) * basis[0]]
+    kraus += [np.sqrt(rate) * pauli for pauli in basis[1:]]
+    return KrausChannel(kraus, name=f"depolarizing(p={p:g})")
+
+
+def amplitude_damping_channel(gamma: float) -> KrausChannel:
+    """Energy relaxation ``|1⟩ → |0⟩`` with probability ``gamma`` (T1 decay)."""
+    gamma = _check_probability("gamma", gamma)
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0.0, np.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+    return KrausChannel([k0, k1], name=f"amplitude_damping(γ={gamma:g})")
+
+
+def phase_damping_channel(lam: float) -> KrausChannel:
+    """Pure dephasing: off-diagonals shrink by ``sqrt(1-λ)`` (T2 decay)."""
+    lam = _check_probability("lambda", lam)
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - lam)]], dtype=complex)
+    k1 = np.array([[0.0, 0.0], [0.0, np.sqrt(lam)]], dtype=complex)
+    return KrausChannel([k0, k1], name=f"phase_damping(λ={lam:g})")
+
+
+def bit_flip_channel(p: float) -> KrausChannel:
+    """``X`` applied with probability ``p``."""
+    p = _check_probability("flip probability", p)
+    return KrausChannel(
+        [np.sqrt(1.0 - p) * _PAULIS[0], np.sqrt(p) * _PAULIS[1]],
+        name=f"bit_flip(p={p:g})",
+    )
+
+
+def phase_flip_channel(p: float) -> KrausChannel:
+    """``Z`` applied with probability ``p``."""
+    p = _check_probability("flip probability", p)
+    return KrausChannel(
+        [np.sqrt(1.0 - p) * _PAULIS[0], np.sqrt(p) * _PAULIS[3]],
+        name=f"phase_flip(p={p:g})",
+    )
+
+
+def bit_phase_flip_channel(p: float) -> KrausChannel:
+    """``Y`` applied with probability ``p``."""
+    p = _check_probability("flip probability", p)
+    return KrausChannel(
+        [np.sqrt(1.0 - p) * _PAULIS[0], np.sqrt(p) * _PAULIS[2]],
+        name=f"bit_phase_flip(p={p:g})",
+    )
+
+
+def pauli_channel(probabilities: Sequence[float]) -> KrausChannel:
+    """Single-qubit Pauli channel with ``(p_x, p_y, p_z)`` error weights."""
+    px, py, pz = (_check_probability("pauli probability", p) for p in probabilities)
+    total = px + py + pz
+    if total > 1.0 + 1e-12:
+        raise NoiseError(f"pauli probabilities sum to {total:g} > 1")
+    weights = (max(1.0 - total, 0.0), px, py, pz)
+    kraus = [
+        np.sqrt(w) * pauli for w, pauli in zip(weights, _PAULIS) if w > 0.0
+    ]
+    return KrausChannel(kraus, name=f"pauli(px={px:g},py={py:g},pz={pz:g})")
+
+
+# ---------------------------------------------------------------------------
+# Readout error — classical noise on the measurement record
+# ---------------------------------------------------------------------------
+
+
+class ReadoutError:
+    """Per-qubit assignment error: a 2×2 confusion matrix on outcomes.
+
+    ``confusion[j, i]`` is the probability of *recording* bit ``j`` when the
+    true bit is ``i``; columns must sum to one. Symmetric readout error with
+    flip probability ``p`` is ``ReadoutError.symmetric(p)``.
+    """
+
+    def __init__(self, confusion: np.ndarray):
+        confusion = np.asarray(confusion, dtype=float)
+        if confusion.shape != (2, 2):
+            raise NoiseError(f"confusion matrix must be 2x2, got {confusion.shape}")
+        if np.any(confusion < -1e-12):
+            raise NoiseError("confusion matrix entries must be non-negative")
+        if not np.allclose(confusion.sum(axis=0), 1.0, atol=1e-9):
+            raise NoiseError("confusion matrix columns must each sum to 1")
+        self.confusion = np.clip(confusion, 0.0, 1.0)
+
+    @classmethod
+    def symmetric(cls, p: float) -> "ReadoutError":
+        """Both ``0→1`` and ``1→0`` misreads happen with probability ``p``."""
+        p = _check_probability("readout flip probability", p)
+        return cls(np.array([[1.0 - p, p], [p, 1.0 - p]]))
+
+    @classmethod
+    def asymmetric(cls, p01: float, p10: float) -> "ReadoutError":
+        """``p01``: record 1 on a true 0; ``p10``: record 0 on a true 1."""
+        p01 = _check_probability("p01", p01)
+        p10 = _check_probability("p10", p10)
+        return cls(np.array([[1.0 - p01, p10], [p01, 1.0 - p10]]))
+
+    def apply_to_probabilities(
+        self, probs: np.ndarray, qubits: Sequence[int] | None = None
+    ) -> np.ndarray:
+        """Mix a ``2^n`` outcome-probability vector through the confusion matrix.
+
+        ``qubits`` restricts the error to a subset (default: every qubit).
+        The vector is reshaped to ``(2,)*n`` and the confusion matrix is
+        contracted into each affected qubit axis — one tensordot per qubit,
+        no loop over outcomes.
+        """
+        probs = np.asarray(probs, dtype=float)
+        dim = probs.shape[0]
+        n = dim.bit_length() - 1
+        if 1 << n != dim:
+            raise NoiseError(f"probability vector length {dim} is not a power of two")
+        targets = range(n) if qubits is None else qubits
+        tensor = probs.reshape((2,) * n if n else (1,))
+        for q in targets:
+            if not 0 <= q < n:
+                raise NoiseError(f"readout qubit {q} out of range for {n} qubits")
+            moved = np.tensordot(self.confusion, tensor, axes=([1], [q]))
+            tensor = np.moveaxis(moved, 0, q)
+        return tensor.reshape(-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ReadoutError(p01={self.confusion[1, 0]:g}, p10={self.confusion[0, 1]:g})"

@@ -1,0 +1,152 @@
+"""Mapping circuit instructions to error channels.
+
+A :class:`NoiseModel` answers one question for the density-matrix and sampling
+backends: *which channels follow this instruction?*  Errors can be attached
+
+* to specific gate names (``add_gate_error(channel, ["cx"])``),
+* to every gate of a given width (``add_default_error(channel, num_qubits=2)``),
+* and to the measurement record (``set_readout_error(ReadoutError(...))``).
+
+Gate-specific entries win over width defaults.  A channel narrower than the
+instruction it decorates (e.g. single-qubit depolarizing noise after a CX) is
+applied independently to each qubit the instruction touches — the standard
+"local noise" convention.  Attach a model to a compilation via
+``CompileOptions(noise_model=...)``; ``NoiseModel.ideal()`` is the explicit
+no-noise model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.noise.channels import KrausChannel, NoiseError, ReadoutError
+
+
+class NoiseModel:
+    """Per-gate error channels plus an optional readout error."""
+
+    def __init__(self) -> None:
+        self._gate_errors: dict[str, list[KrausChannel]] = {}
+        self._default_errors: dict[int, list[KrausChannel]] = {}
+        self._readout_error: ReadoutError | None = None
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def ideal(cls) -> "NoiseModel":
+        """The explicit no-noise model (every backend treats it as absent)."""
+        return cls()
+
+    @classmethod
+    def uniform_depolarizing(
+        cls, p1: float, p2: float | None = None, readout: float = 0.0
+    ) -> "NoiseModel":
+        """The ubiquitous baseline: depolarizing noise after every gate.
+
+        ``p1`` follows every single-qubit gate, ``p2`` (default ``10·p1``,
+        capped at 1) every two-qubit gate, and ``readout`` is a symmetric
+        assignment error.
+        """
+        from repro.noise.channels import depolarizing_channel
+
+        model = cls()
+        if p1 > 0:
+            model.add_default_error(depolarizing_channel(p1), num_qubits=1)
+        p2 = min(10.0 * p1, 1.0) if p2 is None else p2
+        if p2 > 0:
+            model.add_default_error(depolarizing_channel(p2, num_qubits=2), num_qubits=2)
+        if readout > 0:
+            model.set_readout_error(ReadoutError.symmetric(readout))
+        return model
+
+    def add_gate_error(
+        self, channel: KrausChannel, gate_names: "str | Iterable[str]"
+    ) -> "NoiseModel":
+        """Attach ``channel`` after every occurrence of the named gates."""
+        if not isinstance(channel, KrausChannel):
+            raise NoiseError(f"expected a KrausChannel, got {type(channel).__name__}")
+        names = [gate_names] if isinstance(gate_names, str) else list(gate_names)
+        if not names:
+            raise NoiseError("add_gate_error needs at least one gate name")
+        for name in names:
+            self._gate_errors.setdefault(name, []).append(channel)
+        return self
+
+    def add_default_error(
+        self, channel: KrausChannel, num_qubits: int
+    ) -> "NoiseModel":
+        """Attach ``channel`` after every gate acting on ``num_qubits`` qubits."""
+        if not isinstance(channel, KrausChannel):
+            raise NoiseError(f"expected a KrausChannel, got {type(channel).__name__}")
+        if num_qubits < 1:
+            raise NoiseError("num_qubits must be positive")
+        self._default_errors.setdefault(num_qubits, []).append(channel)
+        return self
+
+    def set_readout_error(self, error: ReadoutError) -> "NoiseModel":
+        if not isinstance(error, ReadoutError):
+            raise NoiseError(f"expected a ReadoutError, got {type(error).__name__}")
+        self._readout_error = error
+        return self
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def is_ideal(self) -> bool:
+        """Whether the model perturbs neither the state nor the readout."""
+        return (
+            not self._gate_errors
+            and not self._default_errors
+            and self._readout_error is None
+        )
+
+    @property
+    def has_gate_noise(self) -> bool:
+        """Whether any channel acts on the *state* (readout error excluded)."""
+        return bool(self._gate_errors or self._default_errors)
+
+    @property
+    def readout_error(self) -> ReadoutError | None:
+        return self._readout_error
+
+    @property
+    def noisy_gate_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._gate_errors))
+
+    def channels_for(
+        self, gate_name: str, qubits: Sequence[int]
+    ) -> list[tuple[KrausChannel, tuple[int, ...]]]:
+        """The ``(channel, target_qubits)`` list to apply after one instruction.
+
+        Gate-name entries take precedence over width defaults.  A channel on
+        fewer qubits than the instruction is broadcast qubit-by-qubit; a
+        channel matching the instruction width acts on its full qubit tuple.
+        """
+        channels = self._gate_errors.get(gate_name)
+        if channels is None:
+            channels = self._default_errors.get(len(qubits), [])
+        placed: list[tuple[KrausChannel, tuple[int, ...]]] = []
+        for channel in channels:
+            if channel.num_qubits == len(qubits):
+                placed.append((channel, tuple(qubits)))
+            elif channel.num_qubits == 1:
+                placed.extend((channel, (q,)) for q in qubits)
+            else:
+                raise NoiseError(
+                    f"cannot place a {channel.num_qubits}-qubit channel "
+                    f"{channel.name!r} on a {len(qubits)}-qubit gate "
+                    f"{gate_name!r}"
+                )
+        return placed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if self.is_ideal:
+            return "NoiseModel(ideal)"
+        parts = []
+        if self._gate_errors:
+            parts.append(f"gates={sorted(self._gate_errors)}")
+        if self._default_errors:
+            parts.append(f"defaults={sorted(self._default_errors)}-qubit")
+        if self._readout_error is not None:
+            parts.append("readout")
+        return f"NoiseModel({', '.join(parts)})"

@@ -1,0 +1,134 @@
+"""Shot-based results: counts, empirical probabilities and expectations.
+
+:class:`SamplingResult` is what the ``sampling`` backend returns — a frozen
+record of seeded measurement counts plus the helpers benchmarks and the
+:mod:`~repro.noise.estimator` need: empirical probabilities, expectation
+values of diagonal observables, and marginal/parity statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.noise.channels import NoiseError
+from repro.utils.bits import bitstring_to_int
+
+
+@dataclass(frozen=True)
+class SamplingResult:
+    """Measurement counts from a shot-based backend run.
+
+    Attributes
+    ----------
+    counts:
+        ``bitstring → occurrences`` (most significant bit = qubit 0, matching
+        :func:`repro.utils.bits.int_to_bitstring`).
+    shots:
+        Total number of shots; equals ``sum(counts.values())``.
+    num_qubits:
+        Register width of the sampled circuit.
+    metadata:
+        Free-form backend annotations (seed, noise flag, backend used).
+    """
+
+    counts: Mapping[str, int]
+    shots: int
+    num_qubits: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.shots <= 0:
+            raise NoiseError("shots must be positive")
+        total = sum(self.counts.values())
+        if total != self.shots:
+            raise NoiseError(
+                f"counts sum to {total} but shots={self.shots}"
+            )
+
+    # ----------------------------------------------------------------- queries
+
+    def probability(self, bitstring: str) -> float:
+        """Empirical probability of one outcome."""
+        return self.counts.get(bitstring, 0) / self.shots
+
+    def empirical_probabilities(self) -> np.ndarray:
+        """Dense length-``2^n`` vector of empirical outcome probabilities."""
+        probs = np.zeros(1 << self.num_qubits)
+        for bitstring, count in self.counts.items():
+            probs[bitstring_to_int(bitstring)] = count / self.shots
+        return probs
+
+    def expectation(
+        self, observable: "np.ndarray | Callable[[tuple[int, ...]], float]"
+    ) -> float:
+        """Empirical mean of a *diagonal* observable.
+
+        ``observable`` is either a length-``2^n`` eigenvalue vector indexed by
+        basis state, or a callable mapping a bit tuple to its eigenvalue.
+        """
+        if callable(observable):
+            total = sum(
+                count * observable(tuple(int(c) for c in bitstring))
+                for bitstring, count in self.counts.items()
+            )
+            return total / self.shots
+        values = np.asarray(observable, dtype=float)
+        if values.shape != (1 << self.num_qubits,):
+            raise NoiseError(
+                f"eigenvalue vector of length {values.shape} does not match "
+                f"{self.num_qubits} qubits"
+            )
+        total = sum(
+            count * values[bitstring_to_int(bitstring)]
+            for bitstring, count in self.counts.items()
+        )
+        return total / self.shots
+
+    def expectation_z(self, qubits: Sequence[int]) -> float:
+        """Empirical ``⟨Z…Z⟩`` parity on the given qubits."""
+        total = 0
+        for bitstring, count in self.counts.items():
+            parity = sum(int(bitstring[q]) for q in qubits) & 1
+            total += count * (1 - 2 * parity)
+        return total / self.shots
+
+    def marginal_probabilities(self, qubit: int) -> tuple[float, float]:
+        """Empirical ``(P(0), P(1))`` of a single qubit."""
+        ones = sum(
+            count for bitstring, count in self.counts.items() if bitstring[qubit] == "1"
+        )
+        return 1.0 - ones / self.shots, ones / self.shots
+
+    def most_frequent(self) -> str:
+        """The modal bitstring."""
+        return max(self.counts.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SamplingResult({self.shots} shots on {self.num_qubits} qubits, "
+            f"{len(self.counts)} distinct outcomes)"
+        )
+
+
+def counts_from_probabilities(
+    probs: np.ndarray,
+    shots: int,
+    rng: np.random.Generator,
+    num_qubits: int,
+) -> dict[str, int]:
+    """Draw seeded counts from an outcome distribution.
+
+    Thin delegate to the library's single sampler,
+    :func:`repro.circuits.statevector.sample_outcome_counts` (one multinomial
+    draw, defensive renormalisation), re-exported here as the noise-facing
+    name the ``sampling`` backend uses.
+    """
+    from repro.circuits.statevector import sample_outcome_counts
+
+    return sample_outcome_counts(probs, shots, rng, num_qubits)

@@ -1,0 +1,148 @@
+"""Plumbing of the density_matrix and sampling backends through the pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits import DensityMatrix
+from repro.compile import available_backends
+from repro.exceptions import CompileError, OptionsError
+from repro.noise import NoiseModel, ReadoutError, SamplingResult, depolarizing_channel
+
+
+@pytest.fixture()
+def problem():
+    return repro.SimulationProblem.from_labels(
+        3, {"ZZI": 0.6, "Isd": 0.4, "nIZ": 0.3}, time=0.3
+    )
+
+
+def test_backends_are_registered():
+    names = available_backends()
+    assert "density_matrix" in names
+    assert "sampling" in names
+
+
+def test_noise_model_option_is_validated(problem):
+    with pytest.raises(OptionsError, match="noise_model"):
+        repro.compile(problem, "direct", noise_model="depolarizing")
+
+
+def test_noise_model_travels_with_options(problem):
+    model = NoiseModel.uniform_depolarizing(0.02)
+    program = repro.compile(problem, "direct", noise_model=model)
+    assert program.problem.options.noise_model is model
+    rho = program.run(backend="density_matrix")
+    assert rho.purity() < 1.0
+
+
+def test_run_time_noise_override_beats_compiled_option(problem):
+    program = repro.compile(problem, "direct")  # compiled noiseless
+    override = NoiseModel.uniform_depolarizing(0.05)
+    rho = program.run(backend="density_matrix", noise_model=override)
+    assert rho.purity() < 1.0
+    # And the override does not stick to the program.
+    assert program.run(backend="density_matrix").purity() == pytest.approx(1.0, abs=1e-10)
+
+
+def test_density_matrix_initial_state_coercions(problem):
+    program = repro.compile(problem, "direct")
+    by_index = program.run(backend="density_matrix", initial_state=3)
+    by_vector = program.run(
+        backend="density_matrix",
+        initial_state=np.eye(8)[3],
+    )
+    by_rho = program.run(
+        backend="density_matrix", initial_state=DensityMatrix(3, 3)
+    )
+    np.testing.assert_allclose(by_index.data, by_vector.data, atol=1e-12)
+    np.testing.assert_allclose(by_index.data, by_rho.data, atol=1e-12)
+
+
+def test_density_matrix_rejects_mismatched_rho(problem):
+    program = repro.compile(problem, "direct")
+    with pytest.raises(CompileError, match="does not fit"):
+        program.run(backend="density_matrix", initial_state=DensityMatrix(0, 2))
+
+
+def test_sampling_returns_sampling_result(problem):
+    program = repro.compile(problem, "direct")
+    result = program.run(backend="sampling", shots=2048, rng=0)
+    assert isinstance(result, SamplingResult)
+    assert result.shots == 2048
+    assert result.num_qubits == 3
+    assert sum(result.counts.values()) == 2048
+    assert result.metadata["strategy"] == "direct"
+    assert result.metadata["noisy"] is False
+
+
+def test_sampling_seeded_reproducibility(problem):
+    program = repro.compile(problem, "direct")
+    a = program.run(backend="sampling", shots=1000, rng=42)
+    b = program.run(backend="sampling", shots=1000, rng=42)
+    assert a.counts == b.counts
+    generator = np.random.default_rng(42)
+    c = program.run(backend="sampling", shots=1000, rng=generator)
+    assert c.counts == a.counts
+
+
+def test_sampling_accepts_mixed_initial_state_without_gate_noise(problem):
+    # A DensityMatrix initial state must route through the density path even
+    # when the model carries no gate noise (regression: raw TypeError before).
+    program = repro.compile(problem, "direct")
+    mixed = DensityMatrix.maximally_mixed(3)
+    result = program.run(backend="sampling", shots=2000, rng=8, initial_state=mixed)
+    assert sum(result.counts.values()) == 2000
+    # The maximally mixed state is invariant under unitaries: near-uniform counts.
+    assert len(result.counts) == 8
+    assert max(result.counts.values()) < 2 * min(result.counts.values())
+
+
+def test_sampling_invalid_shots(problem):
+    program = repro.compile(problem, "direct")
+    with pytest.raises(CompileError, match="shots"):
+        program.run(backend="sampling", shots=0)
+
+
+def test_sampling_unknown_kwargs_rejected(problem):
+    program = repro.compile(problem, "direct")
+    with pytest.raises(CompileError, match="unknown sampling-backend"):
+        program.run(backend="sampling", shotz=100)
+
+
+def test_density_matrix_unknown_kwargs_rejected(problem):
+    program = repro.compile(problem, "direct")
+    with pytest.raises(CompileError, match="unknown density_matrix-backend"):
+        program.run(backend="density_matrix", noise=NoiseModel.ideal())
+
+
+def test_readout_only_model_samples_via_statevector(problem):
+    model = NoiseModel().set_readout_error(ReadoutError.symmetric(0.1))
+    program = repro.compile(problem, "direct", noise_model=model)
+    result = program.run(backend="sampling", shots=500, rng=1)
+    assert result.metadata["noisy"] is False  # no gate noise: pure-state path
+    assert result.metadata["readout_error"] is True
+
+
+def test_gate_noise_model_samples_via_density_matrix(problem):
+    model = NoiseModel().add_gate_error(depolarizing_channel(0.05), "cx")
+    program = repro.compile(problem, "direct", noise_model=model)
+    result = program.run(backend="sampling", shots=500, rng=1)
+    assert result.metadata["noisy"] is True
+
+
+def test_run_many_sampling_sweep(problem):
+    program = repro.compile(problem, "direct")
+    results = repro.run_many([program] * 3, "sampling", shots=256, rng=5)
+    assert all(isinstance(r, SamplingResult) for r in results)
+    assert [sum(r.counts.values()) for r in results] == [256, 256, 256]
+
+
+def test_options_noise_model_roundtrip_via_with_options(problem):
+    model = NoiseModel.uniform_depolarizing(0.01)
+    noisy_problem = problem.with_options(noise_model=model)
+    assert noisy_problem.options.noise_model is model
+    # replace back to None
+    assert noisy_problem.with_options(noise_model=None).options.noise_model is None

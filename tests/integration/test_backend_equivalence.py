@@ -96,6 +96,71 @@ class TestBackendsAgreeOnTheSameCircuit:
         assert fidelity(reference, fused.run(backend="sparse", initial_state=psi)) > EXACT_FIDELITY
 
 
+class TestDensityMatrixAgreesWithStatevector:
+    """Ideal (noise-free) density-matrix evolution is |ψ⟩⟨ψ| of the pure run."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_strategies_ideal_density_matrix(self, strategy, seed):
+        small = strategy in ("block_encoding", "mpf")
+        problem = random_problem(
+            seed + 40,
+            num_qubits=3 if small else 4,
+            num_terms=2 if small else None,
+        )
+        program = repro.compile(problem, strategy)
+        psi = program.run(backend="statevector")
+        rho = program.run(backend="density_matrix")
+        label = f"{strategy}/density_matrix"
+        assert rho.fidelity(psi) > EXACT_FIDELITY, label
+        np.testing.assert_allclose(
+            rho.data, np.outer(psi.data, psi.data.conj()), atol=1e-10
+        )
+
+    def test_explicit_ideal_noise_model_matches_too(self):
+        from repro.noise import NoiseModel
+
+        problem = random_problem(9, num_qubits=4)
+        program = repro.compile(problem, "direct", noise_model=NoiseModel.ideal())
+        psi = program.run(backend="statevector")
+        rho = program.run(backend="density_matrix")
+        assert rho.fidelity(psi) > EXACT_FIDELITY
+
+    def test_fused_and_unfused_density_runs_agree(self):
+        problem = random_problem(12, num_qubits=4)
+        plain = repro.compile(problem, "direct")
+        fused = repro.compile(problem, "direct", optimize_level=1)
+        np.testing.assert_allclose(
+            plain.run(backend="density_matrix").data,
+            fused.run(backend="density_matrix").data,
+            atol=1e-10,
+        )
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_sampling_backend_distribution_matches_statevector(self, seed):
+        problem = random_problem(seed + 60, num_qubits=4)
+        program = repro.compile(problem, "direct")
+        exact_probs = program.run(backend="statevector").probabilities()
+        result = program.run(backend="sampling", shots=50_000, rng=seed)
+        tv = 0.5 * np.abs(result.empirical_probabilities() - exact_probs).sum()
+        assert tv < 3.0 * np.sqrt(16 / 50_000)
+
+    def test_noisy_density_run_degrades_gracefully(self):
+        from repro.noise import NoiseModel
+
+        problem = random_problem(13, num_qubits=4)
+        clean = repro.compile(problem, "direct")
+        noisy = repro.compile(
+            problem, "direct", noise_model=NoiseModel.uniform_depolarizing(0.01)
+        )
+        psi = clean.run(backend="statevector")
+        rho = noisy.run(backend="density_matrix")
+        assert abs(rho.trace() - 1.0) < 1e-9
+        assert rho.purity() < 1.0
+        # Strictly degraded, but still better than the maximally-mixed floor.
+        assert 1.0 / 16.0 < rho.fidelity(psi) < 1.0 - 1e-6
+
+
 class TestExactOracle:
     """The exact backend is Trotter-free ground truth for evolution programs."""
 

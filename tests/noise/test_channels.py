@@ -1,0 +1,175 @@
+"""Channel representations: CPTP/trace-preservation properties for every family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noise import (
+    KrausChannel,
+    NoiseError,
+    ReadoutError,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    bit_phase_flip_channel,
+    depolarizing_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+)
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+SINGLE_PARAM_FACTORIES = [
+    depolarizing_channel,
+    amplitude_damping_channel,
+    phase_damping_channel,
+    bit_flip_channel,
+    phase_flip_channel,
+    bit_phase_flip_channel,
+]
+
+
+def random_density_matrix(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    dim = 1 << num_qubits
+    a = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    rho = a @ a.conj().T
+    return rho / np.trace(rho)
+
+
+class TestCPTP:
+    @pytest.mark.parametrize("factory", SINGLE_PARAM_FACTORIES)
+    @given(p=probabilities)
+    def test_every_family_is_cptp(self, factory, p):
+        channel = factory(p)
+        assert channel.is_cptp()
+
+    @given(p=probabilities)
+    def test_two_qubit_depolarizing_is_cptp(self, p):
+        assert depolarizing_channel(p, num_qubits=2).is_cptp()
+
+    @given(
+        px=st.floats(min_value=0.0, max_value=0.3),
+        py=st.floats(min_value=0.0, max_value=0.3),
+        pz=st.floats(min_value=0.0, max_value=0.3),
+    )
+    def test_pauli_channel_is_cptp(self, px, py, pz):
+        assert pauli_channel((px, py, pz)).is_cptp()
+
+    @pytest.mark.parametrize("factory", SINGLE_PARAM_FACTORIES)
+    @given(p=probabilities)
+    def test_trace_is_preserved_on_random_states(self, factory, p):
+        channel = factory(p)
+        rho = random_density_matrix(channel.num_qubits, np.random.default_rng(42))
+        image = channel.apply_to(rho)
+        assert abs(np.trace(image) - 1.0) < 1e-9
+        # The image stays a valid state: Hermitian with non-negative spectrum.
+        assert np.allclose(image, image.conj().T, atol=1e-9)
+        assert np.linalg.eigvalsh(image).min() > -1e-9
+
+    def test_non_cptp_is_rejected(self):
+        with pytest.raises(NoiseError, match="not trace preserving"):
+            KrausChannel([np.diag([1.0, 0.5])])
+
+    def test_check_false_allows_non_cptp(self):
+        channel = KrausChannel([np.diag([1.0, 0.5])], check=False)
+        assert not channel.is_cptp()
+
+
+class TestChannelAlgebra:
+    def test_compose_applies_right_operand_first(self):
+        damp = amplitude_damping_channel(1.0)  # everything → |0⟩
+        flip = bit_flip_channel(1.0)  # X
+        rho1 = np.diag([0.0, 1.0]).astype(complex)
+        # flip∘damp: damp first (|1⟩→|0⟩), then X → |1⟩.
+        composed = flip.compose(damp)
+        np.testing.assert_allclose(composed.apply_to(rho1), np.diag([0.0, 1.0]), atol=1e-12)
+        # damp∘flip: X first (|1⟩→|0⟩), then damp keeps |0⟩.
+        other = damp.compose(flip)
+        np.testing.assert_allclose(other.apply_to(rho1), np.diag([1.0, 0.0]), atol=1e-12)
+
+    def test_compose_of_cptp_is_cptp(self):
+        composed = depolarizing_channel(0.3).compose(amplitude_damping_channel(0.2))
+        assert composed.is_cptp()
+
+    def test_tensor_width_and_cptp(self):
+        joint = bit_flip_channel(0.1).tensor(phase_damping_channel(0.4))
+        assert joint.num_qubits == 2
+        assert joint.is_cptp()
+
+    def test_depolarizing_contracts_to_maximally_mixed(self):
+        channel = depolarizing_channel(1.0)
+        rho = np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex)
+        np.testing.assert_allclose(channel.apply_to(rho), np.eye(2) / 2, atol=1e-12)
+
+    def test_from_unitary_is_noiseless(self):
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        channel = KrausChannel.from_unitary(h)
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        np.testing.assert_allclose(
+            channel.apply_to(rho), np.full((2, 2), 0.5), atol=1e-12
+        )
+
+    def test_mismatched_compose_rejected(self):
+        with pytest.raises(NoiseError, match="compose"):
+            depolarizing_channel(0.1, 2).compose(bit_flip_channel(0.1))
+
+
+class TestPTM:
+    def test_identity_channel_ptm_is_identity(self):
+        ptm = KrausChannel.from_unitary(np.eye(2)).to_ptm()
+        np.testing.assert_allclose(ptm, np.eye(4), atol=1e-12)
+
+    def test_depolarizing_ptm_shrinks_bloch_vector(self):
+        p = 0.25
+        ptm = depolarizing_channel(p).to_ptm()
+        np.testing.assert_allclose(ptm, np.diag([1.0, 1 - p, 1 - p, 1 - p]), atol=1e-12)
+
+    def test_phase_damping_kills_offdiagonal_components(self):
+        lam = 0.36
+        ptm = phase_damping_channel(lam).to_ptm()
+        shrink = np.sqrt(1 - lam)
+        np.testing.assert_allclose(ptm, np.diag([1.0, shrink, shrink, 1.0]), atol=1e-12)
+
+    def test_superoperator_matches_kraus_action(self):
+        channel = amplitude_damping_channel(0.3)
+        rho = random_density_matrix(1, np.random.default_rng(7))
+        via_super = (channel.to_superoperator() @ rho.reshape(-1, order="F")).reshape(
+            2, 2, order="F"
+        )
+        np.testing.assert_allclose(via_super, channel.apply_to(rho), atol=1e-12)
+
+
+class TestReadoutError:
+    @given(p=st.floats(min_value=0.0, max_value=0.5))
+    def test_probabilities_stay_normalised(self, p):
+        error = ReadoutError.symmetric(p)
+        probs = np.array([0.5, 0.25, 0.125, 0.125])
+        mixed = error.apply_to_probabilities(probs)
+        assert abs(mixed.sum() - 1.0) < 1e-12
+        assert np.all(mixed >= 0)
+
+    def test_symmetric_flip_on_basis_state(self):
+        error = ReadoutError.symmetric(0.1)
+        probs = np.array([1.0, 0.0, 0.0, 0.0])  # |00⟩
+        mixed = error.apply_to_probabilities(probs)
+        np.testing.assert_allclose(
+            mixed, [0.81, 0.09, 0.09, 0.01], atol=1e-12
+        )
+
+    def test_subset_of_qubits(self):
+        error = ReadoutError.symmetric(0.2)
+        probs = np.array([1.0, 0.0, 0.0, 0.0])
+        mixed = error.apply_to_probabilities(probs, qubits=[1])  # LSB only
+        np.testing.assert_allclose(mixed, [0.8, 0.2, 0.0, 0.0], atol=1e-12)
+
+    def test_asymmetric_columns(self):
+        error = ReadoutError.asymmetric(0.02, 0.1)
+        np.testing.assert_allclose(error.confusion[:, 0], [0.98, 0.02])
+        np.testing.assert_allclose(error.confusion[:, 1], [0.1, 0.9])
+
+    def test_invalid_confusion_rejected(self):
+        with pytest.raises(NoiseError):
+            ReadoutError(np.array([[0.9, 0.3], [0.2, 0.7]]))

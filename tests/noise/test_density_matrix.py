@@ -1,0 +1,172 @@
+"""DensityMatrix kernels: agreement with statevector evolution and channel maths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import DensityMatrix, Statevector, random_circuit, simulate_density
+from repro.exceptions import SimulationError
+from repro.noise import (
+    NoiseModel,
+    amplitude_damping_channel,
+    depolarizing_channel,
+    phase_damping_channel,
+)
+
+
+class TestConstruction:
+    def test_from_int(self):
+        rho = DensityMatrix(2, 2)
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.probabilities()[2] == pytest.approx(1.0)
+
+    def test_from_statevector_is_pure(self):
+        state = Statevector(np.array([1, 1j]) / np.sqrt(2))
+        rho = DensityMatrix(state)
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.fidelity(state) == pytest.approx(1.0)
+
+    def test_maximally_mixed(self):
+        rho = DensityMatrix.maximally_mixed(3)
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0 / 8.0)
+
+    def test_memory_guard(self):
+        with pytest.raises(SimulationError, match="limit"):
+            DensityMatrix.zero_state(13)
+        # Explicit override allows it in principle (use a small case to stay fast).
+        assert DensityMatrix.zero_state(3, max_qubits=3).num_qubits == 3
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix(np.eye(4) / 4, num_qubits=3)
+
+
+class TestIdealEvolution:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_statevector_on_random_circuits(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(4, 25, rng=rng)
+        psi = Statevector.zero_state(4).evolve(circuit)
+        rho = DensityMatrix.zero_state(4).evolve(circuit)
+        np.testing.assert_allclose(
+            rho.data, np.outer(psi.data, psi.data.conj()), atol=1e-10
+        )
+        assert rho.fidelity(psi) == pytest.approx(1.0, abs=1e-10)
+        assert rho.purity() == pytest.approx(1.0, abs=1e-10)
+
+    def test_global_phase_is_irrelevant_for_rho(self):
+        from repro.circuits import QuantumCircuit
+
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.global_phase = 0.73
+        psi = Statevector.zero_state(1).evolve(circuit)
+        rho = DensityMatrix.zero_state(1).evolve(circuit)
+        np.testing.assert_allclose(rho.data, np.outer(psi.data, psi.data.conj()), atol=1e-12)
+
+    def test_evolve_matrix_subset(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        rho = DensityMatrix.zero_state(2).evolve_matrix(x, [1])
+        assert rho.probabilities()[1] == pytest.approx(1.0)
+
+    def test_simulate_density_convenience(self):
+        rng = np.random.default_rng(3)
+        circuit = random_circuit(3, 10, rng=rng)
+        rho = simulate_density(circuit)
+        assert rho.trace() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestChannels:
+    def test_apply_channel_matches_dense_reference(self):
+        rng = np.random.default_rng(11)
+        circuit = random_circuit(3, 12, rng=rng)
+        rho = DensityMatrix.zero_state(3).evolve(circuit)
+        channel = amplitude_damping_channel(0.35)
+        fast = rho.apply_channel(channel, [1])
+        # Dense reference: embed the Kraus operators on the full register.
+        eye = np.eye(2, dtype=complex)
+        expected = np.zeros_like(rho.data)
+        for op in channel.kraus:
+            full = np.kron(np.kron(eye, op), eye)
+            expected += full @ rho.data @ full.conj().T
+        np.testing.assert_allclose(fast.data, expected, atol=1e-12)
+
+    def test_full_depolarizing_gives_maximally_mixed(self):
+        rho = DensityMatrix.zero_state(1).apply_channel(depolarizing_channel(1.0), [0])
+        np.testing.assert_allclose(rho.data, np.eye(2) / 2, atol=1e-12)
+
+    def test_trace_preserved_through_noisy_circuit(self):
+        rng = np.random.default_rng(5)
+        circuit = random_circuit(3, 20, rng=rng)
+        model = NoiseModel.uniform_depolarizing(0.02)
+        rho = DensityMatrix.zero_state(3).evolve(circuit, noise_model=model)
+        assert rho.trace() == pytest.approx(1.0, abs=1e-9)
+        assert rho.is_hermitian()
+        assert rho.purity() < 1.0
+
+    def test_phase_damping_kills_coherences_only(self):
+        from repro.circuits import QuantumCircuit
+
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        model = NoiseModel().add_default_error(phase_damping_channel(1.0), num_qubits=1)
+        rho = DensityMatrix.zero_state(1).evolve(circuit, noise_model=model)
+        # Populations survive, coherences vanish.
+        np.testing.assert_allclose(np.diag(rho.data), [0.5, 0.5], atol=1e-12)
+        assert abs(rho.data[0, 1]) < 1e-12
+
+    def test_sample_counts_seeded_and_complete(self):
+        rho = DensityMatrix.maximally_mixed(2)
+        rng_a = np.random.default_rng(21)
+        rng_b = np.random.default_rng(21)
+        counts_a = rho.sample_counts(1000, rng_a)
+        counts_b = rho.sample_counts(1000, rng_b)
+        assert counts_a == counts_b
+        assert sum(counts_a.values()) == 1000
+        assert set(counts_a) <= {"00", "01", "10", "11"}
+
+
+class TestNoiseModel:
+    def test_ideal_model(self):
+        model = NoiseModel.ideal()
+        assert model.is_ideal
+        assert not model.has_gate_noise
+        assert model.channels_for("cx", (0, 1)) == []
+
+    def test_gate_specific_beats_default(self):
+        gate_channel = depolarizing_channel(0.3, num_qubits=2)
+        default = depolarizing_channel(0.01, num_qubits=2)
+        model = (
+            NoiseModel()
+            .add_gate_error(gate_channel, "cx")
+            .add_default_error(default, num_qubits=2)
+        )
+        placed = model.channels_for("cx", (0, 1))
+        assert placed == [(gate_channel, (0, 1))]
+        assert model.channels_for("cz", (0, 1)) == [(default, (0, 1))]
+
+    def test_single_qubit_channel_broadcasts_over_wide_gates(self):
+        channel = depolarizing_channel(0.05)
+        model = NoiseModel().add_default_error(channel, num_qubits=2)
+        # 1q channel attached to 2q gates: applied per qubit, in gate order.
+        model2 = NoiseModel().add_gate_error(channel, "cx")
+        assert model2.channels_for("cx", (2, 0)) == [(channel, (2,)), (channel, (0,))]
+        # A channel matching the gate width acts on the full qubit tuple.
+        model3 = NoiseModel().add_default_error(depolarizing_channel(0.05, 2), num_qubits=2)
+        assert model3.channels_for("cx", (2, 0))[0][1] == (2, 0)
+
+    def test_oversized_channel_rejected(self):
+        from repro.noise import NoiseError
+
+        model = NoiseModel().add_gate_error(depolarizing_channel(0.1, 2), "h")
+        with pytest.raises(NoiseError, match="cannot place"):
+            model.channels_for("h", (0,))
+
+    def test_uniform_depolarizing_factory(self):
+        model = NoiseModel.uniform_depolarizing(0.001, readout=0.01)
+        assert model.has_gate_noise
+        assert model.readout_error is not None
+        assert len(model.channels_for("h", (0,))) == 1
+        assert len(model.channels_for("cx", (0, 1))) == 1

@@ -1,0 +1,168 @@
+"""Shot-allocating Estimator: allocation rules, accuracy, and the SCB advantage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications.chemistry import (
+    chemistry_measurement_study,
+    fermi_hubbard_chain,
+    jordan_wigner_scb,
+    measurement_reference_state,
+)
+from repro.circuits import Statevector
+from repro.core import direct_setting_count, pauli_setting_count
+from repro.noise import Estimator, NoiseError, compare_measurement_schemes
+from repro.operators import Hamiltonian
+from repro.utils.linalg import random_statevector
+
+
+@pytest.fixture(scope="module")
+def hubbard():
+    return jordan_wigner_scb(fermi_hubbard_chain(2, 1.0, 4.0))
+
+
+@pytest.fixture(scope="module")
+def reference_state(hubbard):
+    return measurement_reference_state(hubbard)
+
+
+class TestSettings:
+    def test_scb_setting_count_matches_measurement_module(self, hubbard):
+        assert Estimator(scheme="scb").setting_count(hubbard) == direct_setting_count(
+            hubbard
+        )
+
+    def test_pauli_setting_count_matches_measurement_module(self, hubbard):
+        assert Estimator(scheme="pauli").setting_count(hubbard) == pauli_setting_count(
+            hubbard
+        )
+
+    def test_identity_terms_become_offset_not_settings(self):
+        ham = Hamiltonian(2)
+        ham.add_label("II", 1.5)
+        ham.add_label("ZI", 0.5)
+        estimator = Estimator(scheme="scb")
+        labelled, offset = estimator.build_settings(ham)
+        assert offset == pytest.approx(1.5)
+        assert len(labelled) == 1
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(NoiseError, match="unknown scheme"):
+            Estimator(scheme="shadow")
+
+
+class TestAllocation:
+    def test_neyman_allocation_proportional_to_sigma(self):
+        estimator = Estimator()
+        shots = estimator.allocate(np.array([3.0, 1.0, 0.0]), 4000)
+        assert shots.sum() == 4000
+        assert shots[0] > shots[1] > shots[2] >= 1
+        assert shots[0] == pytest.approx(3 * shots[1], rel=0.02)
+
+    def test_uniform_allocation(self):
+        estimator = Estimator(allocation="uniform")
+        shots = estimator.allocate(np.array([3.0, 1.0]), 1000)
+        assert list(shots) == [500, 500]
+
+    def test_budget_smaller_than_settings_rejected(self):
+        estimator = Estimator()
+        with pytest.raises(NoiseError, match="cannot cover"):
+            estimator.allocate(np.ones(10), 5)
+
+    def test_budget_spent_exactly(self):
+        estimator = Estimator()
+        sigmas = np.array([0.31, 0.77, 0.13, 1.9, 0.02])
+        for total in (5, 17, 1001, 4096):
+            assert estimator.allocate(sigmas, total).sum() == total
+
+
+class TestEstimate:
+    def test_unbiased_within_std_error(self, hubbard, reference_state):
+        exact = hubbard.expectation_value(reference_state.data)
+        result = Estimator(scheme="scb", rng=11).estimate(
+            hubbard, reference_state, 16_384
+        )
+        assert result.total_shots == 16_384
+        assert abs(result.value - exact) < 5 * result.std_error
+
+    def test_pauli_scheme_also_unbiased(self, hubbard, reference_state):
+        exact = hubbard.expectation_value(reference_state.data)
+        result = Estimator(scheme="pauli", rng=11).estimate(
+            hubbard, reference_state, 16_384
+        )
+        assert abs(result.value - exact) < 5 * result.std_error
+
+    def test_seeded_reproducibility(self, hubbard, reference_state):
+        a = Estimator(scheme="scb").estimate(hubbard, reference_state, 2048, rng=5)
+        b = Estimator(scheme="scb").estimate(hubbard, reference_state, 2048, rng=5)
+        assert a == b
+
+    def test_per_fragment_reporting(self, hubbard, reference_state):
+        result = Estimator(scheme="scb").estimate(hubbard, reference_state, 8192, rng=1)
+        assert result.num_settings == direct_setting_count(hubbard)
+        for setting in result.settings:
+            assert setting.shots >= 1
+            assert setting.exact_variance >= 0.0
+            assert np.isfinite(setting.mean)
+        # Neyman: higher-variance fragments get more shots.
+        sigmas = [s.exact_variance for s in result.settings]
+        shots = [s.shots for s in result.settings]
+        assert shots[int(np.argmax(sigmas))] == max(shots)
+
+    def test_eigenstate_gives_zero_variance_scb(self, hubbard):
+        _, vecs = hubbard.ground_state()
+        ground = Statevector(vecs[:, 0])
+        result = Estimator(scheme="scb").estimate(hubbard, ground, 1024, rng=0)
+        exact = hubbard.expectation_value(ground.data)
+        # Every Annex-C setting is diagonal in the rotated basis of an
+        # eigenstate here, so the sampled estimate is exact.
+        assert result.value == pytest.approx(exact, abs=1e-9)
+
+    def test_neyman_beats_uniform_in_predicted_error(self, hubbard, reference_state):
+        neyman = Estimator(scheme="scb", allocation="neyman").predicted_std_error(
+            hubbard, reference_state, 4096
+        )
+        uniform = Estimator(scheme="scb", allocation="uniform").predicted_std_error(
+            hubbard, reference_state, 4096
+        )
+        assert neyman <= uniform + 1e-12
+
+
+class TestSchemeComparison:
+    def test_scb_beats_pauli_at_fixed_budget(self, hubbard, reference_state):
+        comparison = compare_measurement_schemes(
+            hubbard, reference_state, 8192, rng=17
+        )
+        assert comparison.scb.num_settings < comparison.pauli.num_settings
+        assert comparison.variance_ratio > 1.0
+        assert abs(comparison.scb.value - comparison.exact_value) < 5 * max(
+            comparison.scb.std_error, 1e-12
+        )
+
+    def test_random_state_comparison(self, hubbard):
+        state = Statevector(random_statevector(4, np.random.default_rng(23)))
+        comparison = compare_measurement_schemes(hubbard, state, 8192, rng=29)
+        assert comparison.variance_ratio > 1.0
+
+    def test_chemistry_measurement_study_end_to_end(self):
+        study = chemistry_measurement_study(total_shots=4096, repeats=3, rng=2)
+        assert study.scb_settings < study.pauli_settings
+        assert study.variance_ratio > 1.0
+        assert study.scb_rmse < 5 * study.pauli_std_error + 0.2
+
+    def test_compare_strategies_measurement_extra(self, hubbard, reference_state):
+        from repro.analysis import compare_strategies
+
+        comparison = compare_strategies(
+            hubbard,
+            0.2,
+            compute_error=False,
+            measurement_shots=2048,
+            measurement_state=reference_state,
+            measurement_rng=4,
+        )
+        duel = comparison.extra["measurement"]
+        assert duel.scb.total_shots == 2048
+        assert duel.variance_ratio > 1.0

@@ -1,0 +1,163 @@
+"""Statistical tests: sampled estimates converge to exact values at ~1/sqrt(shots).
+
+All tests are seeded; assertion bands are set at several standard errors so
+they are deterministic, not flaky.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits import Statevector
+from repro.core.measurement import (
+    exact_setting_expectation,
+    estimate_expectation,
+    fragment_measurement_setting,
+    sampled_setting_expectation,
+    setting_eigenvalues,
+)
+from repro.noise import NoiseModel, counts_from_probabilities
+from repro.operators import Hamiltonian
+from repro.utils.bits import int_to_bits
+from repro.utils.linalg import random_statevector
+
+
+def random_scb_hamiltonian(seed: int, num_qubits: int = 4, num_terms: int = 4) -> Hamiltonian:
+    """Random SCB Hamiltonian with real coefficients (Hermitian after gathering)."""
+    rng = np.random.default_rng(seed)
+    ham = Hamiltonian(num_qubits)
+    seen: set[str] = set()
+    while len(seen) < num_terms:
+        label = "".join(rng.choice(list("IXYZnmsd"), size=num_qubits))
+        if set(label) == {"I"} or label in seen:
+            continue
+        seen.add(label)
+        ham.add_label(label, float(rng.uniform(0.2, 1.0) * rng.choice((-1, 1))))
+    return ham
+
+
+class TestSettingEigenvalues:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_vectorized_matches_scalar_evaluation(self, seed):
+        ham = random_scb_hamiltonian(seed)
+        for fragment in ham.hermitian_fragments():
+            setting = fragment_measurement_setting(fragment)
+            values = setting_eigenvalues(setting, ham.num_qubits)
+            for index in range(1 << ham.num_qubits):
+                bits = int_to_bits(index, ham.num_qubits)
+                assert values[index] == pytest.approx(
+                    setting.evaluate_bitstring(bits)
+                )
+
+
+class TestSampledConvergence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sampled_setting_within_sigma_band(self, seed):
+        ham = random_scb_hamiltonian(seed)
+        state = Statevector(random_statevector(ham.num_qubits, np.random.default_rng(seed + 100)))
+        shots = 40_000
+        for fragment in ham.hermitian_fragments():
+            setting = fragment_measurement_setting(fragment)
+            exact = exact_setting_expectation(setting, state)
+            # Per-shot std of the diagonal observable in the rotated basis.
+            rotated = state.evolve(setting.basis_circuit)
+            probs = rotated.probabilities()
+            values = setting_eigenvalues(setting, ham.num_qubits)
+            sigma = np.sqrt(max(probs @ values**2 - (probs @ values) ** 2, 0.0))
+            sampled = sampled_setting_expectation(setting, state, shots, rng=seed)
+            band = 5.0 * sigma / np.sqrt(shots) + 1e-12
+            assert abs(sampled - exact) < band
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_estimate_expectation_converges_at_sqrt_shots(self, seed):
+        ham = random_scb_hamiltonian(seed, num_terms=3)
+        state = Statevector(random_statevector(ham.num_qubits, np.random.default_rng(seed + 7)))
+        exact = ham.expectation_value(state.data)
+        # One-norm bounds every per-setting sigma, so 5·Σ|γ|/sqrt(shots) is a
+        # conservative deterministic band for the summed estimator.
+        bound = 5.0 * 2.0 * ham.one_norm()
+        for shots in (2_000, 32_000):
+            sampled = estimate_expectation(ham, state, shots=shots, rng=seed)
+            assert abs(sampled - exact) < bound / np.sqrt(shots)
+
+    def test_estimate_expectation_rng_threading_is_reproducible(self):
+        ham = random_scb_hamiltonian(2)
+        state = Statevector(random_statevector(ham.num_qubits, np.random.default_rng(5)))
+        a = estimate_expectation(ham, state, shots=500, rng=123)
+        b = estimate_expectation(ham, state, shots=500, rng=123)
+        assert a == b
+
+    def test_settings_draw_independent_streams_from_one_seed(self):
+        # With ≥2 settings and one integer seed, the per-setting estimates
+        # must come from one threaded generator — not from re-seeding each
+        # setting identically.  Re-seeding would make the two (identical)
+        # transition fragments of this Hamiltonian produce byte-identical
+        # sampled deviations; the threaded generator must not.
+        ham = Hamiltonian(4)
+        ham.add_label("sdII", 0.5)
+        ham.add_label("IIsd", 0.5)
+        state = Statevector(random_statevector(4, np.random.default_rng(0)))
+        settings = [
+            fragment_measurement_setting(f) for f in ham.hermitian_fragments()
+        ]
+        rng = np.random.default_rng(77)
+        first = sampled_setting_expectation(settings[0], state, 400, rng)
+        second = sampled_setting_expectation(settings[1], state, 400, rng)
+        # The two fragments act on disjoint qubit pairs of a *random* state,
+        # so equal empirical means indicate a re-seeded (correlated) stream.
+        assert first != second
+
+
+class TestSamplingBackendStatistics:
+    def test_counts_from_probabilities_is_multinomial_and_seeded(self):
+        probs = np.array([0.5, 0.3, 0.2, 0.0])
+        rng = np.random.default_rng(9)
+        counts = counts_from_probabilities(probs, 10_000, rng, 2)
+        assert sum(counts.values()) == 10_000
+        assert "11" not in counts
+        assert counts["00"] / 10_000 == pytest.approx(0.5, abs=0.03)
+
+    @pytest.mark.parametrize("shots", [4_000, 64_000])
+    def test_backend_empirical_probabilities_converge(self, shots):
+        problem = repro.SimulationProblem.from_labels(
+            4, {"nsdI": 0.8, "IZZI": 0.3, "IXsd": 0.5}, time=0.35
+        )
+        program = repro.compile(problem, "direct")
+        exact_probs = program.run(backend="statevector").probabilities()
+        result = program.run(backend="sampling", shots=shots, rng=13)
+        empirical = result.empirical_probabilities()
+        # Total-variation distance of a multinomial sample is O(sqrt(2^n/shots)).
+        tv = 0.5 * np.abs(empirical - exact_probs).sum()
+        assert tv < 3.0 * np.sqrt((1 << 4) / shots)
+
+    def test_noisy_sampling_biases_towards_mixedness(self):
+        problem = repro.SimulationProblem.from_labels(
+            3, {"ZZI": 0.9, "IZZ": 0.7, "sdI": 0.4}, time=0.4
+        )
+        clean = repro.compile(problem, "direct")
+        noisy = repro.compile(
+            problem, "direct", noise_model=NoiseModel.uniform_depolarizing(0.05)
+        )
+        exact_probs = clean.run(backend="statevector").probabilities()
+        noisy_rho = noisy.run(backend="density_matrix")
+        # Depolarizing noise pushes the outcome distribution towards uniform:
+        # its TV distance to uniform must shrink.
+        uniform = np.full(8, 1 / 8)
+        tv_clean = 0.5 * np.abs(exact_probs - uniform).sum()
+        tv_noisy = 0.5 * np.abs(noisy_rho.probabilities() - uniform).sum()
+        assert tv_noisy < tv_clean
+
+    def test_readout_error_changes_counts_not_state(self):
+        problem = repro.SimulationProblem.from_labels(2, {"ZZ": 0.5}, time=0.3)
+        model = NoiseModel()
+        from repro.noise import ReadoutError
+
+        model.set_readout_error(ReadoutError.symmetric(0.25))
+        program = repro.compile(problem, "direct", noise_model=model)
+        # |00⟩ stays an eigenstate of the diagonal circuit, but readout error
+        # must scatter the recorded counts.
+        result = program.run(backend="sampling", shots=4_000, rng=3)
+        assert result.probability("00") == pytest.approx(0.75**2, abs=0.04)
+        assert len(result.counts) > 1
