@@ -1,0 +1,184 @@
+"""Matrix-free kernel backend vs the dense circuit paths: time vs qubits.
+
+The workload is the direct strategy's home turf — a chemistry-style SCB
+Hamiltonian of Jordan–Wigner single and double excitations (wide Z-chains,
+``2^k``-string Pauli expansions) plus density–density interactions.  Gate
+fusion cannot compress those wide fragments below their circuit footprint,
+while the mask-plan executor applies each fragment exponential in ~three
+O(2^n) passes regardless of its Pauli-string count.
+
+Each register width runs three engines — the fused ``statevector`` backend,
+the fused CSR ``sparse`` backend and the mask-plan ``kernel`` backend — checks
+the kernel against the fused circuit at every compared size and against the
+``exact`` oracle at 12 qubits, asserts the headline claim (kernel ≥5× over
+fused statevector at 16 qubits), adds one wide kernel-only point (22 qubits)
+the dense path cannot reach in comparable time, and writes everything to
+``BENCH_kernels.json``.
+
+Run with ``pytest benchmarks/bench_kernel_evolution.py -s`` (not part of the
+tier-1 suite); ``check_bench_regressions.py`` replays the small sizes in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import print_table
+
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_kernels.json"
+
+TIME = 0.25
+ORDER = 2
+#: Sizes where every engine runs (dense comparison) and the kernel-only tail.
+COMPARED_QUBITS = (10, 12, 14, 16)
+KERNEL_ONLY_QUBITS = (22,)
+#: The headline acceptance size and factor.
+CLAIM_QUBITS = 16
+CLAIM_SPEEDUP = 5.0
+
+
+def chemistry_problem(num_qubits: int, *, steps: int = 4, seed: int = 11) -> repro.SimulationProblem:
+    """JW single + double excitations with Z-chains, plus n–n interactions.
+
+    The single excitations are long-range (span ≥ half the register), as
+    molecular-integral terms under Jordan–Wigner generically are — the regime
+    where each fragment's circuit footprint grows with its span while the
+    mask-plan executor stays at a constant number of passes.
+    """
+    rng = np.random.default_rng(seed)
+    terms: dict[str, float] = {}
+    for _ in range(num_qubits - 1):
+        i = int(rng.integers(0, num_qubits // 2 - 1))
+        j = int(min(num_qubits - 1, i + rng.integers(num_qubits // 2, num_qubits - 1)))
+        label = ["I"] * num_qubits
+        label[i], label[j] = "d", "s"
+        for q in range(i + 1, j):
+            label[q] = "Z"
+        key = "".join(label)
+        if key not in terms:
+            terms[key] = float(rng.uniform(0.2, 0.6))
+    for _ in range(num_qubits // 2):
+        qs = sorted(rng.choice(num_qubits, size=4, replace=False).tolist())
+        label = ["I"] * num_qubits
+        label[qs[0]], label[qs[1]] = "d", "d"
+        label[qs[2]], label[qs[3]] = "s", "s"
+        for q in range(qs[0] + 1, qs[1]):
+            label[q] = "Z"
+        for q in range(qs[2] + 1, qs[3]):
+            label[q] = "Z"
+        key = "".join(label)
+        if key not in terms:
+            terms[key] = float(rng.uniform(0.1, 0.4))
+    for i in range(0, num_qubits - 1, 2):
+        label = ["I"] * num_qubits
+        label[i], label[i + 1] = "n", "n"
+        terms["".join(label)] = float(rng.uniform(0.2, 0.5))
+    return repro.SimulationProblem.from_labels(
+        num_qubits, terms, time=TIME, steps=steps, order=ORDER
+    )
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_point(num_qubits: int, *, kernel_only: bool = False, repeats: int = 3) -> dict:
+    # The wide kernel-only point halves the step count to stay a quick probe.
+    problem = chemistry_problem(num_qubits, steps=2 if kernel_only else 4)
+    kernel_program = repro.compile(problem, "direct")
+    assert kernel_program.evolution_plan() is not None
+    kernel_program.run(backend="kernel")  # warm the plan + baked tables
+
+    point: dict = {
+        "num_qubits": num_qubits,
+        "num_terms": problem.num_terms,
+        "steps": problem.steps,
+        "plan_rotations": kernel_program.evolution_plan().num_rotations,
+        "kernel_s": best_of(lambda: kernel_program.run(backend="kernel"), repeats),
+    }
+    if kernel_only:
+        return point
+
+    fused = repro.compile(problem, "direct", optimize_level=1)
+    fused.run(backend="statevector")  # warm circuit build + fusion
+    fused.run(backend="sparse")  # warm the CSR embedding
+    point["statevector_fused_s"] = best_of(
+        lambda: fused.run(backend="statevector"), repeats
+    )
+    point["sparse_fused_s"] = best_of(lambda: fused.run(backend="sparse"), repeats)
+    point["kernel_vs_statevector"] = round(
+        point["statevector_fused_s"] / point["kernel_s"], 2
+    )
+    point["kernel_vs_sparse"] = round(point["sparse_fused_s"] / point["kernel_s"], 2)
+
+    # Cross-engine agreement at this size: kernel vs the fused circuit.
+    reference = fused.run(backend="statevector")
+    state = kernel_program.run(backend="kernel")
+    assert abs(np.vdot(state.data, reference.data)) ** 2 > 1 - 1e-10
+    return point
+
+
+def test_kernel_backend_speedup(benchmark):
+    points = [measure_point(n) for n in COMPARED_QUBITS]
+    points += [
+        measure_point(n, kernel_only=True, repeats=1) for n in KERNEL_ONLY_QUBITS
+    ]
+
+    # Correctness against the Trotter-free oracle at a checkable size.
+    program = repro.compile(chemistry_problem(12), "direct")
+    oracle = program.run(backend="exact")
+    state = program.run(backend="kernel")
+    assert abs(np.vdot(state.data, oracle.data)) ** 2 > 1 - 1e-3  # Trotter error only
+
+    benchmark(lambda: program.run(backend="kernel"))
+
+    claim = next(p for p in points if p["num_qubits"] == CLAIM_QUBITS)
+    speedup = claim["kernel_vs_statevector"]
+    assert speedup >= CLAIM_SPEEDUP, (
+        f"kernel backend is only {speedup:.1f}x over fused statevector at "
+        f"{CLAIM_QUBITS} qubits (need ≥{CLAIM_SPEEDUP}x)"
+    )
+
+    payload = {
+        "workload": {
+            "time": TIME,
+            "order": ORDER,
+            "strategy": "direct",
+            "terms": "JW single/double excitations + density-density",
+        },
+        "claim": {
+            "num_qubits": CLAIM_QUBITS,
+            "required_speedup": CLAIM_SPEEDUP,
+            "measured_speedup": speedup,
+        },
+        "points": [
+            {k: (round(v, 6) if isinstance(v, float) else v) for k, v in p.items()}
+            for p in points
+        ],
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_table(
+        "Matrix-free kernel evolution — chemistry-style direct Trotter workload",
+        ["qubits", "kernel (s)", "statevector+fusion (s)", "sparse+fusion (s)", "speedup"],
+        [
+            [
+                p["num_qubits"],
+                f"{p['kernel_s']:.4f}",
+                f"{p['statevector_fused_s']:.4f}" if "statevector_fused_s" in p else "—",
+                f"{p['sparse_fused_s']:.4f}" if "sparse_fused_s" in p else "—",
+                f"{p['kernel_vs_statevector']:.1f}x" if "kernel_vs_statevector" in p else "—",
+            ]
+            for p in points
+        ],
+    )

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Quick-mode benchmark regression gate.
+
+Replays the small sizes of the two hot-path benchmarks — the gate-fusion
+statevector bench (10 qubits) and the kernel-evolution bench (10 and 12
+qubits) — against the checked-in ``BENCH_*.json`` baselines.
+
+The baselines are absolute wall-clock seconds from the machine that produced
+them, and CI runners are not that machine, so the gate is **self-normalizing**:
+every check's measured/baseline ratio is divided by the *minimum* ratio across
+all checks (the machine-speed factor — taking the minimum rather than the
+median means a regression shared by several checks, e.g. the kernel path
+behind two of the three, cannot become the yardstick and cancel itself), and
+a check fails only if BOTH its normalized and its raw ratio exceed
+``TOLERANCE`` (the raw guard keeps a genuine speedup in one benchmark from
+flagging the unchanged ones; refresh the baselines after intentional
+perf changes either way).  An
+absolute cap of ``ABSOLUTE_CAP`` still catches a regression shared by every
+path (e.g. an accidental O(gates²) pass in common infrastructure).
+
+Run directly (``python benchmarks/check_bench_regressions.py``) or via the
+``bench-regression`` CI job.  Finishes in a few seconds; the full sweeps stay
+in the pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(ROOT), str(ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+#: Allowed slowdown of one check relative to the machine factor.
+TOLERANCE = 2.0
+
+#: Absolute measured/baseline cap — trips even when every path slows together.
+ABSOLUTE_CAP = 10.0
+
+#: Kernel-bench sizes replayed in quick mode (the cheap end of the sweep).
+QUICK_KERNEL_QUBITS = (10, 12)
+
+
+def main() -> int:
+    import repro
+    from benchmarks.bench_gate_fusion import RESULT_PATH as FUSION_PATH
+    from benchmarks.bench_gate_fusion import STEPS, _best_of, _problem
+    from benchmarks.bench_kernel_evolution import RESULT_PATH as KERNEL_PATH
+    from benchmarks.bench_kernel_evolution import best_of, chemistry_problem
+
+    measurements: list[dict] = []
+
+    fusion_baseline = json.loads(FUSION_PATH.read_text())
+    fused = repro.compile(
+        _problem(), "direct", steps=STEPS, order=2, optimize_level=1
+    )
+    fused.run(backend="statevector")  # warm build + fusion
+    measurements.append(
+        {
+            "name": "fusion/statevector_fused_10q",
+            "measured_s": _best_of(lambda: fused.run(backend="statevector")),
+            "baseline_s": fusion_baseline["statevector_fused_s"],
+        }
+    )
+
+    kernel_baseline = json.loads(KERNEL_PATH.read_text())
+    baseline_points = {p["num_qubits"]: p for p in kernel_baseline["points"]}
+    for num_qubits in QUICK_KERNEL_QUBITS:
+        point = baseline_points[num_qubits]
+        program = repro.compile(
+            chemistry_problem(num_qubits, steps=point["steps"]), "direct"
+        )
+        program.run(backend="kernel")  # warm the plan + baked tables
+        measurements.append(
+            {
+                "name": f"kernels/kernel_{num_qubits}q",
+                "measured_s": best_of(lambda: program.run(backend="kernel")),
+                "baseline_s": point["kernel_s"],
+            }
+        )
+
+    for m in measurements:
+        m["ratio"] = m["measured_s"] / m["baseline_s"] if m["baseline_s"] > 0 else float("inf")
+    machine_factor = min(m["ratio"] for m in measurements)
+    for m in measurements:
+        m["normalized"] = m["ratio"] / machine_factor
+        # A check regresses only when it is slow in BOTH views: raw (so a
+        # genuine speedup elsewhere lowering the machine factor cannot flag an
+        # unchanged benchmark) and normalized (so a uniformly slow CI machine
+        # does not flag everything).
+        m["ok"] = (
+            m["normalized"] <= TOLERANCE or m["ratio"] <= TOLERANCE
+        ) and m["ratio"] <= ABSOLUTE_CAP
+
+    width = max(len(m["name"]) for m in measurements)
+    print(
+        f"benchmark regression gate (tolerance {TOLERANCE:.1f}x of the "
+        f"machine factor {machine_factor:.2f}x, absolute cap "
+        f"{ABSOLUTE_CAP:.0f}x):"
+    )
+    for m in measurements:
+        verdict = "ok" if m["ok"] else "REGRESSION"
+        print(
+            f"  {m['name']:<{width}}  measured {m['measured_s']*1e3:8.2f} ms"
+            f"  baseline {m['baseline_s']*1e3:8.2f} ms"
+            f"  ratio {m['ratio']:5.2f}x  normalized {m['normalized']:5.2f}x  {verdict}"
+        )
+    failed = [m for m in measurements if not m["ok"]]
+    if failed:
+        print(
+            f"{len(failed)} benchmark(s) regressed beyond tolerance; "
+            "investigate before merging (or refresh the BENCH_*.json baselines "
+            "by re-running the full benches if the change is intentional)."
+        )
+        return 1
+    print("all quick-mode benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -107,11 +107,13 @@ def compare_strategies(
     direct_error = pauli_error = float("nan")
     if compute_error:
         if hamiltonian.num_qubits <= 9:
-            direct_error = trotter_error_norm(hamiltonian, direct.circuit, time)
-            pauli_error = trotter_error_norm(hamiltonian, pauli.circuit, time)
+            direct_error = trotter_error_norm(hamiltonian, direct, time)
+            pauli_error = trotter_error_norm(hamiltonian, pauli, time)
         else:
-            direct_error = trotter_error_state(hamiltonian, direct.circuit, time, rng=0)
-            pauli_error = trotter_error_state(hamiltonian, pauli.circuit, time, rng=0)
+            # Whole programs, not circuits: past the dense-unitary regime the
+            # state error runs on the matrix-free kernel plan when available.
+            direct_error = trotter_error_state(hamiltonian, direct, time, rng=0)
+            pauli_error = trotter_error_state(hamiltonian, pauli, time, rng=0)
 
     extra: dict = {}
     if measurement_shots is not None:

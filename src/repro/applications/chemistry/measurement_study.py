@@ -84,7 +84,9 @@ def measurement_reference_state(
     electrons = n // 2 if num_electrons is None else num_electrons
     index = hartree_fock_state_index(n, electrons)
     program = repro.compile(hamiltonian, time=time, steps=steps, order=2)
-    return program.run(backend="statevector", initial_state=index)
+    # The kernel backend evolves through the mask plan when the schedule
+    # lowers, and falls back to the statevector circuit path otherwise.
+    return program.run(backend="kernel", initial_state=index)
 
 
 def chemistry_measurement_study(

@@ -97,8 +97,10 @@ def compare_partitionings_scb(
         direct_error = trotter_error_norm(hamiltonian, direct_circuit, time)
         pauli_error = trotter_error_norm(hamiltonian, pauli_circuit, time)
     else:
-        direct_error = trotter_error_state(hamiltonian, direct_circuit, time, rng=0)
-        pauli_error = trotter_error_state(hamiltonian, pauli_circuit, time, rng=0)
+        # Pass the programs: beyond the dense regime the state error batches
+        # its random states through the mask-plan kernel engine.
+        direct_error = trotter_error_state(hamiltonian, sweep["direct"], time, rng=0)
+        pauli_error = trotter_error_state(hamiltonian, sweep["pauli"], time, rng=0)
 
     return TrotterComparison(
         time=time,

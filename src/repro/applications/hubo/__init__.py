@@ -37,6 +37,7 @@ from repro.applications.hubo.qaoa import (
     QAOAResult,
     approximation_ratio,
     qaoa_expectation,
+    qaoa_state,
     run_qaoa,
 )
 
@@ -67,5 +68,6 @@ __all__ = [
     "QAOAResult",
     "approximation_ratio",
     "qaoa_expectation",
+    "qaoa_state",
     "run_qaoa",
 ]

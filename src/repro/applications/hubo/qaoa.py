@@ -15,9 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize
 
-from repro.applications.hubo.circuits import qaoa_circuit
 from repro.applications.hubo.problem import HUBOProblem
-from repro.circuits.statevector import Statevector
+from repro.circuits.pauli_kernels import apply_permutation_rotation
 from repro.exceptions import ProblemError
 
 
@@ -34,18 +33,56 @@ class QAOAResult:
     strategy: str
 
 
+def qaoa_state(
+    problem: HUBOProblem,
+    gammas: np.ndarray,
+    betas: np.ndarray,
+    *,
+    energies: np.ndarray | None = None,
+) -> np.ndarray:
+    """Matrix-free QAOA statevector — no circuit is ever built.
+
+    The cost operator is diagonal, so each phase-separator layer is the
+    element-wise phase ``e^{-iγ·E}`` over the precomputed energy vector, and
+    each mixer ``RX(2β)`` qubit is one permutation kernel
+    (:func:`~repro.circuits.pauli_kernels.apply_permutation_rotation`).  This
+    matches the circuit of :func:`~repro.applications.hubo.circuits.qaoa_circuit`
+    exactly (both strategies included — they build the same diagonal), and an
+    optimiser loop reuses ``energies`` across every evaluation.
+    """
+    n = problem.num_variables
+    if len(gammas) != len(betas):
+        raise ProblemError("gammas and betas must have the same length")
+    if energies is None:
+        energies = problem.energy_vector()
+    psi = np.full(1 << n, 1.0 / np.sqrt(1 << n), dtype=complex)
+    for gamma, beta in zip(gammas, betas):
+        psi *= np.exp(-1j * float(gamma) * energies)
+        for q in range(n):
+            apply_permutation_rotation(psi, 1 << (n - 1 - q), float(beta))
+    return psi
+
+
 def qaoa_expectation(
     problem: HUBOProblem,
     gammas: np.ndarray,
     betas: np.ndarray,
     *,
     strategy: str = "direct",
+    energies: np.ndarray | None = None,
 ) -> float:
-    """⟨ψ(γ, β)| H_P |ψ(γ, β)⟩ evaluated exactly on the statevector."""
-    circuit = qaoa_circuit(problem, list(gammas), list(betas), strategy=strategy)
-    state = Statevector.zero_state(problem.num_variables).evolve(circuit)
-    energies = problem.energy_vector()
-    return float(np.real(np.dot(state.probabilities(), energies)))
+    """⟨ψ(γ, β)| H_P |ψ(γ, β)⟩ evaluated exactly, via the kernel state.
+
+    ``strategy`` is kept (and still validated) for API compatibility: the
+    cost operator is diagonal, so the direct and usual separators produce the
+    same state and the expectation is strategy-independent.
+    """
+    if strategy not in ("direct", "usual"):
+        raise ProblemError(f"unknown strategy {strategy!r}")
+    if energies is None:
+        energies = problem.energy_vector()
+    psi = qaoa_state(problem, gammas, betas, energies=energies)
+    return float(np.real(np.dot(np.abs(psi) ** 2, energies)))
 
 
 def run_qaoa(
@@ -63,11 +100,14 @@ def run_qaoa(
         rng = np.random.default_rng(rng)
 
     history: list[float] = []
+    energies = problem.energy_vector()  # shared across every COBYLA evaluation
 
     def objective(params: np.ndarray) -> float:
         gammas = params[:num_layers]
         betas = params[num_layers:]
-        value = qaoa_expectation(problem, gammas, betas, strategy=strategy)
+        value = qaoa_expectation(
+            problem, gammas, betas, strategy=strategy, energies=energies
+        )
         history.append(value)
         return value
 
@@ -76,10 +116,7 @@ def run_qaoa(
 
     gammas = result.x[:num_layers]
     betas = result.x[num_layers:]
-    circuit = qaoa_circuit(problem, list(gammas), list(betas), strategy=strategy)
-    state = Statevector.zero_state(problem.num_variables).evolve(circuit)
-    probs = state.probabilities()
-    energies = problem.energy_vector()
+    probs = np.abs(qaoa_state(problem, gammas, betas, energies=energies)) ** 2
     best_index = int(np.argmin(np.where(probs > 1e-12, energies, np.inf)))
     # Most probable low-energy assignment: weight energies by sampling probability.
     sampled_best = int(np.argmax(probs * (energies <= energies[best_index] + 1e-9)))

@@ -32,7 +32,13 @@ from repro.circuits.sparse import (
     circuit_sparse_operators,
     gate_sparse_operator,
 )
-from repro.circuits.statevector import Statevector, apply_matrix, simulate
+from repro.circuits.pauli_kernels import (
+    apply_pauli_rotation,
+    apply_pauli_string,
+    apply_rotation_sequence,
+    pauli_masks,
+)
+from repro.circuits.statevector import Statevector, apply_matrix, evolve_statevectors, simulate
 from repro.circuits.transpile import (
     FusionReport,
     TranspileOptions,
@@ -75,7 +81,12 @@ __all__ = [
     "simulate_density",
     "Statevector",
     "apply_matrix",
+    "evolve_statevectors",
     "simulate",
+    "apply_pauli_rotation",
+    "apply_pauli_string",
+    "apply_rotation_sequence",
+    "pauli_masks",
     "FusionReport",
     "TranspileOptions",
     "fuse_gates",

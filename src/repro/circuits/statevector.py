@@ -180,6 +180,33 @@ class Statevector:
         return f"Statevector(num_qubits={self.num_qubits}, norm={self.norm():.6f})"
 
 
+def evolve_statevectors(circuit: QuantumCircuit, states: np.ndarray) -> np.ndarray:
+    """Evolve a whole batch of statevectors through ``circuit`` in one pass.
+
+    ``states`` has shape ``(2^n, batch)`` — one state per column.  The batch
+    rides the trailing axis of the state tensor, so every gate is applied to
+    all columns with the same single :func:`apply_matrix` contraction a lone
+    state would use; this is how
+    :func:`~repro.analysis.trotter_error.trotter_error_state` replaces its
+    per-state Python loop of full circuit replays.
+    """
+    states = np.asarray(states, dtype=complex)
+    if states.ndim != 2:
+        raise SimulationError(f"expected a (dim, batch) array, got shape {states.shape}")
+    dim, batch = states.shape
+    if dim != 1 << circuit.num_qubits:
+        raise SimulationError(
+            f"states of dimension {dim} do not fit a {circuit.num_qubits}-qubit circuit"
+        )
+    tensor = states.reshape((2,) * circuit.num_qubits + (batch,))
+    for instr in circuit:
+        tensor = apply_matrix(tensor, instr.gate.matrix(), instr.qubits)
+    out = tensor.reshape(dim, batch)
+    if circuit.global_phase:
+        out = out * np.exp(1j * circuit.global_phase)
+    return out
+
+
 def simulate(circuit: QuantumCircuit, initial_state: Statevector | int = 0) -> Statevector:
     """Convenience function: evolve a computational-basis (or given) state."""
     if isinstance(initial_state, Statevector):

@@ -26,6 +26,7 @@ from repro.compile.backends import (
     Backend,
     DensityMatrixBackend,
     ExactBackend,
+    KernelBackend,
     ResourceBackend,
     SamplingBackend,
     SparseBackend,
@@ -35,6 +36,12 @@ from repro.compile.backends import (
     get_backend,
 )
 from repro.compile.options import CompileOptions, EvolutionOptions, PauliEvolutionOptions
+from repro.compile.plan import (
+    EvolutionPlan,
+    MaskRotation,
+    PlanLoweringError,
+    lower_problem,
+)
 from repro.compile.pipeline import (
     StrategySweep,
     compare_all,
@@ -65,6 +72,7 @@ __all__ = [
     "Backend",
     "DensityMatrixBackend",
     "ExactBackend",
+    "KernelBackend",
     "ResourceBackend",
     "SamplingBackend",
     "SparseBackend",
@@ -75,6 +83,10 @@ __all__ = [
     "CompileOptions",
     "EvolutionOptions",
     "PauliEvolutionOptions",
+    "EvolutionPlan",
+    "MaskRotation",
+    "PlanLoweringError",
+    "lower_problem",
     "StrategySweep",
     "compare_all",
     "compile_many",

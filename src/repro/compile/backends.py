@@ -7,6 +7,10 @@ circuits, plus the scaling/oracle pair added with the gate-fusion fast path:
 ========================  ====================================================
 ``"statevector"``         evolve an initial state through the (fused)
                           execution circuit with dense tensordot kernels
+``"kernel"``              matrix-free Trotter evolution through the cached
+                          mask plan (:mod:`repro.circuits.pauli_kernels`) —
+                          no circuit executed; falls back to ``statevector``
+                          when no plan exists
 ``"sparse"``              same evolution via cached scipy CSR operators —
                           the backend for registers past the dense sweet spot
 ``"exact"``               ``expm_multiply`` on the assembled Hamiltonian:
@@ -105,6 +109,54 @@ class StatevectorBackend:
             f"initial state on {state.num_qubits} qubits does not fit a "
             f"{num_qubits}-qubit program"
         )
+
+
+@BACKENDS.register("kernel")
+class KernelBackend:
+    """Matrix-free term-level evolution through the cached mask plan.
+
+    Executes the program's :meth:`~repro.compile.program.CompiledProgram.evolution_plan`
+    with the vectorized Pauli-rotation kernels of
+    :mod:`repro.circuits.pauli_kernels` — no circuit is built, no gate matrix
+    materialized, one O(2^n) pass per Trotter term.  This is the default dense
+    engine for evolution-kind programs; when no plan exists (block encodings,
+    MPF combinations, non-commuting direct fragments) the run falls back to
+    the ``statevector`` backend transparently.
+
+    ``initial_state`` additionally accepts a ``(2^n, batch)`` array, in which
+    case every column is evolved in one pass and the raw array is returned —
+    the path :func:`repro.analysis.trotter_error.trotter_error_state` uses to
+    batch its random states.
+    """
+
+    name = "kernel"
+
+    def run(
+        self,
+        program: "CompiledProgram",
+        initial_state: "Statevector | np.ndarray | int" = 0,
+        **kwargs,
+    ) -> "Statevector | np.ndarray":
+        if kwargs:
+            raise CompileError(
+                f"unknown kernel-backend arguments: {', '.join(sorted(kwargs))}"
+            )
+        plan = program.evolution_plan()
+        batched = isinstance(initial_state, np.ndarray) and initial_state.ndim == 2
+        if plan is None:
+            if batched:
+                from repro.circuits.statevector import evolve_statevectors
+
+                return evolve_statevectors(
+                    program.execution_circuit, np.asarray(initial_state, dtype=complex)
+                )
+            return StatevectorBackend().run(program, initial_state)
+        if batched:
+            return plan.evolve(np.asarray(initial_state, dtype=complex))
+        state = StatevectorBackend._coerce(
+            initial_state, program.problem.num_qubits, program
+        )
+        return Statevector(plan.evolve(state.data))
 
 
 @BACKENDS.register("sparse")

@@ -1,0 +1,485 @@
+"""Lowering a Trotter schedule to precomputed mask plans.
+
+A :class:`EvolutionPlan` is the term-level compilation target of the
+``kernel`` backend: the product formula of a
+:class:`~repro.compile.problem.SimulationProblem` flattened into groups of
+``(x_mask, z_mask, phase, theta)`` tuples — one group per exponentiated
+fragment — that are executed matrix-free, with no circuit construction and no
+gate matrix ever materialized.  Both evolution strategies lower:
+
+* ``"pauli"`` — one single-rotation group per Pauli string, mirroring
+  :func:`repro.core.trotter.pauli_fragments`;
+* ``"direct"`` — each gathered SCB fragment becomes ONE group via its Pauli
+  decomposition.
+
+The executor exploits the structural fact at the heart of the paper's direct
+strategy: every string in a gathered fragment's decomposition carries the
+*same* X mask (number factors expand over ``{I, Z}``, transition factors over
+``{X, Y}``), so the fragment acts as ``(H·ψ)[k] = e(k)·ψ[k ^ x]`` with
+``e(k) = Σ_j θ_j·phase_j·(-1)^{parity(k & z_j)}`` a function of the few
+Z-active qubits only.  Then ``H² = diag(|e|²)`` and the exact exponential has
+the closed form::
+
+    exp(-i·H)·ψ = cos(|e|)·ψ  −  i·e·sin(|e|)/|e| · ψ_flipped
+
+— one strided-flip read, two table multiplies and an add per fragment,
+*independent of how many Pauli strings the fragment expands into* (the
+15-qubit order-11 term of Fig. 2 costs the same three passes as a two-qubit
+hop).  ``cos``/``sin`` tables live on the 2^w patterns of the fragment's
+Z-support (w small) and broadcast over the full register; diagonal fragments
+(``x == 0``) collapse to a single element-wise phase, and consecutive
+diagonal groups are merged into one table at bake time.
+
+Plans are built once and cached on the
+:class:`~repro.compile.program.CompiledProgram`, so Trotter steps,
+``run_many`` initial-state sweeps and error-curve points all reuse the same
+baked tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, NamedTuple
+
+import numpy as np
+
+from repro.circuits.pauli_kernels import pauli_masks
+from repro.exceptions import CompileError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compile.problem import SimulationProblem
+
+#: Strategies whose programs are lowerable term schedules.
+LOWERABLE_STRATEGIES = ("direct", "pauli")
+
+#: Largest merged-diagonal table (2^18 complex entries = 4 MiB); beyond this
+#: adjacent diagonal groups stay separate ops instead of growing one table.
+_MAX_MERGED_DIAGONAL_BITS = 18
+
+#: Largest dense support table of one group (2^14 complex entries = 256 KiB).
+#: Wider Z-supports are factored as ``e(k) = (-1)^{parity(k & z_common)}·f(k)``
+#: with ``z_common`` the AND of the group's Z masks — for a Jordan–Wigner
+#: string that peels off the whole parity chain, leaving ``f`` on the few
+#: transition/number qubits; the common sign is applied at run time from the
+#: shared basis-index cache.
+_MAX_TABLE_BITS = 14
+
+
+class PlanLoweringError(CompileError):
+    """Raised when a problem/strategy pair has no mask-plan representation."""
+
+
+class MaskRotation(NamedTuple):
+    """One ``exp(-i·theta·P)`` with ``P`` in symplectic mask form."""
+
+    x_mask: int
+    z_mask: int
+    phase: complex  # the (-i)^{|Y|} prefactor of pauli_masks
+    theta: float
+
+
+class _DiagonalOp(NamedTuple):
+    """``ψ *= table`` — element-wise phases broadcast from the Z-support."""
+
+    table: np.ndarray  # complex, broadcast-shaped (2 on support axes, 1 elsewhere)
+
+
+class _PairOp(NamedTuple):
+    """``ψ' = A·ψ + s·B·ψ_flip`` — the closed-form fragment exponential.
+
+    ``s`` is the optional run-time parity sign ``(-1)^{parity(k & sign_mask)}``
+    carrying the factored-out common Z component (e.g. a Jordan–Wigner chain);
+    ``sign_mask == 0`` means no run-time sign.  A diagonal group too wide for
+    a dense table is expressed as a pair op with an identity flip.
+    """
+
+    flip: tuple  # slice tuple realising ψ[k ^ x] as a strided view
+    table_a: np.ndarray  # cos(|f|), broadcast-shaped
+    table_b: np.ndarray  # -i·f·sin(|f|)/|f|, broadcast-shaped
+    sign_mask: int = 0
+    #: parity(k & sign_mask) as a (2,)*n boolean tensor, materialized at bake
+    #: time (ops are cached on the plan, so every step and sweep reuses it);
+    #: None when sign_mask == 0.
+    sign_parity: "np.ndarray | None" = None
+
+
+def _parity_tensor(num_qubits: int, mask: int) -> np.ndarray:
+    """``parity(k & mask)`` as a read-only boolean tensor of shape ``(2,)*n``."""
+    from repro.circuits.pauli_kernels import basis_indices
+
+    indices = basis_indices(num_qubits)
+    tensor = _parity_of(indices & indices.dtype.type(mask)).reshape(
+        (2,) * num_qubits
+    )
+    tensor.setflags(write=False)
+    return tensor
+
+
+def _factor_z_masks(z_masks) -> tuple[int, int]:
+    """Factor a group's Z masks into ``(sign_mask, residual_union)``.
+
+    The single source of the table-width policy: when the plain Z-support
+    union fits :data:`_MAX_TABLE_BITS` the group bakes a dense table
+    (``sign_mask == 0``); otherwise the AND of all masks — contained in every
+    string, so its parity splits off exactly — becomes a run-time sign and the
+    table lives on the residual union.  Used identically by the lowering-time
+    acceptance check and by the baking itself.
+    """
+    union = 0
+    for z_mask in z_masks:
+        union |= z_mask
+    if bin(union).count("1") <= _MAX_TABLE_BITS:
+        return 0, union
+    common = z_masks[0]
+    for z_mask in z_masks:
+        common &= z_mask
+    residual = 0
+    for z_mask in z_masks:
+        residual |= z_mask & ~common
+    return common, residual
+
+
+@dataclass
+class EvolutionPlan:
+    """A fully-lowered product formula: mask groups for one Trotter step.
+
+    ``step_groups`` holds one tuple of :class:`MaskRotation` per exponentiated
+    fragment of one (order-expanded) step; :meth:`evolve` replays the baked
+    executor ops ``steps`` times and applies the accumulated identity-string
+    phase once at the end.  Reusable across initial states, including batched
+    ones.
+    """
+
+    num_qubits: int
+    steps: int
+    step_groups: tuple[tuple[MaskRotation, ...], ...]
+    #: Phase angle collected from identity strings over ONE step (the lowered
+    #: analogue of ``QuantumCircuit.global_phase``).
+    step_phase: float = 0.0
+    strategy: str = "direct"
+    _ops: "list | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def step_rotations(self) -> tuple[MaskRotation, ...]:
+        """The flat mask-tuple sequence of one step (groups concatenated)."""
+        return tuple(rotation for group in self.step_groups for rotation in group)
+
+    @property
+    def num_rotations(self) -> int:
+        """Total mask rotations replayed by one :meth:`evolve` call."""
+        return len(self.step_rotations) * self.steps
+
+    # ----------------------------------------------------------------- baking
+
+    def _angle_table(self, group: tuple[MaskRotation, ...]):
+        """Factor the group's angle function ``e(k)`` into sign × small table.
+
+        Returns ``(sign_mask, axes, f)`` with
+        ``e(k) = (-1)^{parity(k & sign_mask)} · f(k restricted to axes)``.
+        ``sign_mask`` is nonzero only when the full Z-support would overflow
+        :data:`_MAX_TABLE_BITS` — the :func:`_factor_z_masks` policy.
+        """
+        n = self.num_qubits
+        sign_mask, union = _factor_z_masks([rotation.z_mask for rotation in group])
+        axes = tuple(q for q in range(n) if (union >> (n - 1 - q)) & 1)
+        width = len(axes)
+        patterns = np.arange(1 << width)
+        f = np.zeros(1 << width, dtype=complex)
+        for rotation in group:
+            residual = rotation.z_mask & ~sign_mask
+            compressed = 0
+            for position, qubit in enumerate(axes):
+                if (residual >> (n - 1 - qubit)) & 1:
+                    compressed |= 1 << (width - 1 - position)
+            signs = np.where(_parity_of(patterns & compressed), -1.0, 1.0)
+            f = f + (rotation.theta * rotation.phase) * signs
+        return sign_mask, axes, f
+
+    def _broadcast(self, axes: tuple[int, ...], table: np.ndarray) -> np.ndarray:
+        """Reshape a 2^w support table so it broadcasts over the register."""
+        shape = tuple(2 if q in axes else 1 for q in range(self.num_qubits))
+        return np.ascontiguousarray(table).reshape(shape)
+
+    def _bake_group(self, group: tuple[MaskRotation, ...], parities: dict):
+        n = self.num_qubits
+        x_mask = group[0].x_mask
+        sign_mask, axes, f = self._angle_table(group)
+        if sign_mask and sign_mask not in parities:
+            parities[sign_mask] = _parity_tensor(n, sign_mask)
+        sign_parity = parities.get(sign_mask) if sign_mask else None
+        identity_flip = (slice(None),) * n
+        if x_mask == 0 and sign_mask == 0:
+            # Diagonal fragment: exp(-i·f(k)) element-wise.  f is real here
+            # (no Y factors without X), so this is a pure phase table.
+            return _DiagonalOp(self._broadcast(axes, np.exp(-1j * f.real)))
+        if x_mask == 0:
+            # Wide diagonal with a factored sign: exp(-i·s·f) = cos f − i·s·sin f,
+            # which is a pair op whose "flip" is the identity.
+            return _PairOp(
+                identity_flip,
+                self._broadcast(axes, np.cos(f.real)),
+                self._broadcast(axes, -1j * np.sin(f.real)),
+                sign_mask,
+                sign_parity,
+            )
+        magnitude = np.abs(f)
+        table_a = np.cos(magnitude)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sinc = np.where(magnitude > 0.0, np.sin(magnitude) / magnitude, 0.0)
+        table_b = -1j * f * sinc
+        flip = tuple(
+            slice(None, None, -1) if (x_mask >> (n - 1 - q)) & 1 else slice(None)
+            for q in range(n)
+        )
+        return _PairOp(
+            flip,
+            self._broadcast(axes, table_a),
+            self._broadcast(axes, table_b),
+            sign_mask,
+            sign_parity,
+        )
+
+    def _baked_ops(self) -> list:
+        """Executor ops of one step (built once, cached on the plan).
+
+        Diagonal groups are folded away wherever possible: a pending diagonal
+        phase table ``T`` followed by a pair op becomes ``A' = T·A`` and
+        ``B'(k) = B(k)·T(k ^ x)`` (the flip of a broadcast table is just its
+        slice-reversal, size-1 axes included), so runs of diagonal fragments
+        cost nothing at execution time.  Oversized unions (> 2^18 table
+        entries) flush instead of growing.
+        """
+        if self._ops is None:
+            ops: list = []
+            pending: np.ndarray | None = None  # accumulated diagonal table
+            parities: dict = {}  # sign_mask -> parity tensor, deduped per plan
+            for group in self.step_groups:
+                op = self._bake_group(group, parities)
+                if isinstance(op, _DiagonalOp):
+                    if pending is None:
+                        pending = op.table
+                    elif pending.size * op.table.size <= (1 << _MAX_MERGED_DIAGONAL_BITS):
+                        pending = pending * op.table
+                    else:
+                        ops.append(_DiagonalOp(pending))
+                        pending = op.table
+                    continue
+                if (
+                    pending is not None
+                    and pending.size * max(op.table_a.size, op.table_b.size)
+                    <= (1 << _MAX_MERGED_DIAGONAL_BITS)
+                ):
+                    op = _PairOp(
+                        op.flip,
+                        np.ascontiguousarray(op.table_a * pending),
+                        np.ascontiguousarray(op.table_b * pending[op.flip]),
+                        op.sign_mask,
+                        op.sign_parity,
+                    )
+                    pending = None
+                elif pending is not None:
+                    ops.append(_DiagonalOp(pending))
+                    pending = None
+                ops.append(op)
+            if pending is not None:
+                ops.append(_DiagonalOp(pending))
+            self._ops = ops
+        return self._ops
+
+    # -------------------------------------------------------------- execution
+
+    def evolve(self, state: np.ndarray) -> np.ndarray:
+        """Apply the full schedule to ``state`` (``(2^n,)`` or ``(2^n, batch)``).
+
+        Returns a new array of the same shape; the input is untouched.
+        """
+        state = np.asarray(state)
+        if state.ndim > 2:
+            raise CompileError(
+                f"expected a (dim,) vector or a (dim, batch) array, got shape "
+                f"{state.shape}"
+            )
+        if state.shape[0] != 1 << self.num_qubits:
+            raise CompileError(
+                f"state of dimension {state.shape[0]} does not fit a "
+                f"{self.num_qubits}-qubit plan"
+            )
+        batched = state.ndim > 1
+        shape = state.shape
+        tensor_shape = (2,) * self.num_qubits + shape[1:]
+        psi = np.array(state, dtype=complex, copy=True).reshape(tensor_shape)
+        scratch = np.empty_like(psi)
+        extra = (slice(None),) * (len(shape) - 1)
+        ops = self._baked_ops()
+        for _ in range(self.steps):
+            for op in ops:
+                if isinstance(op, _DiagonalOp):
+                    table = op.table
+                    psi *= table[..., None] if batched else table
+                else:
+                    table_b = op.table_b[..., None] if batched else op.table_b
+                    np.multiply(psi[op.flip + extra], table_b, out=scratch)
+                    if op.sign_parity is not None:
+                        odd = op.sign_parity
+                        np.negative(
+                            scratch,
+                            out=scratch,
+                            where=odd[..., None] if batched else odd,
+                        )
+                    psi *= op.table_a[..., None] if batched else op.table_a
+                    psi += scratch
+        total_phase = self.step_phase * self.steps
+        if total_phase:
+            psi *= np.exp(1j * total_phase)
+        return psi.reshape(shape)
+
+    def describe(self) -> str:
+        return (
+            f"EvolutionPlan({self.strategy!r}: {len(self.step_groups)} "
+            f"fragment groups ({len(self.step_rotations)} rotations)/step × "
+            f"{self.steps} steps on {self.num_qubits} qubits)"
+        )
+
+
+def _parity_of(values: np.ndarray) -> np.ndarray:
+    """Bit parity per element, sharing the popcount (and its old-NumPy
+    fallback) with :mod:`repro.circuits.pauli_kernels`."""
+    from repro.circuits.pauli_kernels import _popcount
+
+    return (_popcount(values) & 1).astype(bool)
+
+
+def _schedule(num_fragments: int, order: int) -> list[tuple[int, float]]:
+    """The fragment visit order of one product-formula step.
+
+    Returns ``(fragment_index, fraction)`` pairs where ``fraction`` scales the
+    step slice ``dt`` — the mask-level mirror of
+    :func:`repro.core.trotter._formula_step` (Suzuki recursion included).
+    """
+    forward = list(range(num_fragments))
+    if order == 1:
+        return [(i, 1.0) for i in forward]
+    if order == 2:
+        return [(i, 0.5) for i in forward] + [(i, 0.5) for i in reversed(forward)]
+    k = order // 2
+    u_k = 1.0 / (4.0 - 4.0 ** (1.0 / (2 * k - 1)))
+    inner = _schedule(num_fragments, order - 2)
+    outer = [(i, frac * u_k) for i, frac in inner]
+    middle = [(i, frac * (1.0 - 4.0 * u_k)) for i, frac in inner]
+    return outer * 2 + middle + outer * 2
+
+
+def _merged_schedule(num_fragments: int, order: int) -> list[tuple[int, float]]:
+    """The schedule with consecutive visits of the same fragment coalesced.
+
+    Exact: repeated factors of one fragment are exponentials of proportional
+    generators, so their angles add (this absorbs the order-2 turnaround and
+    the Suzuki recursion boundaries).
+    """
+    merged: list[tuple[int, float]] = []
+    for index, fraction in _schedule(num_fragments, order):
+        if merged and merged[-1][0] == index:
+            merged[-1] = (index, merged[-1][1] + fraction)
+        else:
+            merged.append((index, fraction))
+    return merged
+
+
+def _check_table_width(entries, label: str) -> None:
+    """Refuse fragments whose factored support table would still be huge.
+
+    Applies the exact :func:`_factor_z_masks` policy the baking uses: after
+    peeling off the common Z component, the residual support is bounded by the
+    fragment's transition + number qubits; a fragment keeping more than
+    :data:`_MAX_TABLE_BITS` residual Z-active qubits (2^14+ table entries)
+    has no compact plan representation.
+    """
+    _, residual = _factor_z_masks([z_mask for _, z_mask, _, _ in entries])
+    if bin(residual).count("1") > _MAX_TABLE_BITS:
+        raise PlanLoweringError(
+            f"fragment {label!r} keeps {bin(residual).count('1')} residual "
+            f"Z-active qubits after factoring; the support table would exceed "
+            f"2^{_MAX_TABLE_BITS} entries"
+        )
+
+
+def _fragment_masks(pauli_operator) -> list[tuple[int, int, complex, float]]:
+    """Lower a Pauli operator to ``(x, z, phase, coefficient)`` tuples."""
+    lowered = []
+    for string, coeff in pauli_operator.items():
+        coeff = complex(coeff)
+        if abs(coeff.imag) > 1e-10:
+            raise PlanLoweringError(
+                f"Pauli term {string} has a non-real coefficient {coeff:.3g}; "
+                "the schedule is not a Hermitian evolution"
+            )
+        x_mask, z_mask, phase = pauli_masks(str(string))
+        lowered.append((x_mask, z_mask, phase, coeff.real))
+    return lowered
+
+
+def lower_problem(problem: "SimulationProblem", strategy: str) -> EvolutionPlan:
+    """Lower a problem's Trotter schedule for the given evolution strategy.
+
+    Raises :class:`PlanLoweringError` when the pair cannot be represented as a
+    mask plan: non-evolution strategies, direct fragments whose strings do not
+    share an X mask (impossible for SCB terms, checked defensively), or the
+    ``complex_mode="trotter_split"`` option paired with complex transition
+    coefficients (there the circuit intentionally carries a splitting error
+    the exact plan would not reproduce).
+    """
+    if strategy not in LOWERABLE_STRATEGIES:
+        raise PlanLoweringError(
+            f"strategy {strategy!r} does not lower to a mask plan "
+            f"(supported: {', '.join(LOWERABLE_STRATEGIES)})"
+        )
+
+    fragments: list[list[tuple[int, int, complex, float]]] = []
+    if strategy == "pauli":
+        # One single-string group per Pauli term, in pauli_fragments() order.
+        for entry in _fragment_masks(problem.pauli_operator()):
+            fragments.append([entry])
+    else:
+        split_mode = problem.options.complex_mode == "trotter_split"
+        for fragment in problem.hamiltonian.hermitian_fragments():
+            term = fragment.term
+            if (
+                split_mode
+                and fragment.include_hc
+                and abs(complex(term.coefficient).imag) > 1e-12
+                and term.transition_qubits
+            ):
+                raise PlanLoweringError(
+                    f"fragment {term.label!r} with a complex coefficient under "
+                    "complex_mode='trotter_split' carries a deliberate "
+                    "splitting error the exact mask plan would not reproduce"
+                )
+            entries = _fragment_masks(fragment.to_pauli())
+            if len({x for x, _, _, _ in entries}) > 1:
+                raise PlanLoweringError(
+                    f"fragment {term.label!r} decomposes into strings with "
+                    "mixed X masks; not a single permutation-diagonal block"
+                )
+            _check_table_width(entries, term.label)
+            fragments.append(entries)
+
+    dt = problem.time / problem.steps
+    groups: list[tuple[MaskRotation, ...]] = []
+    step_phase = 0.0
+    for index, fraction in _merged_schedule(len(fragments), problem.order):
+        group = []
+        for x_mask, z_mask, phase, coefficient in fragments[index]:
+            theta = coefficient * fraction * dt
+            if x_mask == 0 and z_mask == 0:
+                step_phase -= theta
+            else:
+                group.append(MaskRotation(x_mask, z_mask, phase, theta))
+        if group:
+            groups.append(tuple(group))
+    return EvolutionPlan(
+        num_qubits=problem.num_qubits,
+        steps=problem.steps,
+        step_groups=tuple(groups),
+        step_phase=step_phase,
+        strategy=strategy,
+    )

@@ -20,6 +20,7 @@ from repro.circuits.unitary import circuit_unitary
 from repro.exceptions import CompileError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.compile.plan import EvolutionPlan
     from repro.compile.problem import SimulationProblem
     from repro.compile.strategies import ResourceEstimate, Strategy
 
@@ -43,6 +44,8 @@ class CompiledProgram:
     metadata: dict = field(default_factory=dict)
     _circuit: QuantumCircuit | None = field(default=None, repr=False)
     _execution_circuit: QuantumCircuit | None = field(default=None, repr=False)
+    _evolution_plan: "EvolutionPlan | None" = field(default=None, repr=False)
+    _plan_unavailable: bool = field(default=False, repr=False)
     _sparse_operators: tuple | None = field(default=None, repr=False)
     _unitary: np.ndarray | None = field(default=None, repr=False)
     _matrix: np.ndarray | None = field(default=None, repr=False)
@@ -90,6 +93,28 @@ class CompiledProgram:
                 self.circuit, max_fused_qubits=options.fusion_max_qubits
             )
         return self._execution_circuit
+
+    def evolution_plan(self) -> "EvolutionPlan | None":
+        """Cached mask-rotation plan of the Trotter schedule, or ``None``.
+
+        Built once per program (like :attr:`execution_circuit`) and reused
+        across Trotter steps, ``run_many`` initial-state sweeps and error-curve
+        points.  ``None`` when the (problem, strategy) pair has no matrix-free
+        lowering — non-evolution strategies, or direct fragments whose Pauli
+        decompositions do not mutually commute — in which case the ``kernel``
+        backend falls back to the circuit path.
+        """
+        if self._plan_unavailable:
+            return None
+        if self._evolution_plan is None:
+            from repro.compile.plan import PlanLoweringError, lower_problem
+
+            try:
+                self._evolution_plan = lower_problem(self.problem, self.strategy_name)
+            except PlanLoweringError:
+                self._plan_unavailable = True
+                return None
+        return self._evolution_plan
 
     def sparse_operators(self) -> tuple:
         """Cached full-space CSR operators of the execution circuit.

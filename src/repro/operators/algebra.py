@@ -31,11 +31,21 @@ def _match_basis(matrix: np.ndarray) -> tuple[complex, SCBOperator | None]:
     raise OperatorError("matrix is not proportional to a Single Component Basis operator")
 
 
-# Precomputed Cayley table: (a, b) -> (coeff, op or None)
-_PRODUCT_TABLE: dict[tuple[SCBOperator, SCBOperator], tuple[complex, SCBOperator | None]] = {}
-for _a in ALL_SCB_OPERATORS:
-    for _b in ALL_SCB_OPERATORS:
-        _PRODUCT_TABLE[(_a, _b)] = _match_basis(_a.matrix @ _b.matrix)
+# Cayley table: (a, b) -> (coeff, op or None).  Derived from the matrices on
+# first use rather than at import time: the 64 `_match_basis` searches were a
+# measurable slice of `import repro`, and most sessions never touch them.
+_PRODUCT_TABLE: dict[tuple[SCBOperator, SCBOperator], tuple[complex, SCBOperator | None]] | None = None
+
+
+def _product_table() -> dict[tuple[SCBOperator, SCBOperator], tuple[complex, SCBOperator | None]]:
+    global _PRODUCT_TABLE
+    if _PRODUCT_TABLE is None:
+        _PRODUCT_TABLE = {
+            (a, b): _match_basis(a.matrix @ b.matrix)
+            for a in ALL_SCB_OPERATORS
+            for b in ALL_SCB_OPERATORS
+        }
+    return _PRODUCT_TABLE
 
 
 def single_qubit_product(
@@ -47,14 +57,14 @@ def single_qubit_product(
     and identity) is again proportional to a basis operator — this closure is
     what Table IV of the paper tabulates.
     """
-    return _PRODUCT_TABLE[(a, b)]
+    return _product_table()[(a, b)]
 
 
 def cayley_table() -> dict[tuple[str, str], tuple[complex, str | None]]:
     """The full Cayley table keyed by operator labels (Table IV)."""
     return {
         (a.label, b.label): (coeff, op.label if op is not None else None)
-        for (a, b), (coeff, op) in _PRODUCT_TABLE.items()
+        for (a, b), (coeff, op) in _product_table().items()
     }
 
 

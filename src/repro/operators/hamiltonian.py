@@ -65,6 +65,7 @@ class Hamiltonian:
             raise OperatorError("num_qubits must be non-negative")
         self.num_qubits = int(num_qubits)
         self._terms: list[SCBTerm] = []
+        self._evolve_matrix: sp.spmatrix | None = None
         for term in terms:
             self.add_term(term)
 
@@ -98,6 +99,7 @@ class Hamiltonian:
             )
         if abs(term.coefficient) > 1e-15:
             self._terms.append(term)
+            self._evolve_matrix = None
         return self
 
     def add_label(self, label: str, coefficient: complex = 1.0) -> "Hamiltonian":
@@ -207,11 +209,24 @@ class Hamiltonian:
 
         This is the reference every circuit construction is verified against;
         it scales to registers far beyond the dense-unitary limit (e.g. the
-        15-qubit example of Fig. 2).
+        15-qubit example of Fig. 2).  ``state`` may also be a ``(2^n, batch)``
+        array — every column is evolved by the same ``expm_multiply`` call.
+
+        The CSC matrix is assembled once and cached (invalidated by
+        :meth:`add_term`), so callers that evolve many states — e.g.
+        :func:`~repro.analysis.trotter_error.trotter_error_state` — pay the
+        kron-chain a single time.
         """
-        state = np.asarray(state, dtype=complex).reshape(-1)
-        mat = self.matrix(sparse=True).tocsc()
-        return spla.expm_multiply(-1j * time * mat, state)
+        state = np.asarray(state, dtype=complex)
+        if state.ndim == 1:
+            state = state.reshape(-1)
+        elif state.ndim != 2:
+            raise OperatorError(
+                f"expected a vector or a (dim, batch) array, got shape {state.shape}"
+            )
+        if self._evolve_matrix is None:
+            self._evolve_matrix = self.matrix(sparse=True).tocsc()
+        return spla.expm_multiply(-1j * time * self._evolve_matrix, state)
 
     # -------------------------------------------------------------- statistics
 

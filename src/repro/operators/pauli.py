@@ -16,17 +16,27 @@ import scipy.sparse as sp
 from repro.exceptions import OperatorError
 from repro.operators.single_component import PAULI_LABELS, pauli_matrix
 
-# Single-qubit Pauli multiplication table: (a, b) -> (phase, result)
-_PAULI_PRODUCT: dict[tuple[str, str], tuple[complex, str]] = {}
-for _a in PAULI_LABELS:
-    for _b in PAULI_LABELS:
-        prod = pauli_matrix(_a) @ pauli_matrix(_b)
-        for _c in PAULI_LABELS:
-            mat = pauli_matrix(_c)
-            overlap = np.trace(mat.conj().T @ prod) / 2.0
-            if abs(overlap) > 1e-12:
-                _PAULI_PRODUCT[(_a, _b)] = (complex(overlap), _c)
-                break
+# Single-qubit Pauli multiplication table: (a, b) -> (phase, result).  Derived
+# from the matrices on first use (not at import time) so that `import repro`
+# never pays for the 16 products — see also the lazy Cayley table of
+# :mod:`repro.operators.algebra`.
+_PAULI_PRODUCT: dict[tuple[str, str], tuple[complex, str]] | None = None
+
+
+def _pauli_product_table() -> dict[tuple[str, str], tuple[complex, str]]:
+    global _PAULI_PRODUCT
+    if _PAULI_PRODUCT is None:
+        table: dict[tuple[str, str], tuple[complex, str]] = {}
+        for a in PAULI_LABELS:
+            for b in PAULI_LABELS:
+                prod = pauli_matrix(a) @ pauli_matrix(b)
+                for c in PAULI_LABELS:
+                    overlap = np.trace(pauli_matrix(c).conj().T @ prod) / 2.0
+                    if abs(overlap) > 1e-12:
+                        table[(a, b)] = (complex(overlap), c)
+                        break
+        _PAULI_PRODUCT = table
+    return _PAULI_PRODUCT
 
 
 @dataclass(frozen=True)
@@ -82,8 +92,9 @@ class PauliString:
             raise OperatorError("Pauli strings act on different numbers of qubits")
         phase: complex = 1.0
         labels = []
+        table = _pauli_product_table()
         for a, b in zip(self.labels, other.labels):
-            p, c = _PAULI_PRODUCT[(a, b)]
+            p, c = table[(a, b)]
             phase *= p
             labels.append(c)
         return phase, PauliString("".join(labels))

@@ -1,10 +1,10 @@
 """Cross-backend differential harness.
 
 Every execution path must tell the same story: the dense ``statevector``
-backend, the CSR ``sparse`` backend and the gate-fused variants of both are
-run against each other — and, for evolution programs, against the ``exact``
-``expm_multiply`` oracle — on random 3–6-qubit SCB Hamiltonians across all
-registered strategies.  Fidelity must exceed ``1 - 1e-10`` wherever the
+backend, the CSR ``sparse`` backend, the matrix-free ``kernel`` backend and
+the gate-fused variants are run against each other — and, for evolution
+programs, against the ``exact`` ``expm_multiply`` oracle — on random
+3–6-qubit SCB Hamiltonians across all registered strategies.  Fidelity must exceed ``1 - 1e-10`` wherever the
 comparison is exact (same circuit, or commuting fragments), and converge at
 the Trotter rate where it is not.
 """
@@ -79,6 +79,7 @@ class TestBackendsAgreeOnTheSameCircuit:
             (fused, "statevector"),
             (plain, "sparse"),
             (fused, "sparse"),
+            (plain, "kernel"),
         ):
             result = program.run(backend=backend)
             label = f"{strategy}/{backend}/fused={program is fused}"
@@ -94,6 +95,20 @@ class TestBackendsAgreeOnTheSameCircuit:
         assert fidelity(reference, fused.run(backend="statevector", initial_state=psi)) > EXACT_FIDELITY
         assert fidelity(reference, plain.run(backend="sparse", initial_state=psi)) > EXACT_FIDELITY
         assert fidelity(reference, fused.run(backend="sparse", initial_state=psi)) > EXACT_FIDELITY
+        assert fidelity(reference, plain.run(backend="kernel", initial_state=psi)) > EXACT_FIDELITY
+
+    @pytest.mark.parametrize("strategy", EVOLUTION_STRATEGIES)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kernel_plan_matches_statevector_exactly(self, strategy, seed):
+        # Stricter than fidelity: the mask plan must reproduce the circuit's
+        # full complex vector (global phase included) to 1e-10.
+        problem = random_problem(seed + 30)
+        program = repro.compile(problem, strategy, steps=2, order=2)
+        psi = random_statevector(problem.num_qubits, np.random.default_rng(seed))
+        reference = program.run(backend="statevector", initial_state=psi)
+        kernel = program.run(backend="kernel", initial_state=psi)
+        assert program.evolution_plan() is not None
+        np.testing.assert_allclose(kernel.data, reference.data, atol=1e-10)
 
 
 class TestDensityMatrixAgreesWithStatevector:
@@ -174,6 +189,7 @@ class TestExactOracle:
         oracle = program.run(backend="exact")
         assert fidelity(oracle, program.run(backend="statevector")) > EXACT_FIDELITY
         assert fidelity(oracle, program.run(backend="sparse")) > EXACT_FIDELITY
+        assert fidelity(oracle, program.run(backend="kernel")) > EXACT_FIDELITY
 
     def test_trotter_error_converges_to_the_oracle(self):
         problem = random_problem(5, num_qubits=4)
@@ -232,3 +248,11 @@ class TestBeyondTheDenseLimit:
         program = repro.compile(problem, "direct", optimize_level=1)
         oracle = program.run(backend="exact")
         assert fidelity(oracle, program.run(backend="sparse")) > EXACT_FIDELITY
+
+    def test_kernel_backend_matches_exact_on_14_qubits(self):
+        problem = random_problem(22, num_qubits=14, num_terms=5)
+        program = repro.compile(problem, "direct", steps=8, order=2)
+        oracle = program.run(backend="exact")
+        kernel = program.run(backend="kernel")
+        assert program.evolution_plan() is not None
+        assert fidelity(oracle, kernel) > 1 - 1e-4  # Trotter error only
