@@ -15,6 +15,13 @@ fused statevector at 16 qubits), adds one wide kernel-only point (22 qubits)
 the dense path cannot reach in comparable time, and writes everything to
 ``BENCH_kernels.json``.
 
+Programs come from a shared :class:`repro.runtime.Session` (cache disabled —
+this is a timing bench): the session's content-keyed memo shares one compiled
+program per (problem, options, strategy), so the correctness replays and the
+quick-mode regression gate reuse the same build products the timed closures
+warmed.  The runtime layer's own cold/cached/parallel wall-clocks live in
+``bench_runtime_sweep.py`` → ``BENCH_runtime.json``.
+
 Run with ``pytest benchmarks/bench_kernel_evolution.py -s`` (not part of the
 tier-1 suite); ``check_bench_regressions.py`` replays the small sizes in CI.
 """
@@ -29,8 +36,13 @@ import numpy as np
 
 import repro
 from benchmarks.conftest import print_table
+from repro.runtime import Session
 
 RESULT_PATH = Path(__file__).resolve().parent / "BENCH_kernels.json"
+
+#: Shared compile engine: content-keyed program memo, no result cache (the
+#: closures below time backend execution, not cache reads).
+SESSION = Session(cache=False)
 
 TIME = 0.25
 ORDER = 2
@@ -95,7 +107,7 @@ def best_of(fn, repeats: int = 3) -> float:
 def measure_point(num_qubits: int, *, kernel_only: bool = False, repeats: int = 3) -> dict:
     # The wide kernel-only point halves the step count to stay a quick probe.
     problem = chemistry_problem(num_qubits, steps=2 if kernel_only else 4)
-    kernel_program = repro.compile(problem, "direct")
+    kernel_program = SESSION.compile(problem, "direct")
     assert kernel_program.evolution_plan() is not None
     kernel_program.run(backend="kernel")  # warm the plan + baked tables
 
@@ -109,7 +121,7 @@ def measure_point(num_qubits: int, *, kernel_only: bool = False, repeats: int = 
     if kernel_only:
         return point
 
-    fused = repro.compile(problem, "direct", optimize_level=1)
+    fused = SESSION.compile(problem.with_options(optimize_level=1), "direct")
     fused.run(backend="statevector")  # warm circuit build + fusion
     fused.run(backend="sparse")  # warm the CSR embedding
     point["statevector_fused_s"] = best_of(
@@ -134,8 +146,9 @@ def test_kernel_backend_speedup(benchmark):
         measure_point(n, kernel_only=True, repeats=1) for n in KERNEL_ONLY_QUBITS
     ]
 
-    # Correctness against the Trotter-free oracle at a checkable size.
-    program = repro.compile(chemistry_problem(12), "direct")
+    # Correctness against the Trotter-free oracle at a checkable size; the
+    # memo hands back the 12-qubit program measure_point already built.
+    program = SESSION.compile(chemistry_problem(12), "direct")
     oracle = program.run(backend="exact")
     state = program.run(backend="kernel")
     assert abs(np.vdot(state.data, oracle.data)) ** 2 > 1 - 1e-3  # Trotter error only

@@ -13,6 +13,14 @@ Two claims are measured on the 2-site Fermi–Hubbard chemistry Hamiltonian
 
 The measured numbers are written to ``BENCH_sampling.json`` next to this file
 so the advantage can be tracked across commits.
+
+The study also runs through the :mod:`repro.runtime` layer: the multi-seed
+sampling repeats execute as a seeded ``SweepSpec(repeats=...)`` through the
+session's executor (worker-count-independent streams), and the whole
+measurement study is content-addressed in a session cache — the recorded
+``study_cached_s`` is what any re-run with unchanged inputs costs.  The
+dedicated serial-vs-4-worker wall-clock comparison lives in
+``bench_runtime_sweep.py`` → ``BENCH_runtime.json``.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.applications.chemistry import (
     measurement_reference_state,
 )
 from repro.noise import NoiseModel
+from repro.runtime import Session, SweepSpec
 
 RESULT_PATH = Path(__file__).resolve().parent / "BENCH_sampling.json"
 
@@ -76,13 +85,18 @@ def test_estimator_scb_beats_pauli_at_fixed_shots(benchmark):
     assert study.scb_std_error < study.pauli_std_error
     assert study.variance_ratio > 1.0
 
-    # Timings of the new execution modes on the same workload.
+    # Timings of the new execution modes on the same workload; programs come
+    # from a session memo, so every closure below shares one build each.
+    import tempfile
+    from pathlib import Path
+
+    session = Session(cache=Path(tempfile.mkdtemp(prefix="bench-sampling-")) / "c")
     problem = repro.SimulationProblem(hamiltonian, 0.15, steps=2, order=2)
-    clean = repro.compile(problem, "direct")
-    noisy = repro.compile(
-        problem, "direct",
-        noise_model=NoiseModel.uniform_depolarizing(0.002, readout=0.01),
+    noisy_problem = problem.with_options(
+        noise_model=NoiseModel.uniform_depolarizing(0.002, readout=0.01)
     )
+    clean = session.compile(problem, "direct")
+    noisy = session.compile(noisy_problem, "direct")
     psi = clean.run(backend="statevector")
     rho_ideal = clean.run(backend="density_matrix")
     assert rho_ideal.fidelity(psi) > 1 - 1e-10  # ideal ρ matches |ψ⟩⟨ψ|
@@ -99,6 +113,45 @@ def test_estimator_scb_beats_pauli_at_fixed_shots(benchmark):
         ),
     }
     rho_noisy = noisy.run(backend="density_matrix")
+
+    # The same repeats, as a declarative seeded sweep through the runtime
+    # executor: one spawned stream per replica, identical under any worker
+    # count, every replica content-addressed in the session cache.
+    sweep_spec = SweepSpec(
+        problem=noisy_problem,
+        backend="sampling",
+        run_kwargs={"shots": TOTAL_SHOTS},
+        repeats=REPEATS,
+        seed=1,
+        name="noisy-sampling-repeats",
+    )
+    start = time.perf_counter()
+    sweep_cold = session.sweep(sweep_spec)
+    sweep_cold_s = time.perf_counter() - start
+    assert sweep_cold.ok and len(sweep_cold) == REPEATS
+    start = time.perf_counter()
+    sweep_warm = session.sweep(sweep_spec)
+    sweep_warm_s = time.perf_counter() - start
+    assert sweep_warm.num_cached == REPEATS
+    assert [r.value.counts for r in sweep_warm] == [
+        r.value.counts for r in sweep_cold
+    ]
+
+    # The full measurement study, content-addressed: a repeated Annex-C
+    # re-run with unchanged inputs is one cache read.
+    start = time.perf_counter()
+    cached_study = chemistry_measurement_study(
+        total_shots=TOTAL_SHOTS, repeats=REPEATS, rng=0, state=state,
+        session=session,
+    )
+    study_cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    replay = chemistry_measurement_study(
+        total_shots=TOTAL_SHOTS, repeats=REPEATS, rng=0, state=state,
+        session=session,
+    )
+    study_cached_s = time.perf_counter() - start
+    assert replay == cached_study
 
     payload = {
         "workload": {
@@ -122,6 +175,13 @@ def test_estimator_scb_beats_pauli_at_fixed_shots(benchmark):
         "noisy_state_purity": round(rho_noisy.purity(), 6),
         "ideal_density_fidelity": round(rho_ideal.fidelity(psi), 12),
         **{k: round(v, 6) for k, v in times.items()},
+        "runtime": {
+            "sampling_sweep_cold_s": round(sweep_cold_s, 6),
+            "sampling_sweep_cached_s": round(sweep_warm_s, 6),
+            "study_cold_s": round(study_cold_s, 6),
+            "study_cached_s": round(study_cached_s, 6),
+            "study_cache_speedup": round(study_cold_s / max(study_cached_s, 1e-9), 1),
+        },
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {RESULT_PATH.name}: variance ratio "

@@ -1,0 +1,154 @@
+"""The runtime layer's two headline numbers on the Annex-C chemistry grid.
+
+The workload is the 16-point strategy × steps grid over the Jordan–Wigner
+Fermi–Hubbard chain (10 qubits, genuine two-body transition fragments — the
+Hamiltonian family of the paper's Annex-C study), swept through a
+:class:`repro.runtime.Session` three ways:
+
+1. **cold, serial** — every point compiles and runs in-process;
+2. **cold, 4-worker pool** — the same grid fanned out over processes
+   (chunk size 1 for load balance); the acceptance claim is ≥ 2× over serial
+   *on a ≥ 4-core runner* (asserted only when that many cores exist — the
+   measured machine's core count is recorded either way);
+3. **warm** — the same sweep replayed against the serial run's cache; the
+   acceptance claim is ≥ 10× over the cold serial run, and every cached
+   statevector must agree with a fresh recomputation to 1e-12.
+
+Everything lands in ``BENCH_runtime.json``; ``check_bench_regressions.py``
+replays the warm path in CI.
+
+Run with ``pytest benchmarks/bench_runtime_sweep.py -s`` (not part of the
+tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import print_table
+from repro.applications.chemistry import fermi_hubbard_chain, jordan_wigner_scb
+from repro.runtime import ProcessExecutor, Session, SweepSpec
+
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_runtime.json"
+
+#: Annex-C chemistry grid: 2 strategies × 8 step counts = 16 points.
+STRATEGIES = ("direct", "pauli")
+STEPS = (2, 4, 6, 8, 12, 16, 20, 24)
+TIME = 0.25
+ORDER = 2
+N_WORKERS = 4
+
+#: Acceptance thresholds.
+CACHE_CLAIM = 10.0
+PARALLEL_CLAIM = 2.0
+
+
+def annex_c_sweep() -> SweepSpec:
+    """Strategy × steps grid over the 5-site (10-qubit) JW Hubbard chain."""
+    hamiltonian = jordan_wigner_scb(fermi_hubbard_chain(5, 1.0, 4.0))
+    problem = repro.SimulationProblem(
+        hamiltonian, TIME, order=ORDER, name="annex-c-hubbard"
+    )
+    return SweepSpec(
+        problem=problem,
+        strategies=STRATEGIES,
+        steps=STEPS,
+        backend="statevector",
+        name="annex-c-grid",
+    )
+
+
+def timed_sweep(session: Session, spec: SweepSpec):
+    start = time.perf_counter()
+    results = session.sweep(spec)
+    return results, time.perf_counter() - start
+
+
+def test_runtime_sweep_cache_and_fanout(benchmark):
+    spec = annex_c_sweep()
+    workdir = Path(tempfile.mkdtemp(prefix="bench-runtime-"))
+
+    serial_session = Session(cache=workdir / "cache")
+    cold, cold_s = timed_sweep(serial_session, spec)
+    assert cold.ok and cold.num_cached == 0
+
+    pooled_session = Session(
+        cache=False, executor=ProcessExecutor(N_WORKERS, chunk_size=1)
+    )
+    pooled, pooled_s = timed_sweep(pooled_session, spec)
+    assert pooled.ok
+
+    warm, warm_s = timed_sweep(serial_session, spec)
+    assert warm.num_cached == len(warm) == 16
+
+    # Cached results must be indistinguishable from fresh computation.
+    for cold_record, warm_record, pooled_record in zip(cold, warm, pooled):
+        np.testing.assert_allclose(
+            warm_record.value.data, cold_record.value.data, atol=1e-12, rtol=0
+        )
+        np.testing.assert_allclose(
+            pooled_record.value.data, cold_record.value.data, atol=1e-12, rtol=0
+        )
+
+    cache_speedup = cold_s / warm_s
+    parallel_speedup = cold_s / pooled_s
+    cores = os.cpu_count() or 1
+
+    assert cache_speedup >= CACHE_CLAIM, (
+        f"cached sweep is only {cache_speedup:.1f}x over cold serial "
+        f"(need ≥{CACHE_CLAIM}x)"
+    )
+    if cores >= 4:
+        assert parallel_speedup >= PARALLEL_CLAIM, (
+            f"4-worker cold sweep is only {parallel_speedup:.2f}x over serial "
+            f"on a {cores}-core machine (need ≥{PARALLEL_CLAIM}x)"
+        )
+
+    # The benchmarked quantity: the cached replay (the steady-state cost of
+    # re-running any study with unchanged inputs).
+    benchmark(lambda: serial_session.sweep(spec))
+
+    payload = {
+        "workload": {
+            "hamiltonian": "fermi_hubbard_chain(5, t=1.0, U=4.0) under Jordan-Wigner",
+            "num_qubits": spec.problem.num_qubits,
+            "grid": f"{len(STRATEGIES)} strategies x {len(STEPS)} step counts",
+            "points": spec.num_points,
+            "backend": "statevector",
+            "time": TIME,
+            "order": ORDER,
+        },
+        "machine_cores": cores,
+        "n_workers": N_WORKERS,
+        "serial_cold_s": round(cold_s, 6),
+        "pool_cold_s": round(pooled_s, 6),
+        "cached_s": round(warm_s, 6),
+        "cache_speedup": round(cache_speedup, 2),
+        "parallel_speedup": round(parallel_speedup, 2),
+        "parallel_claim_checked": cores >= 4,
+        "claims": {
+            "cache_hit_speedup_min": CACHE_CLAIM,
+            "parallel_speedup_min_on_4_cores": PARALLEL_CLAIM,
+        },
+        "cached_equals_cold_atol": 1e-12,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_table(
+        "repro.runtime — Annex-C chemistry grid (16 points, 10 qubits)",
+        ["path", "wall clock (s)", "speedup vs cold serial"],
+        [
+            ["serial, cold", f"{cold_s:.3f}", "1.0x"],
+            [f"{N_WORKERS}-worker pool, cold ({cores} cores)",
+             f"{pooled_s:.3f}", f"{parallel_speedup:.2f}x"],
+            ["serial, cached", f"{warm_s:.4f}", f"{cache_speedup:.1f}x"],
+        ],
+    )
+    print(f"\nwrote {RESULT_PATH.name}")

@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Quick-mode benchmark regression gate.
 
-Replays the small sizes of the two hot-path benchmarks — the gate-fusion
-statevector bench (10 qubits) and the kernel-evolution bench (10 and 12
-qubits) — against the checked-in ``BENCH_*.json`` baselines.
+Replays the small sizes of the three hot-path benchmarks — the gate-fusion
+statevector bench (10 qubits), the kernel-evolution bench (10 and 12
+qubits) and the runtime layer's cached 16-point sweep — against the
+checked-in ``BENCH_*.json`` baselines.
 
 The baselines are absolute wall-clock seconds from the machine that produced
 them, and CI runners are not that machine, so the gate is **self-normalizing**:
@@ -82,9 +83,35 @@ def main() -> int:
             }
         )
 
+    import tempfile
+    from pathlib import Path as _Path
+
+    from benchmarks.bench_runtime_sweep import RESULT_PATH as RUNTIME_PATH
+    from benchmarks.bench_runtime_sweep import annex_c_sweep
+    from repro.runtime import Session
+
+    runtime_baseline = json.loads(RUNTIME_PATH.read_text())
+    spec = annex_c_sweep()
+    session = Session(cache=_Path(tempfile.mkdtemp(prefix="bench-gate-")) / "c")
+    session.sweep(spec)  # fill the cache; the gated path is the warm replay
+    measurements.append(
+        {
+            "name": "runtime/cached_sweep_16pt",
+            "measured_s": best_of(lambda: session.sweep(spec)),
+            "baseline_s": runtime_baseline["cached_s"],
+            # Hash/IO-bound, not numpy-bound: it scales differently from the
+            # kernel benches, so it must not define the machine-speed factor
+            # (a runner with fast disks but slow BLAS would otherwise flag
+            # the unchanged CPU benches).  It is still *gated* like the rest.
+            "sets_machine_factor": False,
+        }
+    )
+
     for m in measurements:
         m["ratio"] = m["measured_s"] / m["baseline_s"] if m["baseline_s"] > 0 else float("inf")
-    machine_factor = min(m["ratio"] for m in measurements)
+    machine_factor = min(
+        m["ratio"] for m in measurements if m.get("sets_machine_factor", True)
+    )
     for m in measurements:
         m["normalized"] = m["ratio"] / machine_factor
         # A check regresses only when it is slow in BOTH views: raw (so a

@@ -21,6 +21,9 @@ The full machinery lives in the subpackages:
   block encodings, LCU machinery, measurement and resource models;
 * :mod:`repro.noise` — Kraus channels, noise models, shot sampling and the
   budgeted measurement estimator;
+* :mod:`repro.runtime` — parallel sweep execution with content-addressed
+  result caching (``Session``, ``SweepSpec``, the ``python -m repro.runtime``
+  CLI);
 * :mod:`repro.applications` — HUBO, chemistry and finite-difference
   applications;
 * :mod:`repro.analysis` — gate-count and Trotter-error reports.
@@ -74,6 +77,15 @@ from repro.operators import (
     SCBOperator,
     SCBTerm,
     scb_decompose_matrix,
+)
+from repro.runtime import (
+    ResultCache,
+    ResultSet,
+    RunRecord,
+    RunSpec,
+    Session,
+    SweepSpec,
+    get_default_session,
 )
 
 # ---------------------------------------------------------------------------
@@ -134,6 +146,14 @@ __all__ = [
     "DensityMatrix",
     "circuit_unitary",
     "transpile",
+    # runtime
+    "Session",
+    "RunSpec",
+    "SweepSpec",
+    "RunRecord",
+    "ResultSet",
+    "ResultCache",
+    "get_default_session",
     # noise & sampling
     "NoiseModel",
     "KrausChannel",

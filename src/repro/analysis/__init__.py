@@ -2,6 +2,7 @@
 
 from repro.analysis.gate_counts import GateCountReport, compare_circuits, gate_count_report
 from repro.analysis.trotter_error import (
+    cached_program_error,
     trotter_error_curve,
     trotter_error_norm,
     trotter_error_state,
@@ -12,6 +13,7 @@ __all__ = [
     "GateCountReport",
     "compare_circuits",
     "gate_count_report",
+    "cached_program_error",
     "trotter_error_curve",
     "trotter_error_norm",
     "trotter_error_state",

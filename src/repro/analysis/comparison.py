@@ -72,6 +72,7 @@ def compare_strategies(
     measurement_shots: int | None = None,
     measurement_state=None,
     measurement_rng=None,
+    session=None,
 ) -> StrategyComparison:
     """Build both single-step circuits and compare their resources and errors.
 
@@ -83,6 +84,11 @@ def compare_strategies(
     uniform superposition ``|+…+⟩`` — an eigenstate (e.g. the ground state)
     would make every SCB setting deterministic and the comparison degenerate;
     pass ``measurement_rng`` to seed the shots.
+
+    With a :class:`~repro.runtime.session.Session`, compilation goes through
+    the session's program memo and the (expensive, deterministic) per-strategy
+    Trotter errors are content-addressed in its result cache — a repeated
+    comparison of an unchanged Hamiltonian recomputes nothing.
     """
     # Imported here: repro.analysis is a dependency of the pipeline's report
     # layer, so a module-level import would be circular.
@@ -97,7 +103,7 @@ def compare_strategies(
         order=order,
         options=CompileOptions.from_any(evolution_options),
     )
-    sweep = compare_all(problem)
+    sweep = compare_all(problem, session=session)
     direct, pauli = sweep["direct"], sweep["pauli"]
 
     options = TranspileOptions(mcx_mode="noancilla")
@@ -106,14 +112,24 @@ def compare_strategies(
 
     direct_error = pauli_error = float("nan")
     if compute_error:
+        from repro.analysis.trotter_error import cached_program_error
+
         if hamiltonian.num_qubits <= 9:
-            direct_error = trotter_error_norm(hamiltonian, direct, time)
-            pauli_error = trotter_error_norm(hamiltonian, pauli, time)
+            direct_error = cached_program_error(
+                hamiltonian, direct, time, use_norm=True, session=session
+            )
+            pauli_error = cached_program_error(
+                hamiltonian, pauli, time, use_norm=True, session=session
+            )
         else:
             # Whole programs, not circuits: past the dense-unitary regime the
             # state error runs on the matrix-free kernel plan when available.
-            direct_error = trotter_error_state(hamiltonian, direct, time, rng=0)
-            pauli_error = trotter_error_state(hamiltonian, pauli, time, rng=0)
+            direct_error = cached_program_error(
+                hamiltonian, direct, time, use_norm=False, rng=0, session=session
+            )
+            pauli_error = cached_program_error(
+                hamiltonian, pauli, time, use_norm=False, rng=0, session=session
+            )
 
     extra: dict = {}
     if measurement_shots is not None:

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.trotter_error import trotter_error_norm, trotter_error_state
 from repro.applications.chemistry.fermion import FermionOperator
 from repro.applications.chemistry.jordan_wigner import jordan_wigner_scb
 from repro.operators.hamiltonian import Hamiltonian
@@ -70,10 +69,13 @@ def compare_partitionings(
     steps: int = 1,
     order: int = 1,
     num_modes: int | None = None,
+    session=None,
 ) -> TrotterComparison:
     """Build both Trotter circuits for a fermionic operator and measure their errors."""
     hamiltonian = jordan_wigner_scb(fermion_operator, num_modes)
-    return compare_partitionings_scb(hamiltonian, time, steps=steps, order=order)
+    return compare_partitionings_scb(
+        hamiltonian, time, steps=steps, order=order, session=session
+    )
 
 
 def compare_partitionings_scb(
@@ -82,25 +84,40 @@ def compare_partitionings_scb(
     *,
     steps: int = 1,
     order: int = 1,
+    session=None,
 ) -> TrotterComparison:
-    """Same comparison starting from an SCB Hamiltonian (pipeline-backed)."""
+    """Same comparison starting from an SCB Hamiltonian (pipeline-backed).
+
+    With a :class:`~repro.runtime.session.Session`, compiled programs come
+    from the session's memo and both partitioning errors are
+    content-addressed in its result cache.
+    """
+    from repro.analysis.trotter_error import cached_program_error
     from repro.compile.pipeline import compare_all
     from repro.compile.problem import SimulationProblem
 
     n = hamiltonian.num_qubits
     problem = SimulationProblem(hamiltonian, time, steps=steps, order=order)
-    sweep = compare_all(problem)
+    sweep = compare_all(problem, session=session)
     direct_circuit = sweep["direct"].circuit
     pauli_circuit = sweep["pauli"].circuit
 
     if n <= 9:
-        direct_error = trotter_error_norm(hamiltonian, direct_circuit, time)
-        pauli_error = trotter_error_norm(hamiltonian, pauli_circuit, time)
+        direct_error = cached_program_error(
+            hamiltonian, sweep["direct"], time, use_norm=True, session=session
+        )
+        pauli_error = cached_program_error(
+            hamiltonian, sweep["pauli"], time, use_norm=True, session=session
+        )
     else:
         # Pass the programs: beyond the dense regime the state error batches
         # its random states through the mask-plan kernel engine.
-        direct_error = trotter_error_state(hamiltonian, sweep["direct"], time, rng=0)
-        pauli_error = trotter_error_state(hamiltonian, sweep["pauli"], time, rng=0)
+        direct_error = cached_program_error(
+            hamiltonian, sweep["direct"], time, use_norm=False, rng=0, session=session
+        )
+        pauli_error = cached_program_error(
+            hamiltonian, sweep["pauli"], time, use_norm=False, rng=0, session=session
+        )
 
     return TrotterComparison(
         time=time,

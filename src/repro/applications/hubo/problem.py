@@ -70,6 +70,33 @@ class HUBOProblem:
     def terms(self) -> dict[tuple[int, ...], float]:
         return dict(self._terms)
 
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form (monomials in sorted variable order)."""
+        return {
+            "num_variables": self.num_variables,
+            "formalism": self.formalism,
+            "terms": [
+                [list(variables), self._terms[variables]]
+                for variables in sorted(self._terms)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HUBOProblem":
+        """Inverse of :meth:`to_dict`."""
+        problem = cls(payload["num_variables"], formalism=payload.get("formalism", "boolean"))
+        for variables, weight in payload["terms"]:
+            problem.add_term(variables, weight)
+        return problem
+
+    def content_key(self) -> str:
+        """Stable content hash of the canonical form."""
+        from repro.utils.serialization import content_hash
+
+        return content_hash(self.to_dict(), tag="hubo")
+
     @property
     def num_terms(self) -> int:
         return len(self._terms)

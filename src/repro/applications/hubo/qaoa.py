@@ -92,10 +92,45 @@ def run_qaoa(
     strategy: str = "direct",
     rng: np.random.Generator | int | None = None,
     maxiter: int = 150,
+    session=None,
 ) -> QAOAResult:
-    """Optimise the QAOA parameters with COBYLA and report the best sample."""
+    """Optimise the QAOA parameters with COBYLA and report the best sample.
+
+    With a :class:`~repro.runtime.session.Session` and an explicit *integer*
+    seed, the whole optimisation is content-addressed in the session's result
+    cache, keyed on the problem's canonical form and every optimiser setting
+    — a repeated HUBO study replays from disk.  An unseeded run (``rng=None``
+    or a live generator) is never cached: freezing one random COBYLA start
+    under a deterministic key would replay that single draw forever.
+    """
     if problem.num_variables > 16:
         raise ProblemError("the statevector QAOA driver is limited to 16 variables")
+    if session is not None and isinstance(rng, (int, np.integer)):
+        payload = {
+            "problem": problem.to_dict(),
+            "num_layers": int(num_layers),
+            "strategy": strategy,
+            "maxiter": int(maxiter),
+            "rng": int(rng),
+        }
+        fields = session.call(
+            "run_qaoa",
+            payload,
+            lambda: _qaoa_result_fields(
+                run_qaoa(
+                    problem, num_layers, strategy=strategy, rng=rng, maxiter=maxiter
+                )
+            ),
+        )
+        return QAOAResult(
+            optimal_value=fields["optimal_value"],
+            optimal_parameters=np.asarray(fields["optimal_parameters"], dtype=float),
+            expectation_history=list(fields["expectation_history"]),
+            best_bitstring=fields["best_bitstring"],
+            best_cost=fields["best_cost"],
+            num_layers=fields["num_layers"],
+            strategy=fields["strategy"],
+        )
     if isinstance(rng, (int, np.integer)) or rng is None:
         rng = np.random.default_rng(rng)
 
@@ -132,6 +167,19 @@ def run_qaoa(
         num_layers=num_layers,
         strategy=strategy,
     )
+
+
+def _qaoa_result_fields(result: QAOAResult) -> dict:
+    """A :class:`QAOAResult` as a JSON-able dict (the session-cache payload)."""
+    return {
+        "optimal_value": float(result.optimal_value),
+        "optimal_parameters": [float(x) for x in result.optimal_parameters],
+        "expectation_history": [float(x) for x in result.expectation_history],
+        "best_bitstring": result.best_bitstring,
+        "best_cost": float(result.best_cost),
+        "num_layers": int(result.num_layers),
+        "strategy": result.strategy,
+    }
 
 
 def approximation_ratio(problem: HUBOProblem, expectation: float) -> float:

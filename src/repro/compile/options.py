@@ -170,6 +170,37 @@ class CompileOptions:
             )
         return replace(base, **overrides)
 
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form (``noise_model`` nested, tuples as lists)."""
+        payload = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "noise_model":
+                value = None if value is None else value.to_dict()
+            elif isinstance(value, tuple):
+                value = list(value)
+            payload[f.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompileOptions":
+        """Inverse of :meth:`to_dict` (full option validation re-applied)."""
+        payload = dict(payload)
+        noise = payload.get("noise_model")
+        if noise is not None:
+            payload["noise_model"] = NoiseModel.from_dict(noise)
+        if "mpf_steps" in payload:
+            payload["mpf_steps"] = tuple(payload["mpf_steps"])
+        return cls.from_any(payload)
+
+    def content_key(self) -> str:
+        """Stable content hash of the validated option set."""
+        from repro.utils.serialization import content_hash
+
+        return content_hash(self.to_dict(), tag="options")
+
     # ------------------------------------------------------ legacy projections
 
     def evolution_options(self) -> EvolutionOptions:

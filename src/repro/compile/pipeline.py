@@ -32,6 +32,34 @@ def _coerce_problem(problem, time=None, **problem_kwargs) -> SimulationProblem:
     )
 
 
+def _with_overrides(
+    problem: SimulationProblem,
+    *,
+    time: float | None = None,
+    steps: int | None = None,
+    order: int | None = None,
+    opts: dict | None = None,
+) -> SimulationProblem:
+    """The problem with validated prescription/option overrides applied.
+
+    One override path shared by :func:`compile_problem`, :func:`compare_all`
+    and :func:`compile_many` — with or without a session — so ``time=``,
+    ``steps=`` and ``order=`` mean the same thing everywhere.
+    """
+    from dataclasses import replace
+
+    updates: dict = {}
+    if time is not None and problem.time != time:
+        updates["time"] = time
+    if steps is not None:
+        updates["steps"] = steps
+    if order is not None:
+        updates["order"] = order
+    if opts:
+        updates["options"] = CompileOptions.from_any(problem.options, **opts)
+    return replace(problem, **updates) if updates else problem
+
+
 def compile_problem(
     problem: SimulationProblem | Hamiltonian,
     strategy: str = "direct",
@@ -48,20 +76,10 @@ def compile_problem(
     :class:`~repro.exceptions.OptionsError`.  ``time``/``steps``/``order``
     override the problem's prescription without mutating it.
     """
-    from dataclasses import replace
-
-    problem = _coerce_problem(problem, time=time)
-    updates: dict = {}
-    if time is not None and problem.time != time:
-        updates["time"] = time
-    if steps is not None:
-        updates["steps"] = steps
-    if order is not None:
-        updates["order"] = order
-    if opts:
-        updates["options"] = CompileOptions.from_any(problem.options, **opts)
-    if updates:
-        problem = replace(problem, **updates)
+    problem = _with_overrides(
+        _coerce_problem(problem, time=time),
+        time=time, steps=steps, order=order, opts=opts,
+    )
     return CompiledProgram(problem=problem, strategy=get_strategy(strategy))
 
 
@@ -100,16 +118,34 @@ def compare_all(
     *,
     strategies: Sequence[str] = ("direct", "pauli"),
     time: float | None = None,
+    session=None,
     **opts,
 ) -> StrategySweep:
     """Compile the same problem under several strategies for side-by-side study.
 
     The default pair reproduces the paper's Fig. 2 / Table 3 comparison; pass
     ``strategies=repro.compile.available_strategies()`` for the full sweep.
+
+    With a :class:`~repro.runtime.session.Session`, compilation goes through
+    the session's content-keyed program memo: repeated comparisons of the
+    same problem share one :class:`CompiledProgram` per strategy — and with
+    it every cached build product (circuit, fused execution circuit, mask
+    plan).
     """
-    problem = _coerce_problem(problem, time=time)
+    problem = _with_overrides(
+        _coerce_problem(problem, time=time),
+        time=time,
+        steps=opts.pop("steps", None),
+        order=opts.pop("order", None),
+        opts=opts,
+    )
     programs = {
-        name: compile_problem(problem, name, **opts) for name in strategies
+        name: (
+            session.compile(problem, name)
+            if session is not None
+            else compile_problem(problem, name)
+        )
+        for name in strategies
     }
     return StrategySweep(problem=problem, programs=programs)
 
@@ -119,12 +155,22 @@ def compile_many(
     strategy: str = "direct",
     *,
     time: float | None = None,
+    session=None,
     **opts,
 ) -> list[CompiledProgram]:
-    """Batch compile — the hook a future fan-out/caching layer will override."""
-    return [
-        compile_problem(problem, strategy, time=time, **opts) for problem in problems
-    ]
+    """Batch compile — with a session, through its content-keyed program memo."""
+    steps = opts.pop("steps", None)
+    order = opts.pop("order", None)
+    overridden = (
+        _with_overrides(
+            _coerce_problem(problem, time=time),
+            time=time, steps=steps, order=order, opts=opts,
+        )
+        for problem in problems
+    )
+    if session is not None:
+        return [session.compile(problem, strategy) for problem in overridden]
+    return [compile_problem(problem, strategy) for problem in overridden]
 
 
 def run_many(
@@ -143,19 +189,35 @@ def run_many(
     built and fused exactly once, and repeated ``run_many`` calls over the
     same programs skip straight to execution.
 
-    ``initial_states`` zips one initial state per program (for the state
-    backends); sweep a single program over many states with
-    ``run_many([program] * len(states), initial_states=states)``.
+    ``initial_states`` accepts one initial state per program (any iterable,
+    generators included), or a *single* shared state — a
+    :class:`~repro.circuits.statevector.Statevector`, a dense vector, or a
+    basis index — broadcast to every program.  Sweep a single program over
+    many states with ``run_many([program] * len(states),
+    initial_states=states)``.
     """
+    import numpy as np
+
+    from repro.circuits.statevector import Statevector
+
     resolved = get_backend(backend)
     programs = list(programs)
     if initial_states is None:
         return [resolved.run(program, **kwargs) for program in programs]
-    states = list(initial_states)
-    if len(states) != len(programs):
-        raise CompileError(
-            f"{len(states)} initial states for {len(programs)} programs"
-        )
+    if isinstance(initial_states, (Statevector, int, np.integer)) or (
+        isinstance(initial_states, np.ndarray) and initial_states.ndim == 1
+    ):
+        # One shared state for every program (a basis index, a Statevector,
+        # or a dense vector — note a *list* of states is never a vector).
+        states = [initial_states] * len(programs)
+    else:
+        states = list(initial_states)
+        if len(states) != len(programs):
+            raise CompileError(
+                f"run_many received {len(states)} initial states for "
+                f"{len(programs)} programs; pass one state per program, or a "
+                f"single shared Statevector/vector/basis-index"
+            )
     return [
         resolved.run(program, initial_state=state, **kwargs)
         for program, state in zip(programs, states)

@@ -70,6 +70,48 @@ class SimulationProblem:
         """One-expression construction from ``{label: coefficient}``."""
         return cls(Hamiltonian.from_labels(num_qubits, terms), time, **kwargs)
 
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self, *, canonical: bool = False) -> dict:
+        """JSON-able form of the whole problem.
+
+        With ``canonical=True`` the Hamiltonian terms are emitted in sorted
+        order and the cosmetic ``name`` is dropped — the exact payload
+        :meth:`content_key` hashes, and the form the runtime layer executes
+        so equal keys imply bit-identical results.
+        """
+        payload = {
+            "hamiltonian": self.hamiltonian.to_dict(canonical=canonical),
+            "time": float(self.time),
+            "steps": int(self.steps),
+            "order": int(self.order),
+            "options": self.options.to_dict(),
+        }
+        if not canonical:
+            payload["name"] = self.name
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationProblem":
+        """Inverse of :meth:`to_dict`."""
+        from repro.operators.hamiltonian import Hamiltonian as _Hamiltonian
+
+        return cls(
+            _Hamiltonian.from_dict(payload["hamiltonian"]),
+            payload["time"],
+            steps=payload.get("steps", 1),
+            order=payload.get("order", 1),
+            options=CompileOptions.from_dict(payload.get("options", {})),
+            name=payload.get("name"),
+        )
+
+    def content_key(self) -> str:
+        """Stable content hash — invariant under Hamiltonian term reordering
+        and under the cosmetic ``name``, sensitive to everything physical."""
+        from repro.utils.serialization import content_hash
+
+        return content_hash(self.to_dict(canonical=True), tag="problem")
+
     # ----------------------------------------------------------------- queries
 
     @property

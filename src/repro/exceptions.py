@@ -54,3 +54,11 @@ class OptionsError(ReproError):
 
 class CompileError(ReproError):
     """Raised when the compile pipeline cannot build or run a program."""
+
+
+class SpecError(ReproError):
+    """Raised for malformed runtime run/sweep specifications."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a runtime task failed and its result is required."""

@@ -173,6 +173,33 @@ class KrausChannel:
         """The noiseless channel ``ρ ↦ U ρ U†``."""
         return cls([np.asarray(matrix, dtype=complex)], name=name)
 
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """JSON-able form: name plus Kraus matrices as ``[re, im]`` rows."""
+        from repro.utils.serialization import matrix_to_json
+
+        return {
+            "name": self.name,
+            "kraus": [matrix_to_json(op) for op in self.kraus],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KrausChannel":
+        """Inverse of :meth:`to_dict`.
+
+        Validation is skipped on reconstruction: the operators were checked
+        when the channel was first built, and deliberately non-CPTP channels
+        must round-trip too.
+        """
+        from repro.utils.serialization import matrix_from_json
+
+        return cls(
+            [matrix_from_json(op) for op in payload["kraus"]],
+            name=payload.get("name", "channel"),
+            check=False,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"KrausChannel({self.name!r}, num_qubits={self.num_qubits}, "
@@ -324,6 +351,15 @@ class ReadoutError:
             moved = np.tensordot(self.confusion, tensor, axes=([1], [q]))
             tensor = np.moveaxis(moved, 0, q)
         return tensor.reshape(-1)
+
+    def to_dict(self) -> dict:
+        """JSON-able form: the 2×2 confusion matrix as nested float lists."""
+        return {"confusion": [[float(x) for x in row] for row in self.confusion]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReadoutError":
+        """Inverse of :meth:`to_dict`."""
+        return cls(np.array(payload["confusion"], dtype=float))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ReadoutError(p01={self.confusion[1, 0]:g}, p10={self.confusion[0, 1]:g})"

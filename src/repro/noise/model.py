@@ -139,6 +139,48 @@ class NoiseModel:
                 )
         return placed
 
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form consumed by the runtime content hashing.
+
+        Gate names and width defaults are emitted in sorted order, so two
+        models built by attaching the same channels in a different order
+        serialize identically.
+        """
+        return {
+            "gate_errors": {
+                name: [channel.to_dict() for channel in self._gate_errors[name]]
+                for name in sorted(self._gate_errors)
+            },
+            "default_errors": {
+                str(width): [
+                    channel.to_dict() for channel in self._default_errors[width]
+                ]
+                for width in sorted(self._default_errors)
+            },
+            "readout_error": (
+                None if self._readout_error is None else self._readout_error.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NoiseModel":
+        """Inverse of :meth:`to_dict`."""
+        model = cls()
+        for name, channels in payload.get("gate_errors", {}).items():
+            for channel in channels:
+                model.add_gate_error(KrausChannel.from_dict(channel), name)
+        for width, channels in payload.get("default_errors", {}).items():
+            for channel in channels:
+                model.add_default_error(
+                    KrausChannel.from_dict(channel), num_qubits=int(width)
+                )
+        readout = payload.get("readout_error")
+        if readout is not None:
+            model.set_readout_error(ReadoutError.from_dict(readout))
+        return model
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         if self.is_ideal:
             return "NoiseModel(ideal)"

@@ -66,6 +66,11 @@ class Hamiltonian:
         self.num_qubits = int(num_qubits)
         self._terms: list[SCBTerm] = []
         self._evolve_matrix: sp.spmatrix | None = None
+        # Mutation counter: bumped by every add_term so derived caches — the
+        # CSC evolution matrix above and content_key() below — can never go
+        # stale on an in-place edit.
+        self._version = 0
+        self._content_key: tuple[int, str] | None = None
         for term in terms:
             self.add_term(term)
 
@@ -100,7 +105,13 @@ class Hamiltonian:
         if abs(term.coefficient) > 1e-15:
             self._terms.append(term)
             self._evolve_matrix = None
+            self._version += 1
         return self
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by :meth:`add_term`)."""
+        return self._version
 
     def add_label(self, label: str, coefficient: complex = 1.0) -> "Hamiltonian":
         """Convenience: add a term from its character label."""
@@ -139,6 +150,54 @@ class Hamiltonian:
 
     def copy(self) -> "Hamiltonian":
         return Hamiltonian(self.num_qubits, list(self._terms))
+
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self, *, canonical: bool = False) -> dict:
+        """JSON-able form of the Hamiltonian.
+
+        With ``canonical=True`` the terms are emitted in a deterministic
+        sorted order (by label, then coefficient) — the form
+        :meth:`content_key` hashes and the form the runtime layer executes,
+        so that any two Hamiltonians with equal content keys produce
+        bit-identical results.  The default preserves the as-written term
+        order (term order matters to the Trotter product).
+        """
+        terms = self._terms
+        if canonical:
+            terms = sorted(terms, key=lambda t: t.sort_key())
+        return {
+            "num_qubits": self.num_qubits,
+            "terms": [term.to_dict() for term in terms],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Hamiltonian":
+        """Inverse of :meth:`to_dict` (term order preserved as serialized)."""
+        return cls(
+            payload["num_qubits"],
+            (SCBTerm.from_dict(term) for term in payload["terms"]),
+        )
+
+    def canonical(self) -> "Hamiltonian":
+        """Copy with terms in canonical sorted order (same content key)."""
+        return Hamiltonian(
+            self.num_qubits, sorted(self._terms, key=lambda t: t.sort_key())
+        )
+
+    def content_key(self) -> str:
+        """Stable content hash of the canonical form.
+
+        Invariant under term reordering, invalidated by :meth:`add_term`
+        (the cached digest is keyed on the internal mutation counter, so an
+        in-place edit can never serve a stale key).
+        """
+        from repro.utils.serialization import content_hash
+
+        if self._content_key is None or self._content_key[0] != self._version:
+            digest = content_hash(self.to_dict(canonical=True), tag="hamiltonian")
+            self._content_key = (self._version, digest)
+        return self._content_key[1]
 
     # ----------------------------------------------------------- fragmentation
 

@@ -203,6 +203,26 @@ class SCBTerm:
             return None
         return SCBTerm(coeff, tuple(factors))
 
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form: character label plus ``[re, im]`` coefficient."""
+        from repro.utils.serialization import complex_to_json
+
+        return {"label": self.label, "coefficient": complex_to_json(self.coefficient)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SCBTerm":
+        """Inverse of :meth:`to_dict`."""
+        from repro.utils.serialization import complex_from_json
+
+        return cls.from_label(payload["label"], complex_from_json(payload["coefficient"]))
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key used by canonical Hamiltonian serialization."""
+        coeff = complex(self.coefficient)
+        return (self.label, coeff.real, coeff.imag)
+
     # ------------------------------------------------------------- conversions
 
     def embed(self, num_qubits: int, qubits: Sequence[int] | None = None) -> "SCBTerm":

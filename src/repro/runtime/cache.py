@@ -1,0 +1,279 @@
+"""Content-addressed on-disk result store.
+
+Each entry is addressed by a :meth:`~repro.runtime.spec.RunSpec.content_key`
+and stored as a JSON sidecar (metadata + scalar payloads) plus an optional
+``.npz`` (array payloads), sharded by the first two hex digits of the key.
+The store is versioned — entries live under ``v{SPEC_VERSION}/`` so a change
+to the canonical serialization scheme starts a fresh namespace instead of
+serving stale bytes — and size-capped with least-recently-*used* eviction
+(the sidecar's mtime is touched on every hit).
+
+Configuration follows the environment:
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``~/.cache/repro``);
+* ``REPRO_CACHE_MAX_BYTES`` — size cap (default 2 GiB; ``0`` disables
+  eviction).
+
+Only the parent process writes the cache (workers return payloads over the
+pipe), and every write is atomic (temp file + ``os.replace``), so concurrent
+sessions never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.utils.serialization import SPEC_VERSION, canonical_json
+from repro.runtime.results import decode_result, encode_result
+
+#: Environment override for the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment override for the eviction size cap (bytes).
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+#: Default size cap: 2 GiB.
+DEFAULT_MAX_BYTES = 2 * 1024**3
+
+#: Returned by :meth:`ResultCache.get` misses (``None`` is a valid value).
+MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one stored result (what ``cache ls`` prints)."""
+
+    key: str
+    kind: str
+    size_bytes: int
+    created: float
+    last_used: float
+    label: str | None = None
+
+
+class ResultCache:
+    """Content-addressed ``key → result`` store on disk.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; defaults to :func:`default_cache_dir`.  The versioned
+        namespace ``v{SPEC_VERSION}`` is appended automatically.
+    max_bytes:
+        LRU size cap; defaults to ``$REPRO_CACHE_MAX_BYTES`` or 2 GiB.
+        ``0`` disables eviction.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path | None" = None,
+        *,
+        max_bytes: int | None = None,
+    ):
+        root = Path(directory).expanduser() if directory is not None else default_cache_dir()
+        self.directory = root / f"v{SPEC_VERSION}"
+        if max_bytes is None:
+            env = os.environ.get(CACHE_MAX_BYTES_ENV)
+            max_bytes = int(env) if env else DEFAULT_MAX_BYTES
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        # Approximate store size, maintained incrementally so a sweep's
+        # per-put eviction check is O(1); a full rescan happens only when
+        # the estimate crosses the cap (and inside _evict itself).
+        self._approx_bytes: int | None = None
+
+    # ----------------------------------------------------------------- layout
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        shard = self.directory / key[:2]
+        return shard / f"{key}.json", shard / f"{key}.npz"
+
+    # ------------------------------------------------------------------ access
+
+    def get(self, key: str, default: Any = MISS) -> Any:
+        """The decoded result for ``key``, or ``default`` on a miss."""
+        sidecar, npz = self._paths(key)
+        try:
+            payload = json.loads(sidecar.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return default
+        arrays: dict[str, np.ndarray] = {}
+        if payload.get("has_arrays"):
+            try:
+                with np.load(npz) as stored:
+                    arrays = {name: stored[name] for name in stored.files}
+            except FileNotFoundError:
+                # Torn entry (npz evicted/cleared out from under the sidecar).
+                self.misses += 1
+                return default
+        value = decode_result(payload["result"], arrays)
+        try:
+            now = time.time()
+            os.utime(sidecar, (now, now))  # LRU recency bump
+        except OSError:
+            # The entry was evicted/cleared by a concurrent session between
+            # the read and the bump; the value in hand is still good.
+            pass
+        self.hits += 1
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        return self._paths(key)[0].exists()
+
+    def put(self, key: str, value: Any, *, label: str | None = None) -> None:
+        """Encode and store ``value`` under ``key`` (atomic, then evict)."""
+        meta, arrays = encode_result(value)
+        self.put_encoded(key, meta, arrays, label=label)
+
+    def put_encoded(
+        self,
+        key: str,
+        meta: dict,
+        arrays: dict[str, np.ndarray],
+        *,
+        label: str | None = None,
+    ) -> None:
+        """Store an already-encoded ``(meta, arrays)`` pair (the worker path)."""
+        sidecar, npz = self._paths(key)
+        sidecar.parent.mkdir(parents=True, exist_ok=True)
+        if arrays:
+            tmp_npz = npz.with_suffix(".npz.tmp")
+            with open(tmp_npz, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp_npz, npz)
+        payload = {
+            "key": key,
+            "result": json.loads(canonical_json(meta)),
+            "has_arrays": bool(arrays),
+            "label": label,
+            "created": time.time(),
+        }
+        tmp_json = sidecar.with_suffix(".json.tmp")
+        tmp_json.write_text(json.dumps(payload))
+        os.replace(tmp_json, sidecar)
+        if self.max_bytes:
+            if self._approx_bytes is None:
+                self._approx_bytes = self._measure_bytes()
+            else:
+                try:
+                    self._approx_bytes += sidecar.stat().st_size + (
+                        npz.stat().st_size if arrays else 0
+                    )
+                except OSError:  # pragma: no cover - concurrent removal
+                    pass
+            if self._approx_bytes > self.max_bytes:
+                self._evict()
+
+    # -------------------------------------------------------------- inventory
+
+    def entries(self) -> list[CacheEntry]:
+        """Every stored entry, most recently used first."""
+        found: list[CacheEntry] = []
+        for sidecar in self.directory.glob("*/*.json"):
+            try:
+                payload = json.loads(sidecar.read_text())
+                stat = sidecar.stat()
+            except (OSError, json.JSONDecodeError):  # pragma: no cover - races
+                continue
+            npz = sidecar.with_suffix(".npz")
+            size = stat.st_size + (npz.stat().st_size if npz.exists() else 0)
+            found.append(
+                CacheEntry(
+                    key=payload.get("key", sidecar.stem),
+                    kind=payload.get("result", {}).get("kind", "?"),
+                    size_bytes=size,
+                    created=payload.get("created", stat.st_mtime),
+                    last_used=stat.st_mtime,
+                    label=payload.get("label"),
+                )
+            )
+        return sorted(found, key=lambda e: e.last_used, reverse=True)
+
+    def stats(self) -> dict:
+        """Entry count, byte total and the session's hit/miss counters."""
+        entries = self.entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": sum(e.size_bytes for e in entries),
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for sidecar in self.directory.glob("*/*.json"):
+            self._remove(sidecar)
+            removed += 1
+        self._approx_bytes = 0
+        return removed
+
+    def _measure_bytes(self) -> int:
+        """Full scan: the store's true byte total (sidecars + arrays)."""
+        total = 0
+        for sidecar in self.directory.glob("*/*.json"):
+            try:
+                total += sidecar.stat().st_size
+                npz = sidecar.with_suffix(".npz")
+                if npz.exists():
+                    total += npz.stat().st_size
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+        return total
+
+    # ---------------------------------------------------------------- eviction
+
+    def _remove(self, sidecar: Path) -> None:
+        npz = sidecar.with_suffix(".npz")
+        for path in (sidecar, npz):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries until under the size cap."""
+        if self.max_bytes == 0:
+            return
+        sized: list[tuple[float, int, Path]] = []
+        total = 0
+        for sidecar in self.directory.glob("*/*.json"):
+            try:
+                stat = sidecar.stat()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            npz = sidecar.with_suffix(".npz")
+            size = stat.st_size + (npz.stat().st_size if npz.exists() else 0)
+            sized.append((stat.st_mtime, size, sidecar))
+            total += size
+        if total > self.max_bytes:
+            for _, size, sidecar in sorted(sized):  # oldest last-use first
+                self._remove(sidecar)
+                total -= size
+                if total <= self.max_bytes:
+                    break
+        self._approx_bytes = total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ResultCache({str(self.directory)!r}, max_bytes={self.max_bytes})"

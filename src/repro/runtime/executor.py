@@ -1,0 +1,225 @@
+"""Pluggable fan-out: serial and process-pool execution of runtime tasks.
+
+An executor is anything with ``map(fn, items, progress=None) -> list``
+preserving item order.  :class:`SerialExecutor` runs in-process;
+:class:`ProcessExecutor` shards the items into chunks across a
+``concurrent.futures`` process pool.  Both report progress through an
+optional ``progress(done, total)`` callback as results land.
+
+The worker entry point :func:`execute_spec` is deliberately *total*: a grid
+point that raises records its exception (type, message, full traceback) in
+its outcome dict instead of poisoning the pool, so one diverging point never
+kills a thousand-point sweep.  Tasks travel as canonical
+:class:`~repro.runtime.spec.RunSpec` dicts — plain JSON-able payloads — so
+the pool never depends on pickling library objects across versions.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+import traceback
+from collections.abc import Callable, Sequence
+from typing import Any, Protocol, runtime_checkable
+
+from repro.exceptions import SpecError
+
+
+# ---------------------------------------------------------------------------
+# The worker entry point
+# ---------------------------------------------------------------------------
+
+
+#: Per-process compiled-program memo, keyed on (problem content key,
+#: strategy).  A repeats-style sweep expands to many specs identical up to
+#: their seed; without this, every grid point landing in the same worker
+#: would rebuild the same circuit/plan from scratch.  Bounded FIFO so a
+#: long-lived pool cannot hoard build products.
+_PROGRAM_MEMO: dict[tuple[str, str], Any] = {}
+_PROGRAM_MEMO_CAP = 32
+
+
+def _memoized_program(problem, strategy: str):
+    from repro.compile.pipeline import compile_problem
+
+    key = (problem.content_key(), strategy.lower())
+    program = _PROGRAM_MEMO.get(key)
+    if program is None:
+        program = compile_problem(problem, strategy)
+        if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_CAP:
+            _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)))
+        _PROGRAM_MEMO[key] = program
+    return program
+
+
+def execute_spec(payload: dict) -> dict:
+    """Run one canonical RunSpec dict; never raises.
+
+    Returns ``{"ok": True, "result": meta, "arrays": {...}, "wall_time": s}``
+    on success and ``{"ok": False, "error": {type, message, traceback},
+    "wall_time": s}`` on failure.  Importable at module level so it pickles
+    into worker processes.
+    """
+    start = time.perf_counter()
+    try:
+        from repro.runtime.results import encode_result
+        from repro.runtime.spec import RunSpec
+
+        spec = RunSpec.from_dict(payload)
+        program = _memoized_program(spec.problem, spec.strategy)
+        value = program.run(backend=spec.backend, **spec.run_kwargs)
+        meta, arrays = encode_result(value)
+        return {
+            "ok": True,
+            "result": meta,
+            "arrays": arrays,
+            "wall_time": time.perf_counter() - start,
+        }
+    except Exception as exc:  # noqa: BLE001 - failure capture is the contract
+        return {
+            "ok": False,
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+            "wall_time": time.perf_counter() - start,
+        }
+
+
+def _run_chunk(fn: Callable[[Any], Any], items: list) -> list:
+    """Apply ``fn`` to one chunk inside a worker (top level: must pickle)."""
+    return [fn(item) for item in items]
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """What the session requires of an execution engine."""
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence,
+        *,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> list:
+        ...
+
+
+class SerialExecutor:
+    """In-process execution, one item at a time (the zero-dependency default)."""
+
+    name = "serial"
+    n_workers = 1
+
+    def map(self, fn, items, *, progress=None) -> list:
+        items = list(items)
+        results = []
+        for index, item in enumerate(items):
+            results.append(fn(item))
+            if progress is not None:
+                progress(index + 1, len(items))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "SerialExecutor()"
+
+
+class ProcessExecutor:
+    """Chunked fan-out over a ``concurrent.futures`` process pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size (default: the machine's CPU count).
+    chunk_size:
+        Items per submitted task.  Defaults to ``ceil(n_items / (4 ·
+        n_workers))`` — small enough to balance load, large enough to
+        amortize per-task pickling.
+    mp_context:
+        Optional :mod:`multiprocessing` context name (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); default is the platform default.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        chunk_size: int | None = None,
+        mp_context: str | None = None,
+    ):
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise SpecError(f"n_workers must be >= 1, got {n_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise SpecError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.n_workers = int(n_workers)
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+
+    def _resolve_chunk(self, n_items: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(n_items / (4 * self.n_workers)))
+
+    def map(self, fn, items, *, progress=None) -> list:
+        items = list(items)
+        if not items:
+            return []
+        # A one-item workload (or a one-worker pool) gains nothing from
+        # process startup; run it in place with identical semantics.
+        if self.n_workers == 1 or len(items) == 1:
+            return SerialExecutor().map(fn, items, progress=progress)
+        import concurrent.futures
+        import multiprocessing
+
+        chunk = self._resolve_chunk(len(items))
+        chunks = [
+            (start, items[start : start + chunk])
+            for start in range(0, len(items), chunk)
+        ]
+        results: list = [None] * len(items)
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context is not None
+            else None
+        )
+        done = 0
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.n_workers, len(chunks)), mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(_run_chunk, fn, chunk_items): start
+                for start, chunk_items in chunks
+            }
+            for future in concurrent.futures.as_completed(futures):
+                start = futures[future]
+                chunk_results = future.result()
+                results[start : start + len(chunk_results)] = chunk_results
+                done += len(chunk_results)
+                if progress is not None:
+                    progress(done, len(items))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ProcessExecutor(n_workers={self.n_workers})"
+
+
+def resolve_executor(executor: "Executor | int | None") -> Executor:
+    """``None`` → serial; an int → pool of that size; instances pass through."""
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, (int,)) and not isinstance(executor, bool):
+        return SerialExecutor() if executor <= 1 else ProcessExecutor(executor)
+    if isinstance(executor, Executor):
+        return executor
+    raise SpecError(f"not an executor: {executor!r}")

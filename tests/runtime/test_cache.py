@@ -1,0 +1,175 @@
+"""ResultCache: round-trips of every result kind, LRU eviction, env overrides."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.noise.sampling import SamplingResult
+from repro.runtime import ResultCache, decode_result, encode_result
+from repro.runtime.cache import CACHE_DIR_ENV, CACHE_MAX_BYTES_ENV, MISS
+from repro.utils.serialization import SerializationError
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path)
+
+
+def key_of(i: int) -> str:
+    return f"{i:02x}" + "ab" * 31
+
+
+# ---------------------------------------------------------------------------
+# Codec round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_statevector(self, cache):
+        state = repro.Statevector(np.arange(8, dtype=complex) / np.linalg.norm(np.arange(8)))
+        cache.put(key_of(1), state)
+        back = cache.get(key_of(1))
+        assert isinstance(back, repro.Statevector)
+        np.testing.assert_array_equal(back.data, state.data)
+
+    def test_density_matrix(self, cache):
+        rho = repro.DensityMatrix(repro.Statevector(3, 2))
+        cache.put(key_of(2), rho)
+        back = cache.get(key_of(2))
+        assert isinstance(back, repro.DensityMatrix)
+        np.testing.assert_array_equal(back.data, rho.data)
+
+    def test_ndarray_and_scalars(self, cache):
+        arr = np.linspace(0, 1, 7).reshape(7, 1) * (1 + 2j)
+        cache.put(key_of(3), arr)
+        np.testing.assert_array_equal(cache.get(key_of(3)), arr)
+        for i, value in enumerate([1.5, 42, True, "tag", 1 + 2j, None], start=4):
+            cache.put(key_of(i), value)
+            assert cache.get(key_of(i)) == value or (
+                value is None and cache.get(key_of(i)) is None
+            )
+
+    def test_sampling_result(self, cache):
+        result = SamplingResult(
+            counts={"0000": 500, "1111": 524},
+            shots=1024,
+            num_qubits=4,
+            metadata={"noisy": False},
+        )
+        cache.put(key_of(10), result)
+        back = cache.get(key_of(10))
+        assert back.counts == dict(result.counts)
+        assert back.shots == result.shots and back.num_qubits == 4
+        assert back.metadata == {"noisy": False}
+
+    def test_resource_estimate(self, cache):
+        problem = repro.SimulationProblem.from_labels(4, {"nsdI": 0.8}, time=0.2)
+        estimate = repro.compile(problem, "direct").run(backend="resource")
+        cache.put(key_of(11), estimate)
+        back = cache.get(key_of(11))
+        assert back.as_dict() == estimate.as_dict()
+
+    def test_json_kind(self, cache):
+        payload = {"curve": [[1, 0.5], [2, 0.25]], "label": "direct"}
+        cache.put(key_of(12), payload)
+        assert cache.get(key_of(12)) == payload
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SerializationError):
+            encode_result(object())
+
+    def test_decode_unknown_kind_raises(self):
+        with pytest.raises(SerializationError):
+            decode_result({"kind": "mystery"}, {})
+
+
+# ---------------------------------------------------------------------------
+# Store behavior
+# ---------------------------------------------------------------------------
+
+
+class TestStore:
+    def test_miss_returns_default(self, cache):
+        assert cache.get(key_of(0)) is MISS
+        assert cache.get(key_of(0), default=None) is None
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_contains_and_stats(self, cache):
+        cache.put(key_of(1), 1.0)
+        assert key_of(1) in cache and key_of(2) not in cache
+        cache.get(key_of(1))
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["hits"] == 1
+        assert stats["total_bytes"] > 0
+
+    def test_clear(self, cache):
+        for i in range(3):
+            cache.put(key_of(i), float(i))
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+    def test_entries_listing(self, cache):
+        cache.put(key_of(1), 1.0, label="first")
+        cache.put(key_of(2), np.zeros(4), label="second")
+        entries = cache.entries()
+        assert {e.label for e in entries} == {"first", "second"}
+        kinds = {e.label: e.kind for e in entries}
+        assert kinds == {"first": "scalar", "second": "ndarray"}
+
+    def test_lru_eviction_prefers_recently_used(self, cache, tmp_path):
+        big = np.zeros(4096, dtype=complex)  # ~64 KiB per entry
+        small = ResultCache(tmp_path / "lru", max_bytes=200_000)
+        for i in range(3):
+            small.put(key_of(i), big)
+            os.utime(
+                small._paths(key_of(i))[0], (1_000_000 + i, 1_000_000 + i)
+            )  # deterministic recency order: 0 oldest
+        # Touch entry 0 so entry 1 becomes the LRU victim.
+        assert small.get(key_of(0)) is not MISS
+        small.put(key_of(3), big)  # pushes total over the cap
+        assert key_of(1) not in small
+        assert key_of(0) in small and key_of(3) in small
+
+    def test_zero_cap_disables_eviction(self, tmp_path):
+        unbounded = ResultCache(tmp_path, max_bytes=0)
+        for i in range(4):
+            unbounded.put(key_of(i), np.zeros(2048, dtype=complex))
+        assert unbounded.stats()["entries"] == 4
+
+    def test_env_overrides(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env-cache"))
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "12345")
+        cache = ResultCache()
+        assert str(tmp_path / "env-cache") in str(cache.directory)
+        assert cache.max_bytes == 12345
+
+    def test_versioned_namespace(self, tmp_path):
+        from repro.utils.serialization import SPEC_VERSION
+
+        cache = ResultCache(tmp_path)
+        assert cache.directory.name == f"v{SPEC_VERSION}"
+
+    def test_torn_entry_is_a_miss(self, cache):
+        cache.put(key_of(1), np.zeros(8))
+        sidecar, npz = cache._paths(key_of(1))
+        npz.unlink()
+        assert cache.get(key_of(1)) is MISS
+
+    def test_corrupt_sidecar_is_a_miss(self, cache):
+        cache.put(key_of(1), 1.0)
+        sidecar, _ = cache._paths(key_of(1))
+        sidecar.write_text("{not json")
+        assert cache.get(key_of(1)) is MISS
+
+    def test_atomic_sidecar_format(self, cache):
+        cache.put(key_of(1), 2.5, label="x")
+        sidecar, _ = cache._paths(key_of(1))
+        payload = json.loads(sidecar.read_text())
+        assert payload["key"] == key_of(1)
+        assert payload["result"] == {"kind": "scalar", "value": 2.5}
+        assert payload["label"] == "x" and not payload["has_arrays"]

@@ -1,0 +1,138 @@
+"""CLI smoke: run, sweep and cache subcommands through the real entry point."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.runtime import SweepSpec
+from repro.runtime.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def problem():
+    return repro.SimulationProblem.from_labels(
+        4, {"nsdI": 0.8, "IZZI": 0.3}, time=0.3, name="cli-test"
+    )
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path
+
+
+def write_spec(tmp_path, payload) -> str:
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestRunCommand:
+    def test_problem_file_with_flags(self, cache_env, capsys):
+        spec = write_spec(cache_env, problem().to_dict())
+        code = main(["run", spec, "--backend", "sampling", "--shots", "128",
+                     "--seed", "5", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sampling" in out and "computed" in out
+        # Second run hits the cache.
+        assert main(["run", spec, "--backend", "sampling", "--shots", "128",
+                     "--seed", "5", "--quiet"]) == 0
+        assert "cache" in capsys.readouterr().out
+
+    def test_json_output(self, cache_env, capsys):
+        spec = write_spec(cache_env, problem().to_dict())
+        assert main(["run", spec, "--backend", "resource", "--json",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["kind"] == "resource_estimate"
+
+    def test_missing_file_is_a_clean_error(self, cache_env, capsys):
+        assert main(["run", str(cache_env / "nope.json"), "--quiet"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bad_json_is_a_clean_error(self, cache_env, capsys):
+        path = cache_env / "bad.json"
+        path.write_text("{broken")
+        assert main(["run", str(path), "--quiet"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_spec_file_with_out(self, cache_env, capsys):
+        spec = SweepSpec(
+            problem=problem(),
+            strategies=("direct", "pauli"),
+            steps=(1, 2),
+            backend="sampling",
+            run_kwargs={"shots": 64},
+            seed=3,
+        )
+        path = write_spec(cache_env, spec.to_dict())
+        out_path = cache_env / "results.json"
+        code = main(["sweep", path, "--out", str(out_path), "--quiet"])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["num_records"] == 4 and doc["num_cached"] == 0
+        # Cached replay.
+        assert main(["sweep", path, "--quiet"]) == 0
+        assert "4 cached" in capsys.readouterr().out
+
+    def test_problem_file_with_axis_flags(self, cache_env, capsys):
+        path = write_spec(cache_env, problem().to_dict())
+        code = main(["sweep", path, "--strategies", "direct,pauli",
+                     "--steps", "1,2", "--backend", "resource", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 runs" in out
+
+    def test_failing_point_sets_exit_code(self, cache_env, capsys):
+        path = write_spec(cache_env, problem().to_dict())
+        code = main(["sweep", path, "--strategies", "direct,block_encoding",
+                     "--backend", "exact", "--quiet"])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_stats_ls_clear_cycle(self, cache_env, capsys):
+        spec = write_spec(cache_env, problem().to_dict())
+        assert main(["run", spec, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert "entries     1" in capsys.readouterr().out
+        assert main(["cache", "ls"]) == 0
+        assert "statevector" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "ls"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestSubprocessEntryPoint:
+    def test_python_dash_m_with_workers(self, cache_env, tmp_path):
+        spec = SweepSpec(
+            problem=problem(), strategies=("direct", "pauli"), steps=(1, 2),
+            backend="sampling", run_kwargs={"shots": 64}, seed=9,
+        )
+        path = write_spec(tmp_path, spec.to_dict())
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "subproc-cache")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.runtime", "sweep", path,
+             "--workers", "2", "--quiet"],
+            capture_output=True, text=True, timeout=300, env=env, cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "4 runs" in result.stdout

@@ -1,0 +1,122 @@
+"""Executors: ordering, chunking, progress, failure capture, worker parity."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import SpecError
+from repro.runtime import (
+    ProcessExecutor,
+    RunSpec,
+    SerialExecutor,
+    execute_spec,
+    resolve_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def problem(**kwargs):
+    kwargs.setdefault("time", 0.3)
+    return repro.SimulationProblem.from_labels(
+        4, {"nsdI": 0.8, "IZZI": 0.3, "XIXI": 0.2}, **kwargs
+    )
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order_and_reports_progress(self):
+        seen = []
+        result = SerialExecutor().map(
+            _square, range(5), progress=lambda done, total: seen.append((done, total))
+        )
+        assert result == [0, 1, 4, 9, 16]
+        assert seen == [(i, 5) for i in range(1, 6)]
+
+
+class TestProcessExecutor:
+    def test_map_matches_serial(self):
+        items = list(range(23))
+        serial = SerialExecutor().map(_square, items)
+        pooled = ProcessExecutor(4, chunk_size=3).map(_square, items)
+        assert pooled == serial
+
+    def test_progress_reaches_total(self):
+        seen = []
+        ProcessExecutor(2, chunk_size=2).map(
+            _square, range(7), progress=lambda d, t: seen.append((d, t))
+        )
+        assert seen[-1] == (7, 7)
+        assert all(t == 7 for _, t in seen)
+
+    def test_single_item_runs_in_process(self):
+        assert ProcessExecutor(4).map(_square, [3]) == [9]
+
+    def test_empty(self):
+        assert ProcessExecutor(2).map(_square, []) == []
+
+    def test_default_chunking(self):
+        executor = ProcessExecutor(2)
+        assert executor._resolve_chunk(100) == 13  # ceil(100 / 8)
+        assert executor._resolve_chunk(1) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SpecError):
+            ProcessExecutor(0)
+        with pytest.raises(SpecError):
+            ProcessExecutor(2, chunk_size=0)
+
+
+class TestResolveExecutor:
+    def test_resolution_table(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor(1), SerialExecutor)
+        pool = resolve_executor(3)
+        assert isinstance(pool, ProcessExecutor) and pool.n_workers == 3
+        explicit = ProcessExecutor(2)
+        assert resolve_executor(explicit) is explicit
+        with pytest.raises(SpecError):
+            resolve_executor("four")
+        with pytest.raises(SpecError):
+            resolve_executor(True)
+
+
+class TestExecuteSpec:
+    def test_success_outcome(self):
+        payload = RunSpec(problem=problem()).to_dict(canonical=True)
+        outcome = execute_spec(payload)
+        assert outcome["ok"] and outcome["result"]["kind"] == "statevector"
+        assert outcome["wall_time"] > 0
+
+    def test_failure_outcome_records_traceback(self):
+        payload = RunSpec(
+            problem=problem(), backend="exact", run_kwargs={"bogus": 1}
+        ).to_dict(canonical=True)
+        outcome = execute_spec(payload)
+        assert not outcome["ok"]
+        assert outcome["error"]["type"] == "CompileError"
+        assert "bogus" in outcome["error"]["message"]
+        assert "Traceback" in outcome["error"]["traceback"]
+
+    def test_garbage_payload_is_captured_not_raised(self):
+        outcome = execute_spec({"spec": "run"})  # no problem at all
+        assert not outcome["ok"] and outcome["error"]["type"] == "KeyError"
+
+
+@pytest.mark.slow
+class TestCrossProcessParity:
+    def test_pool_outcomes_match_in_process(self):
+        specs = [
+            RunSpec(
+                problem=problem(steps=k), backend="sampling",
+                run_kwargs={"shots": 128, "rng": 7},
+            ).to_dict(canonical=True)
+            for k in (1, 2, 3, 4)
+        ]
+        local = [execute_spec(s) for s in specs]
+        pooled = ProcessExecutor(2, chunk_size=1).map(execute_spec, specs)
+        for a, b in zip(local, pooled):
+            assert a["ok"] and b["ok"]
+            assert a["result"]["counts"] == b["result"]["counts"]
