@@ -24,6 +24,9 @@ The full machinery lives in the subpackages:
 * :mod:`repro.runtime` — parallel sweep execution with content-addressed
   result caching (``Session``, ``SweepSpec``, the ``python -m repro.runtime``
   CLI);
+* :mod:`repro.service` — the sweep daemon: a Unix-socket job queue with
+  leased worker chunks and a ``ServiceClient`` executor (``python -m
+  repro.service`` CLI);
 * :mod:`repro.applications` — HUBO, chemistry and finite-difference
   applications;
 * :mod:`repro.analysis` — gate-count and Trotter-error reports.

@@ -209,7 +209,13 @@ class ResultCache:
         return sorted(found, key=lambda e: e.last_used, reverse=True)
 
     def stats(self) -> dict:
-        """Entry count, byte total and the session's hit/miss counters."""
+        """Entry count, byte total and the session's hit/miss counters.
+
+        Also sweeps orphaned ``.npz`` files (arrays whose sidecar is gone —
+        the debris of a crash mid-removal) so the reported byte total and the
+        eviction estimate reflect only entries that can actually be served.
+        """
+        orphans = self._sweep_orphans()
         entries = self.entries()
         return {
             "directory": str(self.directory),
@@ -218,14 +224,16 @@ class ResultCache:
             "max_bytes": self.max_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "orphans_swept": orphans,
         }
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were deleted."""
+        """Remove every entry (and any orphan npz); returns how many."""
         removed = 0
         for sidecar in self.directory.glob("*/*.json"):
             self._remove(sidecar)
             removed += 1
+        removed += self._sweep_orphans()
         self._approx_bytes = 0
         return removed
 
@@ -245,12 +253,29 @@ class ResultCache:
     # ---------------------------------------------------------------- eviction
 
     def _remove(self, sidecar: Path) -> None:
+        # The npz goes first: the sidecar is the entry's existence marker, so
+        # a crash between the two unlinks leaves a sidecar whose get() is a
+        # recoverable torn-entry miss — never an orphan npz that no listing
+        # reaches but every byte count includes.
         npz = sidecar.with_suffix(".npz")
-        for path in (sidecar, npz):
+        for path in (npz, sidecar):
             try:
                 path.unlink()
             except FileNotFoundError:
                 pass
+
+    def _sweep_orphans(self) -> int:
+        """Unlink npz files whose sidecar is gone; returns how many."""
+        removed = 0
+        for npz in self.directory.glob("*/*.npz"):
+            if npz.with_suffix(".json").exists():
+                continue
+            try:
+                npz.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+        return removed
 
     def _evict(self) -> None:
         """Drop least-recently-used entries until under the size cap."""

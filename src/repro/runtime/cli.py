@@ -154,11 +154,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     session = _make_session(args, workers=args.workers)
     results = session.sweep(spec)
-    print(results.table())
-    print(f"\n{results.summary()} (sweep key {results.sweep_key[:16]}…)")
+    if args.json:
+        # Structured output for scripts: the full ResultSet document on
+        # stdout, nothing else.  The exit code still reflects failures.
+        print(results.to_json())
+    else:
+        print(results.table())
+        print(f"\n{results.summary()} (sweep key {results.sweep_key[:16]}…)")
     if args.out:
         Path(args.out).write_text(results.to_json())
-        print(f"wrote {args.out}")
+        if not args.json:
+            print(f"wrote {args.out}")
+    # Any grid point that recorded a failure makes the whole invocation
+    # nonzero, so CI pipelines cannot silently pass over a diverged point.
     return 0 if results.ok else 1
 
 
@@ -228,6 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="root seed for sampling sweeps")
     sweep.add_argument("--out", default=None, metavar="OUT.json",
                        help="write the full ResultSet JSON here")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the full ResultSet JSON to stdout "
+                            "instead of the table")
     _add_cache_flags(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
 

@@ -181,6 +181,18 @@ class ProcessExecutor:
             return SerialExecutor().map(fn, items, progress=progress)
         import concurrent.futures
         import multiprocessing
+        import pickle
+
+        # Fail fast with a clear name: a lambda/closure surfaces here, not as
+        # a raw PicklingError from deep inside the pool machinery.
+        try:
+            pickle.dumps(fn)
+        except Exception as exc:
+            raise RuntimeError(
+                f"ProcessExecutor cannot pickle the callable "
+                f"{getattr(fn, '__qualname__', fn)!r} into worker processes; "
+                f"use a module-level function (or SerialExecutor)"
+            ) from exc
 
         chunk = self._resolve_chunk(len(items))
         chunks = [
@@ -203,7 +215,20 @@ class ProcessExecutor:
             }
             for future in concurrent.futures.as_completed(futures):
                 start = futures[future]
-                chunk_results = future.result()
+                try:
+                    chunk_results = future.result()
+                except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                    # Unpicklable *items* surface on result() — as PicklingError,
+                    # or as TypeError/AttributeError from the forking pickler.
+                    # Re-raise with the offending chunk named instead of a bare
+                    # pool error; anything unrelated propagates untouched.
+                    if not isinstance(exc, pickle.PicklingError) and "pickle" not in str(exc):
+                        raise
+                    raise RuntimeError(
+                        f"ProcessExecutor could not pickle items "
+                        f"[{start}:{start + chunk}] for "
+                        f"{getattr(fn, '__qualname__', fn)!r}: {exc}"
+                    ) from exc
                 results[start : start + len(chunk_results)] = chunk_results
                 done += len(chunk_results)
                 if progress is not None:

@@ -196,6 +196,7 @@ class RunRecord:
             "label": self.spec.label,
             "coords": dict(self.coords),
             "backend": self.spec.backend,
+            "ok": self.ok,
             "cached": self.cached,
             "wall_time": round(self.wall_time, 6),
             "error": self.error,
@@ -275,6 +276,7 @@ class ResultSet:
             {
                 "sweep_key": self.sweep_key,
                 "num_records": len(self._records),
+                "num_failed": len(self.failures()),
                 "num_cached": self.num_cached,
                 "records": [
                     r.to_json(include_value=include_values) for r in self._records

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.service …``."""
+
+import sys
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

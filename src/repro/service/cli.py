@@ -1,0 +1,360 @@
+"""``python -m repro.service`` — run the daemon, join the fleet, manage jobs.
+
+Subcommands::
+
+    python -m repro.service serve    [--socket P] [--workers N] [--chunk-size K]
+    python -m repro.service worker   [--connect P] [--id ID] [--max-idle S]
+    python -m repro.service submit   SPEC.json [--priority P] [--wait] [--out F]
+    python -m repro.service status   JOB [--json] [--points]
+    python -m repro.service result   JOB [--out F] [--json]
+    python -m repro.service cancel   JOB
+    python -m repro.service jobs
+    python -m repro.service workers
+    python -m repro.service stats    [--json]
+    python -m repro.service shutdown
+
+``SPEC.json`` is a serialized RunSpec, SweepSpec or bare SimulationProblem
+(same shapes ``python -m repro.runtime`` accepts).  ``JOB`` is a job id or
+any unambiguous prefix of one.  Every subcommand accepts ``--socket`` to
+target a non-default daemon — including one forwarded from another machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import time
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+
+def _client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.socket)
+
+
+def _add_socket_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="daemon socket (default: $REPRO_SERVICE_DIR/daemon.sock)",
+    )
+
+
+def _load_spec_payload(path: str) -> dict:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise ReproError(f"spec file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"spec file {path} is not valid JSON: {exc}") from None
+    if payload.get("spec") in ("run", "sweep"):
+        return payload
+    if "hamiltonian" in payload:  # a bare problem becomes a single run
+        return {"spec": "run", "problem": payload}
+    raise ReproError(
+        "spec JSON must be a RunSpec, a SweepSpec or a bare SimulationProblem"
+    )
+
+
+def _age(seconds: "float | None") -> str:
+    if seconds is None:
+        return "—"
+    return f"{seconds:.1f}s"
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import Daemon
+
+    daemon = Daemon(
+        args.socket,
+        service_dir=args.service_dir,
+        cache=args.cache_dir,
+        local_workers=args.workers,
+        chunk_size=args.chunk_size,
+        lease_seconds=args.lease,
+    )
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: daemon.request_stop())
+    print(
+        f"repro daemon listening on {daemon.socket_path} "
+        f"({args.workers} local worker(s), cache {daemon.cache.directory})",
+        file=sys.stderr,
+    )
+    daemon.serve_forever()
+    print("repro daemon stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.protocol import default_socket_path
+    from repro.service.worker import run_worker
+
+    socket_path = args.connect or args.socket or default_socket_path()
+    return run_worker(
+        socket_path,
+        worker_id=args.id,
+        poll_interval=args.poll,
+        max_idle=args.max_idle,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _client(args)
+    ack = client.submit(_load_spec_payload(args.spec), priority=args.priority)
+    origin = "deduplicated against an existing job" if ack["deduped"] else "queued"
+    print(f"job {ack['job_id'][:16]}… {origin} "
+          f"(state {ack['state']}, {ack['total']} point(s), "
+          f"{ack['cached']} from cache)")
+    if not args.wait:
+        return 0
+    status = client.wait(ack["job_id"], progress=_progress_line(args))
+    return _emit_result(client, status["job_id"], args)
+
+
+def _progress_line(args: argparse.Namespace):
+    if getattr(args, "quiet", False):
+        return None
+
+    def report(done: int, total: int) -> None:
+        end = "\n" if done == total else "\r"
+        print(f"  [{done}/{total}] points complete", end=end,
+              file=sys.stderr, flush=True)
+
+    return report
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    status = _client(args).status(args.job, points=args.points)
+    if args.json:
+        print(json.dumps(status, indent=2))
+        return 0
+    print(f"job   {status['job_id']}")
+    print(f"state {status['state']}  ({status['kind']}, priority {status['priority']})")
+    print(f"points {status['done']}/{status['total']} done, "
+          f"{status['failed']} failed, {status['cancelled']} cancelled, "
+          f"{status['cached']} from cache")
+    if status.get("error"):
+        print(f"error {status['error']['type']}: {status['error']['message']}")
+    if args.points:
+        for point in status.get("points", []):
+            print(f"  {point['key'][:12]}…  {point['status']:<9} "
+                  f"{point.get('label') or ''}")
+    return 0 if status["state"] != "failed" else 1
+
+
+def _emit_result(client, job_id: str, args: argparse.Namespace) -> int:
+    from repro.runtime.results import result_to_json
+
+    records = client.records(job_id)
+    failed = [r for r in records if not r["ok"]]
+    document = {
+        "job_id": job_id,
+        "num_records": len(records),
+        "num_failed": len(failed),
+        "records": [
+            {
+                "key": r["key"],
+                "coords": r["coords"],
+                "label": r["label"],
+                "cached": r["cached"],
+                "wall_time": r["wall_time"],
+                "error": r["error"],
+                **({"value": result_to_json(r["value"])} if r["ok"] else {}),
+            }
+            for r in records
+        ],
+    }
+    if getattr(args, "out", None):
+        Path(args.out).write_text(json.dumps(document, indent=2))
+        print(f"wrote {args.out}")
+    if getattr(args, "json", False):
+        print(json.dumps(document, indent=2))
+    else:
+        for record in records:
+            status = "cached" if record["cached"] else (
+                "ok" if record["ok"] else record["error"]["type"])
+            label = record["label"] or record["key"][:12] + "…"
+            print(f"  {label:<28} {status}")
+        print(f"{len(records)} records, {len(failed)} failed")
+    return 1 if failed else 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    return _emit_result(_client(args), args.job, args)
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    ack = _client(args).cancel(args.job)
+    changed = "cancelled" if ack["changed"] else f"already {ack['state']}"
+    print(f"job {ack['job_id'][:16]}… {changed}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    jobs = _client(args).jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    now = time.time()
+    for job in jobs:
+        print(f"{job['job_id'][:16]}…  {job['state']:<9} {job['kind']:<5} "
+              f"{job['done']}/{job['total']} done  "
+              f"age {_age(now - job['created'])}  {job.get('label') or ''}")
+    return 0
+
+
+def _cmd_workers(args: argparse.Namespace) -> int:
+    workers = _client(args).workers()
+    if not workers:
+        print("no workers have reported yet")
+        return 0
+    now = time.time()
+    for info in workers:
+        state = "busy" if info["busy"] else "idle"
+        print(f"{info['worker_id']:<24} {info['kind']:<7} {state:<5} "
+              f"{info['points_completed']} points, "
+              f"{info['chunks_completed']} chunks, "
+              f"{info['lost_leases']} lost leases, "
+              f"seen {_age(now - info['last_seen'])} ago")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = _client(args).stats()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    queue, points, workers = stats["queue"], stats["points"], stats["workers"]
+    hit_rate = points["hit_rate"]
+    print(f"daemon pid {stats['pid']}, up {stats['uptime']:.1f}s")
+    print(f"queue   {queue['chunks_pending']} chunks pending "
+          f"({queue['points_pending']} points), "
+          f"{queue['chunks_leased']} leased")
+    print("jobs    " + ", ".join(
+        f"{count} {state}" for state, count in stats["jobs"].items() if count))
+    print(f"points  {points['executed']} executed, "
+          f"{points['from_cache']} from cache "
+          f"(hit rate {'—' if hit_rate is None else f'{hit_rate:.0%}'}), "
+          f"{points['dedup_hits']} dedup hits")
+    print(f"workers {workers['total']} seen, {workers['busy']} busy "
+          f"(utilization {workers['utilization']:.0%})")
+    print(f"cache   {stats['cache']['entries']} entries, "
+          f"{stats['cache']['total_bytes']:,} B at {stats['cache']['directory']}")
+    return 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    _client(args).shutdown_daemon()
+    print("daemon stopping")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Simulation-as-a-service: job-queue daemon and worker fleet "
+        "over the repro runtime.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the daemon in the foreground")
+    _add_socket_flag(serve)
+    serve.add_argument("--service-dir", default=None, metavar="DIR",
+                       help="state directory (default: $REPRO_SERVICE_DIR)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared result cache (default: $REPRO_CACHE_DIR)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="in-daemon worker threads (0: external only)")
+    serve.add_argument("--chunk-size", type=int, default=2,
+                       help="grid points per claimable chunk")
+    serve.add_argument("--lease", type=float, default=60.0,
+                       help="chunk lease seconds before re-queue")
+    serve.set_defaults(fn=_cmd_serve)
+
+    worker = sub.add_parser("worker", help="join a daemon as an external worker")
+    worker.add_argument("--connect", default=None, metavar="PATH",
+                        help="daemon socket to drain (alias of --socket)")
+    _add_socket_flag(worker)
+    worker.add_argument("--id", default=None, help="worker identity "
+                        "(default: hostname-pid)")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between claims while idle")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many idle seconds")
+    worker.set_defaults(fn=_cmd_worker)
+
+    submit = sub.add_parser("submit", help="queue a run/sweep spec file")
+    submit.add_argument("spec", help="JSON file: RunSpec, SweepSpec or problem")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print results")
+    submit.add_argument("--out", default=None, metavar="OUT.json",
+                        help="with --wait: write the result document here")
+    submit.add_argument("--json", action="store_true",
+                        help="with --wait: print the result document")
+    submit.add_argument("--quiet", action="store_true",
+                        help="suppress the progress line")
+    _add_socket_flag(submit)
+    submit.set_defaults(fn=_cmd_submit)
+
+    status = sub.add_parser("status", help="one job's state and progress")
+    status.add_argument("job", help="job id (or unambiguous prefix)")
+    status.add_argument("--json", action="store_true")
+    status.add_argument("--points", action="store_true",
+                        help="also list per-point statuses")
+    _add_socket_flag(status)
+    status.set_defaults(fn=_cmd_status)
+
+    result = sub.add_parser("result", help="fetch a finished job's results")
+    result.add_argument("job", help="job id (or unambiguous prefix)")
+    result.add_argument("--out", default=None, metavar="OUT.json")
+    result.add_argument("--json", action="store_true")
+    _add_socket_flag(result)
+    result.set_defaults(fn=_cmd_result)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued/running job")
+    cancel.add_argument("job", help="job id (or unambiguous prefix)")
+    _add_socket_flag(cancel)
+    cancel.set_defaults(fn=_cmd_cancel)
+
+    jobs = sub.add_parser("jobs", help="list every job the daemon knows")
+    _add_socket_flag(jobs)
+    jobs.set_defaults(fn=_cmd_jobs)
+
+    workers = sub.add_parser("workers", help="list the daemon's worker fleet")
+    _add_socket_flag(workers)
+    workers.set_defaults(fn=_cmd_workers)
+
+    stats = sub.add_parser("stats", help="queue/jobs/cache/worker metrics")
+    stats.add_argument("--json", action="store_true")
+    _add_socket_flag(stats)
+    stats.set_defaults(fn=_cmd_stats)
+
+    shutdown = sub.add_parser("shutdown", help="stop the daemon")
+    _add_socket_flag(shutdown)
+    shutdown.set_defaults(fn=_cmd_shutdown)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,203 @@
+"""Client side of the repro service: job control plus the Executor seam.
+
+:class:`ServiceClient` speaks the JSON-lines protocol to a running daemon.
+It exposes the job API (``submit``/``status``/``wait``/``result``/``cancel``/
+``stats``/``workers``/``shutdown_daemon``) *and* implements the
+:class:`~repro.runtime.executor.Executor` protocol, so the whole runtime
+layer gains remote execution through one line::
+
+    session = Session(executor=ServiceClient())
+    results = session.sweep(problem, strategies=("direct", "pauli"), ...)
+
+In executor mode the client submits the session's canonical task payloads as
+one batch job, polls the daemon's per-job progress counters (forwarding them
+to the session's ``progress`` callback), and returns the per-point outcome
+dicts exactly as an in-process executor would — the session cannot tell a
+daemon from a process pool, but every submitting client now shares the
+daemon's warm compile memo and one result-cache namespace.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ExecutionError, SpecError
+from repro.service.protocol import (
+    RemoteError,
+    default_socket_path,
+    outcome_from_wire,
+    request,
+)
+
+#: Default seconds between job-status polls in :meth:`ServiceClient.wait`.
+DEFAULT_POLL_INTERVAL = 0.05
+
+
+class ServiceClient:
+    """Talk to a repro daemon; usable anywhere an executor is.
+
+    Parameters
+    ----------
+    socket_path:
+        The daemon's Unix socket (default: the standard service directory).
+    poll_interval:
+        Seconds between status polls while waiting on a job.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    name = "service"
+
+    def __init__(
+        self,
+        socket_path: "str | Path | None" = None,
+        *,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        timeout: float = 60.0,
+    ):
+        self.socket_path = (
+            Path(socket_path).expanduser() if socket_path else default_socket_path()
+        )
+        self.poll_interval = float(poll_interval)
+        self.timeout = float(timeout)
+
+    def _request(self, op: str, **fields: Any) -> dict:
+        return request(self.socket_path, op, timeout=self.timeout, **fields)
+
+    # ---------------------------------------------------------------- job API
+
+    def ping(self) -> dict:
+        """Round-trip liveness probe (daemon pid and protocol version)."""
+        return self._request("ping")
+
+    def submit(self, spec, *, priority: int = 0) -> dict:
+        """Submit a run/sweep spec (object or dict); returns the submit ack.
+
+        The ack carries ``job_id`` (the spec's content key), the job
+        ``state`` and ``deduped`` — ``True`` when an equivalent job was
+        already known to the daemon and nothing re-entered the queue.
+        """
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        return self._request("submit", spec=payload, priority=priority)
+
+    def submit_payloads(self, payloads: "list[dict]", *, priority: int = 0) -> dict:
+        """Submit canonical RunSpec payload dicts as one batch job."""
+        return self._request("submit", payloads=list(payloads), priority=priority)
+
+    def status(self, job_id: str, *, points: bool = False) -> dict:
+        """The job's summary (state, per-point progress counts, timestamps)."""
+        return self._request("status", job_id=job_id, points=points)
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: "float | None" = None,
+        progress=None,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns final status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if progress is not None:
+                progress(status["done"], status["total"])
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ExecutionError(
+                    f"timed out after {timeout:g}s waiting for job "
+                    f"{job_id[:12]}… (state {status['state']}, "
+                    f"{status['done']}/{status['total']} points)"
+                )
+            time.sleep(self.poll_interval)
+
+    def result(self, job_id: str, *, partial: bool = False) -> "list[dict]":
+        """Per-point outcome dicts (arrays decoded), in grid order."""
+        response = self._request("result", job_id=job_id, partial=partial)
+        return [outcome_from_wire(wire) for wire in response["outcomes"]]
+
+    def records(self, job_id: str) -> "list[dict]":
+        """Decoded per-point results: ``{coords, key, value | error, ...}``.
+
+        The job-level convenience view for notebooks and the CLI;
+        :meth:`result` returns the raw executor-shaped outcomes.
+        """
+        from repro.runtime.results import decode_result
+
+        records = []
+        for outcome in self.result(job_id):
+            record = {
+                "key": outcome.get("key"),
+                "coords": outcome.get("coords", {}),
+                "label": outcome.get("label"),
+                "cached": outcome.get("cached", False),
+                "wall_time": outcome.get("wall_time", 0.0),
+                "ok": bool(outcome.get("ok")),
+                "error": outcome.get("error"),
+            }
+            if outcome.get("ok"):
+                record["value"] = decode_result(
+                    outcome["result"], outcome.get("arrays", {})
+                )
+            records.append(record)
+        return records
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued/running job; pending points stop executing."""
+        return self._request("cancel", job_id=job_id)
+
+    def jobs(self) -> "list[dict]":
+        """Summaries of every job the daemon knows about."""
+        return self._request("jobs")["jobs"]
+
+    def workers(self) -> "list[dict]":
+        """The daemon's worker registry (local threads and remote processes)."""
+        return self._request("workers")["workers"]
+
+    def stats(self) -> dict:
+        """Queue depth, jobs by state, cache hit rate, worker utilization."""
+        return self._request("stats")
+
+    def shutdown_daemon(self) -> dict:
+        """Ask the daemon to stop (it persists all job state first)."""
+        return self._request("shutdown")
+
+    # --------------------------------------------------------- Executor seam
+
+    def map(self, fn, items, *, progress=None) -> list:
+        """The :class:`~repro.runtime.executor.Executor` protocol entry point.
+
+        Only the canonical task entry point travels: the items must be
+        canonical RunSpec payload dicts and ``fn`` must be
+        :func:`~repro.runtime.executor.execute_spec` — a service cannot ship
+        arbitrary callables, it shares *specs*.  The batch is submitted as
+        one job and the per-point outcomes come back in item order.
+        """
+        from repro.runtime.executor import execute_spec
+
+        if fn is not execute_spec:
+            raise SpecError(
+                f"ServiceClient can only execute canonical run payloads via "
+                f"execute_spec, not {getattr(fn, '__qualname__', fn)!r}; use a "
+                f"local executor for arbitrary callables"
+            )
+        items = list(items)
+        if not items:
+            return []
+        ack = self.submit_payloads(items)
+        job_id = ack["job_id"]
+        try:
+            self.wait(job_id, timeout=self.timeout * len(items), progress=progress)
+        except RemoteError as exc:
+            raise ExecutionError(f"daemon rejected job {job_id[:12]}…: {exc}") from exc
+        outcomes = self.result(job_id)
+        if len(outcomes) != len(items):
+            raise ExecutionError(
+                f"daemon returned {len(outcomes)} outcomes for {len(items)} tasks"
+            )
+        return outcomes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ServiceClient({str(self.socket_path)!r})"

@@ -1,0 +1,755 @@
+"""The repro daemon: one warm cache and compile memo serving many clients.
+
+The daemon owns the shared :class:`~repro.runtime.cache.ResultCache` and the
+per-process compiled-program memo, listens on a Unix socket (JSON-lines
+frames, see :mod:`repro.service.protocol`) and maintains a priority queue of
+run/sweep/batch jobs.  Work fans out in fixed-size *chunks* of grid points
+through two kinds of workers sharing one claim/complete path:
+
+* an in-daemon :class:`WorkerPool` of threads (``local_workers``) that drain
+  the queue in-process, and
+* external ``repro.service worker`` processes that claim chunks over the
+  socket — extra containers or machines joining the same cache namespace
+  through a forwarded socket.
+
+Every chunk claim carries a lease; a worker that dies mid-chunk simply stops
+renewing and the reaper re-queues the chunk (execution is deterministic and
+cache writes are idempotent, so re-running a chunk is always safe).  Job
+state is persisted after every transition through
+:class:`~repro.service.jobs.JobStore`, and a restarted daemon re-queues
+whatever had not finished.  Results are never held in daemon memory: each
+successful point lands in the content-addressed cache under its own key, so
+a resubmission of the same spec — by any client — is served entirely from
+the cache without re-entering the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ReproError, SpecError
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import execute_spec
+from repro.runtime.results import encode_result
+from repro.service import jobs as J
+from repro.service.jobs import Job, JobStore, job_from_batch, job_from_spec
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ServiceError,
+    default_service_dir,
+    encode_arrays,
+    outcome_from_wire,
+    recv_frame,
+    send_frame,
+)
+
+#: Seconds a claimed chunk stays leased without a heartbeat before the
+#: reaper re-queues it (override per daemon; tests use fractions of a second).
+DEFAULT_LEASE_SECONDS = 60.0
+
+#: Grid points per claimed chunk — the unit of work-stealing and of
+#: cancellation granularity for external workers.
+DEFAULT_CHUNK_SIZE = 2
+
+
+@dataclass
+class Chunk:
+    """A contiguous batch of one job's point indices, claimed as a unit."""
+
+    chunk_id: str
+    job_id: str
+    indices: "list[int]"
+
+
+@dataclass
+class Lease:
+    chunk: Chunk
+    worker_id: str
+    deadline: float
+
+
+@dataclass
+class WorkerInfo:
+    """What the daemon knows about one worker (local thread or remote process)."""
+
+    worker_id: str
+    kind: str  # "local" | "remote"
+    first_seen: float
+    last_seen: float
+    chunks_completed: int = 0
+    points_completed: int = 0
+    lost_leases: int = 0
+    current_chunk: "str | None" = None
+
+    def to_dict(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "kind": self.kind,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "chunks_completed": self.chunks_completed,
+            "points_completed": self.points_completed,
+            "lost_leases": self.lost_leases,
+            "busy": self.current_chunk is not None,
+        }
+
+
+class Daemon:
+    """Job-queue daemon over the runtime executor seam.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix socket to listen on (default: ``<service dir>/daemon.sock``).
+    service_dir:
+        Root for the socket and job state files (default:
+        ``$REPRO_SERVICE_DIR`` or ``<cache root>/service``).
+    cache:
+        The shared result cache: a :class:`ResultCache`, a directory, or
+        ``None`` for the standard cache — the namespace every worker's
+        results land in and every resubmission is served from.
+    local_workers:
+        Size of the in-daemon :class:`WorkerPool` (``0`` relies entirely on
+        external ``repro.service worker`` processes).
+    chunk_size:
+        Grid points per claimable chunk.
+    lease_seconds:
+        Chunk lease duration; an unrenewed lease re-queues the chunk.
+    """
+
+    def __init__(
+        self,
+        socket_path: "str | Path | None" = None,
+        *,
+        service_dir: "str | Path | None" = None,
+        cache: "ResultCache | str | Path | None" = None,
+        local_workers: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    ):
+        if local_workers < 0:
+            raise SpecError(f"local_workers must be >= 0, got {local_workers}")
+        if chunk_size < 1:
+            raise SpecError(f"chunk_size must be >= 1, got {chunk_size}")
+        if lease_seconds <= 0:
+            raise SpecError(f"lease_seconds must be > 0, got {lease_seconds}")
+        self.service_dir = (
+            Path(service_dir).expanduser() if service_dir else default_service_dir()
+        )
+        self.socket_path = (
+            Path(socket_path).expanduser()
+            if socket_path
+            else self.service_dir / "daemon.sock"
+        )
+        self.cache = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+        self.store = JobStore(self.service_dir / "jobs")
+        self.local_workers = int(local_workers)
+        self.chunk_size = int(chunk_size)
+        self.lease_seconds = float(lease_seconds)
+
+        self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._jobs: "dict[str, Job]" = {}
+        self._heap: "list[tuple[int, int, str]]" = []  # (-priority, seq, chunk_id)
+        self._chunks: "dict[str, Chunk]" = {}  # pending (unleased) chunks
+        self._leases: "dict[str, Lease]" = {}
+        self._workers: "dict[str, WorkerInfo]" = {}
+        self._seq = 0
+        self._chunk_seq = 0
+        self._points_executed = 0
+        self._points_from_cache = 0
+        self._dedup_hits = 0
+        self._started_at: "float | None" = None
+        self._listener: "socket.socket | None" = None
+        self._threads: "list[threading.Thread]" = []
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Bind the socket, recover persisted jobs and spawn the threads."""
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise ServiceError("repro.service requires Unix-domain sockets")
+        self.service_dir.mkdir(parents=True, exist_ok=True)
+        self._refuse_second_daemon()
+        with self._lock:
+            self._recover()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.socket_path))
+        listener.listen(32)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._started_at = time.time()
+        self._threads = [
+            threading.Thread(target=self._accept_loop, name="repro-accept", daemon=True),
+            threading.Thread(target=self._reaper_loop, name="repro-reaper", daemon=True),
+        ]
+        for index in range(self.local_workers):
+            self._threads.append(
+                threading.Thread(
+                    target=self._local_worker_loop,
+                    args=(f"local-{index}",),
+                    name=f"repro-worker-{index}",
+                    daemon=True,
+                )
+            )
+        for thread in self._threads:
+            thread.start()
+
+    def _refuse_second_daemon(self) -> None:
+        if not self.socket_path.exists():
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            probe.connect(str(self.socket_path))
+        except OSError:
+            self.socket_path.unlink()  # stale socket from a dead daemon
+        else:
+            raise ServiceError(
+                f"a daemon is already listening on {self.socket_path}"
+            )
+        finally:
+            probe.close()
+
+    def _recover(self) -> None:
+        """Reload state files; re-queue whatever had not finished."""
+        for job in self.store.load_all():
+            self._jobs[job.job_id] = job
+            if job.terminal:
+                continue
+            pending = job.pending_indices()
+            if pending:
+                job.state = J.QUEUED if job.started is None else J.RUNNING
+                self._enqueue_points(job, pending)
+            else:
+                self._finalize(job)
+            self.store.save(job)
+
+    def serve_forever(self) -> None:
+        """``start()`` then block until a shutdown request (or interrupt)."""
+        self.start()
+        try:
+            while not self._stop.wait(timeout=0.2):
+                pass
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self.shutdown()
+
+    def request_stop(self) -> None:
+        """Ask the daemon to stop (safe from signal handlers and op handlers)."""
+        self._stop.set()
+        with self._work:
+            self._work.notify_all()
+
+    def shutdown(self, *, join_timeout: float = 10.0) -> None:
+        """Stop threads, persist every job and remove the socket file."""
+        self.request_stop()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=join_timeout)
+        self._threads = []
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            finally:
+                self._listener = None
+        try:
+            self.socket_path.unlink()
+        except FileNotFoundError:
+            pass
+        with self._lock:
+            for job in self._jobs.values():
+                self.store.save(job)
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None and not self._stop.is_set()
+
+    # ------------------------------------------------------------ socket side
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(None)
+        try:
+            with conn, conn.makefile("rwb") as stream:
+                while True:
+                    frame = recv_frame(stream)
+                    if frame is None:
+                        break
+                    send_frame(stream, self.handle(frame))
+        except (OSError, ValueError, ServiceError):
+            pass  # client went away mid-frame; nothing to answer
+
+    # -------------------------------------------------------------- dispatch
+
+    def handle(self, request: dict) -> dict:
+        """One request frame → one response frame (never raises)."""
+        op = request.get("op")
+        declared = request.get("protocol", PROTOCOL_VERSION)
+        if declared != PROTOCOL_VERSION:
+            return _error_frame(
+                ServiceError(
+                    f"protocol version mismatch: daemon speaks "
+                    f"{PROTOCOL_VERSION}, request declares {declared}"
+                )
+            )
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            return _error_frame(ServiceError(f"unknown op {op!r}"))
+        try:
+            return {**handler(request), "ok": True}
+        except ReproError as exc:
+            return _error_frame(exc)
+        except Exception as exc:  # noqa: BLE001 - daemon must never die on a frame
+            return _error_frame(exc)
+
+    # ------------------------------------------------------------------- ops
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"pong": True, "version": PROTOCOL_VERSION, "pid": os.getpid()}
+
+    def _op_submit(self, request: dict) -> dict:
+        priority = int(request.get("priority", 0))
+        if "payloads" in request:
+            job = job_from_batch(request["payloads"], priority=priority)
+        elif "spec" in request:
+            job = job_from_spec(request["spec"], priority=priority)
+        else:
+            raise SpecError("submit needs a 'spec' dict or a 'payloads' list")
+        with self._lock:
+            existing = self._jobs.get(job.job_id)
+            if existing is not None and existing.state not in (J.FAILED, J.CANCELLED):
+                # Same content key (same physics): the queue position, running
+                # chunks and finished results are all shared with the first
+                # submitter — nothing re-enters the queue.
+                self._dedup_hits += 1
+                return {
+                    "job_id": existing.job_id,
+                    "state": existing.state,
+                    "deduped": True,
+                    **existing.counts,
+                }
+            # Cache-first: points already in the shared store never queue.
+            for point in job.points:
+                if point.key in self.cache:
+                    point.status = J.OK
+                    point.cached = True
+                    self._points_from_cache += 1
+            pending = job.pending_indices()
+            if pending:
+                self._enqueue_points(job, pending)
+            else:
+                job.started = job.started or time.time()
+                self._finalize(job)
+            self._jobs[job.job_id] = job
+            self.store.save(job)
+            self._work.notify_all()
+            return {
+                "job_id": job.job_id,
+                "state": job.state,
+                "deduped": False,
+                **job.counts,
+            }
+
+    def _op_status(self, request: dict) -> dict:
+        with self._lock:
+            job = self._find_job(request["job_id"])
+            summary = job.summary()
+            if request.get("points"):
+                summary["points"] = [
+                    {k: v for k, v in point.to_dict().items() if k != "payload"}
+                    for point in job.points
+                ]
+            return summary
+
+    def _op_jobs(self, request: dict) -> dict:
+        with self._lock:
+            ordered = sorted(self._jobs.values(), key=lambda job: job.created)
+            return {"jobs": [job.summary() for job in ordered]}
+
+    def _op_result(self, request: dict) -> dict:
+        with self._lock:
+            job = self._find_job(request["job_id"])
+            if not job.terminal and not request.get("partial"):
+                raise ServiceError(
+                    f"job {job.job_id[:12]}… is {job.state}; poll status until "
+                    f"it finishes (or pass partial=true)"
+                )
+            points = list(job.points)
+            state = job.state
+        # Cache reads happen outside the lock: they touch the filesystem and
+        # may decode large arrays, and the cache is internally consistent.
+        outcomes = [self._point_outcome(point) for point in points]
+        return {"job_id": job.job_id, "state": state, "outcomes": outcomes}
+
+    def _point_outcome(self, point) -> dict:
+        base = {
+            "key": point.key,
+            "coords": dict(point.coords),
+            "label": point.label,
+            "cached": point.cached,
+            "wall_time": point.wall_time,
+        }
+        if point.status == J.OK:
+            value = self.cache.get(point.key)
+            if value is self._cache_miss_sentinel():
+                return {
+                    **base,
+                    "ok": False,
+                    "error": {
+                        "type": "CacheMissError",
+                        "message": f"result {point.key[:12]}… was evicted from "
+                        f"the shared cache before retrieval",
+                        "traceback": "",
+                    },
+                }
+            meta, arrays = encode_result(value)
+            return {**base, "ok": True, "result": meta, "arrays": encode_arrays(arrays)}
+        if point.status == J.POINT_FAILED:
+            return {**base, "ok": False, "error": point.error}
+        kind = "CancelledError" if point.status == J.POINT_CANCELLED else "PendingError"
+        return {
+            **base,
+            "ok": False,
+            "error": {
+                "type": kind,
+                "message": f"point is {point.status}",
+                "traceback": "",
+            },
+        }
+
+    @staticmethod
+    def _cache_miss_sentinel():
+        from repro.runtime.cache import MISS
+
+        return MISS
+
+    def _op_cancel(self, request: dict) -> dict:
+        with self._lock:
+            job = self._find_job(request["job_id"])
+            if job.terminal:
+                return {"job_id": job.job_id, "state": job.state, "changed": False}
+            # Drop the job's pending chunks; leased chunks lose their lease so
+            # heartbeats report cancellation and late completions are discarded.
+            for chunk_id in [
+                cid for cid, chunk in self._chunks.items() if chunk.job_id == job.job_id
+            ]:
+                del self._chunks[chunk_id]
+            for chunk_id in [
+                cid
+                for cid, lease in self._leases.items()
+                if lease.chunk.job_id == job.job_id
+            ]:
+                lease = self._leases.pop(chunk_id)
+                info = self._workers.get(lease.worker_id)
+                if info is not None and info.current_chunk == chunk_id:
+                    info.current_chunk = None
+            for point in job.points:
+                if point.status == J.PENDING:
+                    point.status = J.POINT_CANCELLED
+            job.state = J.CANCELLED
+            job.finished = time.time()
+            self.store.save(job)
+            return {"job_id": job.job_id, "state": job.state, "changed": True,
+                    **job.counts}
+
+    def _op_claim(self, request: dict) -> dict:
+        worker_id = str(request.get("worker", "anonymous"))
+        with self._lock:
+            self._touch_worker(worker_id, request.get("kind", "remote"))
+            if self._stop.is_set():
+                return {"shutdown": True}
+            chunk = self._pop_chunk(worker_id)
+            if chunk is None:
+                return {"idle": True}
+            job = self._jobs[chunk.job_id]
+            return {
+                "job_id": chunk.job_id,
+                "chunk_id": chunk.chunk_id,
+                "payloads": [job.points[i].payload for i in chunk.indices],
+                "lease_seconds": self.lease_seconds,
+            }
+
+    def _op_heartbeat(self, request: dict) -> dict:
+        worker_id = str(request.get("worker", "anonymous"))
+        chunk_id = request["chunk_id"]
+        with self._lock:
+            self._touch_worker(worker_id, request.get("kind", "remote"))
+            lease = self._leases.get(chunk_id)
+            if lease is None or lease.worker_id != worker_id:
+                # Cancelled, reaped, or claimed by someone else: stop working.
+                return {"cancelled": True}
+            lease.deadline = time.time() + self.lease_seconds
+            return {"cancelled": False}
+
+    def _op_complete(self, request: dict) -> dict:
+        worker_id = str(request.get("worker", "anonymous"))
+        outcomes = [outcome_from_wire(wire) for wire in request.get("outcomes", [])]
+        return self._complete(worker_id, request["chunk_id"], outcomes)
+
+    def _op_workers(self, request: dict) -> dict:
+        with self._lock:
+            return {"workers": [info.to_dict() for info in self._workers.values()]}
+
+    def _op_stats(self, request: dict) -> dict:
+        with self._lock:
+            by_state = {state: 0 for state in J.JOB_STATES}
+            for job in self._jobs.values():
+                by_state[job.state] += 1
+            pending_points = sum(len(c.indices) for c in self._chunks.values())
+            leased_points = sum(len(l.chunk.indices) for l in self._leases.values())
+            busy = sum(1 for w in self._workers.values() if w.current_chunk)
+            total_workers = len(self._workers)
+            executed, cached = self._points_executed, self._points_from_cache
+            stats = {
+                "pid": os.getpid(),
+                "uptime": time.time() - (self._started_at or time.time()),
+                "queue": {
+                    "chunks_pending": len(self._chunks),
+                    "chunks_leased": len(self._leases),
+                    "points_pending": pending_points,
+                    "points_leased": leased_points,
+                },
+                "jobs": by_state,
+                "points": {
+                    "executed": executed,
+                    "from_cache": cached,
+                    "hit_rate": (
+                        cached / (cached + executed) if cached + executed else None
+                    ),
+                    "dedup_hits": self._dedup_hits,
+                },
+                "workers": {
+                    "total": total_workers,
+                    "busy": busy,
+                    "utilization": busy / total_workers if total_workers else 0.0,
+                    "local": self.local_workers,
+                },
+            }
+        cache_stats = self.cache.stats()  # filesystem scan: outside the lock
+        stats["cache"] = {
+            "directory": cache_stats["directory"],
+            "entries": cache_stats["entries"],
+            "total_bytes": cache_stats["total_bytes"],
+            "hits": cache_stats["hits"],
+            "misses": cache_stats["misses"],
+        }
+        return stats
+
+    def _op_shutdown(self, request: dict) -> dict:
+        self.request_stop()
+        return {"stopping": True}
+
+    # --------------------------------------------------------------- internals
+
+    def _find_job(self, job_id: str) -> Job:
+        """Exact id or unambiguous prefix → the job; loud error otherwise."""
+        job = self._jobs.get(job_id)
+        if job is not None:
+            return job
+        matches = [j for key, j in self._jobs.items() if key.startswith(job_id)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ServiceError(f"no such job: {job_id!r}")
+        raise ServiceError(
+            f"job id prefix {job_id!r} is ambiguous ({len(matches)} matches)"
+        )
+
+    def _touch_worker(self, worker_id: str, kind: str) -> WorkerInfo:
+        info = self._workers.get(worker_id)
+        now = time.time()
+        if info is None:
+            info = WorkerInfo(
+                worker_id=worker_id, kind=str(kind), first_seen=now, last_seen=now
+            )
+            self._workers[worker_id] = info
+        info.last_seen = now
+        return info
+
+    def _enqueue_points(self, job: Job, indices: "list[int]") -> None:
+        """Shard point indices into chunks and push them on the heap."""
+        for start in range(0, len(indices), self.chunk_size):
+            self._chunk_seq += 1
+            chunk = Chunk(
+                chunk_id=f"{job.job_id[:12]}:{self._chunk_seq}",
+                job_id=job.job_id,
+                indices=indices[start : start + self.chunk_size],
+            )
+            self._chunks[chunk.chunk_id] = chunk
+            self._seq += 1
+            heapq.heappush(self._heap, (-job.priority, self._seq, chunk.chunk_id))
+
+    def _pop_chunk(self, worker_id: str) -> "Chunk | None":
+        """Lease the highest-priority pending chunk to ``worker_id``."""
+        while self._heap:
+            _, _, chunk_id = heapq.heappop(self._heap)
+            chunk = self._chunks.pop(chunk_id, None)
+            if chunk is None:
+                continue  # cancelled or re-queued under a new heap entry
+            job = self._jobs.get(chunk.job_id)
+            if job is None or job.terminal:
+                continue
+            self._leases[chunk_id] = Lease(
+                chunk=chunk,
+                worker_id=worker_id,
+                deadline=time.time() + self.lease_seconds,
+            )
+            info = self._workers.get(worker_id)
+            if info is not None:
+                info.current_chunk = chunk_id
+            if job.state == J.QUEUED:
+                job.state = J.RUNNING
+                job.started = job.started or time.time()
+                self.store.save(job)
+            return chunk
+        return None
+
+    def _complete(
+        self, worker_id: str, chunk_id: str, outcomes: "list[dict]"
+    ) -> dict:
+        """Apply a (possibly partial) chunk's outcomes; cache and persist."""
+        with self._lock:
+            lease = self._leases.pop(chunk_id, None)
+            info = self._workers.get(worker_id)
+            if info is not None and info.current_chunk == chunk_id:
+                info.current_chunk = None
+            if lease is None or lease.worker_id != worker_id:
+                # The lease was reaped (slow worker) or the job was cancelled;
+                # the chunk either re-ran elsewhere or must not land at all.
+                return {"applied": 0, "discarded": True}
+            chunk = lease.chunk
+            job = self._jobs.get(chunk.job_id)
+            if job is None or job.state == J.CANCELLED:
+                return {"applied": 0, "discarded": True}
+            applied = 0
+            for index, outcome in zip(chunk.indices, outcomes):
+                point = job.points[index]
+                if point.status != J.PENDING:
+                    continue  # a redundant re-execution already landed
+                if outcome.get("ok"):
+                    self.cache.put_encoded(
+                        point.key,
+                        outcome["result"],
+                        outcome.get("arrays", {}),
+                        label=point.label,
+                    )
+                    point.status = J.OK
+                else:
+                    point.status = J.POINT_FAILED
+                    point.error = outcome.get("error") or {
+                        "type": "UnknownError",
+                        "message": "worker reported failure without detail",
+                        "traceback": "",
+                    }
+                point.wall_time = float(outcome.get("wall_time", 0.0))
+                applied += 1
+                self._points_executed += 1
+                if info is not None:
+                    info.points_completed += 1
+            if info is not None:
+                info.chunks_completed += 1
+            leftover = chunk.indices[len(outcomes) :]
+            leftover = [i for i in leftover if job.points[i].status == J.PENDING]
+            if leftover and not self._stop.is_set():
+                # An aborted chunk (worker shutting down) returns its tail.
+                self._enqueue_points(job, leftover)
+                self._work.notify_all()
+            if not job.pending_indices() and not self._job_has_leases(job.job_id):
+                self._finalize(job)
+            self.store.save(job)
+            return {"applied": applied, "discarded": False}
+
+    def _job_has_leases(self, job_id: str) -> bool:
+        return any(lease.chunk.job_id == job_id for lease in self._leases.values())
+
+    def _finalize(self, job: Job) -> None:
+        counts = job.counts
+        job.state = J.FAILED if counts["failed"] else J.DONE
+        job.started = job.started or job.created
+        job.finished = time.time()
+
+    # ---------------------------------------------------------- worker threads
+
+    def _local_worker_loop(self, worker_id: str) -> None:
+        """One in-daemon pool thread: claim, execute, complete, repeat."""
+        with self._lock:
+            self._touch_worker(worker_id, "local")
+        while not self._stop.is_set():
+            with self._work:
+                self._touch_worker(worker_id, "local")
+                chunk = self._pop_chunk(worker_id)
+                if chunk is None:
+                    self._work.wait(timeout=0.2)
+                    continue
+            outcomes: "list[dict]" = []
+            for index in chunk.indices:
+                with self._lock:
+                    job = self._jobs.get(chunk.job_id)
+                    payload = (
+                        None
+                        if job is None or job.terminal or self._stop.is_set()
+                        else job.points[index].payload
+                    )
+                if payload is None:
+                    break  # cancelled (or stopping): abandon the chunk's tail
+                outcomes.append(execute_spec(payload))
+            self._complete(worker_id, chunk.chunk_id, outcomes)
+
+    def _reaper_loop(self) -> None:
+        """Re-queue chunks whose workers stopped renewing their lease."""
+        interval = max(0.05, min(1.0, self.lease_seconds / 4.0))
+        while not self._stop.wait(timeout=interval):
+            now = time.time()
+            with self._lock:
+                expired = [
+                    chunk_id
+                    for chunk_id, lease in self._leases.items()
+                    if lease.deadline < now
+                ]
+                for chunk_id in expired:
+                    lease = self._leases.pop(chunk_id)
+                    info = self._workers.get(lease.worker_id)
+                    if info is not None:
+                        info.lost_leases += 1
+                        if info.current_chunk == chunk_id:
+                            info.current_chunk = None
+                    job = self._jobs.get(lease.chunk.job_id)
+                    if job is None or job.terminal:
+                        continue
+                    pending = [
+                        i
+                        for i in lease.chunk.indices
+                        if job.points[i].status == J.PENDING
+                    ]
+                    if pending:
+                        self._enqueue_points(job, pending)
+                if expired:
+                    self._work.notify_all()
+
+
+def _error_frame(exc: Exception) -> dict:
+    return {
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }

@@ -1,0 +1,317 @@
+"""Job model of the repro service: specs in, per-point states out.
+
+A :class:`Job` is one submitted unit of work — a single run, a sweep grid, or
+a batch of canonical run payloads from a :class:`~repro.service.client.
+ServiceClient` acting as an executor.  Its identity *is* its content: the job
+id reuses the :meth:`~repro.runtime.spec.RunSpec.content_key` machinery, so
+two clients submitting the same physics collide on the same job and the
+second submission becomes a dedup hit instead of duplicate work.
+
+Jobs move through ``queued → running → done | failed | cancelled``.  Each
+grid point carries its own status (``pending → ok | failed | cancelled``)
+with captured error tracebacks, so one diverging point never poisons the
+job's other results.  Every state transition is persisted as an atomic JSON
+state file under ``<service dir>/jobs/`` — the daemon recovers in-flight jobs
+from these files on restart and re-queues whatever had not finished.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import SpecError
+from repro.service.protocol import ServiceError
+from repro.utils.serialization import content_hash
+
+# Job states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+# Point statuses.
+PENDING = "pending"
+OK = "ok"
+POINT_FAILED = "failed"
+POINT_CANCELLED = "cancelled"
+
+
+@dataclass
+class Point:
+    """One grid point of a job: its cache key, coordinates and outcome."""
+
+    key: str
+    payload: dict
+    coords: dict = field(default_factory=dict)
+    label: "str | None" = None
+    status: str = PENDING
+    error: "dict | None" = None
+    wall_time: float = 0.0
+    cached: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "payload": self.payload,
+            "coords": dict(self.coords),
+            "label": self.label,
+            "status": self.status,
+            "error": self.error,
+            "wall_time": self.wall_time,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Point":
+        return cls(
+            key=payload["key"],
+            payload=payload["payload"],
+            coords=dict(payload.get("coords", {})),
+            label=payload.get("label"),
+            status=payload.get("status", PENDING),
+            error=payload.get("error"),
+            wall_time=payload.get("wall_time", 0.0),
+            cached=payload.get("cached", False),
+        )
+
+
+@dataclass
+class Job:
+    """One submitted job: spec, priority, state machine and its points."""
+
+    job_id: str
+    kind: str  # "run" | "sweep" | "batch"
+    spec: dict  # the submitted (non-canonical) payload, for provenance
+    points: "list[Point]" = field(default_factory=list)
+    priority: int = 0
+    state: str = QUEUED
+    label: "str | None" = None
+    created: float = field(default_factory=time.time)
+    started: "float | None" = None
+    finished: "float | None" = None
+    error: "dict | None" = None  # job-level failure (spec expansion, recovery)
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def counts(self) -> dict:
+        """Per-status point counts plus the cache-served subset."""
+        tally = {PENDING: 0, OK: 0, POINT_FAILED: 0, POINT_CANCELLED: 0}
+        cached = 0
+        for point in self.points:
+            tally[point.status] = tally.get(point.status, 0) + 1
+            if point.cached:
+                cached += 1
+        # "succeeded", not "ok": these counts ride inside response frames
+        # whose own "ok" field is the protocol-level success flag.
+        return {
+            "total": len(self.points),
+            "done": tally[OK] + tally[POINT_FAILED],
+            "succeeded": tally[OK],
+            "failed": tally[POINT_FAILED],
+            "cancelled": tally[POINT_CANCELLED],
+            "pending": tally[PENDING],
+            "cached": cached,
+        }
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def pending_indices(self) -> "list[int]":
+        return [i for i, point in enumerate(self.points) if point.status == PENDING]
+
+    def summary(self) -> dict:
+        """The status-op view: everything except the per-point payloads."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "label": self.label,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            **self.counts,
+        }
+
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "spec": self.spec,
+            "priority": self.priority,
+            "state": self.state,
+            "label": self.label,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Job":
+        state = payload.get("state", QUEUED)
+        if state not in JOB_STATES:
+            raise ServiceError(f"unknown job state {state!r} in state file")
+        return cls(
+            job_id=payload["job_id"],
+            kind=payload.get("kind", "run"),
+            spec=payload.get("spec", {}),
+            points=[Point.from_dict(p) for p in payload.get("points", [])],
+            priority=payload.get("priority", 0),
+            state=state,
+            label=payload.get("label"),
+            created=payload.get("created", time.time()),
+            started=payload.get("started"),
+            finished=payload.get("finished"),
+            error=payload.get("error"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Job construction
+# ---------------------------------------------------------------------------
+
+
+def job_from_spec(payload: dict, *, priority: int = 0) -> Job:
+    """Expand a submitted run/sweep spec dict into a :class:`Job`.
+
+    The job id is the spec's own content key; each point's key is the
+    expanded :class:`~repro.runtime.spec.RunSpec` content key — exactly what
+    the shared :class:`~repro.runtime.cache.ResultCache` is addressed by.
+    Raises :class:`~repro.exceptions.SpecError` on malformed specs (submission
+    fails loudly; no job is created).
+    """
+    from repro.runtime.spec import RunSpec, SweepSpec
+
+    kind = payload.get("spec")
+    if kind == "run":
+        spec = RunSpec.from_dict(payload)
+        points = [
+            Point(
+                key=spec.content_key(),
+                payload=spec.to_dict(canonical=True),
+                coords={},
+                label=spec.label,
+            )
+        ]
+        return Job(
+            job_id=spec.content_key(),
+            kind="run",
+            spec=payload,
+            points=points,
+            priority=priority,
+            label=spec.label,
+        )
+    if kind == "sweep":
+        spec = SweepSpec.from_dict(payload)
+        points = [
+            Point(
+                key=run.content_key(),
+                payload=run.to_dict(canonical=True),
+                coords=dict(coords),
+                label=run.label,
+            )
+            for coords, run in spec.expand()
+        ]
+        return Job(
+            job_id=spec.content_key(),
+            kind="sweep",
+            spec=payload,
+            points=points,
+            priority=priority,
+            label=spec.name,
+        )
+    raise SpecError(
+        f"cannot submit a spec of kind {kind!r}: expected a RunSpec or "
+        f"SweepSpec dict (with 'spec': 'run' | 'sweep') or a payload batch"
+    )
+
+
+def job_from_batch(payloads: "list[dict]", *, priority: int = 0) -> Job:
+    """A job from canonical RunSpec payloads (the executor-client path).
+
+    Point keys are recomputed through :class:`~repro.runtime.spec.RunSpec`
+    round-trips so a hand-altered payload cannot poison the shared cache
+    under a stale key; the job id hashes the ordered key list.
+    """
+    from repro.runtime.spec import RunSpec
+
+    if not payloads:
+        raise SpecError("a batch submission needs at least one payload")
+    points = []
+    for payload in payloads:
+        spec = RunSpec.from_dict(payload)
+        points.append(
+            Point(
+                key=spec.content_key(),
+                payload=spec.to_dict(canonical=True),
+                coords={"index": len(points)},
+                label=spec.label,
+            )
+        )
+    job_id = content_hash([point.key for point in points], tag="batchjob")
+    return Job(job_id=job_id, kind="batch", spec={"spec": "batch",
+               "num_payloads": len(payloads)}, points=points, priority=priority)
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+
+
+class JobStore:
+    """Atomic per-job JSON state files under one directory."""
+
+    def __init__(self, directory: "str | Path"):
+        self.directory = Path(directory)
+
+    def _path(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}.json"
+
+    def save(self, job: Job) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(job.job_id)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(job.to_dict()))
+        os.replace(tmp, path)
+
+    def load(self, job_id: str) -> "Job | None":
+        try:
+            return Job.from_dict(json.loads(self._path(job_id).read_text()))
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise ServiceError(f"corrupt job state file for {job_id}: {exc}") from exc
+
+    def load_all(self) -> "list[Job]":
+        """Every readable state file, oldest submission first."""
+        jobs = []
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                jobs.append(Job.from_dict(json.loads(path.read_text())))
+            except (json.JSONDecodeError, KeyError, ServiceError):
+                # A torn write from a crashed daemon: quarantine, don't crash.
+                path.rename(path.with_suffix(".json.corrupt"))
+        return sorted(jobs, key=lambda job: job.created)
+
+    def delete(self, job_id: str) -> None:
+        try:
+            self._path(job_id).unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,207 @@
+"""Wire protocol of the repro service: JSON-lines frames over a Unix socket.
+
+Every exchange between a client (or worker) and the daemon is a sequence of
+*frames*: one JSON object per line, UTF-8, newline-terminated.  A connection
+may carry any number of request/response pairs; the daemon answers each frame
+with exactly one frame.  Requests are ``{"op": <name>, ...fields}``;
+responses are ``{"ok": true, ...fields}`` or ``{"ok": false, "error":
+{"type", "message"}}``.
+
+Array payloads (statevectors, density matrices) cannot ride in plain JSON, so
+the protocol carries them as base64-encoded ``.npy`` bytes —
+:func:`encode_arrays`/:func:`decode_arrays` are the codec, and
+:func:`outcome_to_wire`/:func:`outcome_from_wire` apply it to the outcome
+dicts produced by :func:`repro.runtime.executor.execute_spec`.
+
+Daemon, workers and clients agree on filesystem defaults through
+:func:`default_service_dir` (``$REPRO_SERVICE_DIR`` or
+``<cache root>/service``): the Unix socket, job state files and the shared
+result cache namespace all live under it unless overridden.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import os
+import socket
+from pathlib import Path
+from typing import Any, BinaryIO
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+#: Bump when the frame schema changes shape; the daemon refuses mismatches.
+PROTOCOL_VERSION = 1
+
+#: Environment override for the service directory (socket + job state files).
+SERVICE_DIR_ENV = "REPRO_SERVICE_DIR"
+
+#: Hard cap on one frame's size (a 24-qubit complex statevector is ~512 MiB
+#: of base64; beyond that something is wrong with the request, not the limit).
+MAX_FRAME_BYTES = 1024**3
+
+
+class ServiceError(ReproError):
+    """Raised for service-level failures (bad frames, daemon refusals)."""
+
+
+class ServiceConnectionError(ServiceError):
+    """Raised when the daemon socket cannot be reached (or went away)."""
+
+
+class RemoteError(ServiceError):
+    """An error the daemon reported in a response frame.
+
+    Carries the remote exception's type name so callers can branch on it
+    without string-matching the message.
+    """
+
+    def __init__(self, error: dict):
+        self.type = error.get("type", "ServiceError")
+        self.message = error.get("message", "")
+        super().__init__(f"{self.type}: {self.message}")
+
+
+# ---------------------------------------------------------------------------
+# Filesystem defaults
+# ---------------------------------------------------------------------------
+
+
+def default_service_dir() -> Path:
+    """``$REPRO_SERVICE_DIR`` if set, else ``<cache root>/service``."""
+    env = os.environ.get(SERVICE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    from repro.runtime.cache import default_cache_dir
+
+    return default_cache_dir() / "service"
+
+
+def default_socket_path(service_dir: "str | Path | None" = None) -> Path:
+    """The daemon's Unix socket inside the service directory."""
+    root = Path(service_dir).expanduser() if service_dir else default_service_dir()
+    return root / "daemon.sock"
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+
+
+def send_frame(stream: BinaryIO, payload: dict) -> None:
+    """Write one newline-terminated JSON frame and flush."""
+    line = json.dumps(payload, separators=(",", ":"), ensure_ascii=True)
+    stream.write(line.encode("utf-8") + b"\n")
+    stream.flush()
+
+
+def recv_frame(stream: BinaryIO) -> "dict | None":
+    """Read one frame; ``None`` on a clean EOF before any bytes."""
+    line = stream.readline(MAX_FRAME_BYTES)
+    if not line:
+        return None
+    if not line.endswith(b"\n") and len(line) >= MAX_FRAME_BYTES:
+        raise ServiceError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"malformed frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(f"frame must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def connect(socket_path: "str | Path", *, timeout: "float | None" = 30.0) -> socket.socket:
+    """A connected Unix-domain stream socket, or :class:`ServiceConnectionError`."""
+    if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX platforms
+        raise ServiceError("repro.service requires Unix-domain sockets (AF_UNIX)")
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(str(socket_path))
+    except OSError as exc:
+        sock.close()
+        raise ServiceConnectionError(
+            f"cannot reach the repro daemon at {socket_path}: {exc}"
+        ) from exc
+    return sock
+
+
+def request(
+    socket_path: "str | Path",
+    op: str,
+    *,
+    timeout: "float | None" = 30.0,
+    **fields: Any,
+) -> dict:
+    """One round trip on a fresh connection; raises :class:`RemoteError` on failure.
+
+    A fresh connection per request keeps every caller robust against daemon
+    restarts at the cost of one (cheap, local) ``connect`` — the JSON-lines
+    protocol itself supports multiplexing many frames per connection, which
+    the daemon-side handler honours for clients that want it.
+    """
+    payload = {"op": op, "protocol": PROTOCOL_VERSION, **fields}
+    sock = connect(socket_path, timeout=timeout)
+    try:
+        with sock.makefile("rwb") as stream:
+            send_frame(stream, payload)
+            response = recv_frame(stream)
+    except (OSError, ValueError) as exc:
+        raise ServiceConnectionError(
+            f"request {op!r} to {socket_path} failed mid-flight: {exc}"
+        ) from exc
+    finally:
+        sock.close()
+    if response is None:
+        raise ServiceConnectionError(
+            f"daemon at {socket_path} closed the connection without answering {op!r}"
+        )
+    if not response.get("ok"):
+        raise RemoteError(response.get("error", {}))
+    return response
+
+
+# ---------------------------------------------------------------------------
+# Array codec
+# ---------------------------------------------------------------------------
+
+
+def encode_arrays(arrays: "dict[str, np.ndarray]") -> "dict[str, str]":
+    """name → ndarray mapping as base64 ``.npy`` strings (lossless)."""
+    encoded = {}
+    for name, array in arrays.items():
+        buffer = io.BytesIO()
+        np.save(buffer, np.asarray(array), allow_pickle=False)
+        encoded[name] = base64.b64encode(buffer.getvalue()).decode("ascii")
+    return encoded
+
+
+def decode_arrays(encoded: "dict[str, str]") -> "dict[str, np.ndarray]":
+    """Inverse of :func:`encode_arrays`."""
+    arrays = {}
+    for name, text in encoded.items():
+        buffer = io.BytesIO(base64.b64decode(text.encode("ascii")))
+        arrays[name] = np.load(buffer, allow_pickle=False)
+    return arrays
+
+
+def outcome_to_wire(outcome: dict) -> dict:
+    """An ``execute_spec`` outcome with its arrays made JSON-safe."""
+    wire = dict(outcome)
+    if wire.get("arrays"):
+        wire["arrays"] = encode_arrays(wire["arrays"])
+    return wire
+
+
+def outcome_from_wire(wire: dict) -> dict:
+    """Inverse of :func:`outcome_to_wire` (arrays back to ndarrays)."""
+    outcome = dict(wire)
+    if outcome.get("arrays"):
+        outcome["arrays"] = decode_arrays(outcome["arrays"])
+    elif outcome.get("ok"):
+        outcome.setdefault("arrays", {})
+    return outcome

@@ -1,0 +1,113 @@
+"""External worker: a process that drains the daemon's queue over the socket.
+
+``python -m repro.service worker --connect <socket>`` runs this loop.  The
+worker claims chunks, executes each grid point through the same
+:func:`~repro.runtime.executor.execute_spec` entry point the in-daemon pool
+and the process executors use — so it inherits the per-process compiled-
+program memo, and a long-lived worker keeps its compiles warm across jobs —
+and ships the outcomes back for the daemon to cache.
+
+Between points the worker heartbeats: that renews its chunk lease and learns
+about cancellation, so a cancelled job stops costing CPU within one point.
+The loop exits cleanly when the daemon says shutdown, when the socket
+disappears (daemon gone), or after ``max_idle`` seconds without work —
+extra containers or machines can therefore point a forwarded socket at one
+daemon and scale the fleet up and down freely.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+
+from repro.runtime.executor import execute_spec
+from repro.service.protocol import (
+    RemoteError,
+    ServiceConnectionError,
+    outcome_to_wire,
+    request,
+)
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique per process across a fleet of machines."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def run_worker(
+    socket_path,
+    *,
+    worker_id: "str | None" = None,
+    poll_interval: float = 0.2,
+    max_idle: "float | None" = None,
+    max_chunks: "int | None" = None,
+) -> int:
+    """Claim/execute/complete until shutdown; returns a process exit code.
+
+    Parameters
+    ----------
+    socket_path:
+        The daemon's Unix socket (possibly a forwarded one).
+    worker_id:
+        Stable identity reported to the daemon (default: hostname-pid).
+    poll_interval:
+        Seconds between claim attempts while the queue is empty.
+    max_idle:
+        Exit (code 0) after this many consecutive idle seconds; ``None``
+        waits for work forever.
+    max_chunks:
+        Exit after completing this many chunks (test/benchmark hook).
+    """
+    worker_id = worker_id or default_worker_id()
+    idle_since: "float | None" = None
+    completed = 0
+    while True:
+        try:
+            claim = request(socket_path, "claim", worker=worker_id)
+        except ServiceConnectionError:
+            return 0  # daemon gone: a worker has nothing left to do
+        except RemoteError:
+            return 1
+        if claim.get("shutdown"):
+            return 0
+        if claim.get("idle"):
+            now = time.monotonic()
+            idle_since = idle_since if idle_since is not None else now
+            if max_idle is not None and now - idle_since >= max_idle:
+                return 0
+            time.sleep(poll_interval)
+            continue
+        idle_since = None
+        outcomes = []
+        abandoned = False
+        for index, payload in enumerate(claim["payloads"]):
+            if index:
+                # Renew the lease and learn about cancellation between points.
+                try:
+                    beat = request(
+                        socket_path,
+                        "heartbeat",
+                        worker=worker_id,
+                        chunk_id=claim["chunk_id"],
+                    )
+                except ServiceConnectionError:
+                    return 0
+                if beat.get("cancelled"):
+                    abandoned = True
+                    break
+            outcomes.append(outcome_to_wire(execute_spec(payload)))
+        if not abandoned:
+            try:
+                request(
+                    socket_path,
+                    "complete",
+                    worker=worker_id,
+                    chunk_id=claim["chunk_id"],
+                    outcomes=outcomes,
+                )
+            except ServiceConnectionError:
+                return 0
+            completed += 1
+            if max_chunks is not None and completed >= max_chunks:
+                return 0

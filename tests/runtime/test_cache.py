@@ -173,3 +173,45 @@ class TestStore:
         assert payload["key"] == key_of(1)
         assert payload["result"] == {"kind": "scalar", "value": 2.5}
         assert payload["label"] == "x" and not payload["has_arrays"]
+
+
+class TestRemovalHygiene:
+    def test_remove_unlinks_npz_before_sidecar(self, cache, monkeypatch):
+        # If removal dies between the two unlinks, the survivor must be the
+        # sidecar (a clean miss), never a keyless orphan npz.
+        cache.put(key_of(1), np.zeros(8))
+        sidecar, npz = cache._paths(key_of(1))
+        order = []
+        original = type(npz).unlink
+
+        def spy(self, *args, **kwargs):
+            order.append(self.suffix)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(type(npz), "unlink", spy)
+        cache._remove(sidecar)
+        assert order == [".npz", ".json"]
+        assert not npz.exists() and not sidecar.exists()
+
+    def test_stats_sweeps_orphan_npz(self, cache):
+        cache.put(key_of(1), np.zeros(8))
+        sidecar, npz = cache._paths(key_of(1))
+        sidecar.unlink()  # simulate a crash that left a keyless npz behind
+        stats = cache.stats()
+        assert stats["orphans_swept"] == 1
+        assert stats["entries"] == 0
+        assert not npz.exists()
+
+    def test_stats_leaves_paired_entries_alone(self, cache):
+        cache.put(key_of(1), np.zeros(8))
+        assert cache.stats()["orphans_swept"] == 0
+        assert key_of(1) in cache
+
+    def test_clear_counts_orphans(self, cache):
+        cache.put(key_of(1), np.zeros(8))
+        cache.put(key_of(2), np.ones(8))
+        sidecar, _ = cache._paths(key_of(2))
+        sidecar.unlink()
+        assert cache.clear() == 2  # one live entry + one orphan npz
+        assert cache.stats()["entries"] == 0
+        assert not list(cache.directory.glob("*.npz"))

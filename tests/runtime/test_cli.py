@@ -136,3 +136,26 @@ class TestSubprocessEntryPoint:
         )
         assert result.returncode == 0, result.stderr
         assert "4 runs" in result.stdout
+
+
+class TestSweepJsonOutput:
+    def test_json_flag_emits_the_full_document(self, cache_env, capsys):
+        spec = SweepSpec(
+            problem=problem(), strategies=("direct", "pauli"), steps=(1, 2),
+            backend="resource",
+        )
+        path = write_spec(cache_env, spec.to_dict())
+        assert main(["sweep", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["num_records"] == 4 and doc["num_failed"] == 0
+        assert all("value" in record for record in doc["records"])
+
+    def test_json_failure_still_exits_nonzero(self, cache_env, capsys):
+        path = write_spec(cache_env, problem().to_dict())
+        code = main(["sweep", path, "--strategies", "direct,block_encoding",
+                     "--backend", "exact", "--json"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["num_failed"] > 0
+        failed = [r for r in doc["records"] if not r["ok"]]
+        assert failed and all("error" in r for r in failed)

@@ -120,3 +120,20 @@ class TestCrossProcessParity:
         for a, b in zip(local, pooled):
             assert a["ok"] and b["ok"]
             assert a["result"]["counts"] == b["result"]["counts"]
+
+
+class TestPicklabilityFailFast:
+    def test_lambda_callable_is_a_clear_runtime_error(self):
+        pool = ProcessExecutor(2)
+        with pytest.raises(RuntimeError, match="cannot pickle the callable"):
+            pool.map(lambda x: x, [1, 2, 3])
+
+    def test_unpicklable_item_names_the_slice(self):
+        pool = ProcessExecutor(2, chunk_size=2)
+        items = [1, 2, (lambda: None), 4]  # chunk [2:4] holds the offender
+        with pytest.raises(RuntimeError, match=r"could not pickle items"):
+            pool.map(_square, items)
+
+    def test_single_worker_serial_path_still_works_with_lambdas(self):
+        # max_workers=1 short-circuits to in-process execution: no pickling.
+        assert ProcessExecutor(1).map(lambda x: x + 1, [1, 2]) == [2, 3]

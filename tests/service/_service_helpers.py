@@ -1,0 +1,26 @@
+"""Shared helpers for the service test suite (imported by tests and conftest)."""
+
+from __future__ import annotations
+
+import time
+
+import repro
+
+
+def make_problem(**kwargs):
+    kwargs.setdefault("time", 0.3)
+    kwargs.setdefault("name", "service-test")
+    return repro.SimulationProblem.from_labels(
+        4, {"nsdI": 0.8, "IZZI": 0.3}, **kwargs
+    )
+
+
+def wait_until(predicate, *, timeout: float = 15.0, interval: float = 0.02):
+    """Poll ``predicate`` until truthy; fail the test on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s: {predicate}")

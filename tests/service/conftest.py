@@ -1,0 +1,33 @@
+"""Fixtures for the service suite: isolated daemons over tmp directories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.daemon import Daemon
+
+
+@pytest.fixture
+def service_env(tmp_path, monkeypatch):
+    """Point the cache and service roots at the test's tmp directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / "service"))
+    return tmp_path
+
+
+@pytest.fixture
+def make_daemon(service_env):
+    """Factory for started daemons; everything shuts down at teardown."""
+    daemons: list[Daemon] = []
+
+    def factory(**kwargs) -> Daemon:
+        kwargs.setdefault("local_workers", 1)
+        kwargs.setdefault("lease_seconds", 10.0)
+        daemon = Daemon(**kwargs)
+        daemon.start()
+        daemons.append(daemon)
+        return daemon
+
+    yield factory
+    for daemon in daemons:
+        daemon.shutdown()

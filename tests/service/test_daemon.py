@@ -1,0 +1,295 @@
+"""Daemon lifecycle: queueing, leases, cancellation, recovery, dedup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import RunSpec, SweepSpec
+from repro.runtime.executor import execute_spec
+from repro.service import jobs as J
+from repro.service.protocol import outcome_to_wire
+
+from _service_helpers import make_problem, wait_until
+
+
+def sweep_spec(**kwargs):
+    kwargs.setdefault("strategies", ("direct",))
+    kwargs.setdefault("steps", (1, 2, 3, 4))
+    kwargs.setdefault("backend", "sampling")
+    kwargs.setdefault("run_kwargs", {"shots": 32})
+    kwargs.setdefault("seed", 7)
+    return SweepSpec(problem=make_problem(), **kwargs)
+
+
+def submit(daemon, spec, **fields):
+    response = daemon.handle({"op": "submit", "spec": spec.to_dict(), **fields})
+    assert response["ok"], response
+    return response
+
+
+class TestSubmitAndExecute:
+    def test_run_job_completes_and_serves_results(self, make_daemon):
+        daemon = make_daemon(local_workers=1)
+        spec = RunSpec(problem=make_problem(), backend="resource")
+        ack = submit(daemon, spec)
+        assert ack["job_id"] == spec.content_key() and not ack["deduped"]
+        status = wait_until(
+            lambda: (s := daemon.handle({"op": "status", "job_id": ack["job_id"]}))
+            and s["state"] in ("done", "failed") and s
+        )
+        assert status["state"] == "done" and status["succeeded"] == 1
+        result = daemon.handle({"op": "result", "job_id": ack["job_id"]})
+        assert result["ok"] and len(result["outcomes"]) == 1
+        assert result["outcomes"][0]["ok"]
+        assert result["outcomes"][0]["result"]["kind"] == "resource_estimate"
+
+    def test_sweep_points_land_in_grid_order(self, make_daemon):
+        daemon = make_daemon(local_workers=2, chunk_size=2)
+        spec = sweep_spec()
+        ack = submit(daemon, spec)
+        wait_until(
+            lambda: daemon.handle({"op": "status", "job_id": ack["job_id"]})["state"]
+            == "done"
+        )
+        result = daemon.handle({"op": "result", "job_id": ack["job_id"]})
+        keys = [run.content_key() for _, run in spec.expand()]
+        assert [o["key"] for o in result["outcomes"]] == keys
+        assert all(o["ok"] for o in result["outcomes"])
+
+    def test_failed_point_marks_job_failed_but_keeps_others(self, make_daemon):
+        daemon = make_daemon(local_workers=1)
+        spec = sweep_spec(
+            strategies=("direct", "block_encoding"), steps=None,
+            backend="exact", run_kwargs={}, seed=None,
+        )
+        ack = submit(daemon, spec)
+        status = wait_until(
+            lambda: (s := daemon.handle({"op": "status", "job_id": ack["job_id"]}))
+            and s["state"] in ("done", "failed") and s
+        )
+        assert status["state"] == "failed"
+        assert status["failed"] >= 1 and status["succeeded"] >= 1
+        outcomes = daemon.handle({"op": "result", "job_id": ack["job_id"]})["outcomes"]
+        failed = [o for o in outcomes if not o["ok"]]
+        assert failed and all("traceback" in o["error"] for o in failed)
+
+    def test_result_before_completion_requires_partial(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        ack = submit(daemon, sweep_spec())
+        refusal = daemon.handle({"op": "result", "job_id": ack["job_id"]})
+        assert not refusal["ok"] and "poll status" in refusal["error"]["message"]
+        partial = daemon.handle(
+            {"op": "result", "job_id": ack["job_id"], "partial": True}
+        )
+        assert partial["ok"]
+        assert all(o["error"]["type"] == "PendingError" for o in partial["outcomes"])
+
+
+class TestDedupAndCache:
+    def test_second_submission_of_same_content_key_dedups(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        spec = sweep_spec()
+        first = submit(daemon, spec)
+        second = submit(daemon, spec)
+        assert second["deduped"] and second["job_id"] == first["job_id"]
+        # Nothing re-entered the queue for the duplicate.
+        stats = daemon.handle({"op": "stats"})
+        assert stats["points"]["dedup_hits"] == 1
+        assert stats["queue"]["points_pending"] == spec.num_points
+
+    def test_points_already_cached_never_queue(self, make_daemon):
+        daemon = make_daemon(local_workers=1)
+        run = RunSpec(problem=make_problem(), backend="statevector")
+        ack = submit(daemon, run)
+        wait_until(
+            lambda: daemon.handle({"op": "status", "job_id": ack["job_id"]})["state"]
+            == "done"
+        )
+        # A *different* job whose grid contains that same point: the shared
+        # point is served from cache, only the new point queues.
+        sweep = SweepSpec(
+            problem=make_problem(), strategies=("direct",),
+            steps=(make_problem().steps, 2), backend="statevector",
+        )
+        ack2 = submit(daemon, sweep)
+        assert not ack2["deduped"] and ack2["cached"] == 1
+        status = wait_until(
+            lambda: (s := daemon.handle({"op": "status", "job_id": ack2["job_id"]}))
+            and s["state"] == "done" and s
+        )
+        assert status["cached"] == 1 and status["succeeded"] == 2
+
+    def test_resubmission_after_restart_is_served_from_cache(self, make_daemon):
+        first = make_daemon(local_workers=1)
+        spec = sweep_spec()
+        ack = submit(first, spec)
+        wait_until(
+            lambda: first.handle({"op": "status", "job_id": ack["job_id"]})["state"]
+            == "done"
+        )
+        first.shutdown()
+        second = make_daemon(local_workers=0)  # no workers: cache or nothing
+        # The job store remembers the job; even a fresh, content-equal spec
+        # never reaches the (workerless) queue.
+        resubmit = submit(second, spec)
+        assert resubmit["deduped"] and resubmit["state"] == "done"
+        outcomes = second.handle({"op": "result", "job_id": ack["job_id"]})["outcomes"]
+        assert all(o["ok"] for o in outcomes)
+
+
+class TestCancellation:
+    def test_cancel_queued_job_drops_all_chunks(self, make_daemon):
+        daemon = make_daemon(local_workers=0, chunk_size=2)
+        ack = submit(daemon, sweep_spec())
+        cancel = daemon.handle({"op": "cancel", "job_id": ack["job_id"]})
+        assert cancel["ok"] and cancel["changed"] and cancel["state"] == "cancelled"
+        assert daemon.handle({"op": "claim", "worker": "w"})["idle"]
+        outcomes = daemon.handle({"op": "result", "job_id": ack["job_id"]})["outcomes"]
+        assert all(o["error"]["type"] == "CancelledError" for o in outcomes)
+        # Cancelling again is a no-op, not an error.
+        again = daemon.handle({"op": "cancel", "job_id": ack["job_id"]})
+        assert again["ok"] and not again["changed"]
+
+    def test_cancel_mid_sweep_stops_remaining_points(self, make_daemon):
+        daemon = make_daemon(local_workers=0, chunk_size=2)
+        ack = submit(daemon, sweep_spec())  # 4 points → 2 chunks
+        claim = daemon.handle({"op": "claim", "worker": "w-1"})
+        assert claim["ok"] and len(claim["payloads"]) == 2
+        # The worker finishes its first point, then the job is cancelled.
+        done_outcome = outcome_to_wire(execute_spec(claim["payloads"][0]))
+        daemon.handle({"op": "cancel", "job_id": ack["job_id"]})
+        # Mid-chunk heartbeat tells the worker to stop...
+        beat = daemon.handle(
+            {"op": "heartbeat", "worker": "w-1", "chunk_id": claim["chunk_id"]}
+        )
+        assert beat["cancelled"]
+        # ...and a late completion is discarded, not applied.
+        late = daemon.handle({
+            "op": "complete", "worker": "w-1", "chunk_id": claim["chunk_id"],
+            "outcomes": [done_outcome],
+        })
+        assert late["discarded"] and late["applied"] == 0
+        status = daemon.handle({"op": "status", "job_id": ack["job_id"]})
+        assert status["state"] == "cancelled"
+        assert status["cancelled"] == 4 and status["done"] == 0
+
+
+class TestWorkerDeath:
+    def test_expired_lease_requeues_the_chunk(self, make_daemon):
+        daemon = make_daemon(local_workers=0, chunk_size=2, lease_seconds=0.2)
+        ack = submit(daemon, sweep_spec(steps=(1, 2)))  # one chunk of 2
+        claim = daemon.handle({"op": "claim", "worker": "doomed"})
+        assert claim["ok"] and not claim.get("idle")
+        # The worker dies: no heartbeat, no completion.  The reaper re-queues.
+        reclaim = wait_until(
+            lambda: (c := daemon.handle({"op": "claim", "worker": "survivor"}))
+            and not c.get("idle") and c
+        )
+        assert reclaim["job_id"] == ack["job_id"]
+        assert reclaim["chunk_id"] != claim["chunk_id"]
+        # The survivor finishes the chunk; the job completes normally.
+        outcomes = [outcome_to_wire(execute_spec(p)) for p in reclaim["payloads"]]
+        done = daemon.handle({
+            "op": "complete", "worker": "survivor",
+            "chunk_id": reclaim["chunk_id"], "outcomes": outcomes,
+        })
+        assert done["applied"] == 2 and not done["discarded"]
+        assert daemon.handle({"op": "status", "job_id": ack["job_id"]})["state"] == "done"
+        # The dead worker's lost lease is on the record.
+        workers = {w["worker_id"]: w for w in daemon.handle({"op": "workers"})["workers"]}
+        assert workers["doomed"]["lost_leases"] == 1
+
+    def test_stale_completion_after_reap_is_discarded(self, make_daemon):
+        daemon = make_daemon(local_workers=0, chunk_size=2, lease_seconds=0.2)
+        submit(daemon, sweep_spec(steps=(1, 2)))
+        claim = daemon.handle({"op": "claim", "worker": "slow"})
+        wait_until(
+            lambda: not daemon.handle({"op": "claim", "worker": "probe"}).get("idle")
+            or None, timeout=10.0,
+        )
+        # "slow" finally reports — after losing the lease.
+        outcomes = [outcome_to_wire(execute_spec(p)) for p in claim["payloads"]]
+        late = daemon.handle({
+            "op": "complete", "worker": "slow",
+            "chunk_id": claim["chunk_id"], "outcomes": outcomes,
+        })
+        assert late["discarded"]
+
+
+class TestRestartRecovery:
+    def test_unfinished_job_requeues_on_restart(self, make_daemon):
+        first = make_daemon(local_workers=0)
+        spec = sweep_spec()
+        ack = submit(first, spec)
+        first.shutdown()  # nothing executed; state files say queued
+        second = make_daemon(local_workers=1)
+        status = wait_until(
+            lambda: (s := second.handle({"op": "status", "job_id": ack["job_id"]}))
+            and s["state"] == "done" and s
+        )
+        assert status["succeeded"] == spec.num_points
+
+    def test_partially_finished_job_resumes_where_it_stopped(self, make_daemon):
+        first = make_daemon(local_workers=0, chunk_size=2)
+        spec = sweep_spec()
+        ack = submit(first, spec)
+        claim = first.handle({"op": "claim", "worker": "w"})
+        outcomes = [outcome_to_wire(execute_spec(p)) for p in claim["payloads"]]
+        first.handle({
+            "op": "complete", "worker": "w",
+            "chunk_id": claim["chunk_id"], "outcomes": outcomes,
+        })
+        first.shutdown()
+        second = make_daemon(local_workers=1)
+        status = wait_until(
+            lambda: (s := second.handle({"op": "status", "job_id": ack["job_id"]}))
+            and s["state"] == "done" and s
+        )
+        # Only the unfinished half re-executed; the first chunk's points
+        # came back from the persisted record (they were never re-queued).
+        assert status["succeeded"] == spec.num_points
+        stats = second.handle({"op": "stats"})
+        assert stats["points"]["executed"] == spec.num_points - len(outcomes)
+
+
+class TestPriorityAndOps:
+    def test_higher_priority_jobs_claim_first(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        low = submit(daemon, sweep_spec(steps=(1, 2)), priority=0)
+        high = submit(
+            daemon, sweep_spec(steps=(3, 4), seed=11), priority=5
+        )
+        claim = daemon.handle({"op": "claim", "worker": "w"})
+        assert claim["job_id"] == high["job_id"] != low["job_id"]
+
+    def test_job_id_prefix_resolution(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        ack = submit(daemon, sweep_spec())
+        assert daemon.handle({"op": "status", "job_id": ack["job_id"][:12]})["ok"]
+        missing = daemon.handle({"op": "status", "job_id": "feedbead"})
+        assert not missing["ok"] and "no such job" in missing["error"]["message"]
+
+    def test_unknown_op_and_protocol_mismatch(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        assert "unknown op" in daemon.handle({"op": "frobnicate"})["error"]["message"]
+        mismatch = daemon.handle({"op": "ping", "protocol": 99})
+        assert not mismatch["ok"] and "version mismatch" in mismatch["error"]["message"]
+
+    def test_stats_shape(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        submit(daemon, sweep_spec())
+        stats = daemon.handle({"op": "stats"})
+        assert stats["queue"]["points_pending"] == 4
+        assert stats["jobs"]["queued"] == 1
+        assert set(stats["points"]) == {"executed", "from_cache", "hit_rate",
+                                        "dedup_hits"}
+        assert set(stats["cache"]) >= {"entries", "total_bytes", "hits", "misses"}
+
+    def test_second_daemon_on_same_socket_is_refused(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        from repro.service.daemon import Daemon
+        from repro.service.protocol import ServiceError
+
+        rival = Daemon(daemon.socket_path, local_workers=0)
+        with pytest.raises(ServiceError, match="already listening"):
+            rival.start()
