@@ -10,6 +10,7 @@ commits.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -83,6 +84,7 @@ def test_fused_statevector_beats_unfused(benchmark):
     assert speedup > 1.0, f"fusion slowed execution down ({speedup:.2f}x)"
 
     payload = {
+        "machine_cores": os.cpu_count() or 1,
         "workload": {
             "num_qubits": NUM_QUBITS,
             "time": TIME,

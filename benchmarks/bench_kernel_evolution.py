@@ -29,6 +29,7 @@ tier-1 suite); ``check_bench_regressions.py`` replays the small sizes in CI.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -163,6 +164,7 @@ def test_kernel_backend_speedup(benchmark):
     )
 
     payload = {
+        "machine_cores": os.cpu_count() or 1,
         "workload": {
             "time": TIME,
             "order": ORDER,

@@ -26,6 +26,7 @@ dedicated serial-vs-4-worker wall-clock comparison lives in
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -154,6 +155,7 @@ def test_estimator_scb_beats_pauli_at_fixed_shots(benchmark):
     assert replay == cached_study
 
     payload = {
+        "machine_cores": os.cpu_count() or 1,
         "workload": {
             "hamiltonian": "fermi_hubbard_chain(2, t=1.0, U=4.0) under Jordan-Wigner",
             "num_qubits": hamiltonian.num_qubits,

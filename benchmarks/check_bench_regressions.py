@@ -19,6 +19,16 @@ perf changes either way).  An
 absolute cap of ``ABSOLUTE_CAP`` still catches a regression shared by every
 path (e.g. an accidental O(gates²) pass in common infrastructure).
 
+Beyond the timing replay, the gate **audits the parallel claim**: every
+``BENCH_*.json`` must carry the ``machine_cores`` of the box that produced
+it, and ``BENCH_runtime.json`` must have ``parallel_claim_checked`` true
+with ``parallel_speedup`` at or above its recorded minimum — a baseline
+that dodged or missed the claim fails the gate everywhere.  On a ≥ 4-core
+runner the gate additionally **re-measures** both parallel claims live
+(the quick runtime bench), so a recorded number from a small box can never
+stand in for the multi-core grid claim — which is what let a 0.89×
+"parallel" path ship unnoticed.
+
 Run directly (``python benchmarks/check_bench_regressions.py``) or via the
 ``bench-regression`` CI job.  Finishes in a few seconds; the full sweeps stay
 in the pytest benchmarks.
@@ -27,6 +37,7 @@ in the pytest benchmarks.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -43,6 +54,58 @@ ABSOLUTE_CAP = 10.0
 
 #: Kernel-bench sizes replayed in quick mode (the cheap end of the sweep).
 QUICK_KERNEL_QUBITS = (10, 12)
+
+
+def audit_parallel_claim() -> "list[str]":
+    """Audit the recorded (and, on ≥ 4 cores, the live) parallel claim.
+
+    Returns the list of audit failures — empty means the claim stands.
+    """
+    from benchmarks.bench_gate_fusion import RESULT_PATH as FUSION_PATH
+    from benchmarks.bench_kernel_evolution import RESULT_PATH as KERNEL_PATH
+    from benchmarks.bench_runtime_sweep import RESULT_PATH as RUNTIME_PATH
+
+    failures: list[str] = []
+    for path in (FUSION_PATH, KERNEL_PATH, RUNTIME_PATH):
+        if "machine_cores" not in json.loads(path.read_text()):
+            failures.append(
+                f"{path.name} does not record machine_cores; regenerate it "
+                "(every claim must say what machine measured it)"
+            )
+
+    runtime = json.loads(RUNTIME_PATH.read_text())
+    claims = runtime.get("claims", {})
+    minimum = claims.get("parallel_speedup_min", 2.0)
+    if not runtime.get("parallel_claim_checked"):
+        failures.append(
+            f"{RUNTIME_PATH.name} has parallel_claim_checked false: the "
+            "parallel path shipped without its speedup claim being asserted"
+        )
+    elif runtime.get("parallel_speedup", 0.0) < minimum:
+        failures.append(
+            f"{RUNTIME_PATH.name} records parallel_speedup "
+            f"{runtime.get('parallel_speedup')}x, below the claimed "
+            f"minimum {minimum}x"
+        )
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        # A multi-core runner re-measures both claims instead of trusting a
+        # number recorded on whatever box regenerated the baseline.
+        from benchmarks.bench_runtime_sweep import run_bench
+
+        try:
+            live = run_bench(quick=True)
+        except AssertionError as exc:
+            failures.append(f"live parallel claim failed on {cores} cores: {exc}")
+        else:
+            print(
+                f"live parallel claim on {cores} cores: "
+                f"batched {live['parallel_speedup']:.2f}x, "
+                f"grid {live['grid_parallel_speedup']:.2f}x "
+                f"(minimum {minimum}x)"
+            )
+    return failures
 
 
 def main() -> int:
@@ -144,6 +207,13 @@ def main() -> int:
         )
         return 1
     print("all quick-mode benchmarks within tolerance")
+
+    audit_failures = audit_parallel_claim()
+    if audit_failures:
+        for failure in audit_failures:
+            print(f"parallel-claim audit: {failure}")
+        return 1
+    print("parallel-claim audit passed")
     return 0
 
 

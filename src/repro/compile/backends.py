@@ -279,6 +279,44 @@ class DensityMatrixBackend:
         return DensityMatrix(pure)
 
 
+class PreparedDistribution:
+    """The deterministic half of a sampling run: the outcome distribution.
+
+    Preparing the distribution — evolving the state, applying readout error —
+    is the expensive part of a shot-based run, and it is identical for every
+    grid point of a ``repeats=``/seed axis.  The runtime's plan-batched
+    executors prepare it once per batch and call :meth:`sample` per point;
+    :meth:`SamplingBackend.run` goes through the exact same two steps, so a
+    batched point is bit-identical to a standalone one by construction.
+    """
+
+    __slots__ = ("probabilities", "num_qubits", "metadata")
+
+    def __init__(self, probabilities: np.ndarray, num_qubits: int, metadata: dict):
+        self.probabilities = probabilities
+        self.num_qubits = num_qubits
+        self.metadata = metadata
+
+    def sample(
+        self, shots: int = 1024, rng: "np.random.Generator | int | None" = None
+    ):
+        """Draw one seeded multinomial sample from the prepared distribution."""
+        from repro.noise.sampling import SamplingResult, counts_from_probabilities
+
+        if shots <= 0:
+            raise CompileError(f"shots must be positive, got {shots}")
+        generator = np.random.default_rng(rng)
+        counts = counts_from_probabilities(
+            self.probabilities, shots, generator, self.num_qubits
+        )
+        return SamplingResult(
+            counts=counts,
+            shots=shots,
+            num_qubits=self.num_qubits,
+            metadata=dict(self.metadata),
+        )
+
+
 @BACKENDS.register("sampling")
 class SamplingBackend:
     """Seeded shot-based counts: the execution mode hardware actually offers.
@@ -292,25 +330,16 @@ class SamplingBackend:
 
     name = "sampling"
 
-    def run(
+    def prepare(
         self,
         program: "CompiledProgram",
         initial_state=0,
         *,
-        shots: int = 1024,
-        rng: "np.random.Generator | int | None" = None,
         noise_model=None,
-        **kwargs,
-    ):
-        if kwargs:
-            raise CompileError(
-                f"unknown sampling-backend arguments: {', '.join(sorted(kwargs))}"
-            )
-        if shots <= 0:
-            raise CompileError(f"shots must be positive, got {shots}")
+    ) -> PreparedDistribution:
+        """Everything up to (but excluding) the seeded draw, computed once."""
         from repro.circuits.density_matrix import DensityMatrix
         from repro.noise.model import NoiseModel
-        from repro.noise.sampling import SamplingResult, counts_from_probabilities
 
         noise = _resolve_noise(program, noise_model)
         gate_noise = noise is not None and noise.has_gate_noise
@@ -332,11 +361,8 @@ class SamplingBackend:
             num_qubits = state.num_qubits
         if noise is not None and noise.readout_error is not None:
             probs = noise.readout_error.apply_to_probabilities(probs)
-        generator = np.random.default_rng(rng)
-        counts = counts_from_probabilities(probs, shots, generator, num_qubits)
-        return SamplingResult(
-            counts=counts,
-            shots=shots,
+        return PreparedDistribution(
+            probabilities=probs,
             num_qubits=num_qubits,
             metadata={
                 "noisy": gate_noise,
@@ -344,6 +370,23 @@ class SamplingBackend:
                 "strategy": program.strategy_name,
             },
         )
+
+    def run(
+        self,
+        program: "CompiledProgram",
+        initial_state=0,
+        *,
+        shots: int = 1024,
+        rng: "np.random.Generator | int | None" = None,
+        noise_model=None,
+        **kwargs,
+    ):
+        if kwargs:
+            raise CompileError(
+                f"unknown sampling-backend arguments: {', '.join(sorted(kwargs))}"
+            )
+        prepared = self.prepare(program, initial_state, noise_model=noise_model)
+        return prepared.sample(shots=shots, rng=rng)
 
 
 def _resolve_noise(program: "CompiledProgram", override):

@@ -341,6 +341,40 @@ class EvolutionPlan:
         )
 
 
+def plan_group_key(
+    problem_payload: dict,
+    strategy: str,
+    *,
+    backend: str = "kernel",
+    shared_kwargs: "dict | None" = None,
+) -> str:
+    """Canonical batch-grouping key of one grid point.
+
+    Two runtime grid points with equal keys compile to the *same*
+    :class:`EvolutionPlan` (same canonical problem, same strategy) and share
+    every run argument that shapes the computation — only the per-point batch
+    axis (an initial state, a sampling stream) differs.  The runtime executors
+    gather such points into one chunk and execute them as a single vectorized
+    ``(dim, B)`` evolution, so a 12-repeat grid point costs one plan replay
+    instead of twelve.
+
+    ``problem_payload`` is the problem's **canonical** dict form (the hashed/
+    executed payload of :meth:`~repro.runtime.spec.RunSpec.to_dict`);
+    ``shared_kwargs`` are the run kwargs *minus* the batch axis.
+    """
+    from repro.utils.serialization import content_hash
+
+    return content_hash(
+        {
+            "problem": problem_payload,
+            "strategy": strategy.lower(),
+            "backend": backend,
+            "run_kwargs": dict(shared_kwargs or {}),
+        },
+        tag="planbatch",
+    )
+
+
 def _parity_of(values: np.ndarray) -> np.ndarray:
     """Bit parity per element, sharing the popcount (and its old-NumPy
     fallback) with :mod:`repro.circuits.pauli_kernels`."""

@@ -5,7 +5,10 @@ The execution layer the compile pipeline was built to receive: declarative
 :class:`ResultCache` addressed by canonical content hashes, pluggable
 :class:`SerialExecutor`/:class:`ProcessExecutor` fan-out with deterministic
 per-task seeding and failure capture, and the :class:`Session` facade that
-composes them::
+composes them.  The process pool additionally plan-batches grid points that
+share a compiled program (one vectorized ``(dim, B)`` evolution instead of
+``B`` scalar ones), pins worker BLAS pools to one thread, and returns large
+arrays through POSIX shared memory instead of pickling them::
 
     import repro
     from repro.runtime import Session
@@ -30,10 +33,14 @@ from repro.runtime.cache import (
     default_cache_dir,
 )
 from repro.runtime.executor import (
+    BATCH_AXES,
     Executor,
     ProcessExecutor,
     SerialExecutor,
+    batch_key,
     execute_spec,
+    execute_spec_batch,
+    group_payloads,
     resolve_executor,
 )
 from repro.runtime.results import (
@@ -48,9 +55,17 @@ from repro.runtime.session import (
     get_default_session,
     set_default_session,
 )
+from repro.runtime.shm import (
+    SHM_ENV,
+    SHM_MIN_BYTES_ENV,
+    pin_blas_threads,
+    reap_orphans,
+    shm_enabled,
+)
 from repro.runtime.spec import SEEDED_BACKENDS, RunSpec, SweepSpec
 
 __all__ = [
+    "BATCH_AXES",
     "CACHE_DIR_ENV",
     "CACHE_MAX_BYTES_ENV",
     "CacheEntry",
@@ -61,15 +76,23 @@ __all__ = [
     "RunRecord",
     "RunSpec",
     "SEEDED_BACKENDS",
+    "SHM_ENV",
+    "SHM_MIN_BYTES_ENV",
     "SerialExecutor",
     "Session",
     "SweepSpec",
+    "batch_key",
     "decode_result",
     "default_cache_dir",
     "encode_result",
     "execute_spec",
+    "execute_spec_batch",
     "get_default_session",
+    "group_payloads",
+    "pin_blas_threads",
+    "reap_orphans",
     "resolve_executor",
     "result_to_json",
     "set_default_session",
+    "shm_enabled",
 ]

@@ -23,6 +23,8 @@ import traceback
 from collections.abc import Callable, Sequence
 from typing import Any, Protocol, runtime_checkable
 
+import numpy as np
+
 from repro.exceptions import SpecError
 
 
@@ -34,8 +36,10 @@ from repro.exceptions import SpecError
 #: Per-process compiled-program memo, keyed on (problem content key,
 #: strategy).  A repeats-style sweep expands to many specs identical up to
 #: their seed; without this, every grid point landing in the same worker
-#: would rebuild the same circuit/plan from scratch.  Bounded FIFO so a
-#: long-lived pool cannot hoard build products.
+#: would rebuild the same circuit/plan from scratch.  Bounded LRU (hits
+#: move to the back, eviction pops the front) so a long-lived pool cannot
+#: hoard build products — and so two strategies interleaved across a wide
+#: sweep keep their hot programs instead of FIFO-thrashing each other out.
 _PROGRAM_MEMO: dict[tuple[str, str], Any] = {}
 _PROGRAM_MEMO_CAP = 32
 
@@ -47,9 +51,11 @@ def _memoized_program(problem, strategy: str):
     program = _PROGRAM_MEMO.get(key)
     if program is None:
         program = compile_problem(problem, strategy)
-        if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_CAP:
+        while len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_CAP:
             _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)))
-        _PROGRAM_MEMO[key] = program
+    else:
+        del _PROGRAM_MEMO[key]  # re-insertion moves the hit to the LRU back
+    _PROGRAM_MEMO[key] = program
     return program
 
 
@@ -94,6 +100,180 @@ def _run_chunk(fn: Callable[[Any], Any], items: list) -> list:
 
 
 # ---------------------------------------------------------------------------
+# Plan-batched execution
+# ---------------------------------------------------------------------------
+
+#: Per-backend batch axis: the single run kwarg along which grid points may
+#: differ and still share every deterministic byte of the computation.  The
+#: ``kernel`` backend batches initial states through one vectorized
+#: ``(dim, B)`` plan evolution; ``sampling`` shares the prepared outcome
+#: distribution across seeded draws.
+BATCH_AXES: dict[str, str] = {"kernel": "initial_state", "sampling": "rng"}
+
+
+def batch_key(payload: dict) -> "str | None":
+    """The plan-batching group key of one canonical RunSpec payload.
+
+    ``None`` when the payload's backend has no batch axis.  Payloads with
+    equal keys compile to the same program/plan and differ only along the
+    backend's batch axis, so :func:`execute_spec_batch` may fuse them.
+    """
+    axis = BATCH_AXES.get(payload.get("backend", "statevector"))
+    if axis is None:
+        return None
+    from repro.compile.plan import plan_group_key
+
+    run_kwargs = payload.get("run_kwargs", {})
+    return plan_group_key(
+        payload["problem"],
+        payload.get("strategy", "direct"),
+        backend=payload["backend"],
+        shared_kwargs={k: v for k, v in run_kwargs.items() if k != axis},
+    )
+
+
+def group_payloads(payloads: "Sequence[dict]") -> list[list[int]]:
+    """Index groups of *consecutive* payloads sharing a batch key.
+
+    Order-preserving by construction (a sweep expands its repeats/seed axis
+    innermost, so batchable points are adjacent); unbatchable payloads come
+    back as singleton groups.  Concatenating the groups restores the input
+    order exactly.
+    """
+    groups: list[list[int]] = []
+    previous: "str | None" = None
+    for index, payload in enumerate(payloads):
+        key = batch_key(payload)
+        if key is not None and key == previous and groups:
+            groups[-1].append(index)
+        else:
+            groups.append([index])
+        previous = key
+    return groups
+
+
+class _Unbatchable(Exception):
+    """Internal: the group cannot be fused; fall back to per-point runs."""
+
+
+def _batched_kernel(spec0, program, payloads: list[dict]) -> list:
+    """One vectorized ``(dim, B)`` plan evolution for an initial-state batch."""
+    plan = program.evolution_plan()
+    if plan is None:
+        raise _Unbatchable("no mask plan; the fallback path is not batched")
+    dim = 1 << program.problem.num_qubits
+    batch = np.zeros((dim, len(payloads)), dtype=complex)
+    for column, payload in enumerate(payloads):
+        index = payload.get("run_kwargs", {}).get("initial_state", 0)
+        if not isinstance(index, int) or not 0 <= index < dim:
+            raise _Unbatchable(f"initial_state {index!r} is not a basis index")
+        batch[index, column] = 1.0
+    evolved = plan.evolve(batch)
+    from repro.circuits.statevector import Statevector
+
+    return [
+        Statevector(np.ascontiguousarray(evolved[:, column]))
+        for column in range(len(payloads))
+    ]
+
+
+def _batched_sampling(spec0, program, payloads: list[dict]) -> list:
+    """One prepared distribution, one seeded draw per grid point."""
+    from repro.compile.backends import SamplingBackend
+
+    shared = dict(spec0.run_kwargs)
+    shared.pop("rng", None)
+    shots = shared.pop("shots", 1024)
+    initial_state = shared.pop("initial_state", 0)
+    if shared:
+        raise _Unbatchable(
+            f"unbatchable sampling arguments: {', '.join(sorted(shared))}"
+        )
+    prepared = SamplingBackend().prepare(program, initial_state)
+    return [
+        prepared.sample(shots=shots, rng=payload.get("run_kwargs", {}).get("rng"))
+        for payload in payloads
+    ]
+
+
+def execute_spec_batch(payloads: "Sequence[dict]") -> list[dict]:
+    """Run a batch-key group of canonical RunSpec payloads; never raises.
+
+    Points sharing a compiled :class:`~repro.compile.plan.EvolutionPlan` are
+    executed as one vectorized evolution and sliced back out — bit-identical
+    to running each payload through :func:`execute_spec`, because the batched
+    kernels perform the same element-wise arithmetic per column and the
+    sampling path shares the exact distribution-then-draw code.  Any group
+    the fused path cannot represent falls back to per-point execution, so
+    failure capture and outcome shape are exactly the serial contract's.
+    """
+    payloads = list(payloads)
+    if len(payloads) <= 1:
+        return [execute_spec(payload) for payload in payloads]
+    start = time.perf_counter()
+    try:
+        from repro.runtime.results import encode_result
+        from repro.runtime.spec import RunSpec
+
+        spec0 = RunSpec.from_dict(payloads[0])
+        program = _memoized_program(spec0.problem, spec0.strategy)
+        if spec0.backend == "kernel":
+            values = _batched_kernel(spec0, program, payloads)
+        elif spec0.backend == "sampling":
+            values = _batched_sampling(spec0, program, payloads)
+        else:
+            raise _Unbatchable(f"backend {spec0.backend!r} has no batch axis")
+        per_point = (time.perf_counter() - start) / len(payloads)
+        outcomes = []
+        for value in values:
+            meta, arrays = encode_result(value)
+            outcomes.append(
+                {
+                    "ok": True,
+                    "result": meta,
+                    "arrays": arrays,
+                    "wall_time": per_point,
+                    "batched": len(payloads),
+                }
+            )
+        return outcomes
+    except Exception:  # noqa: BLE001 - any fused failure → per-point retry
+        # The per-point path re-raises (and captures) the real error with its
+        # own traceback, so a fused-path limitation can never change results.
+        return [execute_spec(payload) for payload in payloads]
+
+
+def _run_spec_chunk(groups: list[list[dict]]) -> list[list[dict]]:
+    """Execute batch-key groups inside a worker, exporting big arrays as shm.
+
+    The worker-side counterpart of :meth:`ProcessExecutor.map_specs`: each
+    group runs through :func:`execute_spec_batch`, and when the pool
+    initializer installed a shared-memory namespace, every large result array
+    leaves through a named segment instead of the pickle pipe.
+    """
+    from repro.runtime import shm
+
+    return [
+        [shm.export_outcome(outcome) for outcome in execute_spec_batch(group)]
+        for group in groups
+    ]
+
+
+def _worker_init(shm_prefix: "str | None", blas_threads: int) -> None:
+    """Process-pool initializer: BLAS pinning + shared-memory namespace.
+
+    Runs once per worker before any task: caps BLAS/OpenMP threading so
+    ``n_workers`` processes do not fan out ``n_workers × N`` BLAS threads
+    over the same cores, and installs the sweep's segment namespace for
+    :func:`_run_spec_chunk` result transport.
+    """
+    from repro.runtime import shm
+
+    shm.pin_blas_threads(blas_threads)
+    shm.activate_worker(shm_prefix)
+
+
+# ---------------------------------------------------------------------------
 # Executors
 # ---------------------------------------------------------------------------
 
@@ -134,10 +314,18 @@ class SerialExecutor:
 class ProcessExecutor:
     """Chunked fan-out over a ``concurrent.futures`` process pool.
 
+    Every pool worker starts through an initializer that pins BLAS/OpenMP
+    threading to ``blas_threads_per_worker`` (default 1), so a CPU-count
+    pool no longer oversubscribes the box with ``n_workers × N`` BLAS
+    threads.  Canonical run payloads dispatched through :meth:`map_specs`
+    additionally get plan-batched execution and shared-memory result
+    transport (see :mod:`repro.runtime.shm`).
+
     Parameters
     ----------
     n_workers:
-        Pool size (default: the machine's CPU count).
+        Pool size (default: the machine's CPU count — safe now that each
+        worker's BLAS is capped).
     chunk_size:
         Items per submitted task.  Defaults to ``ceil(n_items / (4 ·
         n_workers))`` — small enough to balance load, large enough to
@@ -145,6 +333,13 @@ class ProcessExecutor:
     mp_context:
         Optional :mod:`multiprocessing` context name (``"fork"``,
         ``"spawn"``, ``"forkserver"``); default is the platform default.
+    blas_threads_per_worker:
+        BLAS/OpenMP thread cap installed in every worker (default 1;
+        raise it for pools of fewer workers than cores).
+    use_shm:
+        ``None`` (default) follows ``REPRO_SHM``/platform support; ``False``
+        forces every result through the pickle pipe; ``True`` requires
+        shared-memory transport and raises if unavailable.
     """
 
     name = "process"
@@ -155,6 +350,8 @@ class ProcessExecutor:
         *,
         chunk_size: int | None = None,
         mp_context: str | None = None,
+        blas_threads_per_worker: int = 1,
+        use_shm: bool | None = None,
     ):
         if n_workers is None:
             n_workers = os.cpu_count() or 1
@@ -162,9 +359,29 @@ class ProcessExecutor:
             raise SpecError(f"n_workers must be >= 1, got {n_workers}")
         if chunk_size is not None and chunk_size < 1:
             raise SpecError(f"chunk_size must be >= 1, got {chunk_size}")
+        if blas_threads_per_worker < 1:
+            raise SpecError(
+                f"blas_threads_per_worker must be >= 1, got {blas_threads_per_worker}"
+            )
+        from repro.runtime import shm
+
+        if use_shm is True and not shm.shm_enabled():
+            raise SpecError(
+                "use_shm=True but shared-memory transport is unavailable "
+                "(REPRO_SHM=0 or no multiprocessing.shared_memory support)"
+            )
         self.n_workers = int(n_workers)
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self.blas_threads_per_worker = int(blas_threads_per_worker)
+        self.use_shm = use_shm
+
+    def _shm_active(self) -> bool:
+        from repro.runtime import shm
+
+        if self.use_shm is None:
+            return shm.shm_enabled()
+        return bool(self.use_shm)
 
     def _resolve_chunk(self, n_items: int) -> int:
         if self.chunk_size is not None:
@@ -207,7 +424,10 @@ class ProcessExecutor:
         )
         done = 0
         with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.n_workers, len(chunks)), mp_context=context
+            max_workers=min(self.n_workers, len(chunks)),
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(None, self.blas_threads_per_worker),
         ) as pool:
             futures = {
                 pool.submit(_run_chunk, fn, chunk_items): start
@@ -233,6 +453,108 @@ class ProcessExecutor:
                 done += len(chunk_results)
                 if progress is not None:
                     progress(done, len(items))
+        return results
+
+    # ------------------------------------------------------- spec-aware path
+
+    def _chunk_groups(self, groups: list[list[int]], n_points: int) -> list[list[list[int]]]:
+        """Pack batch groups into chunks of roughly ``chunk_size`` points.
+
+        Groups are never split (splitting would forfeit the fused evolution);
+        a chunk closes once it holds at least the target point count.
+        """
+        target = self._resolve_chunk(n_points)
+        chunks: list[list[list[int]]] = []
+        current: list[list[int]] = []
+        current_points = 0
+        for group in groups:
+            current.append(group)
+            current_points += len(group)
+            if current_points >= target:
+                chunks.append(current)
+                current, current_points = [], 0
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def map_specs(
+        self,
+        payloads: Sequence[dict],
+        *,
+        progress: "Callable[[int, int], None] | None" = None,
+    ) -> list[dict]:
+        """Execute canonical RunSpec payloads: batched, shm-transported.
+
+        The fast path behind :meth:`Session._execute`: payloads are gathered
+        into plan-batch groups (:func:`group_payloads`), the groups are
+        fanned out in group-preserving chunks, workers run
+        :func:`execute_spec_batch` and ship large arrays back as
+        shared-memory segment references, and the parent reattaches them
+        zero-copy.  Outcomes come back in payload order with the exact
+        per-point contract of :func:`execute_spec`.
+
+        Every fan-out ends with a reaper sweep over its segment namespace
+        (plus a global sweep for dead owners), so neither a failed chunk nor
+        a SIGKILLed worker can leak ``/dev/shm`` blocks.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        groups = group_payloads(payloads)
+        if self.n_workers == 1 or len(payloads) == 1:
+            # In-process: same batched semantics, no transport needed.
+            results: list = [None] * len(payloads)
+            done = 0
+            for group in groups:
+                outcomes = execute_spec_batch([payloads[i] for i in group])
+                for index, outcome in zip(group, outcomes):
+                    results[index] = outcome
+                done += len(group)
+                if progress is not None:
+                    progress(done, len(payloads))
+            return results
+
+        import concurrent.futures
+        import multiprocessing
+
+        from repro.runtime import shm
+
+        prefix = shm.make_prefix() if self._shm_active() else None
+        chunks = self._chunk_groups(groups, len(payloads))
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context is not None
+            else None
+        )
+        results = [None] * len(payloads)
+        done = 0
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.n_workers, len(chunks)),
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(prefix, self.blas_threads_per_worker),
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_spec_chunk,
+                        [[payloads[i] for i in group] for group in chunk],
+                    ): chunk
+                    for chunk in chunks
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    chunk = futures[future]
+                    outcome_groups = future.result()
+                    for group, outcomes in zip(chunk, outcome_groups):
+                        for index, outcome in zip(group, outcomes):
+                            results[index] = shm.resolve_outcome(outcome)
+                        done += len(group)
+                        if progress is not None:
+                            progress(done, len(payloads))
+        finally:
+            if prefix is not None:
+                shm.reap_prefix(prefix)
+                shm.reap_orphans()
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

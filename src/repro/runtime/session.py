@@ -194,9 +194,19 @@ class Session:
             payloads = [
                 points[pending[key][0]][1].to_dict(canonical=True) for key in order
             ]
-            outcomes = self.executor.map(
-                execute_spec, payloads, progress=self._progress
-            )
+            # Executors that understand canonical run payloads (the process
+            # pool, and anything else exposing ``map_specs``) get them raw:
+            # that is the seam where plan-batched chunking and shared-memory
+            # result transport live.  SerialExecutor deliberately stays on
+            # the per-point ``execute_spec`` path — it is the bit-exactness
+            # oracle the batched path is differential-tested against.
+            map_specs = getattr(self.executor, "map_specs", None)
+            if map_specs is not None:
+                outcomes = map_specs(payloads, progress=self._progress)
+            else:
+                outcomes = self.executor.map(
+                    execute_spec, payloads, progress=self._progress
+                )
             for key, outcome in zip(order, outcomes):
                 value = error = None
                 if outcome["ok"]:
@@ -246,7 +256,7 @@ class Session:
         uses (:func:`repro.runtime.executor._memoized_program`), so a study
         that compiles through the session and then sweeps the same problem
         serially builds each program exactly once.  The store is bounded
-        (FIFO), so identity of returned programs is guaranteed only among
+        (LRU), so identity of returned programs is guaranteed only among
         the most recently used entries.
         """
         from repro.compile.problem import SimulationProblem as _Problem

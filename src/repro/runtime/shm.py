@@ -1,0 +1,383 @@
+"""Shared-memory result transport and worker hygiene for the process pool.
+
+The 0.89× "parallel" path had two process-level bugs: every grid point
+shipped its whole 2^n complex statevector back through the pool's pickle
+pipe, and numpy's BLAS threads fought the pool for the same cores.  This
+module owns the fixes that live *outside* the numerics:
+
+* **Segment transport** — :func:`export_array` copies a large ndarray into a
+  named :class:`multiprocessing.shared_memory.SharedMemory` block inside the
+  worker and returns a tiny JSON-able reference; :func:`attach_array`
+  reattaches it in the parent **zero-copy** (the returned ndarray is a view
+  over the mapped segment, whose lifetime is tied to the array by a
+  finalizer) and unlinks the name immediately, so the segment disappears
+  from ``/dev/shm`` the moment the parent has it and the memory itself is
+  reference-counted by the kernel until the last view dies.
+
+* **Reaping** — a worker that is SIGKILLed between creating a segment and
+  the parent attaching it leaks a named block no process will ever unlink.
+  Segment names embed the *parent* pid (``repro_shm_<pid>_<token>_<n>``), so
+  :func:`reap_prefix` (run by the pool after every fan-out, crash or not)
+  unlinks the current sweep's strays, and :func:`reap_orphans` (the
+  mirror of the service daemon's lease reaper) unlinks any repro segment
+  whose owning process is dead.
+
+* **BLAS pinning** — :func:`pin_blas_threads` caps
+  ``OMP/OPENBLAS/MKL/NUMEXPR_NUM_THREADS`` via the environment *and*, for the
+  already-loaded OpenBLAS that a forked worker inherits, through the
+  library's own ``*_set_num_threads`` entry point (located in the
+  ``numpy.libs``/``scipy.libs`` wheel directories), so process parallelism
+  and BLAS threading stop oversubscribing the box.
+
+Transport is on by default and governed by two environment variables:
+``REPRO_SHM=0`` disables it entirely; ``REPRO_SHM_MIN_BYTES`` (default
+16 KiB — a 10-qubit statevector) sets the size below which arrays keep
+travelling through the pickle pipe, where they are cheaper than a segment
+round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+
+import numpy as np
+
+#: Set ``REPRO_SHM=0`` to force every array through the pickle pipe.
+SHM_ENV = "REPRO_SHM"
+
+#: Arrays smaller than this many bytes stay in the pickle pipe.
+SHM_MIN_BYTES_ENV = "REPRO_SHM_MIN_BYTES"
+
+#: 16 KiB: one 10-qubit complex statevector.
+DEFAULT_MIN_BYTES = 1 << 14
+
+#: Marker key of a segment reference travelling in an outcome's array slot.
+SHM_REF_KEY = "__shm_ref__"
+
+_NAME_FORMAT = "repro_shm_{pid}_{token}"
+
+# Worker-side transport state, installed by the pool initializer.
+_worker_prefix: str | None = None
+_worker_counter = 0
+
+
+# ---------------------------------------------------------------------------
+# Availability and configuration
+# ---------------------------------------------------------------------------
+
+
+def shm_enabled() -> bool:
+    """Whether segment transport is available and not disabled by ``REPRO_SHM``."""
+    if os.environ.get(SHM_ENV, "1").strip().lower() in ("0", "false", "off", "no"):
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - always present on CPython >= 3.8
+        return False
+    return True
+
+
+def min_shm_bytes() -> int:
+    """The pickle/segment crossover size (``REPRO_SHM_MIN_BYTES``)."""
+    env = os.environ.get(SHM_MIN_BYTES_ENV)
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_MIN_BYTES
+
+
+def make_prefix() -> str:
+    """A fresh per-fan-out segment namespace owned by *this* (parent) process."""
+    return _NAME_FORMAT.format(pid=os.getpid(), token=secrets.token_hex(4))
+
+
+def activate_worker(prefix: "str | None") -> None:
+    """Install the sweep's segment namespace in a worker (pool initializer)."""
+    global _worker_prefix, _worker_counter
+    _worker_prefix = prefix
+    _worker_counter = 0
+
+
+def worker_prefix() -> "str | None":
+    """The active worker-side namespace (``None``: transport off, use pickle)."""
+    return _worker_prefix
+
+
+# ---------------------------------------------------------------------------
+# Resource-tracker compatibility
+# ---------------------------------------------------------------------------
+
+
+def _untrack(segment) -> None:
+    """Detach a segment from the resource tracker.
+
+    CPython's tracker unlinks every segment a process registered when that
+    process exits — exactly wrong for a transport handing segments from a
+    short-lived worker to the parent (and, because *attaching* also
+    registers, it would double-unlink in the parent).  Lifetime is ours:
+    explicit unlink on receipt plus the reaper for crashes.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by version
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Export (worker side) / attach (parent side)
+# ---------------------------------------------------------------------------
+
+
+def export_array(array: np.ndarray, name: str) -> dict:
+    """Copy ``array`` into a named segment; return its JSON-able reference.
+
+    The worker closes its mapping immediately — the named block stays alive
+    for the parent to attach — and the reference carries everything needed
+    to rebuild the ndarray without touching the pickle pipe.
+    """
+    from multiprocessing import shared_memory
+
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(name=name, create=True, size=max(1, array.nbytes))
+    try:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        del view
+    finally:
+        _untrack(segment)
+        segment.close()
+    return {
+        SHM_REF_KEY: name,
+        "shape": list(array.shape),
+        "dtype": str(array.dtype),
+        "nbytes": int(array.nbytes),
+    }
+
+
+def attach_array(ref: dict) -> np.ndarray:
+    """Reattach a segment reference zero-copy and unlink its name.
+
+    The returned ndarray is a view over the mapped block; a finalizer closes
+    the mapping when the last array referencing it is collected.  The name is
+    unlinked *here*, so a successfully received segment can never be leaked —
+    the memory itself lives exactly as long as the result does.
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=ref[SHM_REF_KEY], create=False)
+    # unlink() also unregisters the attach-side tracker registration; only
+    # the not-found path needs an explicit _untrack to balance the books.
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - reaped concurrently
+        _untrack(segment)
+    array = np.ndarray(
+        tuple(ref["shape"]), dtype=np.dtype(ref["dtype"]), buffer=segment.buf
+    )
+    weakref.finalize(array, _close_segment, segment)
+    return array
+
+
+def _close_segment(segment) -> None:
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - a stray view still holds the map
+        pass
+
+
+def is_ref(value) -> bool:
+    """Whether ``value`` is a segment reference (vs a plain ndarray)."""
+    return isinstance(value, dict) and SHM_REF_KEY in value
+
+
+# ---------------------------------------------------------------------------
+# Outcome-level codec seam
+# ---------------------------------------------------------------------------
+
+
+def export_outcome(outcome: dict) -> dict:
+    """Swap an outcome's large arrays for segment references (worker side).
+
+    No-op unless the pool initializer installed a namespace and the array
+    clears :func:`min_shm_bytes`.  Small arrays stay in the pickle pipe —
+    a segment round-trip costs more than pickling a few hundred bytes.
+    """
+    global _worker_counter
+    if _worker_prefix is None or not outcome.get("arrays"):
+        return outcome
+    threshold = min_shm_bytes()
+    arrays = {}
+    for key, array in outcome["arrays"].items():
+        array = np.asarray(array)
+        if array.nbytes >= threshold:
+            _worker_counter += 1
+            name = f"{_worker_prefix}_{os.getpid()}_{_worker_counter}"
+            arrays[key] = export_array(array, name)
+        else:
+            arrays[key] = array
+    return {**outcome, "arrays": arrays}
+
+
+def resolve_outcome(outcome: dict) -> dict:
+    """Reattach any segment references in an outcome (parent side)."""
+    arrays = outcome.get("arrays")
+    if not arrays or not any(is_ref(v) for v in arrays.values()):
+        return outcome
+    return {
+        **outcome,
+        "arrays": {
+            key: attach_array(value) if is_ref(value) else value
+            for key, value in arrays.items()
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Reaping
+# ---------------------------------------------------------------------------
+
+_SHM_DIR = "/dev/shm"
+
+
+def _listed_segments() -> list[str]:
+    """Names of live repro segments (POSIX systems expose them as files)."""
+    try:
+        return [
+            entry
+            for entry in os.listdir(_SHM_DIR)
+            if entry.startswith("repro_shm_")
+        ]
+    except OSError:
+        return []
+
+
+def _unlink_segment(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name, create=False)
+    except (FileNotFoundError, OSError):
+        return False
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - concurrent reaper
+        _untrack(segment)
+    segment.close()
+    return True
+
+
+def reap_prefix(prefix: str) -> int:
+    """Unlink every still-named segment of one fan-out's namespace.
+
+    Run by the pool after the fan-out completes (or dies): anything still
+    carrying the prefix was exported by a worker but never attached by the
+    parent — a crashed worker's stray, or results abandoned by a pool
+    failure.  Returns how many were unlinked.
+    """
+    return sum(
+        _unlink_segment(name) for name in _listed_segments() if name.startswith(prefix)
+    )
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's live pid
+        return True
+    return True
+
+
+def reap_orphans() -> int:
+    """Unlink repro segments whose owning (parent) process is dead.
+
+    The cross-process mirror of the service daemon's lease reaper: segment
+    names embed the pid of the fan-out's parent, so any segment whose owner
+    no longer exists is unreachable garbage from a killed sweep.  Returns
+    how many were unlinked.
+    """
+    reaped = 0
+    for name in _listed_segments():
+        parts = name.split("_")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        if not _pid_alive(pid):
+            reaped += _unlink_segment(name)
+    return reaped
+
+
+# ---------------------------------------------------------------------------
+# BLAS-thread pinning
+# ---------------------------------------------------------------------------
+
+#: The environment knobs every mainstream BLAS/OpenMP runtime honours.
+BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+_OPENBLAS_SYMBOLS = (
+    "openblas_set_num_threads",
+    "openblas_set_num_threads64_",
+    "scipy_openblas_set_num_threads",
+    "scipy_openblas_set_num_threads64_",
+)
+
+
+def _bundled_blas_libraries() -> list[str]:
+    """The OpenBLAS shared objects bundled inside the numpy/scipy wheels."""
+    import glob
+
+    found: list[str] = []
+    for module_name in ("numpy", "scipy"):
+        try:
+            module = __import__(module_name)
+        except ImportError:  # pragma: no cover - scipy is a hard dep here
+            continue
+        libs = os.path.join(
+            os.path.dirname(os.path.dirname(module.__file__)),
+            f"{module_name}.libs",
+        )
+        found.extend(glob.glob(os.path.join(libs, "*openblas*")))
+    return found
+
+
+def pin_blas_threads(n: int = 1) -> None:
+    """Cap BLAS/OpenMP threading at ``n`` threads for this process.
+
+    Sets the environment knobs (authoritative for libraries not yet loaded
+    and for any further subprocesses) and then calls the ``set_num_threads``
+    entry point of every already-loaded bundled OpenBLAS — the case that
+    matters under ``fork``, where workers inherit a fully initialized BLAS
+    whose thread pool no longer reads the environment.  Never raises: a BLAS
+    we cannot find simply keeps its configuration.
+    """
+    value = str(max(1, int(n)))
+    for var in BLAS_ENV_VARS:
+        os.environ[var] = value
+    import ctypes
+
+    for library in _bundled_blas_libraries():
+        try:
+            handle = ctypes.CDLL(library)
+        except OSError:  # pragma: no cover - unloadable stray file
+            continue
+        for symbol in _OPENBLAS_SYMBOLS:
+            fn = getattr(handle, symbol, None)
+            if fn is not None:
+                try:
+                    fn(int(value))
+                except Exception:  # pragma: no cover - exotic ABI
+                    pass

@@ -95,9 +95,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.runtime.shm import pin_blas_threads
     from repro.service.protocol import default_socket_path
     from repro.service.worker import run_worker
 
+    # A fleet of workers parallelizes across processes; each process keeps
+    # its BLAS single-threaded so the fleet never oversubscribes the box.
+    pin_blas_threads(1)
     socket_path = args.connect or args.socket or default_socket_path()
     return run_worker(
         socket_path,

@@ -36,7 +36,7 @@ from typing import Any
 
 from repro.exceptions import ReproError, SpecError
 from repro.runtime.cache import ResultCache
-from repro.runtime.executor import execute_spec
+from repro.runtime.executor import execute_spec_batch, group_payloads
 from repro.runtime.results import encode_result
 from repro.service import jobs as J
 from repro.service.jobs import Job, JobStore, job_from_batch, job_from_spec
@@ -187,6 +187,12 @@ class Daemon:
         listener.settimeout(0.2)
         self._listener = listener
         self._started_at = time.time()
+        if self.local_workers > 1:
+            # Several worker threads share this process: a multi-threaded
+            # BLAS underneath them would oversubscribe every core.
+            from repro.runtime.shm import pin_blas_threads
+
+            pin_blas_threads(1)
         self._threads = [
             threading.Thread(target=self._accept_loop, name="repro-accept", daemon=True),
             threading.Thread(target=self._reaper_loop, name="repro-reaper", daemon=True),
@@ -702,18 +708,30 @@ class Daemon:
                 if chunk is None:
                     self._work.wait(timeout=0.2)
                     continue
+            with self._lock:
+                job = self._jobs.get(chunk.job_id)
+                payloads = (
+                    None
+                    if job is None or job.terminal or self._stop.is_set()
+                    else [job.points[i].payload for i in chunk.indices]
+                )
             outcomes: "list[dict]" = []
-            for index in chunk.indices:
-                with self._lock:
-                    job = self._jobs.get(chunk.job_id)
-                    payload = (
-                        None
-                        if job is None or job.terminal or self._stop.is_set()
-                        else job.points[index].payload
+            if payloads is not None:
+                # Consecutive points sharing a compiled plan run as one
+                # vectorized batch; cancellation is re-checked between
+                # groups, and because groups are consecutive index ranges
+                # the outcomes stay a prefix of ``chunk.indices`` order.
+                for group in group_payloads(payloads):
+                    with self._lock:
+                        job = self._jobs.get(chunk.job_id)
+                        cancelled = (
+                            job is None or job.terminal or self._stop.is_set()
+                        )
+                    if cancelled:
+                        break  # abandon the chunk's tail
+                    outcomes.extend(
+                        execute_spec_batch([payloads[i] for i in group])
                     )
-                if payload is None:
-                    break  # cancelled (or stopping): abandon the chunk's tail
-                outcomes.append(execute_spec(payload))
             self._complete(worker_id, chunk.chunk_id, outcomes)
 
     def _reaper_loop(self) -> None:

@@ -1,14 +1,16 @@
 """External worker: a process that drains the daemon's queue over the socket.
 
 ``python -m repro.service worker --connect <socket>`` runs this loop.  The
-worker claims chunks, executes each grid point through the same
-:func:`~repro.runtime.executor.execute_spec` entry point the in-daemon pool
-and the process executors use — so it inherits the per-process compiled-
-program memo, and a long-lived worker keeps its compiles warm across jobs —
-and ships the outcomes back for the daemon to cache.
+worker claims chunks and executes them through the same
+:func:`~repro.runtime.executor.execute_spec_batch` entry point the process
+executor's pool uses: consecutive grid points sharing a compiled plan
+(repeat axes, initial-state grids) run as one vectorized evolution, and the
+per-process compiled-program memo keeps a long-lived worker's compiles warm
+across jobs.  Outcomes ship back for the daemon to cache.
 
-Between points the worker heartbeats: that renews its chunk lease and learns
-about cancellation, so a cancelled job stops costing CPU within one point.
+Between batch groups the worker heartbeats: that renews its chunk lease and
+learns about cancellation, so a cancelled job stops costing CPU within one
+group.
 The loop exits cleanly when the daemon says shutdown, when the socket
 disappears (daemon gone), or after ``max_idle`` seconds without work —
 extra containers or machines can therefore point a forwarded socket at one
@@ -21,7 +23,7 @@ import os
 import socket
 import time
 
-from repro.runtime.executor import execute_spec
+from repro.runtime.executor import execute_spec_batch, group_payloads
 from repro.service.protocol import (
     RemoteError,
     ServiceConnectionError,
@@ -79,11 +81,12 @@ def run_worker(
             time.sleep(poll_interval)
             continue
         idle_since = None
+        payloads = claim["payloads"]
         outcomes = []
         abandoned = False
-        for index, payload in enumerate(claim["payloads"]):
-            if index:
-                # Renew the lease and learn about cancellation between points.
+        for number, group in enumerate(group_payloads(payloads)):
+            if number:
+                # Renew the lease and learn about cancellation between groups.
                 try:
                     beat = request(
                         socket_path,
@@ -96,7 +99,8 @@ def run_worker(
                 if beat.get("cancelled"):
                     abandoned = True
                     break
-            outcomes.append(outcome_to_wire(execute_spec(payload)))
+            batch = execute_spec_batch([payloads[i] for i in group])
+            outcomes.extend(outcome_to_wire(outcome) for outcome in batch)
         if not abandoned:
             try:
                 request(

@@ -137,3 +137,235 @@ class TestPicklabilityFailFast:
     def test_single_worker_serial_path_still_works_with_lambdas(self):
         # max_workers=1 short-circuits to in-process execution: no pickling.
         assert ProcessExecutor(1).map(lambda x: x + 1, [1, 2]) == [2, 3]
+
+
+# ---------------------------------------------------------------------------
+# Plan batching, the LRU program memo, worker hygiene and map_specs
+# ---------------------------------------------------------------------------
+
+
+def _read_blas_env(_):
+    import os
+
+    return os.environ.get("OMP_NUM_THREADS")
+
+
+class TestProgramMemoLRU:
+    def test_hits_refresh_recency(self, monkeypatch):
+        """A touched entry must survive an eviction that FIFO would lose."""
+        import repro.compile.pipeline as pipeline
+        from repro.runtime import executor as executor_module
+
+        calls = []
+        real = pipeline.compile_problem
+
+        def counting(problem, strategy, **kwargs):
+            calls.append((problem.content_key(), strategy))
+            return real(problem, strategy, **kwargs)
+
+        monkeypatch.setattr(pipeline, "compile_problem", counting)
+        monkeypatch.setattr(executor_module, "_PROGRAM_MEMO_CAP", 3)
+        monkeypatch.setattr(executor_module, "_PROGRAM_MEMO", {})
+
+        problems = {
+            name: repro.SimulationProblem.from_labels(
+                4, {label: 0.5}, time=0.3, name=name
+            )
+            for name, label in zip("abcd", ("ZZII", "IZZI", "IIZZ", "XIII"))
+        }
+        memo = executor_module._memoized_program
+        memo(problems["a"], "direct")
+        memo(problems["b"], "direct")
+        memo(problems["c"], "direct")
+        assert len(calls) == 3
+
+        memo(problems["a"], "direct")  # hit: refreshes a's recency
+        assert len(calls) == 3
+
+        memo(problems["d"], "direct")  # evicts b (LRU), not a (FIFO would)
+        assert len(calls) == 4
+
+        memo(problems["a"], "direct")  # still memoized
+        assert len(calls) == 4
+        memo(problems["b"], "direct")  # evicted: compiles again
+        assert len(calls) == 5
+
+    def test_hit_returns_identical_program(self):
+        from repro.runtime.executor import _memoized_program
+
+        first = _memoized_program(problem(), "direct")
+        assert _memoized_program(problem(), "direct") is first
+
+
+class TestBatchGrouping:
+    def kernel_payload(self, initial_state=0, steps=1):
+        return RunSpec(
+            problem=problem(steps=steps),
+            backend="kernel",
+            run_kwargs={"initial_state": initial_state},
+        ).to_dict(canonical=True)
+
+    def test_statevector_has_no_batch_axis(self):
+        from repro.runtime import batch_key
+
+        payload = RunSpec(problem=problem()).to_dict(canonical=True)
+        assert batch_key(payload) is None
+
+    def test_batch_key_ignores_only_the_batch_axis(self):
+        from repro.runtime import batch_key
+
+        a = batch_key(self.kernel_payload(initial_state=0))
+        b = batch_key(self.kernel_payload(initial_state=5))
+        c = batch_key(self.kernel_payload(initial_state=0, steps=2))
+        assert a == b  # differ only along the batch axis
+        assert a != c  # different compile → different plan → different group
+
+    def test_group_payloads_consecutive_and_order_preserving(self):
+        from repro.runtime import group_payloads
+
+        payloads = [
+            self.kernel_payload(initial_state=0),
+            self.kernel_payload(initial_state=1),
+            RunSpec(problem=problem()).to_dict(canonical=True),  # unbatchable
+            self.kernel_payload(initial_state=2),
+            self.kernel_payload(initial_state=3),
+        ]
+        groups = group_payloads(payloads)
+        assert groups == [[0, 1], [2], [3, 4]]
+        assert [i for group in groups for i in group] == list(range(5))
+
+
+class TestExecuteSpecBatch:
+    def test_kernel_initial_state_batch_is_bit_identical(self):
+        import numpy as np
+
+        from repro.runtime import execute_spec_batch
+
+        payloads = [
+            RunSpec(
+                problem=problem(), backend="kernel",
+                run_kwargs={"initial_state": index},
+            ).to_dict(canonical=True)
+            for index in range(5)
+        ]
+        batched = execute_spec_batch(payloads)
+        single = [execute_spec(p) for p in payloads]
+        for fused, reference in zip(batched, single):
+            assert fused["ok"] and reference["ok"]
+            assert fused["batched"] == 5
+            for key in reference["arrays"]:
+                assert np.array_equal(fused["arrays"][key], reference["arrays"][key])
+
+    def test_sampling_rng_batch_matches_per_point_draws(self):
+        from repro.runtime import execute_spec_batch
+
+        payloads = [
+            RunSpec(
+                problem=problem(), backend="sampling",
+                run_kwargs={"shots": 128, "rng": 100 + index},
+            ).to_dict(canonical=True)
+            for index in range(4)
+        ]
+        batched = execute_spec_batch(payloads)
+        single = [execute_spec(p) for p in payloads]
+        for fused, reference in zip(batched, single):
+            assert fused["ok"] and reference["ok"]
+            assert fused["result"]["counts"] == reference["result"]["counts"]
+
+    def test_bad_point_falls_back_to_per_point_capture(self):
+        from repro.runtime import execute_spec_batch
+
+        payloads = [
+            RunSpec(
+                problem=problem(), backend="kernel",
+                run_kwargs={"initial_state": index},
+            ).to_dict(canonical=True)
+            for index in (0, 1 << 10, 1)  # the middle index is out of range
+        ]
+        outcomes = execute_spec_batch(payloads)
+        assert outcomes[0]["ok"] and outcomes[2]["ok"]
+        assert not outcomes[1]["ok"]
+        assert "batched" not in outcomes[0]  # fallback ran per point
+
+    def test_unbatchable_backend_matches_serial(self):
+        import numpy as np
+
+        from repro.runtime import execute_spec_batch
+
+        payloads = [
+            RunSpec(problem=problem(steps=k)).to_dict(canonical=True)
+            for k in (1, 2)
+        ]
+        outcomes = execute_spec_batch(payloads)
+        single = [execute_spec(p) for p in payloads]
+        for fused, reference in zip(outcomes, single):
+            assert fused["ok"]
+            assert np.array_equal(fused["arrays"]["data"], reference["arrays"]["data"])
+
+
+class TestMapSpecs:
+    def payloads(self):
+        specs = [
+            RunSpec(
+                problem=problem(), backend="sampling",
+                run_kwargs={"shots": 64, "rng": index},
+            )
+            for index in range(4)
+        ] + [
+            RunSpec(problem=problem(steps=k)) for k in (1, 2)
+        ]
+        return [spec.to_dict(canonical=True) for spec in specs]
+
+    def test_single_worker_matches_per_point_map(self):
+        import numpy as np
+
+        payloads = self.payloads()
+        reference = [execute_spec(p) for p in payloads]
+        outcomes = ProcessExecutor(1).map_specs(payloads)
+        for fused, ref in zip(outcomes, reference):
+            assert fused["ok"] and ref["ok"]
+            assert fused["result"]["kind"] == ref["result"]["kind"]
+            for key in ref["arrays"]:
+                assert np.array_equal(fused["arrays"][key], ref["arrays"][key])
+
+    def test_pool_matches_per_point_map(self):
+        import numpy as np
+
+        payloads = self.payloads()
+        reference = [execute_spec(p) for p in payloads]
+        outcomes = ProcessExecutor(2, chunk_size=2).map_specs(payloads)
+        for fused, ref in zip(outcomes, reference):
+            assert fused["ok"] and ref["ok"]
+            if ref["result"]["kind"] == "sampling":
+                assert fused["result"]["counts"] == ref["result"]["counts"]
+            for key in ref["arrays"]:
+                assert np.array_equal(fused["arrays"][key], ref["arrays"][key])
+
+    def test_progress_reaches_total(self):
+        seen = []
+        ProcessExecutor(2, chunk_size=2).map_specs(
+            self.payloads(), progress=lambda d, t: seen.append((d, t))
+        )
+        assert seen[-1][0] == seen[-1][1] == 6
+
+    def test_empty(self):
+        assert ProcessExecutor(2).map_specs([]) == []
+
+    def test_chunks_never_split_groups(self):
+        executor = ProcessExecutor(4, chunk_size=2)
+        groups = [[0, 1, 2], [3], [4, 5]]
+        chunks = executor._chunk_groups(groups, 6)
+        assert chunks == [[[0, 1, 2]], [[3], [4, 5]]]
+
+    def test_use_shm_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        with pytest.raises(SpecError, match="use_shm"):
+            ProcessExecutor(2, use_shm=True)
+        with pytest.raises(SpecError):
+            ProcessExecutor(2, blas_threads_per_worker=0)
+
+
+class TestWorkerHygiene:
+    def test_pool_workers_pin_blas_threads(self):
+        values = ProcessExecutor(2, chunk_size=1).map(_read_blas_env, [0, 1, 2])
+        assert values == ["1", "1", "1"]

@@ -349,3 +349,53 @@ class TestDefaultSession:
             assert get_default_session() is get_default_session()
         finally:
             set_default_session(None)
+
+
+class TestBatchedPoolParity:
+    """The plan-batched pool path must be indistinguishable from serial."""
+
+    def test_seeded_repeats_identical_counts(self):
+        axes = dict(
+            strategies=("direct", "pauli"),
+            steps=(1,),
+            backend="sampling",
+            run_kwargs={"shots": 256},
+            seed=23,
+            repeats=6,
+        )
+        serial = Session(cache=False, executor=1).sweep(problem(), **axes)
+        pooled = Session(cache=False, executor=4).sweep(problem(), **axes)
+        assert len(serial) == 12
+        assert [r.value.counts for r in serial] == [r.value.counts for r in pooled]
+
+    def test_statevector_grid_bit_identical(self):
+        axes = dict(
+            strategies=("direct", "pauli"), steps=(1, 2, 3), backend="statevector"
+        )
+        serial = Session(cache=False, executor=1).sweep(problem(), **axes)
+        pooled = Session(cache=False, executor=4).sweep(problem(), **axes)
+        for a, b in zip(serial, pooled):
+            assert a.error is None and b.error is None
+            assert np.array_equal(a.value.data, b.value.data)
+
+    def test_kernel_backend_bit_identical(self):
+        axes = dict(
+            strategies=("direct", "pauli"),
+            steps=(1, 2),
+            backend="kernel",
+            run_kwargs={"initial_state": 3},
+        )
+        serial = Session(cache=False, executor=1).sweep(problem(), **axes)
+        pooled = Session(cache=False, executor=4).sweep(problem(), **axes)
+        for a, b in zip(serial, pooled):
+            assert a.error is None and b.error is None
+            assert np.array_equal(a.value.data, b.value.data)
+
+    def test_pool_failures_still_captured_per_point(self):
+        results = Session(cache=False, executor=2).sweep(
+            problem(),
+            strategies=("direct", "block_encoding"),
+            backend="exact",
+        )
+        assert len(results) == 2 and not results.ok
+        assert len(results.failures()) == 1
