@@ -1,0 +1,80 @@
+"""Observability end to end: trace a parallel sweep and read the report.
+
+1. switch tracing on for this process *and* its pool workers — the env
+   variables travel into children under any start method;
+2. run a 2-worker sweep: every process appends spans to its own JSONL
+   file under the trace directory, so writers never contend;
+3. read the per-point phase split straight off the results table —
+   ``RunRecord.timings`` is always on, no tracing required;
+4. merge the trace files and render the per-phase/per-worker report —
+   the same view ``python -m repro.telemetry report <dir>`` prints;
+5. check the trace against the packaged JSON Schema and fold it into
+   flamegraph stacks (``flamegraph.pl``-compatible).
+
+Run with ``python examples/traced_sweep.py``.
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+import repro
+from repro import telemetry
+from repro.runtime import Session, SweepSpec
+from repro.telemetry.report import flame_stacks, load_trace_dir, render_report
+from repro.telemetry.schema import validate_spans
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ 1.
+    trace_dir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+    os.environ[telemetry.TRACE_ENV] = "1"        # inherited by pool workers
+    os.environ[telemetry.TRACE_DIR_ENV] = str(trace_dir)
+    telemetry.configure(enabled=True, directory=trace_dir)
+
+    problem = repro.SimulationProblem.from_labels(
+        6,
+        {"nsdIII": 0.8, "IZZIII": 0.3, "IIXsdI": 0.5, "IIImns": 0.2},
+        time=0.3,
+        name="traced-demo",
+    )
+    spec = SweepSpec(
+        problem=problem,
+        strategies=("direct", "pauli"),
+        steps=(1, 2, 4, 8),
+        backend="statevector",
+        name="traced-grid",
+    )
+
+    # ------------------------------------------------------------------ 2.
+    # Session opens the root ``session.execute`` span itself; every worker
+    # span parents onto it through the shipped (trace_id, span_id) pair.
+    results = Session(cache=False, executor=2).sweep(spec)
+    print(f"swept {spec.name}: {results.summary()}")
+
+    # ------------------------------------------------------------------ 3.
+    print("\nper-point phase split (always on, even with tracing off):")
+    print(results.table())
+
+    # ------------------------------------------------------------------ 4.
+    spans = load_trace_dir(trace_dir)
+    files = sorted(p.name for p in trace_dir.glob("trace-*.jsonl"))
+    print(f"\n{len(spans)} spans across {len(files)} per-process trace files:")
+    for name in files:
+        print(f"  {name}")
+    print()
+    print(render_report(spans))
+
+    # ------------------------------------------------------------------ 5.
+    validate_spans(spans)
+    print(f"all {len(spans)} spans validate against the packaged schema")
+    stacks = flame_stacks(spans)
+    print(f"{len(stacks)} folded stacks — pipe to flamegraph.pl via:")
+    print(f"  python -m repro.telemetry report {trace_dir} --flame")
+    print(f"  python -m repro.telemetry validate {trace_dir}")
+
+    telemetry.reset()
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,13 @@ keep working but emit :class:`DeprecationWarning`; import them from
 
 from __future__ import annotations
 
+import logging as _logging
+
+# Library convention: repro modules log through the "repro.*" hierarchy and
+# never configure handlers; entry points opt in via
+# repro.telemetry.configure_logging (REPRO_LOG governs the level).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro import compile as compile  # noqa: F401  (callable subpackage)
 from repro._deprecation import deprecated_alias as _deprecated_alias
 from repro.circuits import QuantumCircuit, Statevector, circuit_unitary, transpile

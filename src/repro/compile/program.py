@@ -8,6 +8,7 @@ pay for circuit construction.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -18,6 +19,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.transpile import TranspileOptions
 from repro.circuits.unitary import circuit_unitary
 from repro.exceptions import CompileError
+from repro.telemetry import span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compile.plan import EvolutionPlan
@@ -51,6 +53,11 @@ class CompiledProgram:
     _matrix: np.ndarray | None = field(default=None, repr=False)
     _estimate: "ResourceEstimate | None" = field(default=None, repr=False)
     _reports: dict = field(default_factory=dict, repr=False)
+    #: Seconds spent in each lazy build product (build/fuse/plan/sparse) the
+    #: first time it was constructed.  Always recorded (a perf_counter pair
+    #: per *build*, not per run), so the runtime can attribute compile time
+    #: truthfully even though builds happen lazily inside ``run()``.
+    _build_timings: dict = field(default_factory=dict, repr=False)
 
     # ----------------------------------------------------------- build products
 
@@ -62,11 +69,32 @@ class CompiledProgram:
     def kind(self) -> str:
         return self.strategy.kind
 
+    def _timed_build(self, phase: str, build):
+        start = time.perf_counter()
+        with span(f"compile.{phase}", strategy=self.strategy.name):
+            product = build()
+        self._build_timings[phase] = (
+            self._build_timings.get(phase, 0.0) + time.perf_counter() - start
+        )
+        return product
+
+    @property
+    def build_timings(self) -> dict:
+        """Seconds per lazy build phase constructed so far (a copy)."""
+        return dict(self._build_timings)
+
+    @property
+    def build_seconds(self) -> float:
+        """Total seconds spent constructing this program's build products."""
+        return sum(self._build_timings.values())
+
     @property
     def circuit(self) -> QuantumCircuit:
         """The built circuit (constructed on first access, then cached)."""
         if self._circuit is None:
-            self._circuit = self.strategy.build(self.problem)
+            self._circuit = self._timed_build(
+                "build", lambda: self.strategy.build(self.problem)
+            )
         return self._circuit
 
     @property
@@ -89,8 +117,12 @@ class CompiledProgram:
         if self._execution_circuit is None:
             from repro.circuits.transpile import fuse_gates
 
-            self._execution_circuit = fuse_gates(
-                self.circuit, max_fused_qubits=options.fusion_max_qubits
+            circuit = self.circuit  # build first: keeps the phases separable
+            self._execution_circuit = self._timed_build(
+                "fuse",
+                lambda: fuse_gates(
+                    circuit, max_fused_qubits=options.fusion_max_qubits
+                ),
             )
         return self._execution_circuit
 
@@ -110,7 +142,10 @@ class CompiledProgram:
             from repro.compile.plan import PlanLoweringError, lower_problem
 
             try:
-                self._evolution_plan = lower_problem(self.problem, self.strategy_name)
+                self._evolution_plan = self._timed_build(
+                    "plan",
+                    lambda: lower_problem(self.problem, self.strategy_name),
+                )
             except PlanLoweringError:
                 self._plan_unavailable = True
                 return None
@@ -126,7 +161,10 @@ class CompiledProgram:
         if self._sparse_operators is None:
             from repro.circuits.sparse import circuit_sparse_operators
 
-            self._sparse_operators = circuit_sparse_operators(self.execution_circuit)
+            circuit = self.execution_circuit
+            self._sparse_operators = self._timed_build(
+                "sparse", lambda: circuit_sparse_operators(circuit)
+            )
         return self._sparse_operators
 
     def unitary(self, max_qubits: int | None = None) -> np.ndarray:

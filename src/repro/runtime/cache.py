@@ -22,6 +22,7 @@ sessions never observe a torn entry.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass
@@ -30,8 +31,11 @@ from typing import Any
 
 import numpy as np
 
+from repro.telemetry import metrics, span
 from repro.utils.serialization import SPEC_VERSION, canonical_json
 from repro.runtime.results import decode_result, encode_result
+
+logger = logging.getLogger("repro.runtime.cache")
 
 #: Environment override for the cache root directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -110,6 +114,14 @@ class ResultCache:
 
     def get(self, key: str, default: Any = MISS) -> Any:
         """The decoded result for ``key``, or ``default`` on a miss."""
+        with span("cache.get") as sp:
+            value = self._get(key, default)
+            hit = value is not default
+            sp.set(hit=hit)
+        metrics.incr("cache.hits" if hit else "cache.misses")
+        return value
+
+    def _get(self, key: str, default: Any) -> Any:
         sidecar, npz = self._paths(key)
         try:
             payload = json.loads(sidecar.read_text())
@@ -153,6 +165,18 @@ class ResultCache:
         label: str | None = None,
     ) -> None:
         """Store an already-encoded ``(meta, arrays)`` pair (the worker path)."""
+        with span("cache.put", arrays=len(arrays)):
+            self._put_encoded(key, meta, arrays, label=label)
+        metrics.incr("cache.puts")
+
+    def _put_encoded(
+        self,
+        key: str,
+        meta: dict,
+        arrays: dict[str, np.ndarray],
+        *,
+        label: str | None = None,
+    ) -> None:
         sidecar, npz = self._paths(key)
         sidecar.parent.mkdir(parents=True, exist_ok=True)
         if arrays:
@@ -275,6 +299,12 @@ class ResultCache:
                 removed += 1
             except OSError:  # pragma: no cover - concurrent removal
                 continue
+        if removed:
+            logger.warning(
+                "swept %d orphaned array file(s) from %s (crash debris)",
+                removed,
+                self.directory,
+            )
         return removed
 
     def _evict(self) -> None:
@@ -293,11 +323,20 @@ class ResultCache:
             sized.append((stat.st_mtime, size, sidecar))
             total += size
         if total > self.max_bytes:
+            evicted = 0
             for _, size, sidecar in sorted(sized):  # oldest last-use first
                 self._remove(sidecar)
                 total -= size
+                evicted += 1
                 if total <= self.max_bytes:
                     break
+            logger.info(
+                "evicted %d cache entr%s to get under %d bytes",
+                evicted,
+                "y" if evicted == 1 else "ies",
+                self.max_bytes,
+            )
+            metrics.incr("cache.evictions", evicted)
         self._approx_bytes = total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -71,6 +71,23 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the progress line"
     )
+    parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="write span traces to DIR (enables tracing for this invocation; "
+             "inspect with 'python -m repro.telemetry report DIR')",
+    )
+
+
+def _apply_trace_flag(args: argparse.Namespace) -> None:
+    if getattr(args, "trace", None):
+        import os
+
+        from repro import telemetry
+
+        # The env vars travel into pool workers regardless of start method.
+        os.environ[telemetry.TRACE_ENV] = "1"
+        os.environ[telemetry.TRACE_DIR_ENV] = str(args.trace)
+        telemetry.configure(enabled=True, directory=args.trace)
 
 
 def _csv(text: str) -> list[str]:
@@ -86,6 +103,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.runtime.results import result_to_json
     from repro.runtime.spec import RunSpec
 
+    _apply_trace_flag(args)
     payload = _load_payload(args.spec)
     if payload.get("spec") == "run":
         spec = RunSpec.from_dict(payload)
@@ -137,6 +155,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runtime.spec import SweepSpec
 
+    _apply_trace_flag(args)
     payload = _load_payload(args.spec)
     if payload.get("spec") == "sweep":
         spec = SweepSpec.from_dict(payload)
@@ -251,6 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    from repro.telemetry import configure_logging
+
+    configure_logging()
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

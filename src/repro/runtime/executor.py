@@ -26,6 +26,7 @@ from typing import Any, Protocol, runtime_checkable
 import numpy as np
 
 from repro.exceptions import SpecError
+from repro.telemetry import current_trace_context, metrics, span, trace_context
 
 
 # ---------------------------------------------------------------------------
@@ -50,10 +51,12 @@ def _memoized_program(problem, strategy: str):
     key = (problem.content_key(), strategy.lower())
     program = _PROGRAM_MEMO.get(key)
     if program is None:
+        metrics.incr("compile.memo_misses")
         program = compile_problem(problem, strategy)
         while len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_CAP:
             _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)))
     else:
+        metrics.incr("compile.memo_hits")
         del _PROGRAM_MEMO[key]  # re-insertion moves the hit to the LRU back
     _PROGRAM_MEMO[key] = program
     return program
@@ -62,25 +65,59 @@ def _memoized_program(problem, strategy: str):
 def execute_spec(payload: dict) -> dict:
     """Run one canonical RunSpec dict; never raises.
 
-    Returns ``{"ok": True, "result": meta, "arrays": {...}, "wall_time": s}``
-    on success and ``{"ok": False, "error": {type, message, traceback},
-    "wall_time": s}`` on failure.  Importable at module level so it pickles
-    into worker processes.
+    Returns ``{"ok": True, "result": meta, "arrays": {...}, "wall_time": s,
+    "timings": {phase: s}}`` on success and ``{"ok": False, "error": {type,
+    message, traceback}, "wall_time": s}`` on failure.  Importable at module
+    level so it pickles into worker processes.
     """
+    attrs = (
+        {"backend": payload.get("backend"), "strategy": payload.get("strategy")}
+        if isinstance(payload, dict)
+        else {}
+    )
+    with span("execute.point", **attrs) as sp:
+        outcome = _execute_spec_inner(payload)
+        sp.set(ok=outcome.get("ok"))
+    return outcome
+
+
+def _execute_spec_inner(payload: dict) -> dict:
     start = time.perf_counter()
     try:
         from repro.runtime.results import encode_result
         from repro.runtime.spec import RunSpec
 
         spec = RunSpec.from_dict(payload)
-        program = _memoized_program(spec.problem, spec.strategy)
-        value = program.run(backend=spec.backend, **spec.run_kwargs)
-        meta, arrays = encode_result(value)
+        with span("execute.compile", strategy=spec.strategy):
+            compile_start = time.perf_counter()
+            program = _memoized_program(spec.problem, spec.strategy)
+            compile_seconds = time.perf_counter() - compile_start
+        # The program builds its circuit/plan lazily *inside* run(), so the
+        # run-time split is recovered by diffing the program's build-timing
+        # ledger around the call (see CompiledProgram.build_timings).
+        built_before = program.build_seconds
+        plan_before = program.build_timings.get("plan", 0.0)
+        with span("execute.evolve", backend=spec.backend):
+            run_start = time.perf_counter()
+            value = program.run(backend=spec.backend, **spec.run_kwargs)
+            run_seconds = time.perf_counter() - run_start
+        built_delta = program.build_seconds - built_before
+        plan_delta = program.build_timings.get("plan", 0.0) - plan_before
+        with span("execute.encode"):
+            encode_start = time.perf_counter()
+            meta, arrays = encode_result(value)
+            encode_seconds = time.perf_counter() - encode_start
         return {
             "ok": True,
             "result": meta,
             "arrays": arrays,
             "wall_time": time.perf_counter() - start,
+            "timings": {
+                "compile": compile_seconds + max(0.0, built_delta - plan_delta),
+                "plan": plan_delta,
+                "evolve": max(0.0, run_seconds - built_delta),
+                "encode": encode_seconds,
+            },
         }
     except Exception as exc:  # noqa: BLE001 - failure capture is the contract
         return {
@@ -94,9 +131,24 @@ def execute_spec(payload: dict) -> dict:
         }
 
 
-def _run_chunk(fn: Callable[[Any], Any], items: list) -> list:
-    """Apply ``fn`` to one chunk inside a worker (top level: must pickle)."""
-    return [fn(item) for item in items]
+def _run_chunk(
+    fn: Callable[[Any], Any], items: list, progress_queue=None
+) -> list:
+    """Apply ``fn`` to one chunk inside a worker (top level: must pickle).
+
+    When the parent passed a progress queue, one count is enqueued per
+    finished item so long chunks report per-point completion instead of
+    going silent until the whole chunk returns.
+    """
+    results = []
+    for item in items:
+        results.append(fn(item))
+        if progress_queue is not None:
+            try:
+                progress_queue.put_nowait(1)
+            except Exception:  # noqa: BLE001 - progress must never kill work
+                progress_queue = None
+    return results
 
 
 # ---------------------------------------------------------------------------
@@ -208,55 +260,97 @@ def execute_spec_batch(payloads: "Sequence[dict]") -> list[dict]:
     failure capture and outcome shape are exactly the serial contract's.
     """
     payloads = list(payloads)
+    metrics.incr("batch.points_total", len(payloads))
     if len(payloads) <= 1:
         return [execute_spec(payload) for payload in payloads]
+    n_points = len(payloads)
     start = time.perf_counter()
     try:
         from repro.runtime.results import encode_result
         from repro.runtime.spec import RunSpec
 
-        spec0 = RunSpec.from_dict(payloads[0])
-        program = _memoized_program(spec0.problem, spec0.strategy)
-        if spec0.backend == "kernel":
-            values = _batched_kernel(spec0, program, payloads)
-        elif spec0.backend == "sampling":
-            values = _batched_sampling(spec0, program, payloads)
-        else:
-            raise _Unbatchable(f"backend {spec0.backend!r} has no batch axis")
-        per_point = (time.perf_counter() - start) / len(payloads)
-        outcomes = []
-        for value in values:
-            meta, arrays = encode_result(value)
-            outcomes.append(
-                {
-                    "ok": True,
-                    "result": meta,
-                    "arrays": arrays,
-                    "wall_time": per_point,
-                    "batched": len(payloads),
-                }
-            )
-        return outcomes
+        with span(
+            "execute.batch",
+            backend=payloads[0].get("backend") if isinstance(payloads[0], dict) else None,
+            points=n_points,
+        ):
+            spec0 = RunSpec.from_dict(payloads[0])
+            with span("execute.compile", strategy=spec0.strategy):
+                compile_start = time.perf_counter()
+                program = _memoized_program(spec0.problem, spec0.strategy)
+                compile_seconds = time.perf_counter() - compile_start
+            built_before = program.build_seconds
+            plan_before = program.build_timings.get("plan", 0.0)
+            with span("execute.evolve", backend=spec0.backend):
+                run_start = time.perf_counter()
+                if spec0.backend == "kernel":
+                    values = _batched_kernel(spec0, program, payloads)
+                elif spec0.backend == "sampling":
+                    values = _batched_sampling(spec0, program, payloads)
+                else:
+                    raise _Unbatchable(
+                        f"backend {spec0.backend!r} has no batch axis"
+                    )
+                run_seconds = time.perf_counter() - run_start
+            built_delta = program.build_seconds - built_before
+            plan_delta = program.build_timings.get("plan", 0.0) - plan_before
+            with span("execute.encode"):
+                encode_start = time.perf_counter()
+                encoded = [encode_result(value) for value in values]
+                encode_seconds = time.perf_counter() - encode_start
+        per_point = (time.perf_counter() - start) / n_points
+        timings = {
+            "compile": (compile_seconds + max(0.0, built_delta - plan_delta))
+            / n_points,
+            "plan": plan_delta / n_points,
+            "evolve": max(0.0, run_seconds - built_delta) / n_points,
+            "encode": encode_seconds / n_points,
+        }
+        metrics.incr("batch.points_fused", n_points)
+        return [
+            {
+                "ok": True,
+                "result": meta,
+                "arrays": arrays,
+                "wall_time": per_point,
+                "batched": n_points,
+                "timings": dict(timings),
+            }
+            for meta, arrays in encoded
+        ]
     except Exception:  # noqa: BLE001 - any fused failure → per-point retry
         # The per-point path re-raises (and captures) the real error with its
         # own traceback, so a fused-path limitation can never change results.
         return [execute_spec(payload) for payload in payloads]
 
 
-def _run_spec_chunk(groups: list[list[dict]]) -> list[list[dict]]:
+def _run_spec_chunk(
+    groups: list[list[dict]], trace=None, progress_queue=None
+) -> list[list[dict]]:
     """Execute batch-key groups inside a worker, exporting big arrays as shm.
 
     The worker-side counterpart of :meth:`ProcessExecutor.map_specs`: each
     group runs through :func:`execute_spec_batch`, and when the pool
     initializer installed a shared-memory namespace, every large result array
-    leaves through a named segment instead of the pickle pipe.
+    leaves through a named segment instead of the pickle pipe.  ``trace`` is
+    the parent's span context (worker spans attach to the submitting trace);
+    ``progress_queue`` receives one count per completed group so the parent
+    can report per-point progress mid-chunk.
     """
     from repro.runtime import shm
 
-    return [
-        [shm.export_outcome(outcome) for outcome in execute_spec_batch(group)]
-        for group in groups
-    ]
+    results: list[list[dict]] = []
+    with trace_context(trace):
+        for group in groups:
+            results.append(
+                [shm.export_outcome(outcome) for outcome in execute_spec_batch(group)]
+            )
+            if progress_queue is not None:
+                try:
+                    progress_queue.put_nowait(len(group))
+                except Exception:  # noqa: BLE001 - progress must never kill work
+                    progress_queue = None
+    return results
 
 
 def _worker_init(shm_prefix: "str | None", blas_threads: int) -> None:
@@ -422,38 +516,99 @@ class ProcessExecutor:
             if self.mp_context is not None
             else None
         )
-        done = 0
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.n_workers, len(chunks)),
-            mp_context=context,
-            initializer=_worker_init,
-            initargs=(None, self.blas_threads_per_worker),
-        ) as pool:
-            futures = {
-                pool.submit(_run_chunk, fn, chunk_items): start
-                for start, chunk_items in chunks
-            }
-            for future in concurrent.futures.as_completed(futures):
-                start = futures[future]
-                try:
-                    chunk_results = future.result()
-                except (pickle.PicklingError, TypeError, AttributeError) as exc:
-                    # Unpicklable *items* surface on result() — as PicklingError,
-                    # or as TypeError/AttributeError from the forking pickler.
-                    # Re-raise with the offending chunk named instead of a bare
-                    # pool error; anything unrelated propagates untouched.
-                    if not isinstance(exc, pickle.PicklingError) and "pickle" not in str(exc):
-                        raise
-                    raise RuntimeError(
-                        f"ProcessExecutor could not pickle items "
-                        f"[{start}:{start + chunk}] for "
-                        f"{getattr(fn, '__qualname__', fn)!r}: {exc}"
-                    ) from exc
-                results[start : start + len(chunk_results)] = chunk_results
-                done += len(chunk_results)
-                if progress is not None:
-                    progress(done, len(items))
+        manager, progress_queue, drain = self._progress_channel(
+            progress, len(items)
+        )
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.n_workers, len(chunks)),
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(None, self.blas_threads_per_worker),
+            ) as pool:
+                futures = {
+                    pool.submit(_run_chunk, fn, chunk_items, progress_queue): start
+                    for start, chunk_items in chunks
+                }
+                for future, start in self._completed(futures, drain):
+                    try:
+                        chunk_results = future.result()
+                    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                        # Unpicklable *items* surface on result() — as
+                        # PicklingError, or as TypeError/AttributeError from the
+                        # forking pickler.  Re-raise with the offending chunk
+                        # named instead of a bare pool error; anything unrelated
+                        # propagates untouched.
+                        if not isinstance(exc, pickle.PicklingError) and "pickle" not in str(exc):
+                            raise
+                        raise RuntimeError(
+                            f"ProcessExecutor could not pickle items "
+                            f"[{start}:{start + chunk}] for "
+                            f"{getattr(fn, '__qualname__', fn)!r}: {exc}"
+                        ) from exc
+                    results[start : start + len(chunk_results)] = chunk_results
+            drain(final=True)
+        finally:
+            if manager is not None:
+                manager.shutdown()
         return results
+
+    # ------------------------------------------------------ progress plumbing
+
+    def _progress_channel(self, progress, total: int):
+        """A managed queue workers feed per-point counts into, plus its drain.
+
+        Returns ``(manager, queue, drain)``; all three are inert when no
+        progress callback was supplied, so unmonitored sweeps skip the
+        Manager process entirely.  ``drain(final=True)`` reports the terminal
+        ``progress(total, total)`` in case trailing counts were lost with a
+        dying worker.
+        """
+        if progress is None:
+            return None, None, (lambda final=False: None)
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+        queue = manager.Queue()
+        done = 0
+
+        def drain(final: bool = False) -> None:
+            nonlocal done
+            counted = 0
+            while True:
+                try:
+                    counted += queue.get_nowait()
+                except Exception:  # noqa: BLE001 - Empty, or a dead manager
+                    break
+            if counted:
+                done = min(total, done + counted)
+                progress(done, total)
+            if final and done < total:
+                done = total
+                progress(total, total)
+
+        return manager, queue, drain
+
+    @staticmethod
+    def _completed(futures: dict, drain):
+        """Yield ``(future, key)`` as futures finish, draining progress between.
+
+        The 50 ms poll keeps per-point progress flowing while chunks are
+        still running — ``as_completed`` alone would sit silent until a whole
+        chunk landed.
+        """
+        import concurrent.futures
+
+        pending = set(futures)
+        while pending:
+            finished, pending = concurrent.futures.wait(
+                pending,
+                timeout=0.05,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            drain()
+            for future in finished:
+                yield future, futures[future]
 
     # ------------------------------------------------------- spec-aware path
 
@@ -527,31 +682,38 @@ class ProcessExecutor:
             else None
         )
         results = [None] * len(payloads)
-        done = 0
+        manager, progress_queue, drain = self._progress_channel(
+            progress, len(payloads)
+        )
         try:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.n_workers, len(chunks)),
-                mp_context=context,
-                initializer=_worker_init,
-                initargs=(prefix, self.blas_threads_per_worker),
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _run_spec_chunk,
-                        [[payloads[i] for i in group] for group in chunk],
-                    ): chunk
-                    for chunk in chunks
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    chunk = futures[future]
-                    outcome_groups = future.result()
-                    for group, outcomes in zip(chunk, outcome_groups):
-                        for index, outcome in zip(group, outcomes):
-                            results[index] = shm.resolve_outcome(outcome)
-                        done += len(group)
-                        if progress is not None:
-                            progress(done, len(payloads))
+            with span(
+                "pool.map_specs", points=len(payloads), workers=self.n_workers
+            ):
+                trace = current_trace_context()
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(self.n_workers, len(chunks)),
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=(prefix, self.blas_threads_per_worker),
+                ) as pool:
+                    futures = {
+                        pool.submit(
+                            _run_spec_chunk,
+                            [[payloads[i] for i in group] for group in chunk],
+                            trace,
+                            progress_queue,
+                        ): chunk
+                        for chunk in chunks
+                    }
+                    for future, chunk in self._completed(futures, drain):
+                        outcome_groups = future.result()
+                        for group, outcomes in zip(chunk, outcome_groups):
+                            for index, outcome in zip(group, outcomes):
+                                results[index] = shm.resolve_outcome(outcome)
+                drain(final=True)
         finally:
+            if manager is not None:
+                manager.shutdown()
             if prefix is not None:
                 shm.reap_prefix(prefix)
                 shm.reap_orphans()

@@ -181,6 +181,10 @@ class RunRecord:
     error: dict | None = None
     wall_time: float = 0.0
     cached: bool = False
+    #: Per-phase seconds of a freshly-executed point (``compile``/``plan``/
+    #: ``evolve``/``encode``, from the worker's own clocks); empty for cached
+    #: or failed points.
+    timings: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -208,6 +212,10 @@ class RunRecord:
             "wall_time": round(self.wall_time, 6),
             "error": self.error,
         }
+        if self.timings:
+            payload["timings"] = {
+                phase: round(seconds, 6) for phase, seconds in self.timings.items()
+            }
         if include_value and self.error is None:
             payload["value"] = result_to_json(self.value)
         return payload
@@ -293,22 +301,39 @@ class ResultSet:
         )
 
     def table(self) -> str:
-        """Plain-text table of coordinates, status, provenance and timing."""
+        """Plain-text table of coordinates, status, provenance and timing.
+
+        When any record carries a per-phase split (fresh executions under
+        the instrumented runtime), a ``phases`` column summarises it as
+        ``compile/plan/evolve/encode`` milliseconds.
+        """
         if not self._records:
             return "(empty result set)"
         axes = sorted({axis for r in self._records for axis in r.coords})
+        with_phases = any(r.timings for r in self._records)
         header = [*axes, "backend", "status", "time (s)"]
+        if with_phases:
+            header.append("phases (ms c/p/e/e)")
         rows = []
         for record in self._records:
             status = "cached" if record.cached else ("ok" if record.ok else "FAILED")
-            rows.append(
-                [
-                    *(str(record.coords.get(a, "—")) for a in axes),
-                    record.spec.backend,
-                    status,
-                    f"{record.wall_time:.4f}",
-                ]
-            )
+            row = [
+                *(str(record.coords.get(a, "—")) for a in axes),
+                record.spec.backend,
+                status,
+                f"{record.wall_time:.4f}",
+            ]
+            if with_phases:
+                if record.timings:
+                    row.append(
+                        "/".join(
+                            f"{record.timings.get(phase, 0.0) * 1e3:.1f}"
+                            for phase in ("compile", "plan", "evolve", "encode")
+                        )
+                    )
+                else:
+                    row.append("—")
+            rows.append(row)
         widths = [
             max(len(header[i]), *(len(row[i]) for row in rows))
             for i in range(len(header))

@@ -31,6 +31,7 @@ from collections.abc import Callable, Iterable
 from typing import TYPE_CHECKING, Any
 
 from repro.exceptions import SpecError
+from repro.telemetry import span
 from repro.utils.serialization import SerializationError, content_hash
 
 from repro.runtime.cache import MISS, ResultCache
@@ -177,6 +178,14 @@ class Session:
 
     def _execute(self, points: "list[tuple[dict, RunSpec]]") -> list[RunRecord]:
         """Cache-first, deduplicated, order-preserving execution of grid points."""
+        with span(
+            "session.execute",
+            points=len(points),
+            executor=getattr(self.executor, "name", type(self.executor).__name__),
+        ):
+            return self._execute_inner(points)
+
+    def _execute_inner(self, points: "list[tuple[dict, RunSpec]]") -> list[RunRecord]:
         keys = [spec.content_key() for _, spec in points]
         records: list[RunRecord | None] = [None] * len(points)
         pending: dict[str, list[int]] = {}
@@ -231,6 +240,7 @@ class Session:
                         error=error,
                         wall_time=outcome["wall_time"],
                         cached=False,
+                        timings=dict(outcome.get("timings") or {}),
                     )
         return records  # type: ignore[return-value]
 

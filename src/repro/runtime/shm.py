@@ -38,11 +38,16 @@ round-trip.
 
 from __future__ import annotations
 
+import logging
 import os
 import secrets
 import weakref
 
 import numpy as np
+
+from repro.telemetry import metrics, span
+
+logger = logging.getLogger("repro.runtime.shm")
 
 #: Set ``REPRO_SHM=0`` to force every array through the pickle pipe.
 SHM_ENV = "REPRO_SHM"
@@ -213,14 +218,22 @@ def export_outcome(outcome: dict) -> dict:
         return outcome
     threshold = min_shm_bytes()
     arrays = {}
-    for key, array in outcome["arrays"].items():
-        array = np.asarray(array)
-        if array.nbytes >= threshold:
-            _worker_counter += 1
-            name = f"{_worker_prefix}_{os.getpid()}_{_worker_counter}"
-            arrays[key] = export_array(array, name)
-        else:
-            arrays[key] = array
+    with span("transport.export") as sp:
+        exported_bytes = exported_segments = 0
+        for key, array in outcome["arrays"].items():
+            array = np.asarray(array)
+            if array.nbytes >= threshold:
+                _worker_counter += 1
+                name = f"{_worker_prefix}_{os.getpid()}_{_worker_counter}"
+                arrays[key] = export_array(array, name)
+                exported_bytes += array.nbytes
+                exported_segments += 1
+            else:
+                arrays[key] = array
+        sp.set(segments=exported_segments, bytes=exported_bytes)
+    if exported_segments:
+        metrics.incr("shm.segments_exported", exported_segments)
+        metrics.incr("shm.bytes_exported", exported_bytes)
     return {**outcome, "arrays": arrays}
 
 
@@ -229,13 +242,18 @@ def resolve_outcome(outcome: dict) -> dict:
     arrays = outcome.get("arrays")
     if not arrays or not any(is_ref(v) for v in arrays.values()):
         return outcome
-    return {
-        **outcome,
-        "arrays": {
-            key: attach_array(value) if is_ref(value) else value
-            for key, value in arrays.items()
-        },
-    }
+    with span("transport.resolve") as sp:
+        attached_bytes = 0
+        resolved = {}
+        for key, value in arrays.items():
+            if is_ref(value):
+                attached_bytes += int(value.get("nbytes", 0))
+                resolved[key] = attach_array(value)
+            else:
+                resolved[key] = value
+        sp.set(bytes=attached_bytes)
+    metrics.incr("shm.bytes_attached", attached_bytes)
+    return {**outcome, "arrays": resolved}
 
 
 # ---------------------------------------------------------------------------
@@ -280,9 +298,18 @@ def reap_prefix(prefix: str) -> int:
     parent — a crashed worker's stray, or results abandoned by a pool
     failure.  Returns how many were unlinked.
     """
-    return sum(
+    reaped = sum(
         _unlink_segment(name) for name in _listed_segments() if name.startswith(prefix)
     )
+    if reaped:
+        logger.warning(
+            "reaped %d abandoned shared-memory segment(s) under %s "
+            "(worker crash or pool failure)",
+            reaped,
+            prefix,
+        )
+        metrics.incr("shm.segments_reaped", reaped)
+    return reaped
 
 
 def _pid_alive(pid: int) -> bool:
@@ -312,6 +339,12 @@ def reap_orphans() -> int:
             continue
         if not _pid_alive(pid):
             reaped += _unlink_segment(name)
+    if reaped:
+        logger.warning(
+            "reaped %d orphaned shared-memory segment(s) from dead owners",
+            reaped,
+        )
+        metrics.incr("shm.segments_reaped", reaped)
     return reaped
 
 

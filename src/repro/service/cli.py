@@ -10,7 +10,7 @@ Subcommands::
     python -m repro.service cancel   JOB
     python -m repro.service jobs
     python -m repro.service workers
-    python -m repro.service stats    [--json]
+    python -m repro.service stats    [--json] [--watch SECONDS]
     python -m repro.service shutdown
 
 ``SPEC.json`` is a serialized RunSpec, SweepSpec or bare SimulationProblem
@@ -232,11 +232,7 @@ def _cmd_workers(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    stats = _client(args).stats()
-    if args.json:
-        print(json.dumps(stats, indent=2))
-        return 0
+def _render_stats(stats: dict) -> None:
     queue, points, workers = stats["queue"], stats["points"], stats["workers"]
     hit_rate = points["hit_rate"]
     print(f"daemon pid {stats['pid']}, up {stats['uptime']:.1f}s")
@@ -253,7 +249,36 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"(utilization {workers['utilization']:.0%})")
     print(f"cache   {stats['cache']['entries']} entries, "
           f"{stats['cache']['total_bytes']:,} B at {stats['cache']['directory']}")
-    return 0
+    phases = stats.get("phases") or {}
+    if phases:
+        split = ", ".join(
+            f"{name} {seconds:.2f}s" for name, seconds in sorted(phases.items()))
+        print(f"phases  {split}")
+    counters = (stats.get("metrics") or {}).get("counters") or {}
+    if counters:
+        line = ", ".join(
+            f"{name}={int(value)}" for name, value in sorted(counters.items()))
+        print(f"metrics {line}")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    client = _client(args)
+    watch = getattr(args, "watch", None)
+    count = getattr(args, "count", None)
+    iteration = 0
+    while True:
+        stats = client.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            if watch is not None and iteration:
+                # Clear and re-home so the dashboard redraws in place.
+                print("\x1b[2J\x1b[H", end="")
+            _render_stats(stats)
+        iteration += 1
+        if watch is None or (count is not None and iteration >= count):
+            return 0
+        time.sleep(watch)
 
 
 def _cmd_shutdown(args: argparse.Namespace) -> int:
@@ -345,6 +370,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="queue/jobs/cache/worker metrics")
     stats.add_argument("--json", action="store_true")
+    stats.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                       help="re-poll and redraw every SECONDS until interrupted")
+    stats.add_argument("--count", type=int, default=None, metavar="N",
+                       help="with --watch: stop after N polls")
     _add_socket_flag(stats)
     stats.set_defaults(fn=_cmd_stats)
 
@@ -355,6 +384,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    from repro.telemetry import configure_logging
+
+    configure_logging()
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

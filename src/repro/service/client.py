@@ -30,6 +30,7 @@ from repro.service.protocol import (
     outcome_from_wire,
     request,
 )
+from repro.telemetry import current_trace_context, span
 
 #: Default seconds between job-status polls in :meth:`ServiceClient.wait`.
 DEFAULT_POLL_INTERVAL = 0.05
@@ -80,11 +81,19 @@ class ServiceClient:
         already known to the daemon and nothing re-entered the queue.
         """
         payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
-        return self._request("submit", spec=payload, priority=priority)
+        return self._request("submit", spec=payload, priority=priority,
+                             **self._trace_field())
 
     def submit_payloads(self, payloads: "list[dict]", *, priority: int = 0) -> dict:
         """Submit canonical RunSpec payload dicts as one batch job."""
-        return self._request("submit", payloads=list(payloads), priority=priority)
+        return self._request("submit", payloads=list(payloads), priority=priority,
+                             **self._trace_field())
+
+    @staticmethod
+    def _trace_field() -> dict:
+        """The submitter's span context, so worker spans join this trace."""
+        trace = current_trace_context()
+        return {"trace": trace} if trace else {}
 
     def status(self, job_id: str, *, points: bool = False) -> dict:
         """The job's summary (state, per-point progress counts, timestamps)."""
@@ -186,13 +195,18 @@ class ServiceClient:
         items = list(items)
         if not items:
             return []
-        ack = self.submit_payloads(items)
-        job_id = ack["job_id"]
-        try:
-            self.wait(job_id, timeout=self.timeout * len(items), progress=progress)
-        except RemoteError as exc:
-            raise ExecutionError(f"daemon rejected job {job_id[:12]}…: {exc}") from exc
-        outcomes = self.result(job_id)
+        with span("service.map", points=len(items)):
+            ack = self.submit_payloads(items)
+            job_id = ack["job_id"]
+            try:
+                self.wait(
+                    job_id, timeout=self.timeout * len(items), progress=progress
+                )
+            except RemoteError as exc:
+                raise ExecutionError(
+                    f"daemon rejected job {job_id[:12]}…: {exc}"
+                ) from exc
+            outcomes = self.result(job_id)
         if len(outcomes) != len(items):
             raise ExecutionError(
                 f"daemon returned {len(outcomes)} outcomes for {len(items)} tasks"

@@ -26,6 +26,7 @@ the cache without re-entering the queue.
 from __future__ import annotations
 
 import heapq
+import logging
 import os
 import socket
 import threading
@@ -38,6 +39,7 @@ from repro.exceptions import ReproError, SpecError
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import execute_spec_batch, group_payloads
 from repro.runtime.results import encode_result
+from repro.telemetry import metrics, span, trace_context
 from repro.service import jobs as J
 from repro.service.jobs import Job, JobStore, job_from_batch, job_from_spec
 from repro.service.protocol import (
@@ -49,6 +51,8 @@ from repro.service.protocol import (
     recv_frame,
     send_frame,
 )
+
+logger = logging.getLogger("repro.service.daemon")
 
 #: Seconds a claimed chunk stays leased without a heartbeat before the
 #: reaper re-queues it (override per daemon; tests use fractions of a second).
@@ -167,6 +171,9 @@ class Daemon:
         self._points_executed = 0
         self._points_from_cache = 0
         self._dedup_hits = 0
+        # Fleet-wide per-phase seconds accumulated from completed points'
+        # timings dicts (exposed by the stats op alongside metrics).
+        self._phase_totals: "dict[str, float]" = {}
         self._started_at: "float | None" = None
         self._listener: "socket.socket | None" = None
         self._threads: "list[threading.Thread]" = []
@@ -342,6 +349,9 @@ class Daemon:
             job = job_from_spec(request["spec"], priority=priority)
         else:
             raise SpecError("submit needs a 'spec' dict or a 'payloads' list")
+        trace = request.get("trace")
+        if isinstance(trace, dict):
+            job.trace = trace
         with self._lock:
             existing = self._jobs.get(job.job_id)
             if existing is not None and existing.state not in (J.FAILED, J.CANCELLED):
@@ -415,6 +425,7 @@ class Daemon:
             "label": point.label,
             "cached": point.cached,
             "wall_time": point.wall_time,
+            "timings": point.timings or {},
         }
         if point.status == J.OK:
             value = self.cache.get(point.key)
@@ -494,6 +505,7 @@ class Daemon:
                 "chunk_id": chunk.chunk_id,
                 "payloads": [job.points[i].payload for i in chunk.indices],
                 "lease_seconds": self.lease_seconds,
+                "trace": job.trace,
             }
 
     def _op_heartbeat(self, request: dict) -> dict:
@@ -506,6 +518,7 @@ class Daemon:
                 # Cancelled, reaped, or claimed by someone else: stop working.
                 return {"cancelled": True}
             lease.deadline = time.time() + self.lease_seconds
+            metrics.incr("service.lease_renewals")
             return {"cancelled": False}
 
     def _op_complete(self, request: dict) -> dict:
@@ -551,6 +564,7 @@ class Daemon:
                     "utilization": busy / total_workers if total_workers else 0.0,
                     "local": self.local_workers,
                 },
+                "phases": dict(self._phase_totals),
             }
         cache_stats = self.cache.stats()  # filesystem scan: outside the lock
         stats["cache"] = {
@@ -560,6 +574,7 @@ class Daemon:
             "hits": cache_stats["hits"],
             "misses": cache_stats["misses"],
         }
+        stats["metrics"] = metrics.snapshot()
         return stats
 
     def _op_shutdown(self, request: dict) -> dict:
@@ -669,6 +684,16 @@ class Daemon:
                         "traceback": "",
                     }
                 point.wall_time = float(outcome.get("wall_time", 0.0))
+                timings = outcome.get("timings")
+                if isinstance(timings, dict) and timings:
+                    point.timings = {
+                        str(phase): float(seconds)
+                        for phase, seconds in timings.items()
+                    }
+                    for phase, seconds in point.timings.items():
+                        self._phase_totals[phase] = (
+                            self._phase_totals.get(phase, 0.0) + seconds
+                        )
                 applied += 1
                 self._points_executed += 1
                 if info is not None:
@@ -710,6 +735,7 @@ class Daemon:
                     continue
             with self._lock:
                 job = self._jobs.get(chunk.job_id)
+                trace = None if job is None else job.trace
                 payloads = (
                     None
                     if job is None or job.terminal or self._stop.is_set()
@@ -721,17 +747,20 @@ class Daemon:
                 # vectorized batch; cancellation is re-checked between
                 # groups, and because groups are consecutive index ranges
                 # the outcomes stay a prefix of ``chunk.indices`` order.
-                for group in group_payloads(payloads):
-                    with self._lock:
-                        job = self._jobs.get(chunk.job_id)
-                        cancelled = (
-                            job is None or job.terminal or self._stop.is_set()
+                with trace_context(trace), span(
+                    "service.chunk", worker=worker_id, points=len(payloads)
+                ):
+                    for group in group_payloads(payloads):
+                        with self._lock:
+                            job = self._jobs.get(chunk.job_id)
+                            cancelled = (
+                                job is None or job.terminal or self._stop.is_set()
+                            )
+                        if cancelled:
+                            break  # abandon the chunk's tail
+                        outcomes.extend(
+                            execute_spec_batch([payloads[i] for i in group])
                         )
-                    if cancelled:
-                        break  # abandon the chunk's tail
-                    outcomes.extend(
-                        execute_spec_batch([payloads[i] for i in group])
-                    )
             self._complete(worker_id, chunk.chunk_id, outcomes)
 
     def _reaper_loop(self) -> None:
@@ -747,6 +776,13 @@ class Daemon:
                 ]
                 for chunk_id in expired:
                     lease = self._leases.pop(chunk_id)
+                    logger.warning(
+                        "lease on chunk %s expired (worker %s went silent); "
+                        "re-queueing its pending points",
+                        chunk_id,
+                        lease.worker_id,
+                    )
+                    metrics.incr("service.lease_losses")
                     info = self._workers.get(lease.worker_id)
                     if info is not None:
                         info.lost_leases += 1

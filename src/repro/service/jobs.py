@@ -18,6 +18,7 @@ from these files on restart and re-queues whatever had not finished.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass, field
@@ -26,6 +27,8 @@ from pathlib import Path
 from repro.exceptions import SpecError
 from repro.service.protocol import ServiceError
 from repro.utils.serialization import content_hash
+
+logger = logging.getLogger("repro.service.jobs")
 
 # Job states.
 QUEUED = "queued"
@@ -58,6 +61,7 @@ class Point:
     error: "dict | None" = None
     wall_time: float = 0.0
     cached: bool = False
+    timings: "dict | None" = None  # per-phase seconds from the executing worker
 
     def to_dict(self) -> dict:
         return {
@@ -69,6 +73,7 @@ class Point:
             "error": self.error,
             "wall_time": self.wall_time,
             "cached": self.cached,
+            "timings": self.timings,
         }
 
     @classmethod
@@ -82,6 +87,7 @@ class Point:
             error=payload.get("error"),
             wall_time=payload.get("wall_time", 0.0),
             cached=payload.get("cached", False),
+            timings=payload.get("timings"),
         )
 
 
@@ -100,6 +106,10 @@ class Job:
     started: "float | None" = None
     finished: "float | None" = None
     error: "dict | None" = None  # job-level failure (spec expansion, recovery)
+    #: The submitting client's span context ({"trace_id", "span_id"}), handed
+    #: to every worker claiming this job's chunks so their spans join the
+    #: client's trace.  ``None`` when the client was not tracing.
+    trace: "dict | None" = None
 
     # ----------------------------------------------------------------- queries
 
@@ -160,6 +170,7 @@ class Job:
             "started": self.started,
             "finished": self.finished,
             "error": self.error,
+            "trace": self.trace,
             "points": [point.to_dict() for point in self.points],
         }
 
@@ -180,6 +191,7 @@ class Job:
             started=payload.get("started"),
             finished=payload.get("finished"),
             error=payload.get("error"),
+            trace=payload.get("trace"),
         )
 
 
@@ -307,6 +319,11 @@ class JobStore:
                 jobs.append(Job.from_dict(json.loads(path.read_text())))
             except (json.JSONDecodeError, KeyError, ServiceError):
                 # A torn write from a crashed daemon: quarantine, don't crash.
+                logger.warning(
+                    "quarantining corrupt job state file %s as %s",
+                    path.name,
+                    path.with_suffix(".json.corrupt").name,
+                )
                 path.rename(path.with_suffix(".json.corrupt"))
         return sorted(jobs, key=lambda job: job.created)
 

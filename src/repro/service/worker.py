@@ -30,6 +30,7 @@ from repro.service.protocol import (
     outcome_to_wire,
     request,
 )
+from repro.telemetry import span, trace_context
 
 
 def default_worker_id() -> str:
@@ -84,23 +85,29 @@ def run_worker(
         payloads = claim["payloads"]
         outcomes = []
         abandoned = False
-        for number, group in enumerate(group_payloads(payloads)):
-            if number:
-                # Renew the lease and learn about cancellation between groups.
-                try:
-                    beat = request(
-                        socket_path,
-                        "heartbeat",
-                        worker=worker_id,
-                        chunk_id=claim["chunk_id"],
-                    )
-                except ServiceConnectionError:
-                    return 0
-                if beat.get("cancelled"):
-                    abandoned = True
-                    break
-            batch = execute_spec_batch([payloads[i] for i in group])
-            outcomes.extend(outcome_to_wire(outcome) for outcome in batch)
+        # The claim carries the submitting client's span context, so this
+        # worker's spans land in the client's trace even across machines.
+        with trace_context(claim.get("trace")), span(
+            "service.chunk", worker=worker_id, points=len(payloads)
+        ):
+            for number, group in enumerate(group_payloads(payloads)):
+                if number:
+                    # Renew the lease and learn about cancellation between
+                    # groups.
+                    try:
+                        beat = request(
+                            socket_path,
+                            "heartbeat",
+                            worker=worker_id,
+                            chunk_id=claim["chunk_id"],
+                        )
+                    except ServiceConnectionError:
+                        return 0
+                    if beat.get("cancelled"):
+                        abandoned = True
+                        break
+                batch = execute_spec_batch([payloads[i] for i in group])
+                outcomes.extend(outcome_to_wire(outcome) for outcome in batch)
         if not abandoned:
             try:
                 request(

@@ -1,0 +1,46 @@
+"""repro.telemetry — span tracing, metrics, and logging for the whole stack.
+
+Three small, zero-dependency pieces:
+
+* :mod:`repro.telemetry.spans` — ``with span("execute.evolve"): ...`` tracing
+  with parent links and cross-process propagation, off by default
+  (``REPRO_TRACE=1`` to enable), writing JSONL trace files per process;
+* :mod:`repro.telemetry.metrics` — always-on counters/gauges/histograms
+  (cache hits, shm bytes, fusion ratio, lease churn) with :func:`snapshot`;
+* :mod:`repro.telemetry.logs` — the ``repro.*`` logger hierarchy and the
+  ``REPRO_LOG``-driven :func:`configure_logging` for entry points.
+
+``python -m repro.telemetry report <dir>`` renders merged traces; see
+:mod:`repro.telemetry.report`.
+"""
+
+from repro.telemetry import metrics
+from repro.telemetry.logs import configure_logging, log_level
+from repro.telemetry.spans import (
+    TRACE_DIR_ENV,
+    TRACE_ENV,
+    TraceWriter,
+    configure,
+    current_trace_context,
+    reset,
+    span,
+    trace_context,
+    trace_dir,
+    tracing_enabled,
+)
+
+__all__ = [
+    "TRACE_DIR_ENV",
+    "TRACE_ENV",
+    "TraceWriter",
+    "configure",
+    "configure_logging",
+    "current_trace_context",
+    "log_level",
+    "metrics",
+    "reset",
+    "span",
+    "trace_context",
+    "trace_dir",
+    "tracing_enabled",
+]

@@ -1,0 +1,86 @@
+"""``python -m repro.telemetry`` — render and validate trace directories.
+
+Subcommands:
+
+``report <dir>``
+    Merge every ``trace-*.jsonl`` in ``dir`` and print the per-phase
+    breakdown, per-span percentiles, and per-worker utilization.  With
+    ``--flame`` print folded stacks for flamegraph tooling instead; with
+    ``--json`` dump the breakdown machine-readably.
+
+``validate <dir>``
+    Check every span record against the packaged ``trace_schema.json``;
+    exit non-zero naming the first offending record otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.telemetry import logs, report, schema
+
+
+def _cmd_report(args) -> int:
+    spans = report.load_trace_dir(args.directory)
+    if args.flame:
+        for line in report.flame_stacks(spans):
+            print(line)
+        return 0
+    if args.json:
+        breakdown = report.phase_breakdown(spans)
+        breakdown["workers"] = {
+            str(pid): stats
+            for pid, stats in report.worker_utilization(spans).items()
+        }
+        print(json.dumps(breakdown, indent=2, sort_keys=True))
+        return 0
+    print(report.render_report(spans), end="")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    spans = report.load_trace_dir(args.directory)
+    try:
+        count = schema.validate_spans(spans)
+    except schema.SchemaError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    print(f"{count} spans valid")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry",
+        description="Inspect repro trace directories.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report_parser = sub.add_parser("report", help="render a per-phase breakdown")
+    report_parser.add_argument("directory", help="directory of trace-*.jsonl files")
+    report_parser.add_argument(
+        "--flame", action="store_true", help="emit folded flamegraph stacks"
+    )
+    report_parser.add_argument(
+        "--json", action="store_true", help="emit the breakdown as JSON"
+    )
+    report_parser.set_defaults(fn=_cmd_report)
+
+    validate_parser = sub.add_parser(
+        "validate", help="check spans against the packaged schema"
+    )
+    validate_parser.add_argument("directory", help="directory of trace-*.jsonl files")
+    validate_parser.set_defaults(fn=_cmd_validate)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    logs.configure_logging()
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,244 @@
+"""Merge per-process trace files into per-phase breakdowns and flame stacks.
+
+The writer side (:mod:`repro.telemetry.spans`) leaves one JSONL file per
+process in the trace directory.  This module reads them back:
+
+* :func:`load_trace_dir` — merge every ``trace-*.jsonl``, tolerating the one
+  torn final line a SIGKILLed worker can leave behind;
+* :func:`phase_breakdown` — bucket spans into the pipeline phases (compile /
+  plan / evolve / encode / transport / cache) using **exclusive** time: a
+  span's self-time is its wall minus its children's wall, so a parent like
+  ``execute.point`` never double-counts the ``compile.build`` nested inside
+  it, and the phase totals sum back to the root spans' wall time;
+* :func:`worker_utilization` — per-pid busy-fraction over the trace window;
+* :func:`flame_stacks` — folded ``a;b;c <microseconds>`` lines for
+  ``flamegraph.pl`` and friends;
+* :func:`render_report` — the text tables behind
+  ``python -m repro.telemetry report``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: span-name prefix → report phase.  Longest prefix wins; unknown names
+#: fall into "other" so new spans degrade gracefully instead of vanishing.
+PHASE_PREFIXES = (
+    ("compile.plan", "plan"),
+    ("compile.", "compile"),
+    ("execute.compile", "compile"),
+    ("execute.evolve", "evolve"),
+    ("execute.encode", "encode"),
+    ("transport.", "transport"),
+    ("cache.", "cache"),
+)
+
+PHASE_ORDER = ("compile", "plan", "evolve", "encode", "transport", "cache", "other")
+
+
+def phase_of(name: str) -> str:
+    for prefix, phase in PHASE_PREFIXES:
+        if name == prefix or name.startswith(prefix):
+            return phase
+    return "other"
+
+
+def load_trace_file(path: "str | Path") -> "list[dict]":
+    """Parse one JSONL trace file, skipping a torn (crash-truncated) tail.
+
+    A torn line anywhere *before* the end means the file is corrupt in a way
+    a clean SIGKILL cannot produce, so that raises; only the final line may
+    fail to parse silently.
+    """
+    raw = Path(path).read_bytes()
+    spans: "list[dict]" = []
+    lines = raw.split(b"\n")
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index >= len(lines) - 2:  # torn final write — expected on crash
+                break
+            raise
+        spans.append(record)
+    return spans
+
+
+def load_trace_dir(directory: "str | Path") -> "list[dict]":
+    """Merge every ``trace-*.jsonl`` under ``directory`` into one span list."""
+    directory = Path(directory)
+    spans: "list[dict]" = []
+    for path in sorted(directory.glob("trace-*.jsonl")):
+        spans.extend(load_trace_file(path))
+    return spans
+
+
+def self_times(spans: "list[dict]") -> "dict[str, float]":
+    """Exclusive wall time per span id: wall minus the children's wall, ≥0."""
+    children_wall: "dict[str, float]" = {}
+    for record in spans:
+        parent = record.get("parent_id")
+        if parent:
+            children_wall[parent] = children_wall.get(parent, 0.0) + float(
+                record.get("wall", 0.0)
+            )
+    exclusive: "dict[str, float]" = {}
+    for record in spans:
+        span_id = record.get("span_id", "")
+        wall = float(record.get("wall", 0.0))
+        exclusive[span_id] = max(0.0, wall - children_wall.get(span_id, 0.0))
+    return exclusive
+
+
+def phase_breakdown(spans: "list[dict]") -> dict:
+    """Per-phase and per-span-name totals over exclusive time.
+
+    Returns ``{"phases": {phase: {"seconds", "count"}}, "names": {name:
+    {"count", "total", "p50", "p95"}}, "total_seconds": ...}`` where
+    ``total_seconds`` is the sum over all exclusive times — equal, by
+    construction, to the summed wall time of the root spans.
+    """
+    exclusive = self_times(spans)
+    phases: "dict[str, dict]" = {}
+    by_name: "dict[str, list[float]]" = {}
+    for record in spans:
+        seconds = exclusive.get(record.get("span_id", ""), 0.0)
+        phase = phase_of(record.get("name", ""))
+        bucket = phases.setdefault(phase, {"seconds": 0.0, "count": 0})
+        bucket["seconds"] += seconds
+        bucket["count"] += 1
+        by_name.setdefault(record.get("name", ""), []).append(
+            float(record.get("wall", 0.0))
+        )
+    names = {}
+    for name, walls in by_name.items():
+        ordered = sorted(walls)
+        names[name] = {
+            "count": len(ordered),
+            "total": sum(ordered),
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+        }
+    return {
+        "phases": phases,
+        "names": names,
+        "total_seconds": sum(exclusive.values()),
+    }
+
+
+def _percentile(ordered: "list[float]", q: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def worker_utilization(spans: "list[dict]") -> "dict[int, dict]":
+    """Busy fraction per pid over the whole trace window.
+
+    A pid's *busy* time is the summed wall of its top-level spans (spans
+    whose parent is absent or lives in another process); the *window* is
+    the earliest start to the latest end across all spans, so idle workers
+    show up as low utilization rather than disappearing.
+    """
+    if not spans:
+        return {}
+    window_start = min(float(s.get("start", 0.0)) for s in spans)
+    window_end = max(
+        float(s.get("start", 0.0)) + float(s.get("wall", 0.0)) for s in spans
+    )
+    window = max(window_end - window_start, 1e-9)
+    by_pid: "dict[int, list[dict]]" = {}
+    for record in spans:
+        by_pid.setdefault(int(record.get("pid", 0)), []).append(record)
+    utilization = {}
+    for pid, records in by_pid.items():
+        local_ids = {r.get("span_id") for r in records}
+        busy = sum(
+            float(r.get("wall", 0.0))
+            for r in records
+            if not r.get("parent_id") or r.get("parent_id") not in local_ids
+        )
+        utilization[pid] = {
+            "busy_seconds": busy,
+            "window_seconds": window,
+            "utilization": min(1.0, busy / window),
+            "spans": len(records),
+        }
+    return utilization
+
+
+def flame_stacks(spans: "list[dict]") -> "list[str]":
+    """Folded stacks (``root;child;leaf <µs>``) over exclusive time.
+
+    Feed the output straight into ``flamegraph.pl`` or speedscope's
+    "folded" importer.  Spans whose parents are missing (e.g. the parent's
+    record was the torn final line) root their own stack.
+    """
+    by_id = {r.get("span_id"): r for r in spans if r.get("span_id")}
+    exclusive = self_times(spans)
+    folded: "dict[str, int]" = {}
+    for record in spans:
+        names = [record.get("name", "?")]
+        seen = {record.get("span_id")}
+        parent = record.get("parent_id")
+        while parent and parent in by_id and parent not in seen:
+            seen.add(parent)
+            names.append(by_id[parent].get("name", "?"))
+            parent = by_id[parent].get("parent_id")
+        stack = ";".join(reversed(names))
+        micros = int(exclusive.get(record.get("span_id", ""), 0.0) * 1e6)
+        if micros > 0:
+            folded[stack] = folded.get(stack, 0) + micros
+    return [f"{stack} {value}" for stack, value in sorted(folded.items())]
+
+
+def render_report(spans: "list[dict]") -> str:
+    """The human-readable report: phase table, span table, worker table."""
+    if not spans:
+        return "no spans found\n"
+    breakdown = phase_breakdown(spans)
+    total = breakdown["total_seconds"] or 1e-12
+    lines = [f"{len(spans)} spans, {total:.3f} s total (exclusive)", ""]
+
+    lines.append(f"{'phase':<12} {'seconds':>10} {'share':>7} {'spans':>7}")
+    lines.append("-" * 40)
+    for phase in PHASE_ORDER:
+        bucket = breakdown["phases"].get(phase)
+        if not bucket:
+            continue
+        lines.append(
+            f"{phase:<12} {bucket['seconds']:>10.4f}"
+            f" {bucket['seconds'] / total:>6.1%} {bucket['count']:>7d}"
+        )
+    lines.append("")
+
+    lines.append(
+        f"{'span':<24} {'count':>6} {'total':>10} {'p50':>9} {'p95':>9}"
+    )
+    lines.append("-" * 62)
+    for name in sorted(
+        breakdown["names"], key=lambda n: -breakdown["names"][n]["total"]
+    ):
+        stats = breakdown["names"][name]
+        lines.append(
+            f"{name:<24.24} {stats['count']:>6d} {stats['total']:>10.4f}"
+            f" {stats['p50']:>9.4f} {stats['p95']:>9.4f}"
+        )
+    lines.append("")
+
+    utilization = worker_utilization(spans)
+    lines.append(f"{'pid':<10} {'busy':>10} {'window':>10} {'util':>7} {'spans':>7}")
+    lines.append("-" * 48)
+    for pid in sorted(utilization):
+        stats = utilization[pid]
+        lines.append(
+            f"{pid:<10d} {stats['busy_seconds']:>10.4f}"
+            f" {stats['window_seconds']:>10.4f}"
+            f" {stats['utilization']:>6.1%} {stats['spans']:>7d}"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Validate trace records against the checked-in JSON Schema.
+
+``trace_schema.json`` (packaged next to this module) pins the wire format of
+one trace line; CI validates every span a traced sweep emits against it, so
+a writer-side drift fails loudly instead of silently breaking downstream
+tooling.  The validator is a deliberately small in-house subset of JSON
+Schema draft-07 — the repo takes no dependency on ``jsonschema`` — covering
+exactly what the trace schema uses: ``type`` (including type lists),
+``required``, ``properties``, ``additionalProperties: false``, ``items``,
+``enum``, ``minimum``, and ``minLength``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).parent / "trace_schema.json"
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class SchemaError(ValueError):
+    """A value failed schema validation; ``str(err)`` names the path."""
+
+
+def load_schema() -> dict:
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+def validate(value, schema: "dict | None" = None, path: str = "$") -> None:
+    """Raise :class:`SchemaError` unless ``value`` conforms to ``schema``."""
+    if schema is None:
+        schema = load_schema()
+
+    expected = schema.get("type")
+    if expected is not None:
+        kinds = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[k](value) for k in kinds):
+            raise SchemaError(
+                f"{path}: expected {'/'.join(kinds)},"
+                f" got {type(value).__name__}"
+            )
+
+    if "enum" in schema and value not in schema["enum"]:
+        raise SchemaError(f"{path}: {value!r} not in {schema['enum']!r}")
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and value < minimum:
+            raise SchemaError(f"{path}: {value!r} below minimum {minimum!r}")
+
+    if isinstance(value, str):
+        min_length = schema.get("minLength")
+        if min_length is not None and len(value) < min_length:
+            raise SchemaError(f"{path}: shorter than minLength {min_length}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            extras = set(value) - set(properties)
+            if extras:
+                raise SchemaError(f"{path}: unexpected keys {sorted(extras)!r}")
+        for key, subschema in properties.items():
+            if key in value:
+                validate(value[key], subschema, f"{path}.{key}")
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{index}]")
+
+
+def validate_spans(spans: "list[dict]") -> int:
+    """Validate each span record; returns the count on success."""
+    schema = load_schema()
+    for index, record in enumerate(spans):
+        validate(record, schema, path=f"$[{index}]")
+    return len(spans)

@@ -369,3 +369,78 @@ class TestWorkerHygiene:
     def test_pool_workers_pin_blas_threads(self):
         values = ProcessExecutor(2, chunk_size=1).map(_read_blas_env, [0, 1, 2])
         assert values == ["1", "1", "1"]
+
+
+# ---------------------------------------------------------------------------
+# Per-point progress plumbing
+# ---------------------------------------------------------------------------
+
+
+def _slow_square(x):
+    import time
+
+    time.sleep(0.1)
+    return x * x
+
+
+class _RecordingQueue:
+    def __init__(self):
+        self.counts = []
+
+    def put_nowait(self, count):
+        self.counts.append(count)
+
+
+class _BrokenQueue:
+    def put_nowait(self, count):
+        raise RuntimeError("manager went away")
+
+
+class TestPerPointProgress:
+    def test_run_chunk_counts_each_item(self):
+        from repro.runtime.executor import _run_chunk
+
+        queue = _RecordingQueue()
+        assert _run_chunk(_square, [1, 2, 3], queue) == [1, 4, 9]
+        assert queue.counts == [1, 1, 1]
+
+    def test_run_chunk_survives_a_broken_queue(self):
+        from repro.runtime.executor import _run_chunk
+
+        assert _run_chunk(_square, [1, 2], _BrokenQueue()) == [1, 4]
+
+    def test_run_spec_chunk_counts_group_sizes(self):
+        from repro.runtime.executor import _run_spec_chunk
+
+        groups = [
+            [
+                RunSpec(
+                    problem=problem(), backend="sampling",
+                    run_kwargs={"shots": 32, "rng": index},
+                ).to_dict(canonical=True)
+                for index in range(size)
+            ]
+            for size in (2, 1)
+        ]
+        queue = _RecordingQueue()
+        outcome_groups = _run_spec_chunk(groups, None, queue)
+        assert [len(g) for g in outcome_groups] == [2, 1]
+        assert queue.counts == [2, 1]
+
+    def test_pool_reports_mid_chunk_progress(self):
+        # Two 4-item chunks of ~0.1 s items: chunk-granular reporting would
+        # produce at most 3 callbacks, per-point counts produce more.
+        seen = []
+        ProcessExecutor(2, chunk_size=4).map(
+            _slow_square, range(8), progress=lambda d, t: seen.append((d, t))
+        )
+        assert seen[-1] == (8, 8)
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+        assert len(seen) >= 4
+
+    def test_no_progress_callback_skips_the_manager(self):
+        executor = ProcessExecutor(2)
+        manager, queue, drain = executor._progress_channel(None, 10)
+        assert manager is None and queue is None
+        drain(final=True)  # the no-op drain must be callable
+

@@ -109,7 +109,7 @@ class TestReaper:
         shm.reap_prefix(live)
 
 
-def _export_and_die(groups):
+def _export_and_die(groups, trace=None, progress_queue=None):
     """Worker body for the SIGKILL test: leak a segment, then die."""
     shm.export_outcome(
         {

@@ -1,0 +1,33 @@
+"""Fixtures for the telemetry suite: isolated tracing state per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry(monkeypatch):
+    """Every test starts env-driven, disabled, with empty metric registries."""
+    monkeypatch.delenv(telemetry.TRACE_ENV, raising=False)
+    monkeypatch.delenv(telemetry.TRACE_DIR_ENV, raising=False)
+    telemetry.reset()
+    metrics.reset()
+    yield
+    telemetry.reset()
+    metrics.reset()
+
+
+@pytest.fixture
+def traced(tmp_path, monkeypatch):
+    """Enable tracing into the test's tmp dir.
+
+    Set through the environment (not :func:`telemetry.configure`) so forked
+    pool workers and subprocesses inherit it; returns the trace directory.
+    """
+    trace_dir = tmp_path / "traces"
+    monkeypatch.setenv(telemetry.TRACE_ENV, "1")
+    monkeypatch.setenv(telemetry.TRACE_DIR_ENV, str(trace_dir))
+    return trace_dir

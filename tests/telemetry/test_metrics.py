@@ -1,0 +1,61 @@
+"""The metrics registry: counters, gauges, histogram reservoirs, snapshots."""
+
+from __future__ import annotations
+
+from repro.telemetry import metrics
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        metrics.incr("cache.hits")
+        metrics.incr("cache.hits", 4)
+        assert metrics.snapshot()["counters"]["cache.hits"] == 5
+
+    def test_counters_are_independent(self):
+        metrics.incr("a")
+        metrics.incr("b", 2)
+        counters = metrics.snapshot()["counters"]
+        assert counters == {"a": 1, "b": 2}
+
+
+class TestGauges:
+    def test_gauge_keeps_the_latest_value(self):
+        metrics.gauge("queue.depth", 10)
+        metrics.gauge("queue.depth", 3)
+        assert metrics.snapshot()["gauges"]["queue.depth"] == 3
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        for value in range(1, 101):
+            metrics.observe("latency", value)
+        stats = metrics.snapshot()["histograms"]["latency"]
+        assert stats["count"] == 100
+        assert stats["min"] == 1.0 and stats["max"] == 100.0
+        assert stats["mean"] == 50.5
+        assert 49 <= stats["p50"] <= 52
+        assert 94 <= stats["p95"] <= 97
+
+    def test_reservoir_keeps_only_the_recent_window(self):
+        for value in range(metrics.HISTOGRAM_WINDOW + 50):
+            metrics.observe("window", value)
+        stats = metrics.snapshot()["histograms"]["window"]
+        assert stats["count"] == metrics.HISTOGRAM_WINDOW
+        assert stats["min"] == 50.0  # the oldest 50 observations rolled off
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_a_copy(self):
+        metrics.incr("x")
+        snap = metrics.snapshot()
+        snap["counters"]["x"] = 999
+        assert metrics.snapshot()["counters"]["x"] == 1
+
+    def test_reset_clears_everything(self):
+        metrics.incr("x")
+        metrics.gauge("y", 1)
+        metrics.observe("z", 1)
+        metrics.reset()
+        assert metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }

@@ -1,0 +1,216 @@
+"""Report pipeline: loading, exclusive times, phases, flames, schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.report import (
+    flame_stacks,
+    load_trace_dir,
+    load_trace_file,
+    phase_breakdown,
+    phase_of,
+    render_report,
+    self_times,
+    worker_utilization,
+)
+from repro.telemetry.schema import SchemaError, load_schema, validate, validate_spans
+
+
+def make_span(name, span_id, *, parent=None, wall=0.1, cpu=None, pid=100,
+              start=1000.0, trace="t" * 32, **extra):
+    record = {
+        "trace_id": trace,
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "pid": pid,
+        "start": start,
+        "wall": wall,
+        "cpu": wall if cpu is None else cpu,
+    }
+    record.update(extra)
+    return record
+
+
+@pytest.fixture
+def tree():
+    """root(1.0s) -> compile.build(0.4s), execute.evolve(0.5s)."""
+    return [
+        make_span("execute.point", "root", wall=1.0),
+        make_span("compile.build", "build", parent="root", wall=0.4, start=1000.1),
+        make_span("execute.evolve", "evolve", parent="root", wall=0.5, start=1000.5),
+    ]
+
+
+class TestPhaseMapping:
+    @pytest.mark.parametrize(
+        "name,phase",
+        [
+            ("compile.plan", "plan"),
+            ("compile.build", "compile"),
+            ("compile.fuse", "compile"),
+            ("execute.compile", "compile"),
+            ("execute.evolve", "evolve"),
+            ("execute.encode", "encode"),
+            ("transport.export", "transport"),
+            ("cache.get", "cache"),
+            ("execute.point", "other"),
+            ("session.execute", "other"),
+            ("never.heard.of.it", "other"),
+        ],
+    )
+    def test_prefix_table(self, name, phase):
+        assert phase_of(name) == phase
+
+
+class TestExclusiveTimes:
+    def test_parent_self_time_excludes_children(self, tree):
+        exclusive = self_times(tree)
+        assert exclusive["root"] == pytest.approx(0.1)
+        assert exclusive["build"] == pytest.approx(0.4)
+        assert exclusive["evolve"] == pytest.approx(0.5)
+
+    def test_self_time_clamps_at_zero(self):
+        spans = [
+            make_span("a", "a", wall=0.1),
+            make_span("b", "b", parent="a", wall=0.3),  # overlapping clocks
+        ]
+        assert self_times(spans)["a"] == 0.0
+
+    def test_breakdown_totals_equal_root_wall(self, tree):
+        breakdown = phase_breakdown(tree)
+        assert breakdown["total_seconds"] == pytest.approx(1.0)
+        phases = breakdown["phases"]
+        assert phases["compile"]["seconds"] == pytest.approx(0.4)
+        assert phases["evolve"]["seconds"] == pytest.approx(0.5)
+        assert phases["other"]["seconds"] == pytest.approx(0.1)
+
+    def test_per_name_percentiles_use_inclusive_wall(self, tree):
+        names = phase_breakdown(tree)["names"]
+        assert names["execute.point"]["total"] == pytest.approx(1.0)
+        assert names["execute.point"]["p50"] == pytest.approx(1.0)
+
+
+class TestLoading:
+    def test_round_trip(self, tmp_path, tree):
+        path = tmp_path / "trace-100-abcd.jsonl"
+        path.write_text("".join(json.dumps(s) + "\n" for s in tree))
+        assert load_trace_file(path) == tree
+
+    def test_torn_final_line_is_skipped(self, tmp_path, tree):
+        path = tmp_path / "trace-100-abcd.jsonl"
+        body = "".join(json.dumps(s) + "\n" for s in tree)
+        path.write_text(body + '{"trace_id": "x", "span')  # SIGKILL mid-write
+        assert len(load_trace_file(path)) == len(tree)
+
+    def test_corruption_before_the_tail_raises(self, tmp_path, tree):
+        path = tmp_path / "trace-100-abcd.jsonl"
+        lines = [json.dumps(s) for s in tree]
+        lines.insert(1, '{"broken')  # corruption in the middle, not the tail
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            load_trace_file(path)
+
+    def test_dir_merge_only_reads_trace_files(self, tmp_path, tree):
+        (tmp_path / "trace-1-aa.jsonl").write_text(json.dumps(tree[0]) + "\n")
+        (tmp_path / "trace-2-bb.jsonl").write_text(json.dumps(tree[1]) + "\n")
+        (tmp_path / "notes.txt").write_text("not a trace")
+        assert len(load_trace_dir(tmp_path)) == 2
+
+
+class TestWorkerUtilization:
+    def test_per_pid_busy_fraction(self):
+        spans = [
+            make_span("pool.map_specs", "root", pid=1, wall=1.0, start=0.0),
+            # worker 2: busy for its whole residency, parented across pids
+            make_span("execute.point", "w2", pid=2, parent="root",
+                      wall=0.5, start=0.0),
+        ]
+        util = worker_utilization(spans)
+        assert util[1]["utilization"] == pytest.approx(1.0)
+        assert util[2]["busy_seconds"] == pytest.approx(0.5)
+        assert util[2]["utilization"] == pytest.approx(0.5)
+
+    def test_local_children_do_not_double_count(self):
+        spans = [
+            make_span("execute.point", "a", pid=1, wall=1.0, start=0.0),
+            make_span("execute.evolve", "b", pid=1, parent="a",
+                      wall=0.9, start=0.05),
+        ]
+        assert worker_utilization(spans)[1]["busy_seconds"] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert worker_utilization([]) == {}
+
+
+class TestFlameStacks:
+    def test_folded_lines_walk_to_the_root(self, tree):
+        folded = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in flame_stacks(tree)
+        )
+        assert folded["execute.point;compile.build"] == pytest.approx(400000, abs=1)
+        assert folded["execute.point;execute.evolve"] == pytest.approx(500000, abs=1)
+        assert folded["execute.point"] == pytest.approx(100000, abs=1)
+
+    def test_missing_parent_roots_the_stack(self):
+        spans = [make_span("execute.point", "orphan", parent="gone", wall=0.2)]
+        assert flame_stacks(spans) == ["execute.point 200000"]
+
+    def test_zero_width_spans_are_dropped(self):
+        spans = [make_span("a", "a", wall=0.0)]
+        assert flame_stacks(spans) == []
+
+
+class TestRenderReport:
+    def test_tables_render(self, tree):
+        text = render_report(tree)
+        assert "3 spans" in text
+        assert "compile" in text and "evolve" in text
+        assert "execute.point" in text
+        assert "pid" in text
+
+    def test_empty(self):
+        assert "no spans" in render_report([])
+
+
+class TestSchema:
+    def test_real_records_validate(self, tree):
+        assert validate_spans(tree) == 3
+
+    def test_span_with_error_and_attrs_validates(self):
+        record = make_span("execute.point", "x", error=True,
+                           attrs={"backend": "kernel", "ok": True})
+        assert validate_spans([record]) == 1
+
+    def test_missing_required_field_fails(self, tree):
+        record = dict(tree[0])
+        del record["wall"]
+        with pytest.raises(SchemaError, match="wall"):
+            validate_spans([record])
+
+    def test_wrong_type_fails(self, tree):
+        record = dict(tree[0])
+        record["pid"] = "not-a-pid"
+        with pytest.raises(SchemaError, match="pid"):
+            validate_spans([record])
+
+    def test_unknown_property_fails(self, tree):
+        record = dict(tree[0])
+        record["surprise"] = 1
+        with pytest.raises(SchemaError, match="surprise"):
+            validate_spans([record])
+
+    def test_bool_is_not_an_integer(self):
+        schema = {"type": "integer"}
+        validate(3, schema)
+        with pytest.raises(SchemaError):
+            validate(True, schema)
+
+    def test_schema_file_is_packaged(self):
+        schema = load_schema()
+        assert schema["type"] == "object"
+        assert "trace_id" in schema["required"]

@@ -1,0 +1,142 @@
+"""Span tracer: no-op gate, nesting, attrs, writer and context propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import spans as spans_module
+from repro.telemetry.report import load_trace_dir, load_trace_file
+
+
+class TestDisabledPath:
+    def test_span_is_the_shared_null_singleton(self):
+        first = telemetry.span("execute.point")
+        second = telemetry.span("execute.evolve", backend="kernel")
+        assert first is second is spans_module._NULL_SPAN
+        with first as sp:
+            assert sp.set(late=1) is sp  # attrs are dropped, not stored
+
+    def test_no_trace_files_written(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(telemetry.TRACE_DIR_ENV, str(tmp_path))
+        with telemetry.span("execute.point"):
+            pass
+        assert list(tmp_path.glob("trace-*.jsonl")) == []
+
+    def test_current_trace_context_is_none(self):
+        assert telemetry.current_trace_context() is None
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [("1", True), ("true", True), ("ON", True), ("yes", True),
+         ("0", False), ("", False), ("off", False)],
+    )
+    def test_env_truthiness(self, monkeypatch, value, expected):
+        monkeypatch.setenv(telemetry.TRACE_ENV, value)
+        assert telemetry.tracing_enabled() is expected
+
+
+class TestEnabledPath:
+    def test_nested_spans_share_trace_and_link_parents(self, traced):
+        with telemetry.span("session.execute"):
+            with telemetry.span("execute.point", backend="statevector"):
+                pass
+        records = load_trace_dir(traced)
+        assert len(records) == 2
+        by_name = {r["name"]: r for r in records}
+        root, child = by_name["session.execute"], by_name["execute.point"]
+        assert root["parent_id"] is None
+        assert child["parent_id"] == root["span_id"]
+        assert child["trace_id"] == root["trace_id"]
+        assert child["wall"] >= 0.0 and child["cpu"] >= 0.0
+        assert root["wall"] >= child["wall"]
+        assert child["attrs"] == {"backend": "statevector"}
+
+    def test_exception_marks_the_span_as_error(self, traced):
+        with pytest.raises(ValueError):
+            with telemetry.span("execute.point"):
+                raise ValueError("boom")
+        (record,) = load_trace_dir(traced)
+        assert record["error"] is True
+
+    def test_set_attaches_attrs_mid_span(self, traced):
+        with telemetry.span("cache.get") as sp:
+            sp.set(hit=True, entries=3)
+        (record,) = load_trace_dir(traced)
+        assert record["attrs"] == {"hit": True, "entries": 3}
+
+    def test_non_json_attrs_are_stringified(self, traced):
+        class Odd:
+            def __str__(self):
+                return "odd-thing"
+
+        with telemetry.span("execute.point", what=Odd()):
+            pass
+        (record,) = load_trace_dir(traced)
+        assert record["attrs"]["what"] == "odd-thing"
+
+    def test_one_file_per_process_one_line_per_span(self, traced):
+        for _ in range(5):
+            with telemetry.span("execute.point"):
+                pass
+        files = list(traced.glob("trace-*.jsonl"))
+        assert len(files) == 1
+        assert len(load_trace_file(files[0])) == 5
+
+    def test_sibling_spans_get_distinct_ids(self, traced):
+        with telemetry.span("session.execute"):
+            with telemetry.span("execute.point"):
+                pass
+            with telemetry.span("execute.point"):
+                pass
+        records = load_trace_dir(traced)
+        assert len({r["span_id"] for r in records}) == 3
+        assert len({r["trace_id"] for r in records}) == 1
+
+
+class TestConfigure:
+    def test_configure_overrides_env(self, tmp_path):
+        target = tmp_path / "override"
+        telemetry.configure(enabled=True, directory=target)
+        assert telemetry.tracing_enabled() and telemetry.trace_dir() == target
+        with telemetry.span("execute.point"):
+            pass
+        assert len(load_trace_dir(target)) == 1
+        telemetry.reset()
+        assert not telemetry.tracing_enabled()
+
+    def test_configure_none_leaves_settings_alone(self, traced):
+        telemetry.configure()  # both None: nothing changes
+        assert telemetry.tracing_enabled()
+        assert telemetry.trace_dir() == traced
+
+
+class TestContextPropagation:
+    def test_trace_context_adopts_a_shipped_parent(self, traced):
+        with telemetry.span("pool.map_specs"):
+            shipped = telemetry.current_trace_context()
+        assert set(shipped) == {"trace_id", "span_id"}
+
+        # A "worker" (here: the same process, fresh context) adopts it.
+        with telemetry.trace_context(shipped):
+            with telemetry.span("execute.point"):
+                pass
+        records = load_trace_dir(traced)
+        point = next(r for r in records if r["name"] == "execute.point")
+        assert point["trace_id"] == shipped["trace_id"]
+        assert point["parent_id"] == shipped["span_id"]
+
+    def test_trace_context_restores_previous_state_on_exit(self, traced):
+        shipped = {"trace_id": "t" * 32, "span_id": "s" * 16}
+        with telemetry.trace_context(shipped):
+            assert telemetry.current_trace_context() == shipped
+        assert telemetry.current_trace_context() is None
+
+    def test_none_and_malformed_contexts_are_no_ops(self, traced):
+        for context in (None, {}, {"trace_id": "only-half"}):
+            with telemetry.trace_context(context):
+                assert telemetry.current_trace_context() is None
+
+    def test_disabled_tracing_ships_no_context(self):
+        with telemetry.span("pool.map_specs"):  # null span: no context set
+            assert telemetry.current_trace_context() is None
