@@ -1,0 +1,186 @@
+"""Retry and deadline policies shared across the sweep stack.
+
+Every transient-failure handler in the runtime and service layers — the
+client's reconnect loop, the worker's claim loop, the executor's pool
+restart — used to hand-roll its own sleep/retry arithmetic.  This module
+centralizes the two primitives they all need:
+
+:class:`RetryPolicy`
+    Jittered exponential backoff with a bounded attempt count and an
+    explicit *retryable* exception classification.  Retrying is only safe
+    because the stack is content-addressed end to end (a job id IS its
+    content key, cache writes are idempotent, chunks can re-run), so the
+    policy never needs to reason about side effects — only about whether
+    the failure class is transient.
+
+:class:`Deadline`
+    A wall-clock budget that can be threaded through nested retry loops so
+    an outer bound ("give up on the daemon after 5 s") caps the inner
+    backoff schedule.
+
+Each retry performed through :meth:`RetryPolicy.call` increments the
+``resilience.retries`` metric so degraded-but-successful runs stay visible
+in daemon ``stats``/``health`` output.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import time
+
+from repro.telemetry import metrics
+
+logger = logging.getLogger("repro.resilience.policy")
+
+
+class Deadline:
+    """A wall-clock budget: ``Deadline(5.0)`` expires five seconds from now.
+
+    ``seconds=None`` means unbounded — every query reports infinite
+    remaining time and :meth:`check` never raises, so callers can thread a
+    deadline argument unconditionally.
+    """
+
+    __slots__ = ("seconds", "_expires", "_clock")
+
+    def __init__(self, seconds: "float | None", *, clock=time.monotonic):
+        self.seconds = seconds
+        self._clock = clock
+        self._expires = None if seconds is None else clock() + float(seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unbounded, clamped at 0 when spent)."""
+        if self._expires is None:
+            return float("inf")
+        return max(0.0, self._expires - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._expires is not None and self._clock() >= self._expires
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`TimeoutError` if the budget is spent."""
+        if self.expired:
+            raise TimeoutError(
+                f"{what} exceeded its {self.seconds:.3g}s deadline"
+            )
+
+    def clamp(self, delay: float) -> float:
+        """Trim a proposed sleep so it never overshoots the budget."""
+        return min(delay, self.remaining())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if self._expires is None:
+            return "Deadline(unbounded)"
+        return f"Deadline({self.seconds}s, {self.remaining():.3f}s left)"
+
+
+class RetryPolicy:
+    """Jittered exponential backoff over a classified set of exceptions.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``3`` = one call, two retries).
+        ``None`` means attempts are bounded only by the ``deadline`` passed
+        to :meth:`call`.
+    base_delay, multiplier, max_delay:
+        Backoff schedule: attempt *k* (1-based) sleeps
+        ``min(max_delay, base_delay * multiplier**(k-1))`` before retrying.
+    jitter:
+        Fraction of each delay randomized away (``0.5`` → uniform in
+        ``[0.5d, d]``).  ``0`` makes the schedule exactly reproducible; the
+        default RNG is module-level :mod:`random` — pass ``rng`` for a
+        seeded stream in tests.
+    retryable:
+        Exception class(es) worth retrying.  Anything else propagates
+        immediately: a ``ValueError`` is a bug, not a transient.
+    sleep:
+        Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        max_attempts: "int | None" = 3,
+        *,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.25,
+        retryable: "type | tuple" = (ConnectionError, TimeoutError, OSError),
+        sleep=time.sleep,
+        rng: "random.Random | None" = None,
+    ):
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 (or None)")
+        self.max_attempts = max_attempts
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self.retryable = retryable
+        self.sleep = sleep
+        self.rng = rng if rng is not None else random
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before the retry following attempt ``attempt`` (1-based)."""
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if self.jitter:
+            delay *= 1.0 - self.jitter * self.rng.random()
+        return delay
+
+    def call(
+        self,
+        fn,
+        *args,
+        deadline: "Deadline | None" = None,
+        on_retry=None,
+        what: "str | None" = None,
+        **kwargs,
+    ):
+        """Invoke ``fn(*args, **kwargs)``, retrying retryable failures.
+
+        ``deadline`` bounds the whole loop (backoff sleeps are clamped to it
+        and an expired budget re-raises the last failure rather than
+        retrying).  ``on_retry(exc, attempt, delay)`` observes each retry —
+        useful for logging or for resetting connection state.
+        """
+        label = what or getattr(fn, "__name__", "call")
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn(*args, **kwargs)
+            except self.retryable as exc:
+                exhausted = (
+                    self.max_attempts is not None
+                    and attempt >= self.max_attempts
+                )
+                if exhausted or (deadline is not None and deadline.expired):
+                    raise
+                delay = self.delay_for(attempt)
+                if deadline is not None:
+                    delay = deadline.clamp(delay)
+                metrics.incr("resilience.retries")
+                logger.warning(
+                    "retrying %s after %s: %s (attempt %d%s, backoff %.3fs)",
+                    label,
+                    type(exc).__name__,
+                    exc,
+                    attempt,
+                    "" if self.max_attempts is None else f"/{self.max_attempts}",
+                    delay,
+                )
+                if on_retry is not None:
+                    on_retry(exc, attempt, delay)
+                if delay > 0:
+                    self.sleep(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, max_delay={self.max_delay})"
+        )

@@ -25,12 +25,14 @@ import json
 import logging
 import os
 import time
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from repro.resilience import fault_point
 from repro.telemetry import metrics, span
 from repro.utils.serialization import SPEC_VERSION, canonical_json
 from repro.runtime.results import decode_result, encode_result
@@ -113,15 +115,31 @@ class ResultCache:
     # ------------------------------------------------------------------ access
 
     def get(self, key: str, default: Any = MISS) -> Any:
-        """The decoded result for ``key``, or ``default`` on a miss."""
+        """The decoded result for ``key``, or ``default`` on a miss.
+
+        A cache that cannot be read degrades to a miss, never to a failed
+        point: unreadable shards, corrupt sidecars, and truncated array
+        files all recompute (counted in ``resilience.fallbacks``).
+        """
         with span("cache.get") as sp:
-            value = self._get(key, default)
+            try:
+                value = self._get(key, default)
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+                logger.warning(
+                    "cache read failed for %s (%s: %s); recomputing",
+                    key[:12], type(exc).__name__, exc,
+                )
+                metrics.incr("resilience.fallbacks")
+                metrics.incr("cache.get_failures")
+                self.misses += 1
+                value = default
             hit = value is not default
             sp.set(hit=hit)
         metrics.incr("cache.hits" if hit else "cache.misses")
         return value
 
     def _get(self, key: str, default: Any) -> Any:
+        fault_point("cache.get")
         sidecar, npz = self._paths(key)
         try:
             payload = json.loads(sidecar.read_text())
@@ -164,10 +182,38 @@ class ResultCache:
         *,
         label: str | None = None,
     ) -> None:
-        """Store an already-encoded ``(meta, arrays)`` pair (the worker path)."""
-        with span("cache.put", arrays=len(arrays)):
-            self._put_encoded(key, meta, arrays, label=label)
+        """Store an already-encoded ``(meta, arrays)`` pair (the worker path).
+
+        Degrades gracefully: an :class:`OSError` (full disk, read-only or
+        quarantined shard) is logged and counted, never raised — the caller
+        keeps its computed result, it simply stays uncached.  A failure
+        between the array write and the sidecar write leaves at worst an
+        orphan npz, which reads as a miss and is swept by :meth:`stats`.
+        """
+        with span("cache.put", arrays=len(arrays)) as sp:
+            try:
+                self._put_encoded(key, meta, arrays, label=label)
+            except OSError as exc:
+                sp.set(failed=True)
+                logger.warning(
+                    "cache write failed for %s (%s: %s); "
+                    "result stays uncached",
+                    key[:12], type(exc).__name__, exc,
+                )
+                metrics.incr("resilience.fallbacks")
+                metrics.incr("cache.put_failures")
+                self._cleanup_partial(key)
+                return
         metrics.incr("cache.puts")
+
+    def _cleanup_partial(self, key: str) -> None:
+        """Best-effort removal of a failed put's temp files (never raises)."""
+        sidecar, npz = self._paths(key)
+        for tmp in (npz.with_suffix(".npz.tmp"), sidecar.with_suffix(".json.tmp")):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def _put_encoded(
         self,
@@ -177,6 +223,7 @@ class ResultCache:
         *,
         label: str | None = None,
     ) -> None:
+        fault_point("cache.put")
         sidecar, npz = self._paths(key)
         sidecar.parent.mkdir(parents=True, exist_ok=True)
         if arrays:
@@ -184,6 +231,10 @@ class ResultCache:
             with open(tmp_npz, "wb") as handle:
                 np.savez(handle, **arrays)
             os.replace(tmp_npz, npz)
+        # A crash (or injected fault) here is the torn-write window: the npz
+        # exists but the sidecar — the entry's existence marker — does not,
+        # so readers see a recoverable miss, never partial data.
+        fault_point("cache.put.torn")
         payload = {
             "key": key,
             "result": json.loads(canonical_json(meta)),

@@ -16,6 +16,7 @@ the pool never depends on pickling library objects across versions.
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import time
@@ -26,7 +27,11 @@ from typing import Any, Protocol, runtime_checkable
 import numpy as np
 
 from repro.exceptions import SpecError
+from repro.resilience import fault_point
+from repro.resilience import reset_process as _reset_fault_state
 from repro.telemetry import current_trace_context, metrics, span, trace_context
+
+logger = logging.getLogger("repro.runtime.executor")
 
 
 # ---------------------------------------------------------------------------
@@ -84,6 +89,10 @@ def execute_spec(payload: dict) -> dict:
 def _execute_spec_inner(payload: dict) -> dict:
     start = time.perf_counter()
     try:
+        # Inside the try: an injected raise becomes a captured per-point
+        # failure (the normal contract); delay simulates a hung point and
+        # kill is uncatchable by design.
+        fault_point("worker.execute")
         from repro.runtime.results import encode_result
         from repro.runtime.spec import RunSpec
 
@@ -266,6 +275,9 @@ def execute_spec_batch(payloads: "Sequence[dict]") -> list[dict]:
     n_points = len(payloads)
     start = time.perf_counter()
     try:
+        # Inside the try: an injected raise drops the group to the per-point
+        # fallback (where each point hits its own fault/capture path).
+        fault_point("worker.execute")
         from repro.runtime.results import encode_result
         from repro.runtime.spec import RunSpec
 
@@ -359,10 +371,13 @@ def _worker_init(shm_prefix: "str | None", blas_threads: int) -> None:
     Runs once per worker before any task: caps BLAS/OpenMP threading so
     ``n_workers`` processes do not fan out ``n_workers × N`` BLAS threads
     over the same cores, and installs the sweep's segment namespace for
-    :func:`_run_spec_chunk` result transport.
+    :func:`_run_spec_chunk` result transport.  Fault-plan state is reset so
+    a forked worker re-reads ``REPRO_FAULTS`` with fresh trigger counters
+    instead of inheriting the parent's mid-count plan.
     """
     from repro.runtime import shm
 
+    _reset_fault_state()
     shm.pin_blas_threads(blas_threads)
     shm.activate_worker(shm_prefix)
 
@@ -434,6 +449,18 @@ class ProcessExecutor:
         ``None`` (default) follows ``REPRO_SHM``/platform support; ``False``
         forces every result through the pickle pipe; ``True`` requires
         shared-memory transport and raises if unavailable.
+    point_timeout:
+        Hung-point watchdog for :meth:`map_specs` (seconds per point,
+        scaled by the largest batch group in flight).  When no point
+        completes within the window, the pool is killed and the unfinished
+        points are re-queued onto a fresh pool; a SIGKILLed worker
+        (``BrokenProcessPool``) triggers the same recovery.  ``None``
+        (default) waits forever, the pre-resilience behaviour.
+    max_restarts:
+        How many fresh pools a single :meth:`map_specs` call may build
+        after stalls/crashes (default 1).  Once exhausted, still-missing
+        points come back as captured ``TimeoutError`` outcomes instead of
+        stalling the sweep.
     """
 
     name = "process"
@@ -446,6 +473,8 @@ class ProcessExecutor:
         mp_context: str | None = None,
         blas_threads_per_worker: int = 1,
         use_shm: bool | None = None,
+        point_timeout: float | None = None,
+        max_restarts: int = 1,
     ):
         if n_workers is None:
             n_workers = os.cpu_count() or 1
@@ -457,6 +486,10 @@ class ProcessExecutor:
             raise SpecError(
                 f"blas_threads_per_worker must be >= 1, got {blas_threads_per_worker}"
             )
+        if point_timeout is not None and point_timeout <= 0:
+            raise SpecError(f"point_timeout must be > 0, got {point_timeout}")
+        if max_restarts < 0:
+            raise SpecError(f"max_restarts must be >= 0, got {max_restarts}")
         from repro.runtime import shm
 
         if use_shm is True and not shm.shm_enabled():
@@ -469,6 +502,8 @@ class ProcessExecutor:
         self.mp_context = mp_context
         self.blas_threads_per_worker = int(blas_threads_per_worker)
         self.use_shm = use_shm
+        self.point_timeout = None if point_timeout is None else float(point_timeout)
+        self.max_restarts = int(max_restarts)
 
     def _shm_active(self) -> bool:
         from repro.runtime import shm
@@ -555,24 +590,26 @@ class ProcessExecutor:
 
     # ------------------------------------------------------ progress plumbing
 
-    def _progress_channel(self, progress, total: int):
+    def _progress_channel(self, progress, total: int, *, force: bool = False):
         """A managed queue workers feed per-point counts into, plus its drain.
 
         Returns ``(manager, queue, drain)``; all three are inert when no
-        progress callback was supplied, so unmonitored sweeps skip the
-        Manager process entirely.  ``drain(final=True)`` reports the terminal
-        ``progress(total, total)`` in case trailing counts were lost with a
-        dying worker.
+        progress callback was supplied (unless ``force`` — the hung-point
+        watchdog needs the activity signal even unmonitored), so plain
+        sweeps skip the Manager process entirely.  ``drain()`` returns how
+        many fresh counts it swallowed; ``drain(final=True)`` reports the
+        terminal ``progress(total, total)`` in case trailing counts were
+        lost with a dying worker.
         """
-        if progress is None:
-            return None, None, (lambda final=False: None)
+        if progress is None and not force:
+            return None, None, (lambda final=False: 0)
         import multiprocessing
 
         manager = multiprocessing.Manager()
         queue = manager.Queue()
         done = 0
 
-        def drain(final: bool = False) -> None:
+        def drain(final: bool = False) -> int:
             nonlocal done
             counted = 0
             while True:
@@ -582,10 +619,13 @@ class ProcessExecutor:
                     break
             if counted:
                 done = min(total, done + counted)
-                progress(done, total)
+                if progress is not None:
+                    progress(done, total)
             if final and done < total:
                 done = total
-                progress(total, total)
+                if progress is not None:
+                    progress(total, total)
+            return counted
 
         return manager, queue, drain
 
@@ -651,6 +691,14 @@ class ProcessExecutor:
         Every fan-out ends with a reaper sweep over its segment namespace
         (plus a global sweep for dead owners), so neither a failed chunk nor
         a SIGKILLed worker can leak ``/dev/shm`` blocks.
+
+        With ``point_timeout`` set, a watchdog tracks per-group completions:
+        a pool that stops making progress (hung point) or loses a worker to
+        SIGKILL (``BrokenProcessPool``) is killed and the unfinished points
+        are re-queued onto a fresh pool, up to ``max_restarts`` times —
+        after which the stragglers come back as captured ``TimeoutError``
+        outcomes, never a stalled sweep.  Recovery is safe because payloads
+        are content-addressed and side-effect-free in the worker.
         """
         payloads = list(payloads)
         if not payloads:
@@ -669,7 +717,6 @@ class ProcessExecutor:
                     progress(done, len(payloads))
             return results
 
-        import concurrent.futures
         import multiprocessing
 
         from repro.runtime import shm
@@ -681,35 +728,65 @@ class ProcessExecutor:
             if self.mp_context is not None
             else None
         )
-        results = [None] * len(payloads)
+        results: list = [None] * len(payloads)
         manager, progress_queue, drain = self._progress_channel(
-            progress, len(payloads)
+            progress, len(payloads), force=self.point_timeout is not None
         )
         try:
             with span(
                 "pool.map_specs", points=len(payloads), workers=self.n_workers
             ):
                 trace = current_trace_context()
-                with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=min(self.n_workers, len(chunks)),
-                    mp_context=context,
-                    initializer=_worker_init,
-                    initargs=(prefix, self.blas_threads_per_worker),
-                ) as pool:
-                    futures = {
-                        pool.submit(
-                            _run_spec_chunk,
-                            [[payloads[i] for i in group] for group in chunk],
-                            trace,
-                            progress_queue,
-                        ): chunk
+                restarts = 0
+                while True:
+                    self._pool_pass(
+                        chunks, payloads, results, trace,
+                        progress_queue, drain, context, prefix,
+                    )
+                    leftovers = [
+                        group
                         for chunk in chunks
-                    }
-                    for future, chunk in self._completed(futures, drain):
-                        outcome_groups = future.result()
-                        for group, outcomes in zip(chunk, outcome_groups):
-                            for index, outcome in zip(group, outcomes):
-                                results[index] = shm.resolve_outcome(outcome)
+                        for group in chunk
+                        if results[group[0]] is None
+                    ]
+                    if not leftovers:
+                        break
+                    missing = sum(len(group) for group in leftovers)
+                    restarts += 1
+                    if restarts > self.max_restarts:
+                        window = (self.point_timeout or 0.0) * max(
+                            len(group) for group in leftovers
+                        )
+                        error = {
+                            "type": "TimeoutError",
+                            "message": (
+                                f"point made no progress within "
+                                f"{window:.3g}s across "
+                                f"{self.max_restarts + 1} pool pass(es)"
+                            ),
+                            "traceback": "",
+                        }
+                        for group in leftovers:
+                            for index in group:
+                                results[index] = {
+                                    "ok": False,
+                                    "error": dict(error),
+                                    "wall_time": window,
+                                }
+                        metrics.incr("resilience.timeouts", missing)
+                        logger.error(
+                            "giving up on %d point(s) after %d pool "
+                            "restart(s); recorded as TimeoutError",
+                            missing, self.max_restarts,
+                        )
+                        break
+                    metrics.incr("resilience.retries")
+                    logger.warning(
+                        "pool stalled or lost a worker; re-queueing %d "
+                        "point(s) onto a fresh pool (restart %d/%d)",
+                        missing, restarts, self.max_restarts,
+                    )
+                    chunks = self._chunk_groups(leftovers, missing)
                 drain(final=True)
         finally:
             if manager is not None:
@@ -718,6 +795,111 @@ class ProcessExecutor:
                 shm.reap_prefix(prefix)
                 shm.reap_orphans()
         return results
+
+    def _pool_pass(
+        self, chunks, payloads, results, trace, progress_queue, drain,
+        context, prefix,
+    ) -> None:
+        """One process-pool pass over ``chunks``, filling ``results`` in place.
+
+        Completed chunks land their outcomes; a broken pool (SIGKILLed
+        worker) or a watchdog stall abandons the pass, leaving unfinished
+        points ``None`` for the caller to re-queue.  The pool is hard-killed
+        on abandonment — a hung worker would otherwise block shutdown
+        forever.
+        """
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.runtime import shm
+
+        largest_group = max(
+            (len(group) for chunk in chunks for group in chunk), default=1
+        )
+        stall_after = (
+            None if self.point_timeout is None
+            else self.point_timeout * largest_group
+        )
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.n_workers, len(chunks)),
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(prefix, self.blas_threads_per_worker),
+        )
+        abandoned = False
+        try:
+            futures = {}
+            try:
+                for chunk in chunks:
+                    futures[
+                        pool.submit(
+                            _run_spec_chunk,
+                            [[payloads[i] for i in group] for group in chunk],
+                            trace,
+                            progress_queue,
+                        )
+                    ] = chunk
+            except BrokenProcessPool:
+                abandoned = True
+            pending = set(futures)
+            last_activity = time.monotonic()
+            while pending and not abandoned:
+                finished, pending = concurrent.futures.wait(
+                    pending,
+                    timeout=0.05,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                if drain() or finished:
+                    last_activity = time.monotonic()
+                for future in finished:
+                    chunk = futures[future]
+                    try:
+                        outcome_groups = future.result()
+                    except BrokenProcessPool:
+                        abandoned = True
+                        continue
+                    for group, outcomes in zip(chunk, outcome_groups):
+                        for index, outcome in zip(group, outcomes):
+                            results[index] = shm.resolve_outcome(outcome)
+                if (
+                    not abandoned
+                    and stall_after is not None
+                    and pending
+                    and time.monotonic() - last_activity > stall_after
+                ):
+                    logger.warning(
+                        "no point completed for %.3gs (watchdog window); "
+                        "killing the pool",
+                        stall_after,
+                    )
+                    abandoned = True
+        finally:
+            if abandoned:
+                self._kill_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+
+    @staticmethod
+    def _kill_pool(pool) -> None:
+        """Hard-stop a pool whose workers cannot be trusted to exit.
+
+        ``shutdown`` alone joins worker processes — a hung worker would hang
+        the shutdown too.  Snapshot the worker processes first (private but
+        stable across CPython 3.8–3.13), cancel everything queued, then
+        SIGKILL and reap each worker.
+        """
+        handles = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in handles:
+            try:
+                process.kill()
+            except Exception:  # noqa: BLE001 - already dead
+                pass
+        for process in handles:
+            try:
+                process.join(timeout=5.0)
+            except Exception:  # noqa: BLE001 - already reaped
+                pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ProcessExecutor(n_workers={self.n_workers})"

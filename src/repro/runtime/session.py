@@ -25,13 +25,14 @@ measurement studies, QAOA runs).
 
 from __future__ import annotations
 
+import logging
 import sys
 import time
 from collections.abc import Callable, Iterable
 from typing import TYPE_CHECKING, Any
 
 from repro.exceptions import SpecError
-from repro.telemetry import span
+from repro.telemetry import metrics, span
 from repro.utils.serialization import SerializationError, content_hash
 
 from repro.runtime.cache import MISS, ResultCache
@@ -42,6 +43,8 @@ from repro.runtime.spec import RunSpec, SweepSpec
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compile.problem import SimulationProblem
     from repro.compile.program import CompiledProgram
+
+logger = logging.getLogger("repro.runtime.session")
 
 
 def _print_progress(done: int, total: int) -> None:
@@ -222,12 +225,23 @@ class Session:
                     value = decode_result(outcome["result"], outcome["arrays"])
                     if self.cache is not None:
                         first = points[pending[key][0]][1]
-                        self.cache.put_encoded(
-                            key,
-                            outcome["result"],
-                            outcome["arrays"],
-                            label=first.label,
-                        )
+                        # The cache degrades internally on OSError; this
+                        # guard makes the stronger promise that *no* cache
+                        # failure can lose an already-computed result.
+                        try:
+                            self.cache.put_encoded(
+                                key,
+                                outcome["result"],
+                                outcome["arrays"],
+                                label=first.label,
+                            )
+                        except Exception as exc:  # noqa: BLE001
+                            logger.warning(
+                                "cache store failed for %s (%s: %s); "
+                                "keeping the computed result uncached",
+                                key[:12], type(exc).__name__, exc,
+                            )
+                            metrics.incr("resilience.fallbacks")
                 else:
                     error = outcome["error"]
                 for index in pending[key]:

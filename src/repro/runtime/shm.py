@@ -45,6 +45,7 @@ import weakref
 
 import numpy as np
 
+from repro.resilience import fault_point
 from repro.telemetry import metrics, span
 
 logger = logging.getLogger("repro.runtime.shm")
@@ -149,6 +150,7 @@ def export_array(array: np.ndarray, name: str) -> dict:
     from multiprocessing import shared_memory
 
     array = np.ascontiguousarray(array)
+    fault_point("shm.export")
     segment = shared_memory.SharedMemory(name=name, create=True, size=max(1, array.nbytes))
     try:
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
@@ -212,6 +214,11 @@ def export_outcome(outcome: dict) -> dict:
     No-op unless the pool initializer installed a namespace and the array
     clears :func:`min_shm_bytes`.  Small arrays stay in the pickle pipe —
     a segment round-trip costs more than pickling a few hundred bytes.
+
+    A segment that cannot be created (``/dev/shm`` full, permissions) is a
+    degradation, not a failure: the array falls back to the pickle pipe —
+    slower, but the point still completes — counted in
+    ``resilience.fallbacks`` / ``shm.export_fallbacks``.
     """
     global _worker_counter
     if _worker_prefix is None or not outcome.get("arrays"):
@@ -219,13 +226,23 @@ def export_outcome(outcome: dict) -> dict:
     threshold = min_shm_bytes()
     arrays = {}
     with span("transport.export") as sp:
-        exported_bytes = exported_segments = 0
+        exported_bytes = exported_segments = fallbacks = 0
         for key, array in outcome["arrays"].items():
             array = np.asarray(array)
             if array.nbytes >= threshold:
                 _worker_counter += 1
                 name = f"{_worker_prefix}_{os.getpid()}_{_worker_counter}"
-                arrays[key] = export_array(array, name)
+                try:
+                    arrays[key] = export_array(array, name)
+                except OSError as exc:
+                    logger.warning(
+                        "shm export of %s (%d bytes) failed (%s: %s); "
+                        "falling back to the pickle pipe",
+                        key, array.nbytes, type(exc).__name__, exc,
+                    )
+                    arrays[key] = array
+                    fallbacks += 1
+                    continue
                 exported_bytes += array.nbytes
                 exported_segments += 1
             else:
@@ -234,6 +251,9 @@ def export_outcome(outcome: dict) -> dict:
     if exported_segments:
         metrics.incr("shm.segments_exported", exported_segments)
         metrics.incr("shm.bytes_exported", exported_bytes)
+    if fallbacks:
+        metrics.incr("resilience.fallbacks", fallbacks)
+        metrics.incr("shm.export_fallbacks", fallbacks)
     return {**outcome, "arrays": arrays}
 
 

@@ -11,6 +11,7 @@ Subcommands::
     python -m repro.service jobs
     python -m repro.service workers
     python -m repro.service stats    [--json] [--watch SECONDS]
+    python -m repro.service health   [--json]
     python -m repro.service shutdown
 
 ``SPEC.json`` is a serialized RunSpec, SweepSpec or bare SimulationProblem
@@ -108,6 +109,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         worker_id=args.id,
         poll_interval=args.poll,
         max_idle=args.max_idle,
+        reconnect_window=args.reconnect,
     )
 
 
@@ -259,6 +261,12 @@ def _render_stats(stats: dict) -> None:
         line = ", ".join(
             f"{name}={int(value)}" for name, value in sorted(counters.items()))
         print(f"metrics {line}")
+    resilience = stats.get("resilience")
+    if resilience is not None:
+        print(f"resilience {int(resilience.get('retries', 0))} retries, "
+              f"{int(resilience.get('fallbacks', 0))} fallbacks, "
+              f"{int(resilience.get('timeouts', 0))} timeouts, "
+              f"{int(resilience.get('faults_injected', 0))} faults injected")
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -279,6 +287,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if watch is None or (count is not None and iteration >= count):
             return 0
         time.sleep(watch)
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    health = _client(args).health()
+    if args.json:
+        print(json.dumps(health, indent=2))
+        return 0 if health["healthy"] else 1
+    queue, reaper, cache = health["queue"], health["reaper"], health["cache"]
+    verdict = "healthy" if health["healthy"] else "DEGRADED"
+    print(f"daemon pid {health['pid']}, up {health['uptime']:.1f}s — {verdict}")
+    print(f"queue   {queue['chunks_pending']} chunks pending "
+          f"({queue['points_pending']} points), "
+          f"{queue['chunks_leased']} leased ({queue['points_leased']} points)")
+    print(f"workers {health['workers']['total']} seen, "
+          f"{health['workers']['busy']} busy, "
+          f"{health['workers']['local']} local")
+    reaper_state = "ok" if reaper["ok"] else "LAGGING"
+    print(f"reaper  {reaper_state}, last pass {reaper['lag_seconds']:.2f}s ago "
+          f"(interval {reaper['interval_seconds']:.2f}s)")
+    cache_state = "writable" if cache["writable"] else (
+        f"NOT WRITABLE ({cache.get('error')})")
+    print(f"cache   {cache_state} at {cache['directory']}")
+    print(f"shm     {'enabled' if health['shm']['enabled'] else 'disabled'}")
+    resilience = health.get("resilience") or {}
+    print(f"resilience {int(resilience.get('retries', 0))} retries, "
+          f"{int(resilience.get('fallbacks', 0))} fallbacks, "
+          f"{int(resilience.get('timeouts', 0))} timeouts, "
+          f"{int(resilience.get('faults_injected', 0))} faults injected")
+    return 0 if health["healthy"] else 1
 
 
 def _cmd_shutdown(args: argparse.Namespace) -> int:
@@ -324,6 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seconds between claims while idle")
     worker.add_argument("--max-idle", type=float, default=None,
                         help="exit after this many idle seconds")
+    worker.add_argument("--reconnect", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="seconds to ride out daemon unreachability "
+                        "(with backoff) before exiting; 0 fails fast")
     worker.set_defaults(fn=_cmd_worker)
 
     submit = sub.add_parser("submit", help="queue a run/sweep spec file")
@@ -376,6 +417,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --watch: stop after N polls")
     _add_socket_flag(stats)
     stats.set_defaults(fn=_cmd_stats)
+
+    health = sub.add_parser(
+        "health", help="degradation probe (exit 1 when degraded)")
+    health.add_argument("--json", action="store_true")
+    _add_socket_flag(health)
+    health.set_defaults(fn=_cmd_health)
 
     shutdown = sub.add_parser("shutdown", help="stop the daemon")
     _add_socket_flag(shutdown)

@@ -24,8 +24,10 @@ from pathlib import Path
 from typing import Any
 
 from repro.exceptions import ExecutionError, SpecError
+from repro.resilience import RetryPolicy
 from repro.service.protocol import (
     RemoteError,
+    ServiceConnectionError,
     default_socket_path,
     outcome_from_wire,
     request,
@@ -34,6 +36,16 @@ from repro.telemetry import current_trace_context, span
 
 #: Default seconds between job-status polls in :meth:`ServiceClient.wait`.
 DEFAULT_POLL_INTERVAL = 0.05
+
+#: Default seconds of *no observable progress* before :meth:`ServiceClient.wait`
+#: declares a job stalled (progress resets the clock; see ``stall_timeout``).
+DEFAULT_STALL_TIMEOUT = 300.0
+
+#: Default seconds a client request waits out the daemon-startup race.
+DEFAULT_CONNECT_WINDOW = 5.0
+
+#: Sentinel: "build the default RetryPolicy" (``None`` means *no* retrying).
+_DEFAULT_RETRY = object()
 
 
 class ServiceClient:
@@ -47,6 +59,21 @@ class ServiceClient:
         Seconds between status polls while waiting on a job.
     timeout:
         Per-request socket timeout in seconds.
+    stall_timeout:
+        Seconds of *zero observable progress* (no done-count or state
+        change) before :meth:`wait`/:meth:`map` declare a job stalled.
+        A job actively completing points never trips it, however long the
+        sweep runs.  ``None`` waits forever.
+    connect_window:
+        Seconds each request rides out the daemon-startup race (socket not
+        yet bound / not yet listening) before failing.
+    retry:
+        The :class:`~repro.resilience.RetryPolicy` wrapped around every
+        request.  The default reconnects with jittered backoff on
+        :class:`~repro.service.protocol.ServiceConnectionError` — dropped
+        connections, daemon restarts, socket timeouts.  Safe to resend
+        because every op is idempotent (a job id IS its content key).
+        ``None`` disables retrying.
     """
 
     name = "service"
@@ -57,15 +84,41 @@ class ServiceClient:
         *,
         poll_interval: float = DEFAULT_POLL_INTERVAL,
         timeout: float = 60.0,
+        stall_timeout: "float | None" = DEFAULT_STALL_TIMEOUT,
+        connect_window: float = DEFAULT_CONNECT_WINDOW,
+        retry: "RetryPolicy | None" = _DEFAULT_RETRY,  # type: ignore[assignment]
     ):
         self.socket_path = (
             Path(socket_path).expanduser() if socket_path else default_socket_path()
         )
         self.poll_interval = float(poll_interval)
         self.timeout = float(timeout)
+        self.stall_timeout = (
+            None if stall_timeout is None else float(stall_timeout)
+        )
+        self.connect_window = float(connect_window)
+        if retry is _DEFAULT_RETRY:
+            retry = RetryPolicy(
+                max_attempts=4,
+                base_delay=0.05,
+                max_delay=1.0,
+                retryable=(ServiceConnectionError,),
+            )
+        self.retry = retry
 
     def _request(self, op: str, **fields: Any) -> dict:
-        return request(self.socket_path, op, timeout=self.timeout, **fields)
+        def send() -> dict:
+            return request(
+                self.socket_path,
+                op,
+                timeout=self.timeout,
+                connect_window=self.connect_window,
+                **fields,
+            )
+
+        if self.retry is None:
+            return send()
+        return self.retry.call(send, what=f"service op {op!r}")
 
     # ---------------------------------------------------------------- job API
 
@@ -104,17 +157,42 @@ class ServiceClient:
         job_id: str,
         *,
         timeout: "float | None" = None,
+        stall_timeout: "float | None" = None,
         progress=None,
     ) -> dict:
-        """Poll until the job reaches a terminal state; returns final status."""
+        """Poll until the job reaches a terminal state; returns final status.
+
+        Two independent clocks can end the wait early: ``timeout`` is a hard
+        wall-clock cap on the whole wait, and ``stall_timeout`` (default:
+        the client's ``stall_timeout``) trips only when the job makes *no
+        observable progress* — no done-count movement and no state change —
+        for that long.  A 10 000-point sweep completing one point a minute
+        never stalls; a sweep whose workers all died does, after one window.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
+        if stall_timeout is None:
+            stall_timeout = self.stall_timeout
+        last_progress = time.monotonic()
+        observed: "tuple | None" = None
         while True:
             status = self.status(job_id)
             if progress is not None:
                 progress(status["done"], status["total"])
             if status["state"] in ("done", "failed", "cancelled"):
                 return status
-            if deadline is not None and time.monotonic() > deadline:
+            now = time.monotonic()
+            snapshot = (status["state"], status["done"])
+            if snapshot != observed:
+                observed = snapshot
+                last_progress = now
+            elif stall_timeout is not None and now - last_progress > stall_timeout:
+                raise ExecutionError(
+                    f"job {job_id[:12]}… made no progress for "
+                    f"{stall_timeout:g}s (state {status['state']}, "
+                    f"{status['done']}/{status['total']} points) — workers "
+                    f"dead or queue starved"
+                )
+            if deadline is not None and now > deadline:
                 raise ExecutionError(
                     f"timed out after {timeout:g}s waiting for job "
                     f"{job_id[:12]}… (state {status['state']}, "
@@ -169,6 +247,11 @@ class ServiceClient:
         """Queue depth, jobs by state, cache hit rate, worker utilization."""
         return self._request("stats")
 
+    def health(self) -> dict:
+        """Degradation probe: queue depth, reaper lag, cache writability,
+        shm status and the ``resilience.*`` counters (plus ``healthy``)."""
+        return self._request("health")
+
     def shutdown_daemon(self) -> dict:
         """Ask the daemon to stop (it persists all job state first)."""
         return self._request("shutdown")
@@ -199,9 +282,11 @@ class ServiceClient:
             ack = self.submit_payloads(items)
             job_id = ack["job_id"]
             try:
-                self.wait(
-                    job_id, timeout=self.timeout * len(items), progress=progress
-                )
+                # Progress-aware: the deadline extends as long as points keep
+                # completing and trips only on a true stall — a fixed
+                # ``timeout * len(items)`` product both fails slow sweeps
+                # that are working and waits absurdly long on dead ones.
+                self.wait(job_id, progress=progress)
             except RemoteError as exc:
                 raise ExecutionError(
                     f"daemon rejected job {job_id[:12]}…: {exc}"

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.exceptions import ReproError, SpecError
+from repro.resilience import fault_point
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import execute_spec_batch, group_payloads
 from repro.runtime.results import encode_result
@@ -174,6 +175,13 @@ class Daemon:
         # Fleet-wide per-phase seconds accumulated from completed points'
         # timings dicts (exposed by the stats op alongside metrics).
         self._phase_totals: "dict[str, float]" = {}
+        # Completed results whose cache write did not land (full disk, torn
+        # write): the cache is normally the daemon's only copy, so keep these
+        # in memory or a swallowed put silently loses a computed point.
+        self._uncached_results: "dict[str, tuple[dict, dict]]" = {}
+        # Stamped by every reaper iteration; ``health`` reports the lag so a
+        # wedged reaper (leases never re-queued) is observable.
+        self._last_reap = time.time()
         self._started_at: "float | None" = None
         self._listener: "socket.socket | None" = None
         self._threads: "list[threading.Thread]" = []
@@ -430,6 +438,15 @@ class Daemon:
         if point.status == J.OK:
             value = self.cache.get(point.key)
             if value is self._cache_miss_sentinel():
+                stashed = self._uncached_results.get(point.key)
+                if stashed is not None:
+                    meta, arrays = stashed
+                    return {
+                        **base,
+                        "ok": True,
+                        "result": meta,
+                        "arrays": encode_arrays(arrays),
+                    }
                 return {
                     **base,
                     "ok": False,
@@ -492,6 +509,9 @@ class Daemon:
 
     def _op_claim(self, request: dict) -> dict:
         worker_id = str(request.get("worker", "anonymous"))
+        # An injected raise here becomes an error frame (RemoteError at the
+        # worker), exercising the worker's claim-retry path.
+        fault_point("daemon.claim")
         with self._lock:
             self._touch_worker(worker_id, request.get("kind", "remote"))
             if self._stop.is_set():
@@ -574,8 +594,76 @@ class Daemon:
             "hits": cache_stats["hits"],
             "misses": cache_stats["misses"],
         }
-        stats["metrics"] = metrics.snapshot()
+        snapshot = metrics.snapshot()
+        stats["metrics"] = snapshot
+        stats["resilience"] = _resilience_block(snapshot)
         return stats
+
+    def _op_health(self, request: dict) -> dict:
+        """Liveness + degradation probe for monitoring and the CLI.
+
+        Reports queue depth, worker presence, reaper lag (a wedged reaper
+        means expired leases never re-queue), an actual cache writability
+        probe (write + read back + unlink of a marker file in the cache
+        directory), shared-memory transport status, and the zero-defaulted
+        ``resilience.*`` counters.  ``healthy`` is the conjunction of the
+        hard conditions — degraded-but-working states (fallbacks counted,
+        retries happening) keep ``healthy: true`` with the evidence
+        alongside, because degradation is survivable by design.
+        """
+        now = time.time()
+        with self._lock:
+            reaper_lag = now - self._last_reap
+            reaper_interval = max(0.05, min(1.0, self.lease_seconds / 4.0))
+            queue = {
+                "chunks_pending": len(self._chunks),
+                "chunks_leased": len(self._leases),
+                "points_pending": sum(len(c.indices) for c in self._chunks.values()),
+                "points_leased": sum(
+                    len(l.chunk.indices) for l in self._leases.values()
+                ),
+            }
+            workers = {
+                "total": len(self._workers),
+                "busy": sum(1 for w in self._workers.values() if w.current_chunk),
+                "local": self.local_workers,
+            }
+        cache_ok, cache_error = self._probe_cache_writable()
+        from repro.runtime import shm
+
+        reaper_ok = reaper_lag < max(5.0, 10.0 * reaper_interval)
+        snapshot = metrics.snapshot()
+        return {
+            "pid": os.getpid(),
+            "uptime": now - (self._started_at or now),
+            "queue": queue,
+            "workers": workers,
+            "reaper": {
+                "lag_seconds": reaper_lag,
+                "interval_seconds": reaper_interval,
+                "ok": reaper_ok,
+            },
+            "cache": {
+                "directory": str(self.cache.directory),
+                "writable": cache_ok,
+                **({"error": cache_error} if cache_error else {}),
+            },
+            "shm": {"enabled": shm.shm_enabled()},
+            "resilience": _resilience_block(snapshot),
+            "healthy": bool(cache_ok and reaper_ok and not self._stop.is_set()),
+        }
+
+    def _probe_cache_writable(self) -> "tuple[bool, str | None]":
+        """Round-trip a marker file through the cache directory."""
+        probe = self.cache.directory / ".health-probe"
+        try:
+            self.cache.directory.mkdir(parents=True, exist_ok=True)
+            probe.write_text(str(time.time()))
+            probe.read_text()
+            probe.unlink()
+            return True, None
+        except OSError as exc:
+            return False, f"{type(exc).__name__}: {exc}"
 
     def _op_shutdown(self, request: dict) -> dict:
         self.request_stop()
@@ -675,6 +763,14 @@ class Daemon:
                         outcome.get("arrays", {}),
                         label=point.label,
                     )
+                    if point.key not in self.cache:
+                        # The put degraded (full/torn store).  Retain the only
+                        # copy so retrieval serves it instead of a cache miss.
+                        self._uncached_results[point.key] = (
+                            outcome["result"],
+                            outcome.get("arrays", {}),
+                        )
+                        metrics.incr("service.uncached_results")
                     point.status = J.OK
                 else:
                     point.status = J.POINT_FAILED
@@ -769,6 +865,7 @@ class Daemon:
         while not self._stop.wait(timeout=interval):
             now = time.time()
             with self._lock:
+                self._last_reap = now
                 expired = [
                     chunk_id
                     for chunk_id, lease in self._leases.items()
@@ -800,6 +897,21 @@ class Daemon:
                         self._enqueue_points(job, pending)
                 if expired:
                     self._work.notify_all()
+
+
+def _resilience_block(snapshot: dict) -> dict:
+    """The ``resilience.*`` counters, zero-defaulted so absence reads as 0."""
+    counters = snapshot.get("counters", {})
+    block = {
+        name.split(".", 1)[1]: counters.get(name, 0)
+        for name in metrics.RESILIENCE_COUNTERS
+    }
+    block["faults_by_site"] = {
+        name[len("resilience.faults."):]: value
+        for name, value in counters.items()
+        if name.startswith("resilience.faults.")
+    }
+    return block
 
 
 def _error_frame(exc: Exception) -> dict:

@@ -26,12 +26,14 @@ import io
 import json
 import os
 import socket
+import time
 from pathlib import Path
 from typing import Any, BinaryIO
 
 import numpy as np
 
 from repro.exceptions import ReproError
+from repro.resilience import fault_point
 
 #: Bump when the frame schema changes shape; the daemon refuses mismatches.
 PROTOCOL_VERSION = 1
@@ -114,20 +116,41 @@ def recv_frame(stream: BinaryIO) -> "dict | None":
     return payload
 
 
-def connect(socket_path: "str | Path", *, timeout: "float | None" = 30.0) -> socket.socket:
-    """A connected Unix-domain stream socket, or :class:`ServiceConnectionError`."""
+def connect(
+    socket_path: "str | Path",
+    *,
+    timeout: "float | None" = 30.0,
+    retry_window: float = 0.0,
+) -> socket.socket:
+    """A connected Unix-domain stream socket, or :class:`ServiceConnectionError`.
+
+    ``retry_window`` covers the daemon-startup race: a socket that does not
+    exist yet (``FileNotFoundError``) or is bound but not listening
+    (``ECONNREFUSED``) is retried with short doubling backoff for up to that
+    many seconds before giving up — so a ``submit`` launched right after
+    ``serve`` waits for the daemon instead of flaking.  The default ``0.0``
+    keeps single-shot semantics: callers that *want* a fast "daemon gone"
+    answer (the worker's idle exit) are unaffected.
+    """
     if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX platforms
         raise ServiceError("repro.service requires Unix-domain sockets (AF_UNIX)")
-    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    sock.settimeout(timeout)
-    try:
-        sock.connect(str(socket_path))
-    except OSError as exc:
-        sock.close()
-        raise ServiceConnectionError(
-            f"cannot reach the repro daemon at {socket_path}: {exc}"
-        ) from exc
-    return sock
+    deadline = time.monotonic() + max(0.0, retry_window)
+    backoff = 0.02
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(str(socket_path))
+            return sock
+        except OSError as exc:
+            sock.close()
+            startup_race = isinstance(exc, (FileNotFoundError, ConnectionRefusedError))
+            if not startup_race or time.monotonic() >= deadline:
+                raise ServiceConnectionError(
+                    f"cannot reach the repro daemon at {socket_path}: {exc}"
+                ) from exc
+        time.sleep(min(backoff, max(0.0, deadline - time.monotonic())))
+        backoff = min(backoff * 2, 0.5)
 
 
 def request(
@@ -135,6 +158,7 @@ def request(
     op: str,
     *,
     timeout: "float | None" = 30.0,
+    connect_window: float = 0.0,
     **fields: Any,
 ) -> dict:
     """One round trip on a fresh connection; raises :class:`RemoteError` on failure.
@@ -143,11 +167,13 @@ def request(
     restarts at the cost of one (cheap, local) ``connect`` — the JSON-lines
     protocol itself supports multiplexing many frames per connection, which
     the daemon-side handler honours for clients that want it.
+    ``connect_window`` is forwarded to :func:`connect`'s startup-race retry.
     """
     payload = {"op": op, "protocol": PROTOCOL_VERSION, **fields}
-    sock = connect(socket_path, timeout=timeout)
+    sock = connect(socket_path, timeout=timeout, retry_window=connect_window)
     try:
         with sock.makefile("rwb") as stream:
+            fault_point("protocol.send")
             send_frame(stream, payload)
             response = recv_frame(stream)
     except (OSError, ValueError) as exc:

@@ -18,6 +18,11 @@ per-process.  The daemon exposes :func:`snapshot` through its ``stats`` op;
 
 Histograms keep a bounded reservoir (the most recent 1024 observations), so
 long-running daemons report recent percentiles, not all-time ones.
+
+The :data:`RESILIENCE_COUNTERS` names are the degraded-operation vocabulary
+shared by :mod:`repro.resilience` and the service ``stats``/``health`` ops:
+they count retried transients, degraded fallbacks (uncached results, pickle
+instead of shm), hung-point timeouts, and deliberately injected faults.
 """
 
 from __future__ import annotations
@@ -27,6 +32,15 @@ from collections import deque
 
 #: Reservoir size for histogram percentiles.
 HISTOGRAM_WINDOW = 1024
+
+#: Degraded-operation counters surfaced in daemon ``stats`` and ``health``
+#: output even when zero, so "no degradation" is an explicit reading.
+RESILIENCE_COUNTERS = (
+    "resilience.retries",
+    "resilience.fallbacks",
+    "resilience.timeouts",
+    "resilience.faults_injected",
+)
 
 _lock = threading.Lock()
 _counters: "dict[str, float]" = {}
@@ -38,6 +52,12 @@ def incr(name: str, value: float = 1) -> None:
     """Add ``value`` (default 1) to the counter ``name``."""
     with _lock:
         _counters[name] = _counters.get(name, 0) + value
+
+
+def counter(name: str) -> float:
+    """Current value of the counter ``name`` (0 when never incremented)."""
+    with _lock:
+        return _counters.get(name, 0)
 
 
 def gauge(name: str, value: float) -> None:

@@ -1,0 +1,47 @@
+"""Fixtures for the resilience suite: clean fault/metric state per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import resilience
+from repro.telemetry import metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_resilience(monkeypatch):
+    """Every test starts with no fault plan, no ``REPRO_FAULTS``, zero metrics."""
+    monkeypatch.delenv(resilience.FAULTS_ENV, raising=False)
+    resilience.configure_faults(None)
+    metrics.reset()
+    yield
+    resilience.configure_faults(None)
+    metrics.reset()
+
+
+@pytest.fixture
+def service_env(tmp_path, monkeypatch):
+    """Point the cache and service roots at the test's tmp directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / "service"))
+    return tmp_path
+
+
+@pytest.fixture
+def make_daemon(service_env):
+    """Factory for started daemons; everything shuts down at teardown."""
+    from repro.service.daemon import Daemon
+
+    daemons = []
+
+    def factory(**kwargs):
+        kwargs.setdefault("local_workers", 1)
+        kwargs.setdefault("lease_seconds", 10.0)
+        daemon = Daemon(**kwargs)
+        daemon.start()
+        daemons.append(daemon)
+        return daemon
+
+    yield factory
+    for daemon in daemons:
+        daemon.shutdown()

@@ -1,0 +1,126 @@
+"""Graceful degradation: cache failures recompute, shm exhaustion re-pickles."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.resilience import configure_faults
+from repro.runtime import Session
+from repro.runtime.cache import MISS, ResultCache
+from repro.runtime.results import encode_result
+from repro.runtime import shm
+from repro.telemetry import metrics
+
+from _chaos_helpers import make_problem
+
+KEY = "ab" + "0" * 62
+
+
+class TestCachePutDegradation:
+    def test_enospc_put_is_swallowed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        configure_faults("cache.put:raise=ENOSPC")
+        cache.put(KEY, 1.5)
+        assert KEY not in cache
+        assert cache.get(KEY, MISS) is MISS
+        assert metrics.counter("cache.put_failures") == 1
+        assert metrics.counter("resilience.fallbacks") == 1
+        assert metrics.counter("cache.puts") == 0
+        # The disk recovers: the same put now lands and serves.
+        configure_faults(None)
+        cache.put(KEY, 1.5)
+        assert cache.get(KEY) == 1.5
+        assert metrics.counter("cache.puts") == 1
+
+    def test_torn_write_reads_as_miss_and_is_swept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        meta, arrays = encode_result(np.arange(8.0))
+        configure_faults("cache.put.torn:raise=EIO@n=1")
+        cache.put_encoded(KEY, meta, arrays)
+        sidecar, npz = cache._paths(KEY)
+        # A genuine torn entry: the arrays landed, the existence marker (the
+        # sidecar) did not — readers must see a recoverable miss.
+        assert npz.exists() and not sidecar.exists()
+        assert cache.get(KEY, MISS) is MISS
+        assert cache.stats()["orphans_swept"] == 1
+        assert not npz.exists()
+        cache.put_encoded(KEY, meta, arrays)
+        np.testing.assert_array_equal(cache.get(KEY), np.arange(8.0))
+
+    def test_failed_put_cleans_its_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        meta, arrays = encode_result(np.arange(8.0))
+        configure_faults("cache.put.torn:raise=ENOSPC")
+        cache.put_encoded(KEY, meta, arrays)
+        leftovers = [p for p in cache.directory.rglob("*.tmp")]
+        assert leftovers == []
+
+
+class TestCacheGetDegradation:
+    def test_injected_read_failure_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, 2.5)
+        configure_faults("cache.get:raise=EIO@n=1")
+        assert cache.get(KEY, MISS) is MISS
+        assert metrics.counter("cache.get_failures") == 1
+        assert metrics.counter("resilience.fallbacks") == 1
+        assert cache.get(KEY) == 2.5  # the next read serves normally
+
+    def test_corrupt_sidecar_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, 3.5)
+        sidecar, _ = cache._paths(KEY)
+        sidecar.write_text("{definitely not json")
+        assert cache.get(KEY, MISS) is MISS
+
+    def test_corrupt_array_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        meta, arrays = encode_result(np.arange(8.0))
+        cache.put_encoded(KEY, meta, arrays)
+        _, npz = cache._paths(KEY)
+        npz.write_bytes(b"truncated garbage")
+        assert cache.get(KEY, MISS) is MISS
+        assert metrics.counter("resilience.fallbacks") == 1
+
+
+class TestShmDegradation:
+    def test_export_exhaustion_falls_back_to_pickle(self):
+        if not shm.shm_enabled():
+            pytest.skip("shared-memory transport unavailable")
+        prefix = shm.make_prefix()
+        shm.activate_worker(prefix)
+        try:
+            big = np.arange(float(shm.min_shm_bytes() // 8 + 16))
+            outcome = {"ok": True, "result": {"kind": "ndarray"},
+                       "arrays": {"data": big}}
+            configure_faults("shm.export:raise=ENOSPC")
+            exported = shm.export_outcome(outcome)
+        finally:
+            shm.activate_worker(None)
+            shm.reap_prefix(prefix)
+        # The array rode the pickle pipe instead of a segment — same bytes.
+        assert not shm.is_ref(exported["arrays"]["data"])
+        np.testing.assert_array_equal(exported["arrays"]["data"], big)
+        assert metrics.counter("shm.export_fallbacks") == 1
+        assert metrics.counter("resilience.fallbacks") == 1
+        assert metrics.counter("shm.segments_exported") == 0
+
+
+class TestSessionDegradation:
+    def test_sweep_survives_an_uncachable_store(self, tmp_path):
+        configure_faults("cache.put:raise=ENOSPC")
+        session = Session(cache=ResultCache(tmp_path / "cache"))
+        results = session.sweep(make_problem(), strategies=("direct",), steps=(1, 2))
+        assert results.ok
+        assert all(not record.cached for record in results)
+        assert metrics.counter("cache.put_failures") == 2
+        # Nothing was stored, so a clean re-run recomputes (still no failure).
+        configure_faults(None)
+        again = session.sweep(make_problem(), strategies=("direct",), steps=(1, 2))
+        assert again.ok
+        assert all(not record.cached for record in again)
+        third = session.sweep(make_problem(), strategies=("direct",), steps=(1, 2))
+        assert all(record.cached for record in third)

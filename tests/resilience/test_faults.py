@@ -1,0 +1,232 @@
+"""FaultPlan parsing, deterministic triggers, actions, and metrics."""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import resilience
+from repro.resilience import (
+    FAULTS_ENV,
+    FaultInjected,
+    FaultPlan,
+    FaultPlanError,
+    active_plan,
+    configure_faults,
+    fault_point,
+    faults_enabled,
+)
+from repro.telemetry import metrics
+
+from _chaos_helpers import REPO_ROOT
+
+
+def fire_sequence(plan: FaultPlan, site: str, calls: int) -> "list[bool]":
+    """Whether each of ``calls`` successive fires raised, as a bool list."""
+    fired = []
+    for _ in range(calls):
+        try:
+            plan.fire(site)
+            fired.append(False)
+        except Exception:  # noqa: BLE001 - any injected exception counts
+            fired.append(True)
+    return fired
+
+
+class TestParsing:
+    def test_describe_round_trips(self):
+        text = (
+            "seed=7;cache.put:raise=ENOSPC@n=2;"
+            "worker.execute:delay=0.5@every=3,times=2"
+        )
+        plan = FaultPlan.parse(text)
+        assert plan.seed == 7
+        assert plan.describe() == text
+        assert FaultPlan.parse(plan.describe()).describe() == text
+
+    def test_state_dir_and_blank_entries(self, tmp_path):
+        plan = FaultPlan.parse(f" ; state={tmp_path} ;; seed=2 ")
+        assert plan.state_dir == tmp_path
+        assert plan.seed == 2
+        assert plan.rules == []
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "seed=abc",
+            "cache.put:explode",
+            "cache.put:raise@q=2",
+            "cache.put:raise=NoSuchError",
+            "cache.put:raise@p=two",
+            "cache.put:raise@n=two",
+            "worker.execute:delay=abc",
+            "not a rule at all",
+        ],
+    )
+    def test_rejects_malformed_plans(self, text):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(text)
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse("cache.put:raise@p=1.5")
+
+
+class TestTriggers:
+    def test_nth_call_fires_exactly_once(self):
+        plan = FaultPlan.parse("site:raise@n=3")
+        assert fire_sequence(plan, "site", 6) == [False, False, True, False, False, False]
+
+    def test_every_k_calls(self):
+        plan = FaultPlan.parse("site:raise@every=2")
+        assert fire_sequence(plan, "site", 6) == [False, True, False, True, False, True]
+
+    def test_after_threshold(self):
+        plan = FaultPlan.parse("site:raise@after=2")
+        assert fire_sequence(plan, "site", 4) == [False, False, True, True]
+
+    def test_times_caps_total_fires(self):
+        plan = FaultPlan.parse("site:raise@times=2")
+        assert fire_sequence(plan, "site", 5) == [True, True, False, False, False]
+
+    def test_once_without_state_is_per_process_times_one(self):
+        plan = FaultPlan.parse("site:raise@once")
+        assert fire_sequence(plan, "site", 3) == [True, False, False]
+
+    def test_probability_is_seed_deterministic(self):
+        text = "seed=42;site:raise@p=0.5"
+        first = fire_sequence(FaultPlan.parse(text), "site", 64)
+        second = fire_sequence(FaultPlan.parse(text), "site", 64)
+        assert first == second
+        assert any(first) and not all(first)
+        other_seed = fire_sequence(FaultPlan.parse("seed=43;site:raise@p=0.5"), "site", 64)
+        assert other_seed != first
+
+    def test_unlisted_site_never_fires(self):
+        plan = FaultPlan.parse("site:raise")
+        plan.fire("other.site")
+        assert plan.fired() == {}
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan.parse("site:raise=ENOSPC@n=1;site:raise=TimeoutError")
+        with pytest.raises(OSError) as first:
+            plan.fire("site")
+        assert first.value.errno == errno.ENOSPC
+        with pytest.raises(TimeoutError):
+            plan.fire("site")
+
+    def test_once_marker_is_fleet_wide(self, tmp_path):
+        text = f"state={tmp_path};site:raise@once"
+        first, second = FaultPlan.parse(text), FaultPlan.parse(text)
+        assert fire_sequence(first, "site", 1) == [True]
+        # A second plan (another process, in real chaos) finds the marker.
+        assert fire_sequence(second, "site", 3) == [False, False, False]
+        assert (tmp_path / "site.0.fired").exists()
+
+
+class TestActions:
+    def test_exception_mapping(self):
+        cases = {
+            "ENOSPC": OSError,
+            "EACCES": OSError,
+            "EIO": OSError,
+            "ConnectionError": ConnectionError,
+            "ConnectionResetError": ConnectionResetError,
+            "BrokenPipeError": BrokenPipeError,
+            "TimeoutError": TimeoutError,
+            "FaultInjected": FaultInjected,
+        }
+        for name, exc_type in cases.items():
+            plan = FaultPlan.parse(f"site:raise={name}")
+            with pytest.raises(exc_type):
+                plan.fire("site")
+        with pytest.raises(OSError) as info:
+            FaultPlan.parse("site:raise=EACCES").fire("site")
+        assert info.value.errno == errno.EACCES
+
+    def test_default_exception_is_fault_injected(self):
+        with pytest.raises(FaultInjected):
+            FaultPlan.parse("site:raise").fire("site")
+
+    def test_delay_sleeps(self):
+        plan = FaultPlan.parse("site:delay=0.05")
+        start = time.perf_counter()
+        plan.fire("site")
+        assert time.perf_counter() - start >= 0.04
+
+    def test_kill_terminates_the_process(self):
+        env = dict(os.environ)
+        env[FAULTS_ENV] = "worker.execute:kill"
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.resilience import fault_point\n"
+                "fault_point('worker.execute')\n"
+                "print('survived')",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+        )
+        assert result.returncode == -signal.SIGKILL
+        assert "survived" not in result.stdout
+
+
+class TestProcessHook:
+    def test_disabled_hook_is_inert(self):
+        assert not faults_enabled()
+        fault_point("cache.put")  # must not raise, sleep, or install a plan
+        assert active_plan() is None
+
+    def test_env_plan_installs_lazily(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "site.x:raise@n=1")
+        assert faults_enabled()
+        assert active_plan() is None  # not parsed until the first hook
+        with pytest.raises(FaultInjected):
+            fault_point("site.x")
+        assert active_plan() is not None
+        fault_point("site.x")  # n=1 has passed; the plan stays quiet
+
+    def test_unparsable_env_runs_clean(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "definitely//not::a plan")
+        fault_point("site.x")  # logged, never raised
+        assert active_plan() is None
+
+    def test_configure_none_clears_env_installed_plan(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "site.y:raise")
+        with pytest.raises(FaultInjected):
+            fault_point("site.y")
+        monkeypatch.delenv(FAULTS_ENV)
+        configure_faults(None)
+        fault_point("site.y")
+        assert active_plan() is None
+
+    def test_configure_accepts_plan_string_and_reset(self):
+        configure_faults("site.z:raise=TimeoutError")
+        assert faults_enabled()
+        with pytest.raises(TimeoutError):
+            fault_point("site.z")
+        resilience.reset_process()
+        assert active_plan() is None
+        fault_point("site.z")
+
+    def test_fires_are_counted(self):
+        plan = configure_faults("a:raise;b:raise@n=2")
+        for site in ("a", "b", "b"):
+            try:
+                fault_point(site)
+            except FaultInjected:
+                pass
+        assert plan.fired() == {"a": 1, "b": 1}
+        assert metrics.counter("resilience.faults_injected") == 2
+        assert metrics.counter("resilience.faults.a") == 1
+        assert metrics.counter("resilience.faults.b") == 1

@@ -1,0 +1,136 @@
+"""RetryPolicy backoff arithmetic and Deadline budgets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.resilience import Deadline, RetryPolicy
+from repro.telemetry import metrics
+
+
+class TestDeadline:
+    def test_counts_down_with_its_clock(self):
+        now = [0.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        assert deadline.remaining() == pytest.approx(5.0)
+        assert not deadline.expired
+        now[0] = 4.0
+        assert deadline.remaining() == pytest.approx(1.0)
+        assert deadline.clamp(10.0) == pytest.approx(1.0)
+        assert deadline.clamp(0.5) == pytest.approx(0.5)
+        now[0] = 6.0
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+        with pytest.raises(TimeoutError, match="daemon op"):
+            deadline.check("daemon op")
+
+    def test_unbounded(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() == float("inf")
+        assert not deadline.expired
+        deadline.check()  # never raises
+        assert deadline.clamp(3.0) == 3.0
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0)
+        assert [policy.delay_for(k) for k in (1, 2, 3, 4)] == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=1.0, jitter=0.5, rng=random.Random(7)
+        )
+        delays = [policy.delay_for(1) for _ in range(100)]
+        assert all(0.5 <= d <= 1.0 for d in delays)
+        assert len(set(delays)) > 1
+
+    def test_retries_then_succeeds(self):
+        failures = [ConnectionError("one"), ConnectionError("two")]
+        calls, sleeps = [], []
+
+        def flaky():
+            calls.append(True)
+            if failures:
+                raise failures.pop(0)
+            return 42
+
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.01, jitter=0.0, sleep=sleeps.append
+        )
+        assert policy.call(flaky, what="flaky op") == 42
+        assert len(calls) == 3
+        assert sleeps == [0.01, 0.02]
+        assert metrics.counter("resilience.retries") == 2
+
+    def test_exhaustion_reraises_the_last_failure(self):
+        calls = []
+
+        def always_down():
+            calls.append(True)
+            raise TimeoutError("still down")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, sleep=lambda _: None)
+        with pytest.raises(TimeoutError, match="still down"):
+            policy.call(always_down)
+        assert len(calls) == 3
+        assert metrics.counter("resilience.retries") == 2
+
+    def test_non_retryable_propagates_immediately(self):
+        calls, sleeps = [], []
+
+        def buggy():
+            calls.append(True)
+            raise ValueError("a bug, not a transient")
+
+        policy = RetryPolicy(max_attempts=5, sleep=sleeps.append)
+        with pytest.raises(ValueError):
+            policy.call(buggy)
+        assert len(calls) == 1 and sleeps == []
+
+    def test_expired_deadline_stops_unbounded_retries(self):
+        calls = []
+
+        def down():
+            calls.append(True)
+            raise ConnectionError("down")
+
+        policy = RetryPolicy(max_attempts=None, sleep=lambda _: None)
+        with pytest.raises(ConnectionError):
+            policy.call(down, deadline=Deadline(0.0))
+        assert len(calls) == 1
+
+    def test_deadline_clamps_backoff_sleeps(self):
+        failures = [ConnectionError("x"), ConnectionError("y")]
+        sleeps = []
+
+        def flaky():
+            if failures:
+                raise failures.pop(0)
+            return "ok"
+
+        policy = RetryPolicy(
+            max_attempts=None, base_delay=10.0, jitter=0.0, sleep=sleeps.append
+        )
+        assert policy.call(flaky, deadline=Deadline(0.05)) == "ok"
+        assert sleeps and all(s <= 0.05 for s in sleeps)
+
+    def test_on_retry_observes_each_retry(self):
+        failures = [ConnectionError("x")]
+        seen = []
+
+        def flaky():
+            if failures:
+                raise failures.pop(0)
+            return "ok"
+
+        policy = RetryPolicy(base_delay=0.25, jitter=0.0, sleep=lambda _: None)
+        policy.call(flaky, on_retry=lambda exc, attempt, delay: seen.append(
+            (type(exc).__name__, attempt, delay)))
+        assert seen == [("ConnectionError", 1, 0.25)]
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)

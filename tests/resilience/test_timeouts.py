@@ -1,0 +1,66 @@
+"""The hung-point watchdog: kill the pool, re-queue, or record TimeoutError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SpecError
+from repro.runtime import ProcessExecutor
+from repro.telemetry import metrics
+
+from _chaos_helpers import (
+    assert_outcomes_identical,
+    clean_serial,
+    shm_segments,
+    sweep_payloads,
+)
+
+
+def test_hung_point_requeues_onto_a_fresh_pool(tmp_path, monkeypatch):
+    payloads = sweep_payloads()
+    expected = clean_serial(payloads)
+    before = shm_segments()
+    # One worker hangs (30 s sleep) exactly once across the whole pool; the
+    # watchdog must kill that pool and finish everything on a fresh one.
+    monkeypatch.setenv(
+        "REPRO_FAULTS", f"state={tmp_path / 'state'};worker.execute:delay=30@once"
+    )
+    executor = ProcessExecutor(2, point_timeout=0.6, max_restarts=2)
+    outcomes = executor.map_specs(payloads)
+    assert_outcomes_identical(outcomes, expected)
+    assert metrics.counter("resilience.retries") >= 1
+    assert metrics.counter("resilience.timeouts") == 0
+    assert shm_segments() <= before
+
+
+def test_exhausted_restarts_record_timeout_outcomes(monkeypatch):
+    payloads = sweep_payloads(strategies=("direct",), steps=(1, 2))
+    monkeypatch.setenv("REPRO_FAULTS", "worker.execute:delay=30")
+    executor = ProcessExecutor(2, point_timeout=0.3, max_restarts=0)
+    outcomes = executor.map_specs(payloads)
+    assert len(outcomes) == len(payloads)
+    for outcome in outcomes:
+        assert not outcome["ok"]
+        assert outcome["error"]["type"] == "TimeoutError"
+        assert "no progress" in outcome["error"]["message"]
+    assert metrics.counter("resilience.timeouts") == len(payloads)
+
+
+def test_watchdog_tracks_progress_not_total_time(monkeypatch):
+    # A sweep whose points each take longer than point_timeout would take as
+    # a whole must NOT trip the watchdog as long as points keep completing —
+    # only silence counts.  Short grid, generous per-point window.
+    payloads = sweep_payloads(strategies=("direct",), steps=(1, 2, 4, 8))
+    expected = clean_serial(payloads)
+    executor = ProcessExecutor(2, point_timeout=10.0, max_restarts=0)
+    outcomes = executor.map_specs(payloads)
+    assert_outcomes_identical(outcomes, expected)
+    assert metrics.counter("resilience.timeouts") == 0
+    assert metrics.counter("resilience.retries") == 0
+
+
+def test_parameter_validation():
+    with pytest.raises(SpecError):
+        ProcessExecutor(2, point_timeout=0.0)
+    with pytest.raises(SpecError):
+        ProcessExecutor(2, max_restarts=-1)
