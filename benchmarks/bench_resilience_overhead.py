@@ -104,6 +104,8 @@ def run_bench(*, quick: bool = False) -> dict:
         f"{disabled_s * 1e9:.0f} ns each); the claim is <= {OVERHEAD_CLAIM:.0%}"
     )
 
+    import os
+
     payload = {
         "disabled_fault_point_ns": round(disabled_s * 1e9, 1),
         "unmatched_fault_point_ns": round(unmatched_s * 1e9, 1),
@@ -111,6 +113,7 @@ def run_bench(*, quick: bool = False) -> dict:
         "sites_per_point": SITES_PER_POINT,
         "disabled_overhead_fraction": round(overhead_fraction, 6),
         "disabled_overhead_claim": OVERHEAD_CLAIM,
+        "machine_cores": os.cpu_count(),
         "quick_mode": quick,
     }
 

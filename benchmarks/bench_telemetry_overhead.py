@@ -1,6 +1,6 @@
 """The telemetry tax: disabled tracing must cost under 2% of a sweep point.
 
-Two measurements:
+Three measurements:
 
 1. **The disabled path** (the headline claim): with ``REPRO_TRACE`` off,
    every instrumented region pays one :func:`repro.telemetry.span` call that
@@ -12,7 +12,14 @@ Two measurements:
    millisecond points — so a regression here means someone put real work on
    the disabled path.
 
-2. **The enabled path** (recorded, not asserted): the same sweep run cold
+2. **The disabled profiler** (asserted with the same budget): with
+   ``REPRO_PROFILE`` unset, :func:`repro.telemetry.maybe_start_profiler` —
+   called once per pool-worker initializer and worker entry point — must be
+   a single raw environment lookup.  Timed per call and folded into the
+   per-point overhead assertion (one call per point is already a gross
+   overestimate of its real once-per-process cost).
+
+3. **The enabled path** (recorded, not asserted): the same sweep run cold
    with tracing on vs. off, reporting the wall-clock ratio so the cost of
    turning tracing on stays visible in ``BENCH_telemetry.json``.
 
@@ -67,6 +74,20 @@ def measure_null_span_seconds(iterations: int) -> float:
     return (time.perf_counter() - start) / iterations
 
 
+def measure_null_profiler_seconds(iterations: int) -> float:
+    """Per-call cost of ``maybe_start_profiler()`` with ``REPRO_PROFILE`` unset."""
+    import os
+
+    assert os.environ.get("REPRO_PROFILE") is None, (
+        "disabled-path bench needs REPRO_PROFILE unset"
+    )
+    telemetry.maybe_start_profiler()  # warmup
+    start = time.perf_counter()
+    for _ in range(iterations):
+        telemetry.maybe_start_profiler()
+    return (time.perf_counter() - start) / iterations
+
+
 def measure_point_seconds(repeats: int) -> float:
     """Wall time of one representative grid point (fresh each repeat)."""
     payload = RunSpec(problem=_problem()).to_dict(canonical=True)
@@ -100,19 +121,29 @@ def run_bench(*, quick: bool = False) -> dict:
     steps = (1, 2) if quick else (1, 2, 4, 8)
 
     null_span_s = measure_null_span_seconds(iterations)
+    null_profiler_s = measure_null_profiler_seconds(iterations)
     point_s = measure_point_seconds(repeats)
-    overhead_fraction = SPANS_PER_POINT * null_span_s / point_s
+    # The profiler check runs once per worker process, but charging one call
+    # per point keeps the claim conservative and the arithmetic simple.
+    overhead_fraction = (
+        SPANS_PER_POINT * null_span_s + null_profiler_s
+    ) / point_s
     assert overhead_fraction <= OVERHEAD_CLAIM, (
-        f"disabled tracing costs {overhead_fraction:.2%} of a "
+        f"disabled telemetry costs {overhead_fraction:.2%} of a "
         f"{point_s * 1e3:.2f} ms point ({SPANS_PER_POINT} spans at "
-        f"{null_span_s * 1e9:.0f} ns each); the claim is <= {OVERHEAD_CLAIM:.0%}"
+        f"{null_span_s * 1e9:.0f} ns each plus a "
+        f"{null_profiler_s * 1e9:.0f} ns profiler check); "
+        f"the claim is <= {OVERHEAD_CLAIM:.0%}"
     )
 
     untraced_s = measure_sweep_seconds(traced=False, steps=steps)
     traced_s = measure_sweep_seconds(traced=True, steps=steps)
 
+    import os
+
     payload = {
         "null_span_ns": round(null_span_s * 1e9, 1),
+        "null_profiler_ns": round(null_profiler_s * 1e9, 1),
         "point_ms": round(point_s * 1e3, 3),
         "spans_per_point": SPANS_PER_POINT,
         "disabled_overhead_fraction": round(overhead_fraction, 6),
@@ -120,6 +151,7 @@ def run_bench(*, quick: bool = False) -> dict:
         "sweep_untraced_s": round(untraced_s, 4),
         "sweep_traced_s": round(traced_s, 4),
         "traced_over_untraced": round(traced_s / untraced_s, 3),
+        "machine_cores": os.cpu_count(),
         "quick_mode": quick,
     }
 
@@ -130,6 +162,7 @@ def run_bench(*, quick: bool = False) -> dict:
         ["measurement", "value"],
         [
             ["null span (tracing off)", f"{null_span_s * 1e9:.0f} ns"],
+            ["null profiler check", f"{null_profiler_s * 1e9:.0f} ns"],
             ["grid point", f"{point_s * 1e3:.2f} ms"],
             ["disabled overhead / point",
              f"{overhead_fraction:.4%} (claim <= {OVERHEAD_CLAIM:.0%})"],

@@ -29,6 +29,12 @@ runner the gate additionally **re-measures** both parallel claims live
 stand in for the multi-core grid claim — which is what let a 0.89×
 "parallel" path ship unnoticed.
 
+It also **audits the overhead claims**: ``BENCH_telemetry.json`` and
+``BENCH_resilience.json`` must exist, record ``machine_cores``, and show
+their measured disabled-path ``disabled_overhead_fraction`` within the
+recorded ≤ 2% claim — a bench whose baseline never landed (PR 8) is a claim
+nobody is checking.
+
 Run directly (``python benchmarks/check_bench_regressions.py``) or via the
 ``bench-regression`` CI job.  Finishes in a few seconds; the full sweeps stay
 in the pytest benchmarks.
@@ -104,6 +110,50 @@ def audit_parallel_claim() -> "list[str]":
                 f"batched {live['parallel_speedup']:.2f}x, "
                 f"grid {live['grid_parallel_speedup']:.2f}x "
                 f"(minimum {minimum}x)"
+            )
+    return failures
+
+
+def audit_overhead_claims() -> "list[str]":
+    """Audit the telemetry and resilience disabled-path overhead claims.
+
+    Both subsystems ship "effectively free when off" claims; this check makes
+    the claims load-bearing: the ``BENCH_telemetry.json`` and
+    ``BENCH_resilience.json`` baselines must exist (PR 8 shipped the bench
+    without its baseline — never again), record ``machine_cores``, and show a
+    measured ``disabled_overhead_fraction`` within the recorded claim.
+    """
+    from benchmarks.bench_resilience_overhead import (
+        RESULT_PATH as RESILIENCE_PATH,
+    )
+    from benchmarks.bench_telemetry_overhead import RESULT_PATH as TELEMETRY_PATH
+
+    failures: list[str] = []
+    for path in (TELEMETRY_PATH, RESILIENCE_PATH):
+        if not path.exists():
+            failures.append(
+                f"{path.name} is missing; run the full bench "
+                f"(python benchmarks/{path.name.replace('BENCH_', 'bench_').replace('.json', '_overhead.py')}) "
+                "to check in the baseline its overhead claim rests on"
+            )
+            continue
+        baseline = json.loads(path.read_text())
+        if "machine_cores" not in baseline:
+            failures.append(
+                f"{path.name} does not record machine_cores; regenerate it "
+                "(every claim must say what machine measured it)"
+            )
+        fraction = baseline.get("disabled_overhead_fraction")
+        claim = baseline.get("disabled_overhead_claim")
+        if fraction is None or claim is None:
+            failures.append(
+                f"{path.name} lacks disabled_overhead_fraction/"
+                f"disabled_overhead_claim; regenerate it"
+            )
+        elif fraction > claim:
+            failures.append(
+                f"{path.name} records a disabled-path overhead of "
+                f"{fraction:.4%}, above its own {claim:.0%} claim"
             )
     return failures
 
@@ -214,6 +264,13 @@ def main() -> int:
             print(f"parallel-claim audit: {failure}")
         return 1
     print("parallel-claim audit passed")
+
+    overhead_failures = audit_overhead_claims()
+    if overhead_failures:
+        for failure in overhead_failures:
+            print(f"overhead-claim audit: {failure}")
+        return 1
+    print("overhead-claim audit passed (telemetry + resilience)")
     return 0
 
 

@@ -1,0 +1,115 @@
+"""Live fleet observability end to end — in one process.
+
+1. start a ``Daemon`` with two local workers, a metrics time-series sampler
+   and a Prometheus scrape endpoint on an ephemeral port, with span tracing
+   enabled;
+2. run the paper's 16-point sampling sweep through it;
+3. scrape ``/metrics`` exactly as Prometheus would and parse the exposition;
+4. read the raw metrics ring buffer through ``ServiceClient.series()``;
+5. render one frame of the ``repro.service top`` dashboard;
+6. export the trace as Chrome trace-event JSON (``chrome://tracing`` /
+   https://ui.perfetto.dev) and print the critical path from ``report``.
+
+Against a long-lived daemon you would run instead::
+
+    python -m repro.service serve --workers 2 --metrics-port 9464
+    python -m repro.service top                       # another terminal
+    curl localhost:9464/metrics                       # or point Prometheus at it
+    python -m repro.telemetry export traces --format chrome --out trace.json
+
+Run with ``python examples/live_monitoring.py``.
+"""
+
+import json
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import repro
+from repro import telemetry
+from repro.runtime import ResultCache, SweepSpec
+from repro.service import Daemon, ServiceClient
+from repro.service.cli import main as service_cli
+from repro.telemetry.exporters import export_chrome_trace, parse_prometheus
+from repro.telemetry.report import critical_path, load_trace_dir
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-monitoring-"))
+    trace_dir = workdir / "traces"
+    telemetry.configure(enabled=True, directory=trace_dir)
+
+    # ------------------------------------------------------------------ 1.
+    daemon = Daemon(
+        workdir / "daemon.sock",
+        service_dir=workdir / "service",
+        cache=ResultCache(workdir / "cache"),  # hermetic: nothing in ~/.cache
+        local_workers=2,
+        chunk_size=2,
+        sample_interval=0.2,  # fast sampling so a demo sweep fills the buffer
+        metrics_port=0,  # ephemeral; a deployment would pin e.g. 9464
+    )
+    daemon.start()
+    print(f"daemon on {daemon.socket_path}")
+    print(f"scrape endpoint at {daemon.metrics_server.url}")
+
+    # ------------------------------------------------------------------ 2.
+    problem = repro.SimulationProblem.from_labels(
+        4, {"nsdI": 0.8, "IZZI": 0.3}, time=0.3, name="monitoring-demo"
+    )
+    spec = SweepSpec(
+        problem=problem,
+        strategies=("direct", "pauli"),
+        steps=(1, 2, 4, 8),
+        backend="sampling",
+        run_kwargs={"shots": 512},
+        seed=7,
+        repeats=2,  # 2 × 4 × 2 = 16 points
+    )
+    client = ServiceClient(daemon.socket_path)
+    ack = client.submit(spec)
+    status = client.wait(ack["job_id"])
+    print(f"sweep finished: {status['done']}/{status['total']} points done")
+    time.sleep(0.3)  # let the sampler take a post-sweep tick
+
+    # ------------------------------------------------------------------ 3.
+    with urllib.request.urlopen(daemon.metrics_server.url, timeout=10) as resp:
+        exposition = resp.read().decode("utf-8")
+    values = parse_prometheus(exposition)  # strict name/label/value grammar
+    print(
+        f"/metrics: {len(values)} samples — "
+        f"{values['repro_service_points_executed']:.0f} points executed, "
+        f"cache {values['repro_cache_hits_total']:.0f} hits / "
+        f"{values['repro_cache_misses_total']:.0f} misses"
+    )
+
+    # ------------------------------------------------------------------ 4.
+    series = client.series()
+    rates = [s["derived"]["points_per_second"] for s in series["samples"]]
+    print(
+        f"series: {len(series['samples'])} samples @ {series['interval']:g}s, "
+        f"peak throughput {max(rates):.1f} points/s"
+    )
+
+    # ------------------------------------------------------------------ 5.
+    print("\none frame of `repro.service top`:\n")
+    service_cli(["top", "--count", "1", "--socket", str(daemon.socket_path)])
+
+    # ------------------------------------------------------------------ 6.
+    out = workdir / "trace.json"
+    export_chrome_trace(trace_dir, out=out)
+    events = json.loads(out.read_text())["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    print(f"\nwrote {out} ({len(spans)} spans) — load it at ui.perfetto.dev")
+    path = critical_path(load_trace_dir(trace_dir))
+    chain = " -> ".join(step["name"] for step in path["steps"])
+    print(f"critical path ({path['wall']:.3f}s): {chain}")
+
+    daemon.shutdown()
+    telemetry.reset()
+    print("daemon shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

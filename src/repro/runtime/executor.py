@@ -376,10 +376,12 @@ def _worker_init(shm_prefix: "str | None", blas_threads: int) -> None:
     instead of inheriting the parent's mid-count plan.
     """
     from repro.runtime import shm
+    from repro.telemetry.profiler import maybe_start_profiler
 
     _reset_fault_state()
     shm.pin_blas_threads(blas_threads)
     shm.activate_worker(shm_prefix)
+    maybe_start_profiler()  # REPRO_PROFILE-armed; one dict lookup when off
 
 
 # ---------------------------------------------------------------------------

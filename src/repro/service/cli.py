@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro.service serve    [--socket P] [--workers N] [--chunk-size K]
+                                     [--metrics-port PORT]
     python -m repro.service worker   [--connect P] [--id ID] [--max-idle S]
     python -m repro.service submit   SPEC.json [--priority P] [--wait] [--out F]
     python -m repro.service status   JOB [--json] [--points]
@@ -11,6 +12,7 @@ Subcommands::
     python -m repro.service jobs
     python -m repro.service workers
     python -m repro.service stats    [--json] [--watch SECONDS]
+    python -m repro.service top      [--interval S] [--count N] [--json]
     python -m repro.service health   [--json]
     python -m repro.service shutdown
 
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import time
@@ -82,6 +85,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         local_workers=args.workers,
         chunk_size=args.chunk_size,
         lease_seconds=args.lease,
+        metrics_port=args.metrics_port,
     )
     for signum in (signal.SIGTERM, signal.SIGINT):
         signal.signal(signum, lambda *_: daemon.request_stop())
@@ -90,7 +94,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({args.workers} local worker(s), cache {daemon.cache.directory})",
         file=sys.stderr,
     )
-    daemon.serve_forever()
+    # start() explicitly (rather than serve_forever) so the metrics port —
+    # possibly ephemeral (--metrics-port 0) — can be announced once bound.
+    daemon.start()
+    if daemon.metrics_server is not None:
+        print(f"serving metrics at {daemon.metrics_server.url}", file=sys.stderr)
+    try:
+        while daemon.running:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.shutdown()
     print("repro daemon stopped", file=sys.stderr)
     return 0
 
@@ -261,6 +276,12 @@ def _render_stats(stats: dict) -> None:
         line = ", ".join(
             f"{name}={int(value)}" for name, value in sorted(counters.items()))
         print(f"metrics {line}")
+    histograms = (stats.get("metrics") or {}).get("histograms") or {}
+    for name in sorted(histograms):
+        h = histograms[name]
+        print(f"timing  {name}: n={h['count']} "
+              f"p50={h['p50']:.4g} p90={h.get('p90', h['p95']):.4g} "
+              f"p99={h.get('p99', h['max']):.4g} max={h['max']:.4g}")
     resilience = stats.get("resilience")
     if resilience is not None:
         print(f"resilience {int(resilience.get('retries', 0))} retries, "
@@ -287,6 +308,135 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if watch is None or (count is not None and iteration >= count):
             return 0
         time.sleep(watch)
+
+
+# ---------------------------------------------------------------------------
+# top — the live fleet dashboard
+# ---------------------------------------------------------------------------
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: "list[float]", width: int = 32) -> str:
+    """The last ``width`` values as a one-line unicode sparkline."""
+    values = [max(0.0, float(v)) for v in values][-width:]
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    scale = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[min(scale, int(round(v / peak * scale)))] for v in values
+    )
+
+
+def _progress_bar(done: int, total: int, width: int = 24) -> str:
+    total = max(total, 1)
+    filled = int(round(width * min(done, total) / total))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def _eta(pending: int, points_per_second: float) -> str:
+    if pending <= 0:
+        return "done"
+    if points_per_second <= 0:
+        return "—"
+    seconds = pending / points_per_second
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def _render_top(stats: dict, series: dict, jobs: "list[dict]",
+                workers: "list[dict]") -> None:
+    samples = series.get("samples", [])
+    latest = samples[-1] if samples else {}
+    derived = latest.get("derived", {})
+    pps = float(derived.get("points_per_second") or 0.0)
+    hit_rate = derived.get("cache_hit_rate")
+    trend = [s.get("derived", {}).get("points_per_second") or 0.0 for s in samples]
+
+    print(f"repro top — daemon pid {stats['pid']}, up {stats['uptime']:.0f}s, "
+          f"{len(samples)} samples @ {series.get('interval', 1.0):g}s")
+    hit = "—" if hit_rate is None else f"{hit_rate:.0%}"
+    print(f"throughput {pps:8.1f} points/s  {_sparkline(trend)}")
+    queue = stats["queue"]
+    print(f"queue      {queue['points_pending']} points pending "
+          f"({queue['chunks_pending']} chunks), {queue['chunks_leased']} chunks "
+          f"leased, cache hit rate {hit}")
+    total_workers = len(workers)
+    busy = sum(1 for w in workers if w["busy"])
+    lost = sum(w["lost_leases"] for w in workers)
+    print(f"workers    {busy}/{total_workers} busy "
+          f"{_progress_bar(busy, max(total_workers, 1), 16)}  "
+          f"{lost} lost lease(s)")
+
+    active = [j for j in jobs if j["state"] in ("queued", "running")]
+    recent = [j for j in jobs if j["state"] not in ("queued", "running")][-3:]
+    if active or recent:
+        print()
+        print(f"{'job':<18} {'state':<9} {'points':>11} {'':<26} {'eta':>6}")
+        for job in active + recent:
+            done, total = job["done"], job["total"]
+            pending = total - done - job["failed"] - job["cancelled"]
+            eta = _eta(pending, pps) if job["state"] == "running" else ""
+            print(f"{job['job_id'][:16] + '…':<18} {job['state']:<9} "
+                  f"{done:>5}/{total:<5} {_progress_bar(done, total):<26} "
+                  f"{eta:>6}")
+
+    phases = stats.get("phases") or {}
+    if phases:
+        total_phase = sum(phases.values()) or 1.0
+        split = "  ".join(
+            f"{name} {seconds / total_phase:.0%}"
+            for name, seconds in sorted(phases.items(), key=lambda kv: -kv[1]))
+        print()
+        print(f"phases     {split}")
+    resilience = stats.get("resilience") or {}
+    print(f"resilience {int(resilience.get('retries', 0))} retries, "
+          f"{int(resilience.get('fallbacks', 0))} fallbacks, "
+          f"{int(resilience.get('timeouts', 0))} timeouts, "
+          f"{int(resilience.get('faults_injected', 0))} faults injected")
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.protocol import ServiceConnection
+
+    iteration = 0
+    # One held-open connection: top polls four ops per refresh, so a fresh
+    # socket per op would quadruple the daemon's accept load for nothing.
+    try:
+        with ServiceConnection(args.socket, connect_window=5.0) as conn:
+            while True:
+                stats = conn.request("stats")
+                series = conn.request("series", last=64)
+                jobs = conn.request("jobs")["jobs"]
+                workers = conn.request("workers")["workers"]
+                if args.json:
+                    print(json.dumps({
+                        "stats": stats, "series": series,
+                        "jobs": jobs, "workers": workers,
+                    }, indent=2))
+                else:
+                    if iteration:
+                        # Clear and re-home so the dashboard redraws in place.
+                        print("\x1b[2J\x1b[H", end="")
+                    _render_top(stats, series, jobs, workers)
+                iteration += 1
+                if args.count is not None and iteration >= args.count:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # Downstream closed (top | head, a dying pager): exit quietly, and
+        # point stdout at devnull so the interpreter's shutdown flush does
+        # not raise the same error again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 def _cmd_health(args: argparse.Namespace) -> int:
@@ -349,6 +499,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="grid points per claimable chunk")
     serve.add_argument("--lease", type=float, default=60.0,
                        help="chunk lease seconds before re-queue")
+    serve.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                       help="serve Prometheus text exposition on "
+                       "http://127.0.0.1:PORT/metrics (0: ephemeral port)")
     serve.set_defaults(fn=_cmd_serve)
 
     worker = sub.add_parser("worker", help="join a daemon as an external worker")
@@ -417,6 +570,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --watch: stop after N polls")
     _add_socket_flag(stats)
     stats.set_defaults(fn=_cmd_stats)
+
+    top = sub.add_parser(
+        "top", help="live dashboard: throughput trend, job ETAs, workers")
+    top.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                     help="seconds between refreshes")
+    top.add_argument("--count", type=int, default=None, metavar="N",
+                     help="stop after N refreshes (non-interactive use)")
+    top.add_argument("--json", action="store_true",
+                     help="print the raw stats/series/jobs/workers documents")
+    _add_socket_flag(top)
+    top.set_defaults(fn=_cmd_top)
 
     health = sub.add_parser(
         "health", help="degradation probe (exit 1 when degraded)")

@@ -247,6 +247,17 @@ class ServiceClient:
         """Queue depth, jobs by state, cache hit rate, worker utilization."""
         return self._request("stats")
 
+    def series(self, last: "int | None" = None) -> dict:
+        """The daemon's metrics time-series ring buffer.
+
+        Returns ``{"interval", "window", "samples": [...]}`` — each sample
+        carries the registry counters/gauges plus per-second ``rates`` and
+        the ``derived`` headlines (points/s, cache hit rate, queue depth).
+        ``last`` limits the reply to the most recent N samples.
+        """
+        fields = {} if last is None else {"last": int(last)}
+        return self._request("series", **fields)
+
     def health(self) -> dict:
         """Degradation probe: queue depth, reaper lag, cache writability,
         shm status and the ``resilience.*`` counters (plus ``healthy``)."""

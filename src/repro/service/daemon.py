@@ -41,6 +41,9 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.executor import execute_spec_batch, group_payloads
 from repro.runtime.results import encode_result
 from repro.telemetry import metrics, span, trace_context
+from repro.telemetry.exporters import MetricsHTTPServer, render_prometheus
+from repro.telemetry.profiler import maybe_start_profiler
+from repro.telemetry.timeseries import MetricsSampler
 from repro.service import jobs as J
 from repro.service.jobs import Job, JobStore, job_from_batch, job_from_spec
 from repro.service.protocol import (
@@ -127,6 +130,13 @@ class Daemon:
         Grid points per claimable chunk.
     lease_seconds:
         Chunk lease duration; an unrenewed lease re-queues the chunk.
+    sample_interval / sample_window:
+        Cadence and ring-buffer length of the metrics time-series the daemon
+        records (served through the ``series`` op and ``repro.service top``).
+    metrics_port:
+        When set, serve Prometheus text exposition at
+        ``http://127.0.0.1:<port>/metrics`` (``0`` binds an ephemeral port;
+        the bound port is on :attr:`metrics_server`).
     """
 
     def __init__(
@@ -138,6 +148,9 @@ class Daemon:
         local_workers: int = 1,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        sample_interval: float = 1.0,
+        sample_window: int = 600,
+        metrics_port: "int | None" = None,
     ):
         if local_workers < 0:
             raise SpecError(f"local_workers must be >= 0, got {local_workers}")
@@ -158,6 +171,16 @@ class Daemon:
         self.local_workers = int(local_workers)
         self.chunk_size = int(chunk_size)
         self.lease_seconds = float(lease_seconds)
+        self.sampler = MetricsSampler(
+            interval=float(sample_interval),
+            window=int(sample_window),
+            probe=self._sampler_probe,
+        )
+        self.metrics_server: "MetricsHTTPServer | None" = (
+            MetricsHTTPServer(self._render_metrics, port=int(metrics_port))
+            if metrics_port is not None
+            else None
+        )
 
         self._lock = threading.RLock()
         self._work = threading.Condition(self._lock)
@@ -223,6 +246,12 @@ class Daemon:
             )
         for thread in self._threads:
             thread.start()
+        self.sampler.start()
+        if self.metrics_server is not None:
+            port = self.metrics_server.start()
+            logger.info("serving Prometheus metrics on %s", self.metrics_server.url)
+            metrics.gauge("service.metrics_port", port)
+        maybe_start_profiler()  # env-armed; a raw dict lookup when off
 
     def _refuse_second_daemon(self) -> None:
         if not self.socket_path.exists():
@@ -274,6 +303,9 @@ class Daemon:
     def shutdown(self, *, join_timeout: float = 10.0) -> None:
         """Stop threads, persist every job and remove the socket file."""
         self.request_stop()
+        self.sampler.stop()
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
         for thread in self._threads:
             if thread is not threading.current_thread():
                 thread.join(timeout=join_timeout)
@@ -598,6 +630,59 @@ class Daemon:
         stats["metrics"] = snapshot
         stats["resilience"] = _resilience_block(snapshot)
         return stats
+
+    def _sampler_probe(self) -> dict:
+        """Daemon-side state merged into every time-series sample.
+
+        The registry is process-global; queue depth and point totals live on
+        the daemon object, so the sampler picks them up through this hook —
+        executed points as a counter (its per-second rate is the throughput
+        headline), the rest as gauges.
+        """
+        with self._lock:
+            running = sum(1 for j in self._jobs.values() if j.state == J.RUNNING)
+            return {
+                "counters": {
+                    "service.points_executed": float(self._points_executed),
+                    "service.points_from_cache": float(self._points_from_cache),
+                },
+                "gauges": {
+                    "queue.points_pending": float(
+                        sum(len(c.indices) for c in self._chunks.values())
+                    ),
+                    "queue.chunks_pending": float(len(self._chunks)),
+                    "queue.chunks_leased": float(len(self._leases)),
+                    "workers.busy": float(
+                        sum(1 for w in self._workers.values() if w.current_chunk)
+                    ),
+                    "workers.total": float(len(self._workers)),
+                    "jobs.running": float(running),
+                },
+            }
+
+    def _op_series(self, request: dict) -> dict:
+        """The metrics time-series ring buffer (optionally the last N)."""
+        last = request.get("last")
+        return self.sampler.series(last=None if last is None else int(last))
+
+    def _render_metrics(self) -> str:
+        """Prometheus exposition: registry + daemon gauges + sampler rates."""
+        probe = self._sampler_probe()
+        extra = dict(probe["gauges"])
+        extra.update(probe["counters"])  # cumulative totals read fine as gauges
+        latest = self.sampler.latest()
+        if latest is not None:
+            derived = latest.get("derived", {})
+            extra["points_per_second"] = derived.get("points_per_second", 0.0)
+            hit_rate = derived.get("cache_hit_rate")
+            if hit_rate is not None:
+                extra["cache_hit_rate"] = hit_rate
+        snapshot = metrics.snapshot()
+        # Scrapers want stable families: the cache counters exist from the
+        # first scrape (at zero), not only after the first lookup.
+        snapshot["counters"].setdefault("cache.hits", 0)
+        snapshot["counters"].setdefault("cache.misses", 0)
+        return render_prometheus(snapshot, extra_gauges=extra)
 
     def _op_health(self, request: dict) -> dict:
         """Liveness + degradation probe for monitoring and the CLI.

@@ -191,6 +191,91 @@ def request(
     return response
 
 
+class ServiceConnection:
+    """One held-open connection multiplexing many request/response frames.
+
+    :func:`request` opens a fresh socket per op — simple and restart-proof
+    for one-shot callers, but a poller like ``repro.service top`` issues
+    several ops per refresh several times a second, and the JSON-lines
+    protocol explicitly supports many frames per connection.  This class
+    keeps a single socket open, sends one frame per :meth:`request`, and
+    reconnects lazily on the next call after the daemon drops it — so a
+    daemon restart costs the poller one failed refresh, not a crash.
+
+    Not thread-safe by design (frames would interleave); give each polling
+    thread its own connection.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        socket_path: "str | Path | None" = None,
+        *,
+        timeout: "float | None" = 30.0,
+        connect_window: float = 0.0,
+    ):
+        self.socket_path = (
+            Path(socket_path).expanduser() if socket_path else default_socket_path()
+        )
+        self.timeout = timeout
+        self.connect_window = float(connect_window)
+        self._sock: "socket.socket | None" = None
+        self._stream = None
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def _ensure_stream(self):
+        if self._stream is None:
+            self._sock = connect(
+                self.socket_path,
+                timeout=self.timeout,
+                retry_window=self.connect_window,
+            )
+            self._stream = self._sock.makefile("rwb")
+        return self._stream
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """One frame out, one frame back, on the held-open connection."""
+        payload = {"op": op, "protocol": PROTOCOL_VERSION, **fields}
+        try:
+            stream = self._ensure_stream()
+            send_frame(stream, payload)
+            response = recv_frame(stream)
+        except (OSError, ValueError) as exc:
+            self.close()
+            raise ServiceConnectionError(
+                f"request {op!r} on the held connection to "
+                f"{self.socket_path} failed: {exc}"
+            ) from exc
+        if response is None:
+            self.close()
+            raise ServiceConnectionError(
+                f"daemon at {self.socket_path} closed the connection "
+                f"without answering {op!r}"
+            )
+        if not response.get("ok"):
+            raise RemoteError(response.get("error", {}))
+        return response
+
+    def close(self) -> None:
+        """Drop the socket (idempotent); the next request reconnects."""
+        stream, self._stream = self._stream, None
+        sock, self._sock = self._sock, None
+        for closable in (stream, sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ServiceConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 # ---------------------------------------------------------------------------
 # Array codec
 # ---------------------------------------------------------------------------

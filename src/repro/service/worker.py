@@ -84,6 +84,9 @@ def run_worker(
         retries) before the worker exits 0.  ``0`` restores fail-fast.
     """
     worker_id = worker_id or default_worker_id()
+    from repro.telemetry.profiler import maybe_start_profiler
+
+    maybe_start_profiler()  # REPRO_PROFILE-armed; one dict lookup when off
     retry = RetryPolicy(
         max_attempts=None,  # bounded by the reconnect deadline, not a count
         base_delay=0.05,

@@ -10,11 +10,40 @@ Three small, zero-dependency pieces:
 * :mod:`repro.telemetry.logs` — the ``repro.*`` logger hierarchy and the
   ``REPRO_LOG``-driven :func:`configure_logging` for entry points.
 
-``python -m repro.telemetry report <dir>`` renders merged traces; see
-:mod:`repro.telemetry.report`.
+Plus the live-observability layer built on top of them:
+
+* :mod:`repro.telemetry.timeseries` — :class:`MetricsSampler`, a bounded
+  ring buffer of periodic registry snapshots with derived rates (points/s,
+  cache hit rate, queue depth) that the service daemon runs and serves
+  through its ``series`` op;
+* :mod:`repro.telemetry.exporters` — Prometheus/OpenMetrics text exposition
+  (plus a scrape endpoint the daemon mounts on ``--metrics-port``) and a
+  Chrome trace-event / Perfetto converter for the JSONL trace files;
+* :mod:`repro.telemetry.profiler` — a ``REPRO_PROFILE=hz`` sampling stack
+  profiler writing folded stacks that merge with the span flame output.
+
+``python -m repro.telemetry report <dir>`` renders merged traces;
+``... export --format chrome|prometheus`` feeds the standard tools; see
+:mod:`repro.telemetry.report` and :mod:`repro.telemetry.exporters`.
 """
 
 from repro.telemetry import metrics
+from repro.telemetry.exporters import (
+    MetricsHTTPServer,
+    chrome_trace,
+    export_chrome_trace,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.telemetry.profiler import (
+    PROFILE_DIR_ENV,
+    PROFILE_ENV,
+    SamplingProfiler,
+    maybe_start_profiler,
+    profile_rate,
+    stop_profiler,
+)
+from repro.telemetry.timeseries import MetricsSampler
 from repro.telemetry.logs import configure_logging, log_level
 from repro.telemetry.spans import (
     TRACE_DIR_ENV,
@@ -30,16 +59,28 @@ from repro.telemetry.spans import (
 )
 
 __all__ = [
+    "MetricsHTTPServer",
+    "MetricsSampler",
+    "PROFILE_DIR_ENV",
+    "PROFILE_ENV",
+    "SamplingProfiler",
     "TRACE_DIR_ENV",
     "TRACE_ENV",
     "TraceWriter",
+    "chrome_trace",
     "configure",
     "configure_logging",
     "current_trace_context",
+    "export_chrome_trace",
     "log_level",
+    "maybe_start_profiler",
     "metrics",
+    "parse_prometheus",
+    "profile_rate",
+    "render_prometheus",
     "reset",
     "span",
+    "stop_profiler",
     "trace_context",
     "trace_dir",
     "tracing_enabled",

@@ -11,6 +11,11 @@ Subcommands:
 ``validate <dir>``
     Check every span record against the packaged ``trace_schema.json``;
     exit non-zero naming the first offending record otherwise.
+
+``export <dir> --format chrome|prometheus``
+    Convert a trace directory to Chrome trace-event / Perfetto JSON, or
+    print the current process's metrics registry as Prometheus text
+    exposition.  ``--out`` writes to a file instead of stdout.
 """
 
 from __future__ import annotations
@@ -18,8 +23,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
-from repro.telemetry import logs, report, schema
+from repro.telemetry import exporters, logs, report, schema
 
 
 def _cmd_report(args) -> int:
@@ -51,6 +57,31 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_export(args) -> int:
+    if args.format == "chrome":
+        if not args.directory:
+            print("chrome export needs a trace directory", file=sys.stderr)
+            return 2
+        text = exporters.export_chrome_trace(args.directory)
+    else:  # prometheus
+        snapshot = None
+        if args.directory:
+            # Offline mode: rebuild counters a trace directory implies (span
+            # counts per phase) so a post-mortem can still be scraped once.
+            spans = report.load_trace_dir(args.directory)
+            phases: "dict[str, float]" = {}
+            for record in spans:
+                phase = report.phase_of(record.get("name", ""))
+                phases[f"spans.{phase}"] = phases.get(f"spans.{phase}", 0) + 1
+            snapshot = {"counters": phases, "gauges": {}, "histograms": {}}
+        text = exporters.render_prometheus(snapshot)
+    if args.out:
+        Path(args.out).write_text(text if text.endswith("\n") else text + "\n")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.telemetry",
@@ -73,6 +104,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate_parser.add_argument("directory", help="directory of trace-*.jsonl files")
     validate_parser.set_defaults(fn=_cmd_validate)
+
+    export_parser = sub.add_parser(
+        "export", help="convert telemetry to Chrome-trace or Prometheus text"
+    )
+    export_parser.add_argument(
+        "directory",
+        nargs="?",
+        help="trace directory (required for chrome; optional for prometheus)",
+    )
+    export_parser.add_argument(
+        "--format",
+        choices=("chrome", "prometheus"),
+        required=True,
+        help="output format",
+    )
+    export_parser.add_argument(
+        "--out", help="write to this file instead of stdout"
+    )
+    export_parser.set_defaults(fn=_cmd_export)
     return parser
 
 

@@ -1,0 +1,336 @@
+"""Export repro telemetry into the formats the world's dashboards speak.
+
+Two converters and one tiny server, all stdlib-only:
+
+* :func:`render_prometheus` — the metrics registry (plus any extra gauges,
+  e.g. the sampler's derived rates) as Prometheus/OpenMetrics text
+  exposition: counters become ``repro_<name>_total``, gauges
+  ``repro_<name>``, histograms summary families with ``quantile`` labels
+  and ``_count``/``_sum`` children.
+* :func:`chrome_trace` — merged span records (the JSONL files
+  :mod:`repro.telemetry.report` loads, torn tails already skipped) as a
+  Chrome trace-event / Perfetto JSON document: one ``ph: "X"`` complete
+  event per span, processes mapped to ``pid`` and concurrent span chains
+  within a process fanned out across ``tid`` lanes so nesting renders
+  correctly.  Load the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+* :class:`MetricsHTTPServer` — a daemon-thread ``http.server`` exposing
+  ``GET /metrics`` for Prometheus scrapes (the daemon starts one when
+  ``serve --metrics-port`` is given).
+
+``python -m repro.telemetry export --format prometheus|chrome`` is the
+one-shot CLI over both converters.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import re
+import threading
+
+#: Prometheus metric and label names: letters, digits, underscores, colons.
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantiles exposed for every histogram summary.
+SUMMARY_QUANTILES = ("p50", "p90", "p99")
+
+_QUANTILE_VALUES = {"p50": "0.5", "p90": "0.9", "p95": "0.95", "p99": "0.99"}
+
+
+def prometheus_name(name: str, *, prefix: str = "repro") -> str:
+    """``cache.hits`` → ``repro_cache_hits`` (sanitized, prefixed)."""
+    flat = _NAME_OK.sub("_", name.replace(".", "_"))
+    if flat and flat[0].isdigit():
+        flat = f"_{flat}"
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    snapshot: "dict | None" = None,
+    *,
+    extra_gauges: "dict | None" = None,
+    prefix: str = "repro",
+) -> str:
+    """The registry snapshot as Prometheus text exposition (version 0.0.4).
+
+    ``snapshot`` defaults to a fresh :func:`repro.telemetry.metrics.snapshot`;
+    ``extra_gauges`` (name → value, e.g. the sampler's derived rates) are
+    appended as gauges.  Every family carries ``# HELP``/``# TYPE`` headers
+    and the output ends with a newline, as scrapers expect.
+    """
+    if snapshot is None:
+        from repro.telemetry import metrics
+
+        snapshot = metrics.snapshot()
+    lines: "list[str]" = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        metric = prometheus_name(name, prefix=prefix) + "_total"
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(snapshot['counters'][name])}")
+
+    gauges = dict(snapshot.get("gauges", {}))
+    gauges.update(extra_gauges or {})
+    for name in sorted(gauges):
+        metric = prometheus_name(name, prefix=prefix)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        stats = snapshot["histograms"][name]
+        metric = prometheus_name(name, prefix=prefix)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        for key in SUMMARY_QUANTILES:
+            if key in stats:
+                lines.append(
+                    f'{metric}{{quantile="{_QUANTILE_VALUES[key]}"}} '
+                    f"{_format_value(stats[key])}"
+                )
+        count = stats.get("count", 0)
+        lines.append(f"{metric}_count {_format_value(count)}")
+        lines.append(
+            f"{metric}_sum {_format_value(stats.get('mean', 0.0) * count)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> "dict[str, float]":
+    """Sample lines of an exposition back into ``{name{labels}: value}``.
+
+    A deliberately strict line-by-line reader used by the round-trip tests
+    and CI smoke: every non-comment line must match the
+    ``name[{labels}] value`` grammar or this raises ``ValueError``.
+    """
+    sample = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+        r"(\{[^{}]*\})?"                          # optional {labels}
+        r" (-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|NaN|Inf))$"  # value
+    )
+    values: "dict[str, float]" = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line or line.startswith("#"):
+            continue
+        match = sample.match(line)
+        if match is None:
+            raise ValueError(f"line {number} is not a valid sample: {line!r}")
+        name, labels, value = match.groups()
+        values[f"{name}{labels or ''}"] = float(value)
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events
+# ---------------------------------------------------------------------------
+
+
+def _assign_lanes(spans: "list[dict]") -> "dict[str, int]":
+    """span_id → tid lane, per pid: overlapping chains get separate lanes.
+
+    Chrome renders ``ph: "X"`` events in one (pid, tid) track as a stack, so
+    two *concurrent* top-level spans of the same process (daemon worker
+    threads) must not share a track.  Roots are placed greedily into the
+    first lane that is free at their start time; descendants inherit their
+    root's lane (a child lies inside its parent's interval by construction,
+    so nesting within the lane stays valid).
+    """
+    by_id = {s.get("span_id"): s for s in spans if s.get("span_id")}
+
+    def root_of(record: dict) -> dict:
+        seen = set()
+        while True:
+            parent = record.get("parent_id")
+            if not parent or parent not in by_id or parent in seen:
+                return record
+            seen.add(record.get("span_id"))
+            record = by_id[parent]
+
+    lanes: "dict[str, int]" = {}
+    # lane_ends[pid] holds, per lane index, when that lane frees up.
+    lane_ends: "dict[int, list[float]]" = {}
+    roots = sorted(
+        {id(root_of(s)): root_of(s) for s in spans}.values(),
+        key=lambda r: float(r.get("start", 0.0)),
+    )
+    for root in roots:
+        pid = int(root.get("pid", 0))
+        start = float(root.get("start", 0.0))
+        end = start + float(root.get("wall", 0.0))
+        ends = lane_ends.setdefault(pid, [])
+        for index, free_at in enumerate(ends):
+            if free_at <= start:
+                ends[index] = end
+                break
+        else:
+            index = len(ends)
+            ends.append(end)
+        lanes[root.get("span_id", "")] = index
+    for record in spans:
+        span_id = record.get("span_id", "")
+        if span_id not in lanes:
+            lanes[span_id] = lanes.get(root_of(record).get("span_id", ""), 0)
+    return lanes
+
+
+def chrome_trace(spans: "list[dict]") -> dict:
+    """Merged span records as a Chrome trace-event JSON document.
+
+    Each span becomes one complete (``ph: "X"``) event with microsecond
+    ``ts``/``dur``, its process as ``pid`` and a computed ``tid`` lane;
+    trace/span/parent ids and user attrs ride in ``args`` so Perfetto's
+    query engine can reconstruct the tree.  Process-name metadata events
+    label each pid.  The document loads in ``chrome://tracing``,
+    https://ui.perfetto.dev, and speedscope.
+    """
+    lanes = _assign_lanes(spans)
+    events: "list[dict]" = []
+    pids = sorted({int(s.get("pid", 0)) for s in spans})
+    for pid in pids:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    for record in spans:
+        args = {
+            "trace_id": record.get("trace_id"),
+            "span_id": record.get("span_id"),
+            "parent_id": record.get("parent_id"),
+            "cpu_s": record.get("cpu"),
+        }
+        if record.get("error"):
+            args["error"] = True
+        args.update(record.get("attrs") or {})
+        events.append(
+            {
+                "ph": "X",
+                "name": record.get("name", "?"),
+                "cat": _phase_of(record.get("name", "")),
+                "ts": round(float(record.get("start", 0.0)) * 1e6, 3),
+                "dur": round(float(record.get("wall", 0.0)) * 1e6, 3),
+                "pid": int(record.get("pid", 0)),
+                "tid": lanes.get(record.get("span_id", ""), 0),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _phase_of(name: str) -> str:
+    from repro.telemetry.report import phase_of
+
+    return phase_of(name)
+
+
+def export_chrome_trace(directory, out=None) -> "str":
+    """Convert a trace directory to trace-event JSON; return (or write) it.
+
+    ``directory`` holds the per-process ``trace-*.jsonl`` files; torn final
+    lines from SIGKILLed workers are skipped exactly as ``report`` does.
+    """
+    from pathlib import Path
+
+    from repro.telemetry.report import load_trace_dir
+
+    document = chrome_trace(load_trace_dir(directory))
+    text = json.dumps(document, indent=None, separators=(",", ":"))
+    if out is not None:
+        Path(out).write_text(text + "\n")
+    return text
+
+
+# ---------------------------------------------------------------------------
+# The /metrics scrape endpoint
+# ---------------------------------------------------------------------------
+
+
+class _MetricsHandler(http.server.BaseHTTPRequestHandler):
+    server_version = "repro-metrics"
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served here")
+            return
+        try:
+            body = self.server.render().encode("utf-8")  # type: ignore[attr-defined]
+        except Exception as exc:  # noqa: BLE001 - a scrape must never crash us
+            self.send_error(500, f"exposition failed: {type(exc).__name__}")
+            return
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # scrapes happen every few seconds; stderr noise helps nobody
+
+
+class MetricsHTTPServer:
+    """A Prometheus scrape endpoint on a daemon thread.
+
+    ``render`` is called per request and must return exposition text (the
+    daemon passes registry + sampler rates).  ``port=0`` binds an ephemeral
+    port; read :attr:`port` after :meth:`start`.  Binds loopback by default —
+    metrics can leak workload details, so exposing them beyond the machine
+    is an explicit choice (``host="0.0.0.0"``).
+    """
+
+    def __init__(self, render, *, port: int = 0, host: str = "127.0.0.1"):
+        self._render = render
+        self._requested = (host, int(port))
+        self._server: "http.server.ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+        self.port: "int | None" = None
+
+    def start(self) -> int:
+        """Bind and start serving; returns the bound port."""
+        if self._server is not None:
+            return self.port  # type: ignore[return-value]
+        server = http.server.ThreadingHTTPServer(self._requested, _MetricsHandler)
+        server.daemon_threads = True
+        server.render = self._render  # type: ignore[attr-defined]
+        self._server = server
+        self.port = server.server_address[1]
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.2},
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    @property
+    def url(self) -> "str | None":
+        if self.port is None:
+            return None
+        host = self._requested[0]
+        return f"http://{host}:{self.port}/metrics"

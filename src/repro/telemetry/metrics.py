@@ -97,7 +97,9 @@ def snapshot() -> dict:
             "max": ordered[-1] if ordered else 0.0,
             "mean": (sum(ordered) / len(ordered)) if ordered else 0.0,
             "p50": _percentile(ordered, 0.50),
+            "p90": _percentile(ordered, 0.90),
             "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
         }
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
 

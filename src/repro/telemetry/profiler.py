@@ -1,0 +1,292 @@
+"""A lightweight sampling profiler: where is the CPU *inside* a span?
+
+Spans time the regions we thought to instrument; the profiler answers for
+everything else.  ``REPRO_PROFILE=<hz>`` arms a per-process
+:class:`SamplingProfiler`: a daemon thread wakes ``hz`` times a second,
+walks every other thread's stack via ``sys._current_frames()``, and counts
+``module.function`` stacks into a folded-stack table.  On stop (and
+periodically, so a SIGKILLed worker still leaves its last autosave) the
+table lands as ``profile-<pid>-<nonce>.folded`` next to the trace files —
+one ``root;child;leaf <microseconds>`` line per stack, the exact shape
+:func:`repro.telemetry.report.flame_stacks` emits, so span flames and
+profile flames merge in one ``report --flame`` output and feed straight
+into ``flamegraph.pl`` or speedscope.
+
+Like tracing, profiling is **off by default and effectively free when off**:
+:func:`maybe_start_profiler` (called from pool-worker initializers, service
+workers and the daemon) is a single raw environment lookup unless
+``REPRO_PROFILE`` is set — the same trick, and the same ≤2% budget, as the
+span and fault-point disabled paths (benched in
+``benchmarks/bench_telemetry_overhead.py``).
+
+Sampling, not instrumentation: a 97 Hz sampler adds one brief
+stop-the-world-free stack walk per wake — a few microseconds times the
+thread count — so profiling a real sweep perturbs it by well under a
+percent, and the default rate is prime so it cannot alias against periodic
+work (heartbeats, pollers).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import sys
+import threading
+import time
+from pathlib import Path
+
+#: ``REPRO_PROFILE=<hz>`` arms the profiler at that sampling rate.
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Where the folded files land (default: the trace directory).
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+
+#: Sampling rate used when ``REPRO_PROFILE`` is a bare truthy flag.  Prime,
+#: so the sampler cannot lock phase with 10/20/50/100 Hz periodic work.
+DEFAULT_HZ = 97.0
+
+#: Seconds between autosaves of the folded table while running.
+AUTOSAVE_SECONDS = 5.0
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+# Same raw-environ trick as spans.py: the armed check sits in every pool
+# worker's initializer and (via maybe_start_profiler) on entry-point paths,
+# so the disabled path must be one dict lookup, not a MutableMapping call.
+_ENV_KEY = PROFILE_ENV.encode() if os.name == "posix" else PROFILE_ENV
+_ENV_DATA = getattr(os.environ, "_data", None) if os.name == "posix" else None
+
+
+def _profile_env_value() -> "str | None":
+    if _ENV_DATA is not None:
+        raw = _ENV_DATA.get(_ENV_KEY)
+        return None if raw is None else os.fsdecode(raw)
+    return os.environ.get(PROFILE_ENV)
+
+
+def profile_rate() -> "float | None":
+    """The armed sampling rate in Hz, or ``None`` when profiling is off.
+
+    ``REPRO_PROFILE=250`` samples at 250 Hz; a bare truthy value
+    (``1``/``true``/``on``/``yes``) uses :data:`DEFAULT_HZ`; anything else
+    (unset, empty, ``0``, garbage) disarms.
+    """
+    env = _profile_env_value()
+    if not env:
+        return None
+    text = env.strip().lower()
+    if text in _TRUTHY:
+        return DEFAULT_HZ
+    try:
+        hz = float(text)
+    except ValueError:
+        return None
+    return hz if hz > 0 else None
+
+
+def profile_dir() -> Path:
+    """``$REPRO_PROFILE_DIR`` if set, else the trace directory."""
+    env = os.environ.get(PROFILE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    from repro.telemetry.spans import trace_dir
+
+    return trace_dir()
+
+
+class SamplingProfiler:
+    """Thread-based stack sampler writing folded stacks for one process."""
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        *,
+        directory: "str | Path | None" = None,
+    ):
+        if hz <= 0:
+            raise ValueError(f"hz must be > 0, got {hz}")
+        self.hz = float(hz)
+        self._directory = Path(directory).expanduser() if directory else None
+        self._lock = threading.Lock()
+        self._folded: "dict[str, int]" = {}  # stack → sample count
+        self._samples = 0
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self.path: "Path | None" = None
+
+    # ----------------------------------------------------------------- sampling
+
+    def _sample(self) -> None:
+        me = threading.get_ident()
+        # sys._current_frames snapshots every thread atomically under the GIL;
+        # the walk afterwards reads frames that may keep running, which for a
+        # statistical profiler is fine (the stack we record existed).
+        for ident, frame in sys._current_frames().items():
+            if ident == me:
+                continue
+            names: "list[str]" = []
+            depth = 0
+            while frame is not None and depth < 128:
+                code = frame.f_code
+                module = frame.f_globals.get("__name__", "?")
+                names.append(f"{module}.{code.co_name}")
+                frame = frame.f_back
+                depth += 1
+            if not names:
+                continue
+            stack = ";".join(reversed(names))
+            with self._lock:
+                self._folded[stack] = self._folded.get(stack, 0) + 1
+        with self._lock:
+            self._samples += 1
+
+    def _loop(self) -> None:
+        interval = 1.0 / self.hz
+        next_flush = time.monotonic() + AUTOSAVE_SECONDS
+        while not self._stop.wait(timeout=interval):
+            try:
+                self._sample()
+            except Exception:  # noqa: BLE001 - profiling must never kill work
+                pass
+            if time.monotonic() >= next_flush:
+                try:
+                    self.flush()
+                except Exception:  # noqa: BLE001 - best-effort persistence
+                    pass
+                next_flush = time.monotonic() + AUTOSAVE_SECONDS
+
+    # ------------------------------------------------------------------- output
+
+    def folded_lines(self) -> "list[str]":
+        """Current folded stacks, one ``a;b;c <µs>`` line per stack.
+
+        Each sample is worth one sampling period; values are microseconds so
+        the lines merge additively with the span flames from
+        :func:`repro.telemetry.report.flame_stacks`.
+        """
+        period_us = 1e6 / self.hz
+        with self._lock:
+            folded = dict(self._folded)
+        return [
+            f"{stack} {int(count * period_us)}"
+            for stack, count in sorted(folded.items())
+        ]
+
+    def flush(self) -> "Path | None":
+        """Write the folded table (atomic replace); returns the path."""
+        lines = self.folded_lines()
+        if not lines:
+            return self.path
+        if self.path is None:
+            directory = (
+                self._directory if self._directory is not None else profile_dir()
+            )
+            directory.mkdir(parents=True, exist_ok=True)
+            self.path = (
+                directory / f"profile-{os.getpid()}-{secrets.token_hex(4)}.folded"
+            )
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text("\n".join(lines) + "\n")
+        os.replace(tmp, self.path)
+        return self.path
+
+    # ---------------------------------------------------------------- lifecycle
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def start(self) -> None:
+        """Spawn the sampling thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> "Path | None":
+        """Stop sampling and write the final folded file."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        self._thread = None
+        return self.flush()
+
+
+# The one env-armed profiler per process (fork-aware via the pid stamp).
+_active: "SamplingProfiler | None" = None
+_active_pid: "int | None" = None
+
+
+def maybe_start_profiler() -> "SamplingProfiler | None":
+    """Start the env-armed per-process profiler; the no-op when disarmed.
+
+    Called from pool-worker initializers, the service worker loop and the
+    daemon.  Idempotent per process; a forked child starts its own sampler
+    (threads do not survive ``fork``) writing its own folded file.  Returns
+    the active profiler, or ``None`` when ``REPRO_PROFILE`` is not set —
+    and in that case costs a single raw environment lookup.
+    """
+    if _ENV_DATA is not None:
+        if _ENV_DATA.get(_ENV_KEY) is None:  # the hot disabled path
+            return None
+    elif os.environ.get(PROFILE_ENV) is None:  # pragma: no cover - non-POSIX
+        return None
+    hz = profile_rate()
+    if hz is None:
+        return None
+    global _active, _active_pid
+    pid = os.getpid()
+    if _active is not None and _active_pid == pid:
+        return _active
+    profiler = SamplingProfiler(hz)
+    profiler.start()
+    _active, _active_pid = profiler, pid
+    atexit.register(profiler.stop)
+    # Pool workers exit through os._exit after running only multiprocessing's
+    # own finalizers — atexit never fires there, and a worker living shorter
+    # than one autosave would silently drop its whole profile.  Register with
+    # both exit paths; stop() is idempotent, so double-firing just re-flushes.
+    try:
+        from multiprocessing.util import Finalize
+
+        Finalize(None, profiler.stop, exitpriority=100)
+    except Exception:  # noqa: BLE001 - profiling must never break shutdown
+        pass
+    return profiler
+
+
+def stop_profiler() -> "Path | None":
+    """Stop the process's env-armed profiler, if one is running."""
+    global _active, _active_pid
+    profiler, _active, _active_pid = _active, None, None
+    if profiler is None:
+        return None
+    return profiler.stop()
+
+
+def load_profile_dir(directory: "str | Path") -> "list[str]":
+    """Merge every ``profile-*.folded`` under ``directory`` into one table.
+
+    Stacks appearing in several processes' files are summed, so a fleet's
+    folded output reads as one flame graph.  Unparseable lines (a torn
+    autosave tail) are skipped.
+    """
+    directory = Path(directory)
+    folded: "dict[str, int]" = {}
+    for path in sorted(directory.glob("profile-*.folded")):
+        for line in path.read_text().splitlines():
+            stack, _, value = line.rpartition(" ")
+            if not stack:
+                continue
+            try:
+                micros = int(value)
+            except ValueError:
+                continue
+            folded[stack] = folded.get(stack, 0) + micros
+    return [f"{stack} {value}" for stack, value in sorted(folded.items())]

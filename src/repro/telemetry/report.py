@@ -171,6 +171,97 @@ def worker_utilization(spans: "list[dict]") -> "dict[int, dict]":
     return utilization
 
 
+def critical_path(spans: "list[dict]") -> dict:
+    """The longest wall-clock chain through the span tree.
+
+    Starts at the root span with the greatest wall time and repeatedly
+    descends into the longest child, recording each step's exclusive
+    self-time.  The result attributes the chain's wall to pipeline phases —
+    the answer to "if I made one thing faster, what should it be":
+
+    ``{"steps": [{"name", "phase", "wall", "self", "pid"}], "wall": <root
+    wall>, "phases": {phase: seconds}}`` — ``phases`` sums the steps' self
+    times, so it totals the chain's wall (children not on the chain excluded
+    by construction of exclusive time are *included* here via the parent's
+    step, keeping the accounting honest about where the chain's clock went).
+    """
+    if not spans:
+        return {"steps": [], "wall": 0.0, "phases": {}}
+    by_id = {r.get("span_id"): r for r in spans if r.get("span_id")}
+    children: "dict[str, list[dict]]" = {}
+    for record in spans:
+        parent = record.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(record)
+    roots = [
+        r
+        for r in spans
+        if not r.get("parent_id") or r.get("parent_id") not in by_id
+    ]
+    current = max(roots, key=lambda r: float(r.get("wall", 0.0)))
+    root_wall = float(current.get("wall", 0.0))
+
+    steps: "list[dict]" = []
+    phases: "dict[str, float]" = {}
+    seen: "set[str]" = set()
+    while current is not None:
+        span_id = current.get("span_id", "")
+        if span_id in seen:  # cyclic ids can only come from corrupt traces
+            break
+        seen.add(span_id)
+        kids = children.get(span_id, [])
+        kids_wall = sum(float(k.get("wall", 0.0)) for k in kids)
+        wall = float(current.get("wall", 0.0))
+        self_seconds = max(0.0, wall - kids_wall)
+        phase = phase_of(current.get("name", ""))
+        steps.append(
+            {
+                "name": current.get("name", "?"),
+                "phase": phase,
+                "wall": wall,
+                "self": self_seconds,
+                "pid": int(current.get("pid", 0)),
+            }
+        )
+        phases[phase] = phases.get(phase, 0.0) + self_seconds
+        current = max(
+            kids, key=lambda k: float(k.get("wall", 0.0)), default=None
+        )
+    return {"steps": steps, "wall": root_wall, "phases": phases}
+
+
+#: A worker is a straggler when its busy time exceeds the fleet median by
+#: this factor — it is the one the barrier at the end of a sweep waits on.
+STRAGGLER_FACTOR = 1.5
+
+
+def find_stragglers(spans: "list[dict]") -> "list[dict]":
+    """Workers whose busy time dominates the fleet median.
+
+    Returns ``[{"pid", "busy_seconds", "median_seconds", "ratio"}]`` sorted
+    worst-first; empty when fewer than two workers traced (a straggler is a
+    *relative* notion) or when the fleet is balanced.
+    """
+    utilization = worker_utilization(spans)
+    if len(utilization) < 2:
+        return []
+    busies = sorted(u["busy_seconds"] for u in utilization.values())
+    median = busies[len(busies) // 2]
+    if median <= 0:
+        return []
+    stragglers = [
+        {
+            "pid": pid,
+            "busy_seconds": stats["busy_seconds"],
+            "median_seconds": median,
+            "ratio": stats["busy_seconds"] / median,
+        }
+        for pid, stats in utilization.items()
+        if stats["busy_seconds"] > STRAGGLER_FACTOR * median
+    ]
+    return sorted(stragglers, key=lambda s: -s["ratio"])
+
+
 def flame_stacks(spans: "list[dict]") -> "list[str]":
     """Folded stacks (``root;child;leaf <µs>``) over exclusive time.
 
@@ -231,14 +322,37 @@ def render_report(spans: "list[dict]") -> str:
     lines.append("")
 
     utilization = worker_utilization(spans)
+    straggler_pids = {s["pid"] for s in find_stragglers(spans)}
     lines.append(f"{'pid':<10} {'busy':>10} {'window':>10} {'util':>7} {'spans':>7}")
     lines.append("-" * 48)
     for pid in sorted(utilization):
         stats = utilization[pid]
+        flag = "  <- straggler" if pid in straggler_pids else ""
         lines.append(
             f"{pid:<10d} {stats['busy_seconds']:>10.4f}"
             f" {stats['window_seconds']:>10.4f}"
-            f" {stats['utilization']:>6.1%} {stats['spans']:>7d}"
+            f" {stats['utilization']:>6.1%} {stats['spans']:>7d}{flag}"
         )
     lines.append("")
+
+    path = critical_path(spans)
+    if path["steps"]:
+        lines.append(
+            f"critical path: {path['wall']:.4f} s over"
+            f" {len(path['steps'])} spans"
+        )
+        lines.append("-" * 48)
+        for step in path["steps"]:
+            lines.append(
+                f"  {step['name']:<24.24} {step['wall']:>9.4f} s"
+                f" (self {step['self']:>8.4f} s, {step['phase']},"
+                f" pid {step['pid']})"
+            )
+        attributed = sorted(path["phases"].items(), key=lambda kv: -kv[1])
+        parts = ", ".join(
+            f"{phase} {seconds:.4f}s" for phase, seconds in attributed if seconds > 0
+        )
+        if parts:
+            lines.append(f"  by phase: {parts}")
+        lines.append("")
     return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Bounded-memory metrics time-series: periodic snapshots with derived rates.
+
+:mod:`repro.telemetry.metrics` answers *how often did it happen so far*; this
+module answers *how fast is it happening right now*.  A
+:class:`MetricsSampler` records one sample per ``interval`` seconds into a
+ring buffer (a ``deque(maxlen=window)``, so a daemon that runs for a month
+holds the same memory as one that ran for ten minutes):
+
+* the full counter/gauge state of the metrics registry, optionally merged
+  with a *probe* callback's values (the daemon contributes queue depth,
+  executed-point totals and worker busyness this way);
+* per-second **rates** for every counter, taken as the clamped delta against
+  the previous sample (a restarted registry reads as a quiet second, never a
+  negative spike);
+* a small set of **derived** operator headlines — ``points_per_second``,
+  ``cache_hit_rate`` over the sample window, ``queue_depth`` — that
+  ``repro.service top`` and the Prometheus exposition surface directly.
+
+The sampler is thread-safe and runs either embedded (call
+:meth:`MetricsSampler.sample_once` from your own loop) or self-driven
+(:meth:`start` spawns a daemon thread; :meth:`stop` joins it).  The daemon
+runs one per process and serves the buffer through its ``series`` op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.telemetry import metrics
+
+#: Default seconds between samples.
+DEFAULT_INTERVAL = 1.0
+
+#: Default ring-buffer length (samples retained, oldest evicted first).
+DEFAULT_WINDOW = 600
+
+#: Counter whose rate is the fleet's throughput headline.  The daemon's probe
+#: reports executed points under this name; outside the daemon the batch
+#: counter is the closest equivalent.
+POINTS_COUNTERS = ("service.points_executed", "batch.points_total")
+
+
+class MetricsSampler:
+    """Periodic registry snapshots with rates, in a bounded ring buffer.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples when self-driven via :meth:`start`.
+    window:
+        Maximum samples retained; memory is bounded by construction.
+    probe:
+        Optional callable returning ``{"counters": {...}, "gauges": {...}}``
+        merged into each sample — the hook through which the daemon reports
+        state (queue depth, points executed) the process-global registry
+        does not carry.  Raising probes are swallowed: sampling must never
+        take the daemon down.
+    """
+
+    def __init__(
+        self,
+        *,
+        interval: float = DEFAULT_INTERVAL,
+        window: int = DEFAULT_WINDOW,
+        probe=None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if window < 2:
+            raise ValueError(f"window must be >= 2 (rates need a delta), got {window}")
+        self.interval = float(interval)
+        self.window = int(window)
+        self.probe = probe
+        self._lock = threading.Lock()
+        self._samples: "deque[dict]" = deque(maxlen=self.window)
+        self._previous: "dict | None" = None  # last (t, counters) for deltas
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._started_at: "float | None" = None
+
+    # ----------------------------------------------------------------- sampling
+
+    def _probe_values(self) -> "tuple[dict, dict]":
+        if self.probe is None:
+            return {}, {}
+        try:
+            extra = self.probe() or {}
+        except Exception:  # noqa: BLE001 - a broken probe must not stop sampling
+            return {}, {}
+        return dict(extra.get("counters", {})), dict(extra.get("gauges", {}))
+
+    def sample_once(self, now: "float | None" = None) -> dict:
+        """Record (and return) one sample; safe from any thread."""
+        now = time.time() if now is None else float(now)
+        snapshot = metrics.snapshot()
+        probe_counters, probe_gauges = self._probe_values()
+        counters = {**snapshot["counters"], **probe_counters}
+        gauges = {**snapshot["gauges"], **probe_gauges}
+        with self._lock:
+            rates = self._rates(now, counters)
+            sample = {
+                "t": round(now, 3),
+                "counters": counters,
+                "gauges": gauges,
+                "rates": rates,
+                "derived": self._derived(counters, gauges, rates),
+            }
+            self._samples.append(sample)
+            self._previous = {"t": now, "counters": counters}
+        return sample
+
+    def _rates(self, now: float, counters: dict) -> dict:
+        """Per-second deltas vs. the previous sample, clamped at zero."""
+        previous = self._previous
+        if previous is None:
+            return {name: 0.0 for name in counters}
+        dt = max(now - previous["t"], 1e-9)
+        before = previous["counters"]
+        return {
+            name: round(max(0.0, value - before.get(name, 0.0)) / dt, 6)
+            for name, value in counters.items()
+        }
+
+    @staticmethod
+    def _derived(counters: dict, gauges: dict, rates: dict) -> dict:
+        """The operator headlines ``top`` and the exposition lead with."""
+        points_per_second = 0.0
+        for name in POINTS_COUNTERS:
+            if name in rates:
+                points_per_second = rates[name]
+                break
+        hits, misses = rates.get("cache.hits", 0.0), rates.get("cache.misses", 0.0)
+        looked_up = hits + misses
+        derived = {
+            "points_per_second": points_per_second,
+            "cache_hit_rate": (hits / looked_up) if looked_up else None,
+            "queue_depth": gauges.get("queue.points_pending", 0.0),
+            "lease_losses": counters.get("service.lease_losses", 0.0),
+        }
+        return derived
+
+    # ------------------------------------------------------------------ reading
+
+    def series(self, last: "int | None" = None) -> dict:
+        """The retained window (optionally only the ``last`` N samples).
+
+        Returns ``{"interval", "window", "samples": [...]}`` — the shape the
+        daemon's ``series`` op puts on the wire verbatim.
+        """
+        with self._lock:
+            samples = list(self._samples)
+        if last is not None and last >= 0:
+            samples = samples[-last:] if last else []
+        return {
+            "interval": self.interval,
+            "window": self.window,
+            "samples": samples,
+        }
+
+    def latest(self) -> "dict | None":
+        """The most recent sample, or ``None`` before the first tick."""
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Spawn the background sampling thread (idempotent).
+
+        Seeds the rate baseline with the *current* counter state, so work
+        finishing entirely inside the first interval still shows up as a
+        nonzero rate in the first sample instead of vanishing (the first
+        delta would otherwise be undefined and read as a quiet second).
+        """
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._started_at = time.time()
+        snapshot = metrics.snapshot()
+        probe_counters, _ = self._probe_values()
+        with self._lock:
+            if self._previous is None:
+                self._previous = {
+                    "t": self._started_at,
+                    "counters": {**snapshot["counters"], **probe_counters},
+                }
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-metrics-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, *, join_timeout: float = 5.0) -> None:
+        """Stop and join the sampling thread (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=join_timeout)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(timeout=self.interval):
+            try:
+                self.sample_once()
+            except Exception:  # noqa: BLE001 - sampling is best-effort
+                pass

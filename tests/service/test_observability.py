@@ -1,0 +1,161 @@
+"""Live fleet observability: series op, /metrics scrapes, top, connections."""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.request
+
+import pytest
+
+from repro.runtime import RunSpec, SweepSpec
+from repro.service.cli import main
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    RemoteError,
+    ServiceConnection,
+    ServiceConnectionError,
+)
+from repro.telemetry.exporters import parse_prometheus
+
+from _service_helpers import make_problem, wait_until
+
+
+def run_sweep(daemon) -> dict:
+    client = ServiceClient(daemon.socket_path)
+    spec = SweepSpec(
+        problem=make_problem(), strategies=("direct", "pauli"), steps=(1, 2),
+        backend="resource",
+    )
+    ack = client.submit(spec)
+    status = client.wait(ack["job_id"], timeout=60)
+    assert status["state"] == "done"
+    return ack
+
+
+class TestSeriesOp:
+    def test_series_reaches_the_client_with_derived_rates(self, make_daemon):
+        daemon = make_daemon(local_workers=1, chunk_size=2,
+                             sample_interval=0.05)
+        run_sweep(daemon)
+        client = ServiceClient(daemon.socket_path)
+        wait_until(lambda: client.series()["samples"])
+        doc = client.series()
+        assert doc["interval"] == pytest.approx(0.05)
+        assert doc["window"] == 600
+        sample = doc["samples"][-1]
+        for key in ("t", "counters", "gauges", "rates", "derived"):
+            assert key in sample
+        # The daemon's probe feeds the executed-point total into the series.
+        assert sample["counters"]["service.points_executed"] == 4.0
+        assert "points_per_second" in sample["derived"]
+        # A fast sweep still registers as throughput somewhere in the window
+        # (the baseline is seeded at daemon start, so the rate cannot vanish
+        # into the first interval).
+        wait_until(lambda: any(
+            s["derived"]["points_per_second"] > 0
+            for s in client.series()["samples"]
+        ))
+
+    def test_last_limits_the_reply(self, make_daemon):
+        daemon = make_daemon(local_workers=0, sample_interval=0.02)
+        wait_until(lambda: len(daemon.sampler) >= 3)
+        assert len(ServiceClient(daemon.socket_path).series(last=2)["samples"]) == 2
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_with_the_fleet_counters(self, make_daemon):
+        daemon = make_daemon(local_workers=1, chunk_size=2,
+                             sample_interval=0.05, metrics_port=0)
+        port = daemon.metrics_server.port
+        assert port  # ephemeral bind really happened
+        run_sweep(daemon)
+        wait_until(lambda: len(daemon.sampler) >= 1)
+
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=10
+        ) as response:
+            assert response.status == 200
+            assert "version=0.0.4" in response.headers["Content-Type"]
+            text = response.read().decode("utf-8")
+
+        values = parse_prometheus(text)  # every line must obey the grammar
+        # The acceptance counters: cache families exist from the first
+        # scrape, and the daemon's probe state rides along as gauges.
+        assert "repro_cache_hits_total" in values
+        assert "repro_cache_misses_total" in values
+        assert values["repro_service_points_executed"] == 4.0
+        assert "repro_points_per_second" in values
+        assert "repro_queue_points_pending" in values
+        assert "repro_workers_total" in values
+
+    def test_no_metrics_port_means_no_server(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        assert daemon.metrics_server is None
+
+
+class TestTopCommand:
+    def test_top_count_renders_the_dashboard(self, make_daemon, capsys):
+        daemon = make_daemon(local_workers=1, chunk_size=2,
+                             sample_interval=0.05)
+        run_sweep(daemon)
+        socket_args = ["--socket", str(daemon.socket_path)]
+        assert main(["top", "--count", "2", "--interval", "0.05",
+                     *socket_args]) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top — daemon pid") == 2
+        assert "throughput" in out and "points/s" in out
+        assert "queue" in out and "workers" in out
+        assert "resilience" in out
+        # The finished sweep shows up in the job table with a full bar.
+        assert "done" in out and "4/4" in out
+
+    def test_top_json_emits_the_four_documents(self, make_daemon, capsys):
+        daemon = make_daemon(local_workers=1, sample_interval=0.05)
+        assert main(["top", "--count", "1", "--json",
+                     "--socket", str(daemon.socket_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"stats", "series", "jobs", "workers"}
+        assert payload["stats"]["pid"] == os.getpid()  # in-process daemon
+
+
+class TestServiceConnection:
+    def test_multiplexes_many_ops_on_one_socket(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        with ServiceConnection(daemon.socket_path) as conn:
+            assert not conn.connected  # lazy: nothing until the first op
+            pids = {conn.request("stats")["pid"] for _ in range(5)}
+            assert pids == {os.getpid()}
+            assert conn.connected
+            assert conn.request("jobs")["ok"]
+            assert conn.request("workers")["ok"]
+        assert not conn.connected  # context exit closed it
+
+    def test_remote_errors_keep_the_connection_alive(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        conn = ServiceConnection(daemon.socket_path)
+        try:
+            with pytest.raises(RemoteError):
+                conn.request("no_such_op")
+            assert conn.connected  # protocol-level error, not a socket death
+            assert conn.request("stats")["pid"] == os.getpid()
+        finally:
+            conn.close()
+
+    def test_close_then_request_reconnects(self, make_daemon):
+        daemon = make_daemon(local_workers=0)
+        conn = ServiceConnection(daemon.socket_path)
+        try:
+            assert conn.request("stats")["ok"]
+            conn.close()
+            conn.close()  # idempotent
+            assert not conn.connected
+            assert conn.request("stats")["ok"]  # lazily reconnected
+        finally:
+            conn.close()
+
+    def test_dead_socket_raises_connection_error(self, tmp_path):
+        conn = ServiceConnection(tmp_path / "nobody-home.sock")
+        with pytest.raises(ServiceConnectionError):
+            conn.request("stats")
+        assert not conn.connected

@@ -13,11 +13,15 @@ def clean_telemetry(monkeypatch):
     """Every test starts env-driven, disabled, with empty metric registries."""
     monkeypatch.delenv(telemetry.TRACE_ENV, raising=False)
     monkeypatch.delenv(telemetry.TRACE_DIR_ENV, raising=False)
+    monkeypatch.delenv(telemetry.PROFILE_ENV, raising=False)
+    monkeypatch.delenv(telemetry.PROFILE_DIR_ENV, raising=False)
     telemetry.reset()
     metrics.reset()
+    telemetry.stop_profiler()
     yield
     telemetry.reset()
     metrics.reset()
+    telemetry.stop_profiler()
 
 
 @pytest.fixture

@@ -1,0 +1,234 @@
+"""Exporters: Prometheus exposition round-trips, Chrome traces, /metrics."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro import telemetry
+from repro.runtime import ProcessExecutor, RunSpec
+from repro.telemetry import metrics
+from repro.telemetry.exporters import (
+    MetricsHTTPServer,
+    _assign_lanes,
+    chrome_trace,
+    export_chrome_trace,
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+)
+from repro.telemetry.report import load_trace_dir
+
+
+def problem(**kwargs):
+    kwargs.setdefault("time", 0.3)
+    return repro.SimulationProblem.from_labels(
+        4, {"nsdI": 0.8, "IZZI": 0.3}, **kwargs
+    )
+
+
+def payloads_for(count: int, **kwargs) -> "list[dict]":
+    return [
+        RunSpec(problem=problem(steps=k + 1), **kwargs).to_dict(canonical=True)
+        for k in range(count)
+    ]
+
+
+def make_span(name, span_id, *, parent=None, wall=0.1, pid=100, start=1000.0,
+              trace="t" * 32, **extra):
+    record = {
+        "trace_id": trace, "span_id": span_id, "parent_id": parent,
+        "name": name, "start": start, "wall": wall, "cpu": wall / 2,
+        "pid": pid, "attrs": {},
+    }
+    record.update(extra)
+    return record
+
+
+class TestPrometheusNames:
+    def test_dots_become_underscores_with_prefix(self):
+        assert prometheus_name("cache.hits") == "repro_cache_hits"
+
+    def test_hostile_characters_are_sanitized(self):
+        assert prometheus_name("a b-c/d") == "repro_a_b_c_d"
+        assert prometheus_name("1weird", prefix="") == "_1weird"
+
+
+class TestPrometheusRender:
+    def test_every_registry_metric_is_present_and_parses(self):
+        """The ISSUE round-trip: exposition parses line-by-line, nothing lost."""
+        metrics.incr("cache.hits", 5)
+        metrics.incr("cache.misses", 2)
+        metrics.incr("service.points_executed", 16)
+        metrics.gauge("queue.points_pending", 3)
+        metrics.gauge("workers.busy", 1.5)
+        for value in (0.01, 0.02, 0.03, 0.5):
+            metrics.observe("evolve.seconds", value)
+
+        text = render_prometheus()
+        values = parse_prometheus(text)  # raises on any malformed line
+
+        snapshot = metrics.snapshot()
+        for name, count in snapshot["counters"].items():
+            assert values[prometheus_name(name) + "_total"] == count
+        for name, level in snapshot["gauges"].items():
+            assert values[prometheus_name(name)] == pytest.approx(level)
+        for name in snapshot["histograms"]:
+            base = prometheus_name(name)
+            for quantile in ("0.5", "0.9", "0.99"):
+                assert f'{base}{{quantile="{quantile}"}}' in values
+            assert values[f"{base}_count"] == 4
+            assert values[f"{base}_sum"] == pytest.approx(0.56)
+
+    def test_extra_gauges_are_appended(self):
+        text = render_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}},
+            extra_gauges={"points.per_second": 159.2},
+        )
+        assert parse_prometheus(text)["repro_points_per_second"] == pytest.approx(159.2)
+
+    def test_headers_and_trailing_newline(self):
+        metrics.incr("cache.hits")
+        text = render_prometheus()
+        assert "# HELP repro_cache_hits_total" in text
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert text.endswith("\n")
+
+    def test_scientific_notation_and_nan_round_trip(self):
+        text = render_prometheus(
+            {"counters": {"big": 1e16}, "gauges": {"empty": None},
+             "histograms": {}},
+        )
+        values = parse_prometheus(text)
+        assert values["repro_big_total"] == pytest.approx(1e16)
+        assert values["repro_empty"] != values["repro_empty"]  # NaN
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_prometheus("this is not a sample\n")
+
+
+class TestChromeTrace:
+    def test_one_x_event_per_span_with_metadata(self):
+        spans = [
+            make_span("execute.point", "a" * 16, wall=1.0),
+            make_span("execute.evolve", "b" * 16, parent="a" * 16,
+                      wall=0.5, start=1000.2),
+        ]
+        document = chrome_trace(spans)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1 and meta[0]["args"]["name"] == "repro pid 100"
+        assert len(complete) == 2
+        (child,) = [e for e in complete if e["name"] == "execute.evolve"]
+        assert child["ts"] == pytest.approx(1000.2e6)
+        assert child["dur"] == pytest.approx(0.5e6)
+        assert child["args"]["parent_id"] == "a" * 16
+
+    def test_concurrent_roots_fan_out_across_lanes(self):
+        spans = [
+            make_span("service.chunk", "r1", start=1000.0, wall=1.0),
+            make_span("service.chunk", "r2", start=1000.5, wall=1.0),
+            make_span("service.chunk", "r3", start=2001.0, wall=1.0),
+            make_span("execute.point", "c2", parent="r2",
+                      start=1000.6, wall=0.2),
+        ]
+        lanes = _assign_lanes(spans)
+        assert lanes["r1"] == 0
+        assert lanes["r2"] == 1  # overlaps r1: separate track
+        assert lanes["r3"] == 0  # r1's lane freed up by then
+        assert lanes["c2"] == lanes["r2"]  # children follow their root
+
+    def test_lanes_are_per_process(self):
+        spans = [
+            make_span("a", "p1", pid=100, start=1000.0, wall=1.0),
+            make_span("b", "p2", pid=200, start=1000.0, wall=1.0),
+        ]
+        lanes = _assign_lanes(spans)
+        assert lanes["p1"] == 0 and lanes["p2"] == 0
+
+    def test_traced_two_worker_sweep_exports_one_connected_tree(self, traced):
+        """The ISSUE round-trip: a real 2-worker sweep -> valid trace JSON."""
+        ProcessExecutor(2, chunk_size=1).map_specs(payloads_for(4))
+        spans = load_trace_dir(traced)
+        assert spans  # the sweep really traced
+
+        text = export_chrome_trace(traced)
+        document = json.loads(text)  # valid trace-event JSON
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(spans)
+
+        # One connected tree: a single root, every parent_id resolvable.
+        ids = {e["args"]["span_id"] for e in complete}
+        roots = [e for e in complete if e["args"]["parent_id"] is None]
+        assert len(roots) == 1 and roots[0]["name"] == "pool.map_specs"
+        orphans = [
+            e for e in complete
+            if e["args"]["parent_id"] is not None
+            and e["args"]["parent_id"] not in ids
+        ]
+        assert orphans == []
+        assert all(e["args"]["trace_id"] == roots[0]["args"]["trace_id"]
+                   for e in complete)
+
+        # Worker processes are labelled, and the root's wall survives in dur.
+        pids = {e["pid"] for e in complete}
+        assert len(pids) >= 2  # parent + at least one pool worker
+        assert roots[0]["dur"] == pytest.approx(
+            next(s["wall"] for s in spans if s["name"] == "pool.map_specs") * 1e6,
+            rel=1e-6,
+        )
+
+    def test_export_writes_out_file(self, traced, tmp_path):
+        with telemetry.span("execute.point"):
+            pass
+        out = tmp_path / "trace.json"
+        export_chrome_trace(traced, out=out)
+        document = json.loads(out.read_text())
+        assert any(e["name"] == "execute.point"
+                   for e in document["traceEvents"])
+
+
+class TestMetricsHTTPServer:
+    def test_serves_the_rendered_exposition(self):
+        server = MetricsHTTPServer(lambda: "repro_up 1\n")
+        port = server.start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=10
+            ) as response:
+                assert response.status == 200
+                assert "version=0.0.4" in response.headers["Content-Type"]
+                assert response.read() == b"repro_up 1\n"
+        finally:
+            server.stop()
+
+    def test_unknown_paths_404_and_render_errors_500(self):
+        def explode():
+            raise RuntimeError("registry on fire")
+
+        server = MetricsHTTPServer(explode)
+        port = server.start()
+        try:
+            for path, expected in (("/nope", 404), ("/metrics", 500)):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}{path}", timeout=10
+                    )
+                assert excinfo.value.code == expected
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_start_returns_same_port(self):
+        server = MetricsHTTPServer(lambda: "")
+        port = server.start()
+        assert server.start() == port
+        assert server.url == f"http://127.0.0.1:{port}/metrics"
+        server.stop()
+        server.stop()

@@ -1,0 +1,121 @@
+"""Sampling profiler: arming, folded output, per-process lifecycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.profiler import (
+    DEFAULT_HZ,
+    SamplingProfiler,
+    load_profile_dir,
+    maybe_start_profiler,
+    profile_rate,
+    stop_profiler,
+)
+
+
+class TestArming:
+    def test_unset_means_off(self):
+        assert profile_rate() is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "ON", "yes"])
+    def test_bare_truthy_uses_the_default_rate(self, monkeypatch, value):
+        monkeypatch.setenv(telemetry.PROFILE_ENV, value)
+        assert profile_rate() == DEFAULT_HZ
+
+    def test_numeric_value_is_the_rate(self, monkeypatch):
+        monkeypatch.setenv(telemetry.PROFILE_ENV, "250")
+        assert profile_rate() == 250.0
+
+    @pytest.mark.parametrize("value", ["", "0", "-5", "garbage", "false"])
+    def test_everything_else_disarms(self, monkeypatch, value):
+        monkeypatch.setenv(telemetry.PROFILE_ENV, value)
+        assert profile_rate() is None
+
+    def test_maybe_start_is_a_noop_when_disarmed(self):
+        assert maybe_start_profiler() is None
+
+    def test_maybe_start_is_idempotent_per_process(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(telemetry.PROFILE_ENV, "50")
+        monkeypatch.setenv(telemetry.PROFILE_DIR_ENV, str(tmp_path))
+        first = maybe_start_profiler()
+        try:
+            assert first is not None
+            assert maybe_start_profiler() is first
+        finally:
+            stop_profiler()
+        assert stop_profiler() is None  # already stopped: a clean no-op
+
+
+class TestSampling:
+    def test_captures_a_busy_thread(self, tmp_path):
+        release = threading.Event()
+
+        def busy_loop_marker():
+            while not release.is_set():
+                sum(range(200))
+
+        worker = threading.Thread(target=busy_loop_marker, daemon=True)
+        worker.start()
+        profiler = SamplingProfiler(400.0, directory=tmp_path)
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while profiler.samples < 20 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            path = profiler.stop()
+            release.set()
+            worker.join(timeout=5)
+        assert profiler.samples >= 20
+        lines = profiler.folded_lines()
+        assert any("busy_loop_marker" in line for line in lines)
+        assert path is not None and path.name.startswith("profile-")
+        assert path.read_text().splitlines() == lines
+
+    def test_folded_values_are_period_microseconds(self, tmp_path):
+        profiler = SamplingProfiler(100.0, directory=tmp_path)
+        profiler._folded = {"a;b;c": 3}
+        (line,) = profiler.folded_lines()
+        assert line == "a;b;c 30000"  # 3 samples x 10ms period, in us
+
+    def test_flush_with_no_samples_writes_nothing(self, tmp_path):
+        profiler = SamplingProfiler(100.0, directory=tmp_path)
+        assert profiler.flush() is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_hz_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(0)
+
+
+class TestLoadProfileDir:
+    def test_merges_and_sums_across_processes(self, tmp_path):
+        (tmp_path / "profile-100-aa.folded").write_text(
+            "mod.f;mod.g 1000\nmod.f 500\n"
+        )
+        (tmp_path / "profile-200-bb.folded").write_text(
+            "mod.f;mod.g 250\n"
+        )
+        merged = load_profile_dir(tmp_path)
+        assert "mod.f;mod.g 1250" in merged
+        assert "mod.f 500" in merged
+
+    def test_torn_tails_are_skipped(self, tmp_path):
+        (tmp_path / "profile-100-aa.folded").write_text(
+            "mod.f 1000\nmod.g"  # autosave torn before the value
+        )
+        assert load_profile_dir(tmp_path) == ["mod.f 1000"]
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        (tmp_path / "profile-100-aa.folded").write_text(
+            "mod.f 1000\nnot a folded line\nmod.g notanumber\n\n"
+        )
+        assert load_profile_dir(tmp_path) == ["mod.f 1000"]
+
+    def test_empty_dir(self, tmp_path):
+        assert load_profile_dir(tmp_path) == []

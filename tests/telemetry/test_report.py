@@ -7,6 +7,9 @@ import json
 import pytest
 
 from repro.telemetry.report import (
+    STRAGGLER_FACTOR,
+    critical_path,
+    find_stragglers,
     flame_stacks,
     load_trace_dir,
     load_trace_file,
@@ -165,6 +168,82 @@ class TestFlameStacks:
         assert flame_stacks(spans) == []
 
 
+class TestCriticalPath:
+    def test_follows_the_longest_child_chain(self, tree):
+        path = critical_path(tree)
+        assert [s["name"] for s in path["steps"]] == [
+            "execute.point", "execute.evolve",
+        ]
+        assert path["wall"] == pytest.approx(1.0)
+        # Per-step exclusive time: the root keeps what its children did not.
+        assert path["steps"][0]["self"] == pytest.approx(0.1)
+        assert path["steps"][1]["self"] == pytest.approx(0.5)
+        assert path["phases"]["other"] == pytest.approx(0.1)
+        assert path["phases"]["evolve"] == pytest.approx(0.5)
+
+    def test_picks_the_longest_root(self):
+        spans = [
+            make_span("service.chunk", "short", wall=0.2),
+            make_span("service.chunk", "long", wall=0.9),
+            make_span("execute.evolve", "kid", parent="long", wall=0.6),
+        ]
+        path = critical_path(spans)
+        assert path["wall"] == pytest.approx(0.9)
+        assert [s["name"] for s in path["steps"]] == [
+            "service.chunk", "execute.evolve",
+        ]
+
+    def test_empty(self):
+        assert critical_path([]) == {"steps": [], "wall": 0.0, "phases": {}}
+
+    def test_corrupt_duplicate_ids_terminate(self):
+        # Two records share a span id and one claims to be its own child:
+        # the descent must hit the seen-guard instead of looping forever.
+        spans = [
+            make_span("execute.point", "root", wall=1.0),
+            make_span("execute.evolve", "dup", parent="root", wall=0.5),
+            make_span("execute.evolve", "dup", parent="dup", wall=0.5),
+        ]
+        path = critical_path(spans)
+        assert len(path["steps"]) == 2
+
+
+class TestStragglers:
+    @staticmethod
+    def fleet(busy_by_pid):
+        return [
+            make_span("service.chunk", f"s{pid}", pid=pid,
+                      wall=busy, start=0.0)
+            for pid, busy in busy_by_pid.items()
+        ]
+
+    def test_slow_worker_is_flagged_with_its_ratio(self):
+        spans = self.fleet({1: 1.0, 2: 1.0, 3: 2.0})
+        (straggler,) = find_stragglers(spans)
+        assert straggler["pid"] == 3
+        assert straggler["busy_seconds"] == pytest.approx(2.0)
+        assert straggler["median_seconds"] == pytest.approx(1.0)
+        assert straggler["ratio"] == pytest.approx(2.0)
+
+    def test_balanced_fleet_has_none(self):
+        assert find_stragglers(self.fleet({1: 1.0, 2: 1.1, 3: 0.9})) == []
+
+    def test_threshold_is_strict(self):
+        spans = self.fleet({1: 1.0, 2: 1.0, 3: STRAGGLER_FACTOR * 1.0})
+        assert find_stragglers(spans) == []  # exactly at the bar: not flagged
+
+    def test_needs_at_least_two_workers(self):
+        assert find_stragglers(self.fleet({1: 5.0})) == []
+        assert find_stragglers([]) == []
+
+    def test_sorted_worst_first(self):
+        spans = self.fleet({1: 1.0, 2: 1.0, 3: 1.0, 4: 2.0, 5: 3.0})
+        stragglers = find_stragglers(spans)
+        assert [s["pid"] for s in stragglers] == [5, 4]
+        ratios = [s["ratio"] for s in stragglers]
+        assert ratios == sorted(ratios, reverse=True)
+
+
 class TestRenderReport:
     def test_tables_render(self, tree):
         text = render_report(tree)
@@ -172,6 +251,19 @@ class TestRenderReport:
         assert "compile" in text and "evolve" in text
         assert "execute.point" in text
         assert "pid" in text
+
+    def test_critical_path_section_renders(self, tree):
+        text = render_report(tree)
+        assert "critical path: 1.0000 s over 2 spans" in text
+        assert "by phase:" in text
+
+    def test_straggler_flag_renders(self):
+        spans = [
+            make_span("service.chunk", f"s{pid}", pid=pid, wall=busy, start=0.0)
+            for pid, busy in {1: 1.0, 2: 1.0, 3: 2.0}.items()
+        ]
+        text = render_report(spans)
+        assert "<- straggler" in text
 
     def test_empty(self):
         assert "no spans" in render_report([])

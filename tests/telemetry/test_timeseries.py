@@ -1,0 +1,156 @@
+"""MetricsSampler: rates, derived headlines, bounded window, lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import metrics
+from repro.telemetry.timeseries import MetricsSampler
+
+
+class TestSampling:
+    def test_sample_carries_registry_counters_and_gauges(self):
+        metrics.incr("cache.hits", 3)
+        metrics.gauge("workers.busy", 2)
+        sampler = MetricsSampler(interval=1.0, window=10)
+        sample = sampler.sample_once(100.0)
+        assert sample["counters"]["cache.hits"] == 3
+        assert sample["gauges"]["workers.busy"] == 2
+        assert sample["t"] == 100.0
+
+    def test_rates_are_per_second_deltas(self):
+        sampler = MetricsSampler(interval=1.0, window=10)
+        metrics.incr("service.points_executed", 4)
+        sampler.sample_once(100.0)
+        metrics.incr("service.points_executed", 10)
+        sample = sampler.sample_once(102.0)  # +10 over 2 s
+        assert sample["rates"]["service.points_executed"] == pytest.approx(5.0)
+
+    def test_first_sample_rates_are_zero_without_baseline(self):
+        metrics.incr("cache.hits", 100)
+        sample = MetricsSampler(interval=1.0, window=10).sample_once(100.0)
+        assert sample["rates"]["cache.hits"] == 0.0
+
+    def test_counter_reset_reads_as_quiet_not_negative(self):
+        sampler = MetricsSampler(interval=1.0, window=10)
+        metrics.incr("cache.hits", 8)
+        sampler.sample_once(100.0)
+        metrics.reset()  # a restarted registry must not produce negative rates
+        metrics.incr("cache.hits", 1)
+        sample = sampler.sample_once(101.0)
+        assert sample["rates"]["cache.hits"] == 0.0
+
+    def test_window_bounds_memory(self):
+        sampler = MetricsSampler(interval=1.0, window=5)
+        for tick in range(50):
+            sampler.sample_once(100.0 + tick)
+        assert len(sampler) == 5
+        samples = sampler.series()["samples"]
+        assert samples[0]["t"] == pytest.approx(145.0)
+
+    def test_probe_values_merge_and_probe_errors_are_swallowed(self):
+        calls = []
+
+        def probe():
+            calls.append(1)
+            if len(calls) > 1:
+                raise RuntimeError("probe broke")
+            return {"counters": {"service.points_executed": 7.0},
+                    "gauges": {"queue.points_pending": 3.0}}
+
+        sampler = MetricsSampler(interval=1.0, window=10, probe=probe)
+        sample = sampler.sample_once(100.0)
+        assert sample["counters"]["service.points_executed"] == 7.0
+        assert sample["gauges"]["queue.points_pending"] == 3.0
+        second = sampler.sample_once(101.0)  # probe raises: sampling continues
+        assert "service.points_executed" not in second["counters"]
+
+
+class TestDerived:
+    def test_points_per_second_prefers_the_service_counter(self):
+        sampler = MetricsSampler(interval=1.0, window=10)
+        metrics.incr("batch.points_total", 1)
+        metrics.incr("service.points_executed", 1)
+        sampler.sample_once(100.0)
+        metrics.incr("batch.points_total", 2)
+        metrics.incr("service.points_executed", 6)
+        sample = sampler.sample_once(101.0)
+        assert sample["derived"]["points_per_second"] == pytest.approx(6.0)
+
+    def test_cache_hit_rate_over_the_sample_window(self):
+        sampler = MetricsSampler(interval=1.0, window=10)
+        sampler.sample_once(100.0)
+        metrics.incr("cache.hits", 3)
+        metrics.incr("cache.misses", 1)
+        sample = sampler.sample_once(101.0)
+        assert sample["derived"]["cache_hit_rate"] == pytest.approx(0.75)
+
+    def test_cache_hit_rate_is_none_when_no_lookups(self):
+        sampler = MetricsSampler(interval=1.0, window=10)
+        sampler.sample_once(100.0)
+        sample = sampler.sample_once(101.0)
+        assert sample["derived"]["cache_hit_rate"] is None
+
+    def test_queue_depth_and_lease_losses(self):
+        metrics.gauge("queue.points_pending", 12)
+        metrics.incr("service.lease_losses", 2)
+        sample = MetricsSampler(interval=1.0, window=10).sample_once(100.0)
+        assert sample["derived"]["queue_depth"] == 12
+        assert sample["derived"]["lease_losses"] == 2
+
+
+class TestSeries:
+    def test_series_shape_and_last(self):
+        sampler = MetricsSampler(interval=0.5, window=10)
+        for tick in range(4):
+            sampler.sample_once(100.0 + tick)
+        series = sampler.series(last=2)
+        assert series["interval"] == 0.5 and series["window"] == 10
+        assert [s["t"] for s in series["samples"]] == [102.0, 103.0]
+        assert sampler.series(last=0)["samples"] == []
+        assert len(sampler.series()["samples"]) == 4
+
+    def test_latest(self):
+        sampler = MetricsSampler(interval=1.0, window=10)
+        assert sampler.latest() is None
+        sampler.sample_once(100.0)
+        assert sampler.latest()["t"] == 100.0
+
+
+class TestLifecycle:
+    def test_background_thread_samples_and_stops(self):
+        sampler = MetricsSampler(interval=0.01, window=50)
+        sampler.start()
+        try:
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while len(sampler) < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(sampler) >= 3
+        finally:
+            sampler.stop()
+        depth = len(sampler)
+        import time
+
+        time.sleep(0.05)
+        assert len(sampler) == depth  # really stopped
+
+    def test_start_seeds_the_rate_baseline(self):
+        # Work finishing entirely inside the first interval must still show
+        # a nonzero rate in the first sample.
+        metrics.incr("service.points_executed", 0)
+        sampler = MetricsSampler(interval=60.0, window=10)
+        sampler.start()
+        try:
+            metrics.incr("service.points_executed", 16)
+            sample = sampler.sample_once()
+            assert sample["rates"]["service.points_executed"] > 0.0
+        finally:
+            sampler.stop()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(interval=0.0)
+        with pytest.raises(ValueError):
+            MetricsSampler(window=1)
